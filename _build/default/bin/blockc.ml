@@ -1,0 +1,238 @@
+(* blockc — command-line driver for the blockability toolkit.
+
+   Subcommands: list, show, derive, verify, simulate, parse, lower. *)
+
+open Cmdliner
+
+let entry_conv =
+  let parse s =
+    match Blockability.find s with
+    | Some e -> Ok e
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown kernel %s (try: %s)" s
+               (String.concat ", " (Blockability.names ()))))
+  in
+  let print fmt (e : Blockability.entry) = Format.pp_print_string fmt e.name in
+  Arg.conv (parse, print)
+
+let kernel_arg =
+  Arg.(required & pos 0 (some entry_conv) None & info [] ~docv:"KERNEL")
+
+let binding_conv =
+  let parse s =
+    match String.split_on_char '=' s with
+    | [ k; v ] -> (
+        match int_of_string_opt v with
+        | Some n -> Ok (String.uppercase_ascii k, n)
+        | None -> Error (`Msg ("bad binding value: " ^ s)))
+    | _ -> Error (`Msg ("bindings look like N=300, got " ^ s))
+  in
+  let print fmt (k, v) = Format.fprintf fmt "%s=%d" k v in
+  Arg.conv (parse, print)
+
+let bindings_arg =
+  Arg.(
+    value
+    & opt_all binding_conv []
+    & info [ "p"; "param" ] ~docv:"NAME=INT" ~doc:"Problem parameter binding.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Workload random seed.")
+
+let machine_conv =
+  let parse = function
+    | "rs6000" -> Ok Arch.rs6000_540
+    | "small" -> Ok Arch.small_test
+    | "modern" -> Ok Arch.modern_l1
+    | s -> Error (`Msg ("unknown machine " ^ s ^ " (rs6000|small|modern)"))
+  in
+  let print fmt (m : Arch.t) = Format.pp_print_string fmt m.name in
+  Arg.conv (parse, print)
+
+let machine_arg =
+  Arg.(
+    value
+    & opt machine_conv Arch.rs6000_540
+    & info [ "machine" ] ~doc:"Cache model: rs6000, small, or modern.")
+
+let or_default bindings = if bindings = [] then None else Some bindings
+
+(* ---- list ---- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (e : Blockability.entry) ->
+        Printf.printf "%-10s %-28s %s\n" e.name e.paper_ref
+          e.kernel.Kernel_def.description)
+      Blockability.entries
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the paper's kernels.")
+    Term.(const run $ const ())
+
+(* ---- show ---- *)
+
+let show_cmd =
+  let run e =
+    print_string
+      (Fortran_pp.subroutine ~name:(String.uppercase_ascii e.Blockability.name)
+         ~params:e.Blockability.kernel.Kernel_def.params
+         e.Blockability.kernel.Kernel_def.block)
+  in
+  Cmd.v
+    (Cmd.info "show" ~doc:"Print a kernel's point algorithm.")
+    Term.(const run $ kernel_arg)
+
+(* ---- derive ---- *)
+
+let derive_cmd =
+  let run e =
+    match Blockability.derive e with
+    | Error m ->
+        prerr_endline ("derivation failed: " ^ m);
+        exit 1
+    | Ok { Blocker.result; steps } ->
+        List.iter
+          (fun (s : Blocker.trace_step) ->
+            Printf.printf "--- %s: %s\n" s.name s.detail)
+          steps;
+        print_string (Stmt.to_string result)
+  in
+  Cmd.v
+    (Cmd.info "derive"
+       ~doc:"Run the compiler driver on a kernel and print the result.")
+    Term.(const run $ kernel_arg)
+
+(* ---- verify ---- *)
+
+let verify_cmd =
+  let run e bindings seed =
+    match Blockability.verify ?bindings:(or_default bindings) ~seed e with
+    | Ok () -> print_endline "equivalent: transformed kernel matches the point kernel"
+    | Error m ->
+        prerr_endline m;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Interpret point and transformed kernels and compare memory.")
+    Term.(const run $ kernel_arg $ bindings_arg $ seed_arg)
+
+(* ---- simulate ---- *)
+
+let simulate_cmd =
+  let run e bindings seed machine =
+    match
+      Blockability.simulate ?bindings:(or_default bindings) ~seed ~machine e
+    with
+    | Error m ->
+        prerr_endline m;
+        exit 1
+    | Ok r ->
+        let pr what (s : Cache.stats) cycles =
+          Printf.printf "%-12s accesses %9d  misses %9d  miss-rate %5.2f%%  mem-cycles %10d\n"
+            what s.accesses s.misses
+            (100.0 *. Cache.miss_ratio s)
+            cycles
+        in
+        Printf.printf "machine: %s\n" machine.Arch.name;
+        pr "point" r.point_stats r.point_cycles;
+        pr "transformed" r.transformed_stats r.transformed_cycles;
+        Printf.printf "memory-cycle speedup: %.2f\n"
+          (Cost.speedup ~baseline:r.point_cycles ~optimized:r.transformed_cycles)
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Trace both kernels through the cache simulator.")
+    Term.(const run $ kernel_arg $ bindings_arg $ seed_arg $ machine_arg)
+
+(* ---- sections ---- *)
+
+let sections_cmd =
+  let run e =
+    let block = e.Blockability.kernel.Kernel_def.block in
+    let loops = List.map snd (Stmt.find_loops block) in
+    let ctx =
+      List.fold_left Symbolic.assume_pos
+        (Symbolic.of_loop_context loops)
+        (Ir_util.symbolic_params block)
+    in
+    List.iter
+      (fun (a : Ir_util.access) ->
+        if a.space = Ir_util.Float_data && a.subs <> [] then
+          let kind = match a.kind with Ir_util.Write -> "write" | _ -> "read " in
+          match Section.of_access ~ctx ~within:a.loops a with
+          | Some s ->
+              Printf.printf "%s %s(%s)  =>  %s\n" kind a.array
+                (String.concat ", " (List.map Expr.to_string a.subs))
+                (Section.to_string s)
+          | None ->
+              Printf.printf "%s %s(%s)  =>  (not affine)\n" kind a.array
+                (String.concat ", " (List.map Expr.to_string a.subs)))
+      (Ir_util.accesses block)
+  in
+  Cmd.v
+    (Cmd.info "sections"
+       ~doc:"Print the array section of every reference in a kernel.")
+    Term.(const run $ kernel_arg)
+
+(* ---- parse / lower ---- *)
+
+let file_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let parse_cmd =
+  let run path =
+    match Parser.program (read_file path) with
+    | prog -> List.iter (fun s -> print_string (Ext.to_string s)) prog
+    | exception Parser.Parse_error { line; message } ->
+        Printf.eprintf "%s:%d: %s\n" path line message;
+        exit 1
+    | exception Lexer.Lex_error { line; message } ->
+        Printf.eprintf "%s:%d: %s\n" path line message;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "parse" ~doc:"Parse a mini-Fortran file and echo the program.")
+    Term.(const run $ file_arg)
+
+let lower_cmd =
+  let block_arg =
+    Arg.(value & opt (some int) None & info [ "block-size" ] ~doc:"Override the block size.")
+  in
+  let run path machine block_size =
+    match Parser.program (read_file path) with
+    | exception Parser.Parse_error { line; message } ->
+        Printf.eprintf "%s:%d: %s\n" path line message;
+        exit 1
+    | exception Lexer.Lex_error { line; message } ->
+        Printf.eprintf "%s:%d: %s\n" path line message;
+        exit 1
+    | prog ->
+        List.iter
+          (fun s ->
+            match Lower.lower ?block_size ~machine s with
+            | Ok stmt -> print_string (Stmt.to_string stmt)
+            | Error m ->
+                prerr_endline m;
+                exit 1)
+          prog
+  in
+  Cmd.v
+    (Cmd.info "lower"
+       ~doc:"Lower BLOCK DO / IN DO extensions, choosing the block size.")
+    Term.(const run $ file_arg $ machine_arg $ block_arg)
+
+let () =
+  let doc = "compiler blockability of numerical algorithms (Carr-Kennedy SC'92)" in
+  let info = Cmd.info "blockc" ~doc in
+  exit (Cmd.eval (Cmd.group info
+    [ list_cmd; show_cmd; derive_cmd; verify_cmd; simulate_cmd; sections_cmd; parse_cmd; lower_cmd ]))

@@ -1,0 +1,1 @@
+examples/convolution.ml: Int64 K_conv Kernel_def List Monotonic_clock N_conv Printf Split_minmax Stmt

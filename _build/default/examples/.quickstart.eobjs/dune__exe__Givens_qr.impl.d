@@ -1,0 +1,1 @@
+examples/givens_qr.ml: Blockability Blocker Givens_opt Int64 K_givens Linalg List Monotonic_clock N_givens Option Printf Stmt

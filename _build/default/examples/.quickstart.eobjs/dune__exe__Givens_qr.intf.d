@@ -1,0 +1,1 @@
+examples/givens_qr.mli:

@@ -1,0 +1,1 @@
+examples/lu_blocking.ml: Arch Blockability Blocker Ext K_lu_pivot Kernel_def List Lower Option Printf Stmt

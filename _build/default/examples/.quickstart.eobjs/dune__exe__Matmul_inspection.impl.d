@@ -1,0 +1,1 @@
+examples/matmul_inspection.ml: Array Blockability Int64 K_matmul Linalg List Monotonic_clock N_matmul Option Printf Stmt

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Arch Blocker Builder Dependence Env Exec Expr Lcg List Printf Stdlib Stmt Symbolic Trace

@@ -1,0 +1,47 @@
+(* §5.4: the Givens QR optimization — index-set splitting, scalar
+   expansion, fused IF-inspection, and interchange, ending with
+   stride-one access to A(J,K).
+
+   Run with:  dune exec examples/givens_qr.exe *)
+
+let time f =
+  let t0 = Monotonic_clock.now () in
+  f ();
+  Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0) /. 1e9
+
+let () =
+  print_endline "== point Givens QR (Figure 9) ==";
+  print_string (Stmt.to_string (Stmt.Loop K_givens.point_loop));
+  (match Givens_opt.optimize K_givens.point_loop with
+  | Error m -> Printf.printf "optimization failed: %s\n" m
+  | Ok ({ result; steps }, _names) ->
+      print_endline "\n-- compiler steps:";
+      List.iter
+        (fun (s : Blocker.trace_step) -> Printf.printf "   %s: %s\n" s.name s.detail)
+        steps;
+      print_endline "\n== optimized (Figure 10) ==";
+      print_string (Stmt.to_string result));
+  let entry = Option.get (Blockability.find "givens") in
+  (match Blockability.verify entry ~bindings:[ ("M", 40); ("N", 28) ] with
+  | Ok () -> print_endline "-- verified equivalent by interpretation"
+  | Error m -> Printf.printf "-- FAILED: %s\n" m);
+
+  (* native timing across sizes: the win grows as the matrix outgrows the
+     cache (the paper saw 2.04x at 300 and 5.49x at 500) *)
+  print_endline "\nnative timings:";
+  List.iter
+    (fun n ->
+      let a0 = Linalg.random ~seed:6 n n in
+      let bench f =
+        let best = ref infinity in
+        for _ = 1 to 3 do
+          let x = Linalg.copy_mat a0 in
+          let t = time (fun () -> f x) in
+          if t < !best then best := t
+        done;
+        !best
+      in
+      let t0 = bench N_givens.point and t1 = bench N_givens.optimized in
+      Printf.printf "  %4dx%-4d point %8.1fms  optimized %8.1fms  speedup %.2f\n"
+        n n (t0 *. 1e3) (t1 *. 1e3) (t0 /. t1))
+    [ 100; 200; 400; 800 ]

@@ -1,0 +1,71 @@
+(* Quickstart: the §2.3 running example.
+
+   Build a loop nest in the IR, ask the dependence analysis what reuse it
+   carries, block it with strip-mine-and-interchange, check the result is
+   equivalent by interpretation, and compare simulated cache behaviour.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+open Builder
+
+let () =
+  (* DO J = 1,N / DO I = 1,M : A(I) = A(I) + B(J)  — B has temporal reuse
+     across I, A has reuse across J that a big M pushes out of cache. *)
+  let nest =
+    do_ "J" (i 1) (v "N")
+      [ do_ "I" (i 1) (v "M") [ set1 "A" (v "I") (a1 "A" (v "I") +. a1 "B" (v "J")) ] ]
+  in
+  let l = match nest with Stmt.Loop l -> l | _ -> assert false in
+  print_endline "== the point loop ==";
+  print_string (Stmt.to_string nest);
+
+  (* dependence view *)
+  let ctx = Symbolic.assume_pos (Symbolic.assume_pos Symbolic.empty "N") "M" in
+  print_endline "\n== dependences (reuse opportunities) ==";
+  List.iter
+    (fun d -> print_endline ("  " ^ Dependence.to_string d))
+    (Dependence.all ~include_input:true ~ctx [ nest ]);
+
+  (* block it *)
+  let blocked =
+    match
+      Blocker.strip_mine_and_interchange ~block_size:(Expr.var "JS")
+        ~new_index:"JJ" ~levels:1 l
+    with
+    | Ok b -> b
+    | Error m -> failwith m
+  in
+  print_endline "\n== after strip-mine-and-interchange (block size JS) ==";
+  print_string (Stmt.to_string (Stmt.Loop blocked));
+
+  (* prove nothing changed, by running both *)
+  let make () =
+    let env = Env.create () in
+    let n = 40 and m = 4000 in
+    Env.set_iscalar env "N" n;
+    Env.set_iscalar env "M" m;
+    Env.set_iscalar env "JS" 8;
+    Env.add_farray env "A" [ (1, m) ];
+    Env.add_farray env "B" [ (1, n) ];
+    let rng = Lcg.create 7 in
+    Env.fill_farray env "B" (fun _ -> Lcg.float rng 1.0);
+    env
+  in
+  let e1 = make () and e2 = make () in
+  Exec.run e1 [ nest ];
+  Exec.run e2 [ Stmt.Loop blocked ];
+  (match Env.diff e1 e2 with
+  | None -> print_endline "\ninterpreter check: identical results"
+  | Some msg -> failwith msg);
+
+  (* and show the cache win on a small simulated cache *)
+  let machine = Arch.small_test in
+  let sim block =
+    let env = make () in
+    Trace.run machine env ~arrays:[ "A"; "B" ] block
+  in
+  let before = sim [ nest ] and after = sim [ Stmt.Loop blocked ] in
+  Printf.printf
+    "simulated %s: point %d misses, blocked %d misses (%.1fx fewer)\n"
+    machine.Arch.name before.misses after.misses
+    Stdlib.(float_of_int before.misses /. float_of_int (max 1 after.misses))

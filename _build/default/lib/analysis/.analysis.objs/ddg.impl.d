@@ -1,0 +1,1 @@
+lib/analysis/ddg.ml: Dependence List Scc Stmt

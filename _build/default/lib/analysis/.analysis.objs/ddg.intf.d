@@ -1,0 +1,1 @@
+lib/analysis/ddg.mli: Dependence Stmt Symbolic

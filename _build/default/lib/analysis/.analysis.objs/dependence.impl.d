@@ -1,0 +1,1 @@
+lib/analysis/dependence.ml: Affine Array Expr Ir_util List Printf Section Stmt String Symbolic

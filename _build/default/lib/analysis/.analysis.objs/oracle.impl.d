@@ -1,0 +1,1 @@
+lib/analysis/oracle.ml: Array Dependence Expr Hashtbl Int Ir_util List Printf Stmt String

@@ -1,0 +1,1 @@
+lib/analysis/oracle.mli: Stmt Symbolic

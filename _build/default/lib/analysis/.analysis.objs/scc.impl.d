@@ -1,0 +1,1 @@
+lib/analysis/scc.ml: Array Int List

@@ -1,0 +1,1 @@
+lib/analysis/section.ml: Affine Expr Ir_util List Stmt String Symbolic

@@ -1,0 +1,1 @@
+lib/analysis/section.mli: Affine Expr Ir_util Stmt Symbolic

@@ -1,0 +1,1 @@
+lib/analysis/symbolic.ml: Affine Expr Format Hashtbl List Stmt

@@ -1,0 +1,1 @@
+lib/analysis/symbolic.mli: Affine Format Stmt

@@ -1,0 +1,112 @@
+exception Unsupported of string
+
+type real_dep = { src_occ : int; snk_occ : int; has_write : bool }
+
+type event = { time : int; occ : int; kind : Ir_util.kind }
+
+let run ~bindings block =
+  let statics = Array.of_list (Ir_util.accesses block) in
+  (* Occurrences grouped by their statement path, preserving order. *)
+  let by_path = Hashtbl.create 16 in
+  Array.iteri
+    (fun i (a : Ir_util.access) ->
+      let existing = try Hashtbl.find by_path a.path with Not_found -> [] in
+      Hashtbl.replace by_path a.path (existing @ [ i ]))
+    statics;
+  let scope = Hashtbl.create 8 in
+  List.iter (fun (k, v) -> Hashtbl.replace scope k v) bindings;
+  let lookup v =
+    match Hashtbl.find_opt scope v with
+    | Some n -> n
+    | None -> raise (Unsupported ("unbound variable " ^ v))
+  in
+  let lookup_arr name _ = raise (Unsupported ("integer array " ^ name)) in
+  let eval e = Expr.eval lookup lookup_arr e in
+  let time = ref 0 in
+  let events : (string * int list, event list) Hashtbl.t = Hashtbl.create 1024 in
+  let record occ =
+    let a = statics.(occ) in
+    let addr = (a.array, List.map eval a.subs) in
+    let existing = try Hashtbl.find events addr with Not_found -> [] in
+    Hashtbl.replace events addr ({ time = !time; occ; kind = a.kind } :: existing)
+  in
+  let rec walk prefix stmts =
+    List.iteri
+      (fun n s ->
+        let path = prefix @ [ Stmt.I n ] in
+        match s with
+        | Stmt.Assign _ | Stmt.Iassign _ ->
+            let occs = try Hashtbl.find by_path path with Not_found -> [] in
+            List.iter record occs;
+            incr time
+        | Stmt.If _ -> raise (Unsupported "IF statement")
+        | Stmt.Loop l ->
+            let lo = eval l.lo and hi = eval l.hi and step = eval l.step in
+            if step <= 0 then raise (Unsupported "non-positive step");
+            let saved = Hashtbl.find_opt scope l.index in
+            let i = ref lo in
+            while !i <= hi do
+              Hashtbl.replace scope l.index !i;
+              walk path l.body;
+              i := !i + step
+            done;
+            (match saved with
+            | Some v -> Hashtbl.replace scope l.index v
+            | None -> Hashtbl.remove scope l.index))
+      stmts
+  in
+  walk [] block;
+  let deps = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun _addr evs ->
+      let evs = List.sort (fun a b -> Int.compare a.time b.time) evs in
+      let rec pairs = function
+        | [] -> ()
+        | e :: rest ->
+            List.iter
+              (fun e' ->
+                (* Same time step means same statement: the textual order
+                   within the statement (reads before write) decides. *)
+                let ordered =
+                  e.time < e'.time || (e.time = e'.time && e.occ < e'.occ)
+                in
+                if ordered then
+                  let has_write =
+                    e.kind = Ir_util.Write || e'.kind = Ir_util.Write
+                  in
+                  Hashtbl.replace deps (e.occ, e'.occ, has_write) ())
+              rest;
+            pairs rest
+      in
+      pairs evs)
+    events;
+  Hashtbl.fold
+    (fun (src_occ, snk_occ, has_write) () acc -> { src_occ; snk_occ; has_write } :: acc)
+    deps []
+  |> List.sort compare
+
+let agrees ~bindings ~ctx block =
+  let real = run ~bindings block in
+  let statics = Array.of_list (Ir_util.accesses block) in
+  let reported = Dependence.all ~include_input:true ~ctx block in
+  (* The dependence analysis re-enumerates accesses, so records must be
+     matched structurally, not physically. *)
+  let same (a : Ir_util.access) (b : Ir_util.access) =
+    a.path = b.path && a.kind = b.kind
+    && String.equal a.array b.array
+    && List.length a.subs = List.length b.subs
+    && List.for_all2 Expr.equal a.subs b.subs
+  in
+  let found (r : real_dep) =
+    List.exists
+      (fun (d : Dependence.t) ->
+        same d.source statics.(r.src_occ) && same d.sink statics.(r.snk_occ))
+      reported
+  in
+  match List.find_opt (fun r -> r.has_write && not (found r)) real with
+  | None -> Ok "conservative"
+  | Some r ->
+      let a = statics.(r.src_occ) and b = statics.(r.snk_occ) in
+      Error
+        (Printf.sprintf "missed dependence: %s(occ %d) -> %s(occ %d)" a.array
+           r.src_occ b.array r.snk_occ)

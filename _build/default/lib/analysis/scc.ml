@@ -1,0 +1,56 @@
+let compute ~n ~succ =
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let comps = ref [] in
+  let rec strongconnect v =
+    index.(v) <- !counter;
+    lowlink.(v) <- !counter;
+    incr counter;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    List.iter
+      (fun w ->
+        if index.(w) < 0 then begin
+          strongconnect w;
+          lowlink.(v) <- min lowlink.(v) lowlink.(w)
+        end
+        else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w))
+      (succ v);
+    if lowlink.(v) = index.(v) then begin
+      let rec pop acc =
+        match !stack with
+        | w :: rest ->
+            stack := rest;
+            on_stack.(w) <- false;
+            if w = v then w :: acc else pop (w :: acc)
+        | [] -> assert false
+      in
+      comps := List.sort Int.compare (pop []) :: !comps
+    end
+  in
+  for v = 0 to n - 1 do
+    if index.(v) < 0 then strongconnect v
+  done;
+  !comps
+
+let condensation ~n ~succ =
+  (* Tarjan emits components in reverse topological order of the
+     condensation; [compute] accumulates by consing, so the result is in
+     topological order (sources first). *)
+  let comps = compute ~n ~succ in
+  let comp_of = Array.make n (-1) in
+  List.iteri (fun ci nodes -> List.iter (fun v -> comp_of.(v) <- ci) nodes) comps;
+  let edges = ref [] in
+  for v = 0 to n - 1 do
+    List.iter
+      (fun w ->
+        if comp_of.(v) <> comp_of.(w) then begin
+          let e = (comp_of.(v), comp_of.(w)) in
+          if not (List.mem e !edges) then edges := e :: !edges
+        end)
+      (succ v)
+  done;
+  (comps, !edges)

@@ -1,0 +1,170 @@
+type dim = { los : Affine.t list; his : Affine.t list; step : int }
+type t = { array : string; dims : dim list; exact : bool }
+
+let max_candidates = 4
+
+let dedup afs =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | a :: rest ->
+        if List.exists (Affine.equal a) acc then go acc rest else go (a :: acc) rest
+  in
+  let r = go [] afs in
+  if List.length r > max_candidates then
+    (* Keep the primary candidates only. *)
+    List.filteri (fun i _ -> i < max_candidates) r
+  else r
+
+(* Valid affine lower-bound candidates of a loop's index: the loop runs
+   from [lo], so any affine arm of a MAX lower bound is a valid lower
+   bound (MAX >= each arm... i.e. each arm <= true lo).  [exact] is false
+   when candidates come from MAX arms. *)
+let loop_lo_bounds (l : Stmt.loop) =
+  match Affine.of_expr l.lo with
+  | Some a -> ([ a ], true)
+  | None -> (
+      match l.lo with
+      | Expr.Max (a, b) ->
+          let cands = List.filter_map Affine.of_expr [ a; b ] in
+          (cands, false)
+      | _ -> ([], false))
+
+let loop_hi_bounds (l : Stmt.loop) =
+  match Affine.of_expr l.hi with
+  | Some a -> ([ a ], true)
+  | None -> (
+      match l.hi with
+      | Expr.Min (a, b) ->
+          let cands = List.filter_map Affine.of_expr [ a; b ] in
+          (cands, false)
+      | _ -> ([], false))
+
+(* Eliminate the loop indices of [within] from the affine subscript [e],
+   producing candidate interval bounds.  Loops are processed
+   innermost-first so bounds referencing outer contained indices get those
+   indices eliminated later. *)
+let interval_of ~within e =
+  let exact = ref true in
+  let rec elim loops (los, his) =
+    match loops with
+    | [] -> Some (los, his)
+    | (l : Stmt.loop) :: outer ->
+        let lo_cands, lo_exact = loop_lo_bounds l in
+        let hi_cands, hi_exact = loop_hi_bounds l in
+        let step dir afs =
+          (* dir = true: this is the lower end (minimize); substitute the
+             index's lower bounds for positive coefficients and upper
+             bounds for negative ones. *)
+          let result =
+            List.concat_map
+              (fun aff ->
+                let c = Affine.coeff aff l.index in
+                if c = 0 then [ aff ]
+                else begin
+                  let cands, ex =
+                    if (c > 0) = dir then ((lo_cands, lo_exact) : _ * bool)
+                    else (hi_cands, hi_exact)
+                  in
+                  if not ex then exact := false;
+                  if cands = [] then []
+                  else List.map (fun b -> Affine.subst l.index b aff) cands
+                end)
+              afs
+          in
+          dedup result
+        in
+        let los' = step true los and his' = step false his in
+        if los' = [] || his' = [] then None else elim outer (los', his')
+  in
+  match elim (List.rev within) ([ e ], [ e ]) with
+  | Some (los, his) -> Some (los, his, !exact)
+  | None -> None
+
+let dim_of_subscript ~within sub =
+  match Affine.of_expr sub with
+  | None -> None
+  | Some e -> (
+      match interval_of ~within e with
+      | None -> None
+      | Some (los, his, exact) ->
+          let contained =
+            List.filter (fun (l : Stmt.loop) -> Affine.coeff e l.index <> 0) within
+          in
+          let step =
+            match contained with
+            | [ l ] -> (
+                match l.step with
+                | Expr.Int s -> max 1 (abs (s * Affine.coeff e l.index))
+                | _ -> 1)
+            | _ -> 1
+          in
+          let exact =
+            exact && List.length contained <= 1
+            && List.length los = 1 && List.length his = 1
+          in
+          Some ({ los; his; step }, exact))
+
+let of_ref ~ctx:_ ~within array subs =
+  let rec build dims exact = function
+    | [] -> Some { array; dims = List.rev dims; exact }
+    | sub :: rest -> (
+        match dim_of_subscript ~within sub with
+        | Some (d, ex) -> build (d :: dims) (exact && ex) rest
+        | None -> None)
+  in
+  build [] true subs
+
+let of_access ~ctx ~within (acc : Ir_util.access) =
+  of_ref ~ctx ~within acc.array acc.subs
+
+let same_shape s1 s2 =
+  String.equal s1.array s2.array && List.length s1.dims = List.length s2.dims
+
+let dim_separated ctx d1 d2 =
+  (* Some valid upper bound of d1 lies strictly below some valid lower
+     bound of d2 (then d1's true range is entirely below d2's), or
+     symmetrically. *)
+  List.exists (fun h -> List.exists (fun l -> Symbolic.prove_lt ctx h l) d2.los) d1.his
+  || List.exists
+       (fun h -> List.exists (fun l -> Symbolic.prove_lt ctx h l) d1.los)
+       d2.his
+
+let disjoint ctx s1 s2 =
+  same_shape s1 s2 && List.exists2 (dim_separated ctx) s1.dims s2.dims
+
+(* d1's true range inside d2's: some candidate lo of d1 dominates every
+   candidate lo of d2 (hence dominates d2's true lo), and dually. *)
+let dim_subset ctx d1 d2 =
+  List.exists
+    (fun l1 -> List.for_all (fun l2 -> Symbolic.prove_ge ctx l1 l2) d2.los)
+    d1.los
+  && List.exists
+       (fun h1 -> List.for_all (fun h2 -> Symbolic.prove_le ctx h1 h2) d2.his)
+       d1.his
+  && (d2.step = 1
+     || (d1.step mod d2.step = 0
+        &&
+        match d1.los, d2.los with
+        | [ l1 ], [ l2 ] -> (
+            match Affine.is_const (Affine.sub l1 l2) with
+            | Some delta -> delta mod d2.step = 0
+            | None -> false)
+        | _ -> false))
+
+let subset ctx s1 s2 =
+  same_shape s1 s2 && List.for_all2 (dim_subset ctx) s1.dims s2.dims
+
+let equal ctx s1 s2 = subset ctx s1 s2 && subset ctx s2 s1
+
+let pairs xs ys = List.concat_map (fun x -> List.map (fun y -> (x, y)) ys) xs
+let lo_pairs d1 d2 = pairs d1.los d2.los
+let hi_pairs d1 d2 = pairs d1.his d2.his
+
+let to_string s =
+  let dim_str d =
+    let first = function a :: _ -> Affine.to_string a | [] -> "?" in
+    let base = first d.los ^ ":" ^ first d.his in
+    if d.step = 1 then base else base ^ ":" ^ string_of_int d.step
+  in
+  s.array ^ "(" ^ String.concat ", " (List.map dim_str s.dims) ^ ")"
+  ^ if s.exact then "" else " (hull)"

@@ -1,0 +1,54 @@
+(** Bounded regular section analysis (Havlak–Kennedy style).
+
+    A section describes the portion of an array accessed by a reference
+    over the whole execution of a loop nest, as per-dimension
+    [lo : hi : step] ranges with affine, possibly symbolic bounds — the
+    representation the paper says is "equivalent to Fortran 90 array
+    notation" and the input to Procedure IndexSetSplit.
+
+    Loop bounds of the form [MIN(a, b)] / [MAX(a, b)] make a dimension's
+    true bound the min/max of several affine candidates; a dimension
+    therefore carries a *list* of valid lower bounds (the true lower
+    bound is their maximum) and of valid upper bounds (true = minimum).
+    Tests quantify over the candidates, so e.g. {!disjoint} can use
+    whichever [MIN] arm the context can compare.
+
+    Sections are rectangular hulls: per-dimension the ranges are exact
+    for affine single-index subscripts, but correlations between
+    dimensions are not represented.  {!disjoint} is sound
+    unconditionally; {!subset}/{!equal} are sound on the hulls. *)
+
+type dim = {
+  los : Affine.t list;  (** valid lower bounds; true lo = max of these *)
+  his : Affine.t list;  (** valid upper bounds; true hi = min of these *)
+  step : int;
+}
+
+type t = { array : string; dims : dim list; exact : bool }
+
+val of_access :
+  ctx:Symbolic.t -> within:Stmt.loop list -> Ir_util.access -> t option
+(** [of_access ~ctx ~within acc] is the section touched by [acc] over the
+    full execution of the loops [within] (outermost first; indices of
+    loops not in [within] stay symbolic).  [None] when a subscript is not
+    affine or a needed loop bound has no affine candidate. *)
+
+val of_ref :
+  ctx:Symbolic.t -> within:Stmt.loop list -> string -> Expr.t list -> t option
+
+val disjoint : Symbolic.t -> t -> t -> bool
+(** Provably no common element: in some dimension, a valid upper bound of
+    one section lies strictly below a valid lower bound of the other. *)
+
+val subset : Symbolic.t -> t -> t -> bool
+val equal : Symbolic.t -> t -> t -> bool
+
+val lo_pairs : dim -> dim -> (Affine.t * Affine.t) list
+(** All candidate (lo of first, lo of second) pairs, for boundary
+    search in Procedure IndexSetSplit. *)
+
+val hi_pairs : dim -> dim -> (Affine.t * Affine.t) list
+
+val to_string : t -> string
+(** Fortran-90-like notation with the primary bound candidates, e.g.
+    [A(K+1:N, K:K+KS-1)]. *)

@@ -1,0 +1,115 @@
+type t = { facts : Affine.t list; cache : (string, bool) Hashtbl.t }
+
+let empty = { facts = []; cache = Hashtbl.create 64 }
+
+let add_fact t f =
+  match Affine.is_const f with
+  | Some c ->
+      if c < 0 then
+        invalid_arg "Symbolic: assuming a false constant fact";
+      t
+  | None ->
+      if List.exists (Affine.equal f) t.facts then t
+      else { facts = f :: t.facts; cache = Hashtbl.create 64 }
+
+let assume_nonneg t f = add_fact t f
+let assume_ge t a b = add_fact t (Affine.sub a b)
+let assume_le t a b = add_fact t (Affine.sub b a)
+let assume_pos t v = add_fact t (Affine.sub (Affine.var v) (Affine.const 1))
+
+let of_loop_context loops =
+  List.fold_left
+    (fun ctx (l : Stmt.loop) ->
+      match Affine.of_expr l.lo, Affine.of_expr l.hi with
+      | Some lo, Some hi ->
+          let idx = Affine.var l.index in
+          let ctx = assume_ge ctx idx lo in
+          let ctx = assume_le ctx idx hi in
+          assume_ge ctx hi lo
+      | _ -> (
+          (* MIN/MAX bounds still give one-sided facts. *)
+          let ctx =
+            match l.lo with
+            | Expr.Max (a, b) -> (
+                match Affine.of_expr a, Affine.of_expr b with
+                | Some fa, Some fb ->
+                    let idx = Affine.var l.index in
+                    assume_ge (assume_ge ctx idx fa) idx fb
+                | _ -> ctx)
+            | _ -> (
+                match Affine.of_expr l.lo with
+                | Some lo -> assume_ge ctx (Affine.var l.index) lo
+                | None -> ctx)
+          in
+          match l.hi with
+          | Expr.Min (a, b) -> (
+              match Affine.of_expr a, Affine.of_expr b with
+              | Some fa, Some fb ->
+                  let idx = Affine.var l.index in
+                  assume_le (assume_le ctx idx fa) idx fb
+              | _ -> ctx)
+          | _ -> (
+              match Affine.of_expr l.hi with
+              | Some hi -> assume_le ctx (Affine.var l.index) hi
+              | None -> ctx)))
+    empty loops
+
+(* Prove [e >= 0] by searching for a representation
+   [e = c + sum(lambda_i * f_i)] with [c >= 0] and positive integer
+   multipliers.  The search is variable-directed: it picks the first
+   variable with a nonzero coefficient and considers only facts whose
+   coefficient on that variable has the same sign (so subtraction
+   reduces it), scaling to cancel the variable completely when the
+   coefficients divide.  Sound but incomplete; results are memoized per
+   context. *)
+let prove_nonneg t e =
+  let rec go depth e =
+    match Affine.vars e with
+    | [] -> Affine.constant e >= 0
+    | v :: _ ->
+        depth > 0
+        &&
+        let ce = Affine.coeff e v in
+        List.exists
+          (fun f ->
+            let cf = Affine.coeff f v in
+            if cf = 0 || cf * ce < 0 then false
+            else
+              let lam =
+                if ce mod cf = 0 && ce / cf > 0 then ce / cf
+                else if abs cf <= abs ce then 1
+                else 0
+              in
+              lam > 0 && go (depth - 1) (Affine.sub e (Affine.scale lam f)))
+          t.facts
+  in
+  let key = Affine.to_string e in
+  match Hashtbl.find_opt t.cache key with
+  | Some r -> r
+  | None ->
+      let r = go 8 e in
+      Hashtbl.add t.cache key r;
+      r
+
+let prove_ge t a b = prove_nonneg t (Affine.sub a b)
+let prove_gt t a b = prove_nonneg t (Affine.sub (Affine.sub a b) (Affine.const 1))
+let prove_le t a b = prove_ge t b a
+let prove_lt t a b = prove_gt t b a
+let prove_eq t a b = Affine.equal a b || (prove_ge t a b && prove_le t a b)
+
+type order = Lt | Le | Eq | Ge | Gt | Unknown
+
+let compare_ t a b =
+  if prove_eq t a b then Eq
+  else if prove_lt t a b then Lt
+  else if prove_gt t a b then Gt
+  else if prove_le t a b then Le
+  else if prove_ge t a b then Ge
+  else Unknown
+
+let facts t = t.facts
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>";
+  List.iter (fun f -> Format.fprintf fmt "%s >= 0@ " (Affine.to_string f)) t.facts;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,43 @@
+(** Assumption-based comparison of affine forms.
+
+    Section analysis must answer questions like "is [I + IS - 1 <= N]?"
+    where [IS] and [N] are symbolic.  A context carries facts of the form
+    [affine >= 0]; queries are decided by expressing the query as a
+    nonnegative combination of facts (searched to a small depth).  The
+    answer [Unknown] is always sound: callers treat it conservatively. *)
+
+type t
+(** A conjunction of facts [f >= 0]. *)
+
+val empty : t
+
+val assume_nonneg : t -> Affine.t -> t
+val assume_ge : t -> Affine.t -> Affine.t -> t
+(** [assume_ge t a b] adds the fact [a >= b]. *)
+
+val assume_le : t -> Affine.t -> Affine.t -> t
+
+val assume_pos : t -> string -> t
+(** [assume_pos t v] adds the fact [v >= 1]. *)
+
+val of_loop_context : Stmt.loop list -> t
+(** Facts implied by a loop nest when every loop executes at least one
+    iteration: for each loop with affine bounds, [index >= lo],
+    [index <= hi] and [hi >= lo].  (Used for reasoning *inside* a body;
+    emptiness of outer loops makes the body unreachable, so the facts
+    hold at every execution point that matters.) *)
+
+val prove_nonneg : t -> Affine.t -> bool
+val prove_ge : t -> Affine.t -> Affine.t -> bool
+val prove_gt : t -> Affine.t -> Affine.t -> bool
+val prove_le : t -> Affine.t -> Affine.t -> bool
+val prove_lt : t -> Affine.t -> Affine.t -> bool
+val prove_eq : t -> Affine.t -> Affine.t -> bool
+
+type order = Lt | Le | Eq | Ge | Gt | Unknown
+
+val compare_ : t -> Affine.t -> Affine.t -> order
+(** Strongest provable relation between two affine forms. *)
+
+val facts : t -> Affine.t list
+val pp : Format.formatter -> t -> unit

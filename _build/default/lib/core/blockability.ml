@@ -1,0 +1,204 @@
+type entry = {
+  name : string;
+  paper_ref : string;
+  kernel : Kernel_def.t;
+  derive : unit -> (Stmt.t Blocker.traced, string) result;
+  extra_bindings : (string * int) list;
+  extra_setup : Env.t -> bindings:(string * int) list -> unit;
+  default_bindings : (string * int) list;
+}
+
+let no_extra (_ : Env.t) ~bindings:(_ : (string * int) list) = ()
+
+let untraced result = { Blocker.result; steps = [] }
+
+(* ---- matmul: IF-inspection of the guarded K loop ---- *)
+
+let matmul_names =
+  If_inspection.default_names ~prefix:"K"
+    ~used:(Ir_util.index_vars [ Stmt.Loop K_matmul.nest ])
+
+let matmul_derive () =
+  match If_inspection.apply ~names:matmul_names K_matmul.guarded_k_loop with
+  | Error _ as e -> e
+  | Ok block ->
+      Ok (untraced (Stmt.Loop { K_matmul.nest with body = block }))
+
+let matmul_scratch env ~bindings =
+  let n = List.assoc "N" bindings in
+  Env.add_iarray env matmul_names.If_inspection.lb [ (1, (n / 2) + 1) ];
+  Env.add_iarray env matmul_names.If_inspection.ub [ (1, (n / 2) + 1) ]
+
+(* ---- Givens ---- *)
+
+let givens_names = ref None
+
+let givens_derive () =
+  match Givens_opt.optimize K_givens.point_loop with
+  | Error _ as e -> e
+  | Ok (traced, names) ->
+      givens_names := Some names;
+      Ok traced
+
+let givens_scratch env ~bindings =
+  (match !givens_names with
+  | None -> ignore (givens_derive ())
+  | Some _ -> ());
+  match !givens_names with
+  | None -> ()
+  | Some names ->
+      let m = List.assoc "M" bindings in
+      Env.add_iarray env names.If_inspection.lb [ (1, (m / 2) + 1) ];
+      Env.add_iarray env names.If_inspection.ub [ (1, (m / 2) + 1) ];
+      Env.add_farray env "C" [ (1, m) ];
+      Env.add_farray env "S" [ (1, m) ]
+
+(* ---- convolutions: MIN/MAX removal + shape-matched unroll-and-jam ---- *)
+
+(* The rhomboidal unroll requires the band to be at least as wide as the
+   register block; verification and benchmarks bind N2 accordingly. *)
+let conv_factor = 4
+
+let conv_ctx =
+  let ctx = Symbolic.empty in
+  let ctx = List.fold_left Symbolic.assume_pos ctx [ "N1"; "N2"; "N3" ] in
+  Symbolic.assume_ge ctx (Affine.var "N2") (Affine.const (conv_factor - 1))
+
+let split_derive loop () =
+  match Blocker.block_trapezoid ~ctx:conv_ctx ~factor:conv_factor loop with
+  | Error _ as e -> e
+  | Ok { result = [ s ]; steps } -> Ok { Blocker.result = s; steps }
+  | Ok { result = block; steps } ->
+      (* The traced result type carries one statement; wrap the region
+         list in a one-trip loop. *)
+      Ok { Blocker.result = Stmt.loop "ONE_" (Expr.Int 1) (Expr.Int 1) block; steps }
+
+let entries =
+  [
+    {
+      name = "lu";
+      paper_ref = "§5.1, Figures 5-6";
+      kernel = K_lu.kernel;
+      derive = (fun () -> Blocker.block_lu ~block_size_var:"KS" K_lu.point_loop);
+      extra_bindings = [ ("KS", 8) ];
+      extra_setup = no_extra;
+      default_bindings = [ ("N", 24) ];
+    };
+    {
+      name = "lu_pivot";
+      paper_ref = "§5.2, Figures 7-8";
+      kernel = K_lu_pivot.kernel;
+      derive =
+        (fun () -> Blocker.block_lu_pivot ~block_size_var:"KS" K_lu_pivot.point_loop);
+      extra_bindings = [ ("KS", 8) ];
+      extra_setup = no_extra;
+      default_bindings = [ ("N", 24) ];
+    };
+    {
+      name = "trisolve";
+      paper_ref = "§8 breadth (ours)";
+      kernel = K_trisolve.kernel;
+      derive =
+        (fun () -> Blocker.block_lu ~block_size_var:"KS" K_trisolve.point_loop);
+      extra_bindings = [ ("KS", 8) ];
+      extra_setup = no_extra;
+      default_bindings = [ ("N", 24) ];
+    };
+    {
+      name = "cholesky";
+      paper_ref = "§8 breadth (ours)";
+      kernel = K_cholesky.kernel;
+      derive =
+        (fun () -> Blocker.block_lu ~block_size_var:"KS" K_cholesky.point_loop);
+      extra_bindings = [ ("KS", 8) ];
+      extra_setup = no_extra;
+      default_bindings = [ ("N", 24) ];
+    };
+    {
+      name = "matmul";
+      paper_ref = "§4, Figure 4";
+      kernel = K_matmul.kernel;
+      derive = matmul_derive;
+      extra_bindings = [];
+      extra_setup = matmul_scratch;
+      default_bindings = [ ("N", 24); ("FREQ_PCT", 10) ];
+    };
+    {
+      name = "givens";
+      paper_ref = "§5.4, Figures 9-10";
+      kernel = K_givens.kernel;
+      derive = givens_derive;
+      extra_bindings = [];
+      extra_setup = givens_scratch;
+      default_bindings = [ ("M", 16); ("N", 12) ];
+    };
+    {
+      name = "aconv";
+      paper_ref = "§3.2 (adjoint convolution)";
+      kernel = K_conv.aconv;
+      derive = split_derive K_conv.aconv_loop;
+      extra_bindings = [];
+      extra_setup = no_extra;
+      default_bindings = [ ("N1", 40); ("N2", 9); ("N3", 50) ];
+    };
+    {
+      name = "conv";
+      paper_ref = "§3.2 (convolution)";
+      kernel = K_conv.conv;
+      derive = split_derive K_conv.conv_loop;
+      extra_bindings = [];
+      extra_setup = no_extra;
+      default_bindings = [ ("N1", 40); ("N2", 9); ("N3", 50) ];
+    };
+  ]
+
+let find name = List.find_opt (fun e -> String.equal e.name name) entries
+let names () = List.map (fun e -> e.name) entries
+let derive e = e.derive ()
+
+let with_scratch entry =
+  {
+    entry.kernel with
+    Kernel_def.setup =
+      (fun env ~bindings ~seed ->
+        entry.kernel.Kernel_def.setup env ~bindings ~seed;
+        entry.extra_setup env ~bindings);
+  }
+
+let verify ?bindings ?(seed = 42) entry =
+  let bindings = Option.value bindings ~default:entry.default_bindings in
+  match derive entry with
+  | Error e -> Error ("derivation failed: " ^ e)
+  | Ok { result; _ } ->
+      Kernel_def.equivalent (with_scratch entry) [ result ]
+        ~extra:entry.extra_bindings ~bindings ~seed
+
+type sim_result = {
+  point_stats : Cache.stats;
+  transformed_stats : Cache.stats;
+  point_cycles : int;
+  transformed_cycles : int;
+}
+
+let simulate ?bindings ?(seed = 42) ~machine entry =
+  let bindings = Option.value bindings ~default:entry.default_bindings in
+  match derive entry with
+  | Error e -> Error ("derivation failed: " ^ e)
+  | Ok { result; _ } ->
+      let kernel = with_scratch entry in
+      let arrays = entry.kernel.Kernel_def.traced in
+      let env1 = Kernel_def.make_env kernel ~bindings ~seed in
+      let point_stats = Trace.run machine env1 ~arrays kernel.Kernel_def.block in
+      let env2 =
+        Kernel_def.make_env kernel
+          ~bindings:(entry.extra_bindings @ bindings)
+          ~seed
+      in
+      let transformed_stats = Trace.run machine env2 ~arrays [ result ] in
+      Ok
+        {
+          point_stats;
+          transformed_stats;
+          point_cycles = Cost.memory_cycles machine point_stats;
+          transformed_cycles = Cost.memory_cycles machine transformed_stats;
+        }

@@ -1,0 +1,54 @@
+(** High-level API over the whole system.
+
+    An {!entry} packages one of the paper's kernels with the compiler
+    driver that transforms it, the scratch state the transformed code
+    needs, and default problem sizes — everything the CLI, the examples
+    and the benchmark harness share.
+
+    Typical use:
+
+    {[
+      let entry = Option.get (Blockability.find "lu") in
+      let { Blocker.result; steps } = Result.get_ok (Blockability.derive entry) in
+      print_string (Stmt.to_string result);
+      Blockability.verify entry ~bindings:[ ("N", 13) ] ~seed:42
+    ]} *)
+
+type entry = {
+  name : string;
+  paper_ref : string;  (** section / figure in the paper *)
+  kernel : Kernel_def.t;
+  derive : unit -> (Stmt.t Blocker.traced, string) result;
+      (** run the compiler driver on the kernel's IR *)
+  extra_bindings : (string * int) list;
+      (** parameters only the transformed code uses (block sizes) *)
+  extra_setup : Env.t -> bindings:(string * int) list -> unit;
+      (** scratch arrays the transformed code needs *)
+  default_bindings : (string * int) list;  (** a small default problem *)
+}
+
+val entries : entry list
+val find : string -> entry option
+val names : unit -> string list
+
+val derive : entry -> (Stmt.t Blocker.traced, string) result
+
+val verify :
+  ?bindings:(string * int) list -> ?seed:int -> entry -> (unit, string) result
+(** Derive, then check interpreter equivalence of point vs transformed
+    on the given (default: entry's default) problem size. *)
+
+type sim_result = {
+  point_stats : Cache.stats;
+  transformed_stats : Cache.stats;
+  point_cycles : int;
+  transformed_cycles : int;
+}
+
+val simulate :
+  ?bindings:(string * int) list ->
+  ?seed:int ->
+  machine:Arch.t ->
+  entry ->
+  (sim_result, string) result
+(** Trace both versions through the cache simulator. *)

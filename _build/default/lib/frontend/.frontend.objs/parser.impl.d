@@ -1,0 +1,1 @@
+lib/frontend/parser.ml: Array Expr Ext Lexer List Stmt String

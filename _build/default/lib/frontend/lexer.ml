@@ -1,0 +1,118 @@
+type token =
+  | Ident of string
+  | Int_lit of int
+  | Float_lit of float
+  | Plus | Minus | Star | Slash
+  | Lparen | Rparen | Comma
+  | Assign_op
+  | Rel of Stmt.rel
+  | And_op | Or_op | Not_op
+  | Newline
+  | Eof
+
+exception Lex_error of { line : int; message : string }
+
+let is_digit c = c >= '0' && c <= '9'
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let dotted line word =
+  match String.uppercase_ascii word with
+  | "EQ" -> Rel Stmt.Eq
+  | "NE" -> Rel Stmt.Ne
+  | "LT" -> Rel Stmt.Lt
+  | "LE" -> Rel Stmt.Le
+  | "GT" -> Rel Stmt.Gt
+  | "GE" -> Rel Stmt.Ge
+  | "AND" -> And_op
+  | "OR" -> Or_op
+  | "NOT" -> Not_op
+  | other -> raise (Lex_error { line; message = "unknown operator ." ^ other ^ "." })
+
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let line = ref 1 in
+  let emit t = tokens := (t, !line) :: !tokens in
+  let pos = ref 0 in
+  while !pos < n do
+    let c = src.[!pos] in
+    if c = '\n' then begin
+      emit Newline;
+      incr line;
+      incr pos
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr pos
+    else if c = '!' then begin
+      while !pos < n && src.[!pos] <> '\n' do
+        incr pos
+      done
+    end
+    else if is_digit c then begin
+      let start = !pos in
+      while !pos < n && is_digit src.[!pos] do
+        incr pos
+      done;
+      if !pos < n && src.[!pos] = '.' && not (!pos + 1 < n && is_alpha src.[!pos + 1])
+      then begin
+        incr pos;
+        while !pos < n && is_digit src.[!pos] do
+          incr pos
+        done;
+        if !pos < n && (src.[!pos] = 'e' || src.[!pos] = 'E') then begin
+          incr pos;
+          if !pos < n && (src.[!pos] = '+' || src.[!pos] = '-') then incr pos;
+          while !pos < n && is_digit src.[!pos] do
+            incr pos
+          done
+        end;
+        emit (Float_lit (float_of_string (String.sub src start (!pos - start))))
+      end
+      else emit (Int_lit (int_of_string (String.sub src start (!pos - start))))
+    end
+    else if is_alpha c then begin
+      let start = !pos in
+      while !pos < n && (is_alpha src.[!pos] || is_digit src.[!pos]) do
+        incr pos
+      done;
+      emit (Ident (String.uppercase_ascii (String.sub src start (!pos - start))))
+    end
+    else if c = '.' then begin
+      (* Either a dotted operator or a leading-dot float like [.5]. *)
+      if !pos + 1 < n && is_digit src.[!pos + 1] then begin
+        let start = !pos in
+        incr pos;
+        while !pos < n && is_digit src.[!pos] do
+          incr pos
+        done;
+        emit (Float_lit (float_of_string ("0" ^ String.sub src start (!pos - start))))
+      end
+      else begin
+        let close =
+          try String.index_from src (!pos + 1) '.'
+          with Not_found ->
+            raise (Lex_error { line = !line; message = "unterminated dotted operator" })
+        in
+        let word = String.sub src (!pos + 1) (close - !pos - 1) in
+        emit (dotted !line word);
+        pos := close + 1
+      end
+    end
+    else begin
+      (match c with
+      | '+' -> emit Plus
+      | '-' -> emit Minus
+      | '*' -> emit Star
+      | '/' -> emit Slash
+      | '(' -> emit Lparen
+      | ')' -> emit Rparen
+      | ',' -> emit Comma
+      | '=' -> emit Assign_op
+      | other ->
+          raise
+            (Lex_error
+               { line = !line; message = Printf.sprintf "unexpected character %c" other }));
+      incr pos
+    end
+  done;
+  emit Eof;
+  List.rev !tokens

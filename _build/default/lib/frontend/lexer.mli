@@ -1,0 +1,24 @@
+(** Tokenizer for the mini-Fortran surface syntax.
+
+    Line-oriented like Fortran: newlines are tokens (statement
+    separators); [!] starts a comment to end of line.  Relational and
+    logical operators use the F77 dotted forms ([.EQ.], [.AND.], ...).
+    Keywords are case-insensitive; identifiers are uppercased (Fortran
+    is case-insensitive, and the IR kernels use upper case). *)
+
+type token =
+  | Ident of string
+  | Int_lit of int
+  | Float_lit of float
+  | Plus | Minus | Star | Slash
+  | Lparen | Rparen | Comma
+  | Assign_op  (** [=] *)
+  | Rel of Stmt.rel
+  | And_op | Or_op | Not_op
+  | Newline
+  | Eof
+
+exception Lex_error of { line : int; message : string }
+
+val tokenize : string -> (token * int) list
+(** Token with its 1-based line number. *)

@@ -1,0 +1,430 @@
+exception Parse_error of { line : int; message : string }
+
+type state = { toks : (Lexer.token * int) array; mutable pos : int }
+
+let peek st = fst st.toks.(st.pos)
+let line_of st = snd st.toks.(st.pos)
+let advance st = st.pos <- st.pos + 1
+
+let fail st message = raise (Parse_error { line = line_of st; message })
+
+let expect st tok what =
+  if peek st = tok then advance st else fail st ("expected " ^ what)
+
+let skip_newlines st =
+  while peek st = Lexer.Newline do
+    advance st
+  done
+
+let end_of_statement st =
+  match peek st with
+  | Lexer.Newline -> skip_newlines st
+  | Lexer.Eof -> ()
+  | _ -> fail st "expected end of statement"
+
+let is_integer_name name =
+  String.length name > 0 && name.[0] >= 'I' && name.[0] <= 'N'
+
+let intrinsics = [ "SQRT"; "DSQRT"; "ABS"; "DABS"; "SIGN"; "DSIGN" ]
+
+(* ---------- integer expressions ---------- *)
+
+let rec iexpr st =
+  let rec additive acc =
+    match peek st with
+    | Lexer.Plus ->
+        advance st;
+        additive (Expr.add acc (iterm st))
+    | Lexer.Minus ->
+        advance st;
+        additive (Expr.sub acc (iterm st))
+    | _ -> acc
+  in
+  additive (iterm st)
+
+and iterm st =
+  let rec multiplicative acc =
+    match peek st with
+    | Lexer.Star ->
+        advance st;
+        multiplicative (Expr.mul acc (iatom st))
+    | Lexer.Slash ->
+        advance st;
+        multiplicative (Expr.div acc (iatom st))
+    | _ -> acc
+  in
+  multiplicative (iatom st)
+
+and iatom st =
+  match peek st with
+  | Lexer.Int_lit n ->
+      advance st;
+      Expr.Int n
+  | Lexer.Minus ->
+      advance st;
+      Expr.sub (Expr.Int 0) (iatom st)
+  | Lexer.Lparen ->
+      advance st;
+      let e = iexpr st in
+      expect st Lexer.Rparen ")";
+      e
+  | Lexer.Ident ("MIN" | "MAX" as f) ->
+      advance st;
+      expect st Lexer.Lparen "(";
+      let a = iexpr st in
+      expect st Lexer.Comma ",";
+      let b = iexpr st in
+      (* MIN/MAX may take more arguments; fold them. *)
+      let rec more acc =
+        match peek st with
+        | Lexer.Comma ->
+            advance st;
+            let c = iexpr st in
+            more (if f = "MIN" then Expr.min_ acc c else Expr.max_ acc c)
+        | _ -> acc
+      in
+      let base = if f = "MIN" then Expr.min_ a b else Expr.max_ a b in
+      let e = more base in
+      expect st Lexer.Rparen ")";
+      e
+  | Lexer.Ident name when is_integer_name name || name = "LAST" ->
+      advance st;
+      if peek st = Lexer.Lparen then begin
+        advance st;
+        let subs = ref [ iexpr st ] in
+        while peek st = Lexer.Comma do
+          advance st;
+          subs := iexpr st :: !subs
+        done;
+        expect st Lexer.Rparen ")";
+        Expr.Idx (name, List.rev !subs)
+      end
+      else Expr.Var name
+  | Lexer.Ident name -> fail st ("REAL entity " ^ name ^ " in an INTEGER expression")
+  | _ -> fail st "expected an integer expression"
+
+(* ---------- float expressions ---------- *)
+
+let rec fexpr st =
+  let rec additive acc =
+    match peek st with
+    | Lexer.Plus ->
+        advance st;
+        additive (Stmt.Fbin (Stmt.FAdd, acc, fterm st))
+    | Lexer.Minus ->
+        advance st;
+        additive (Stmt.Fbin (Stmt.FSub, acc, fterm st))
+    | _ -> acc
+  in
+  additive (fterm st)
+
+and fterm st =
+  let rec multiplicative acc =
+    match peek st with
+    | Lexer.Star ->
+        advance st;
+        multiplicative (Stmt.Fbin (Stmt.FMul, acc, fatom st))
+    | Lexer.Slash ->
+        advance st;
+        multiplicative (Stmt.Fbin (Stmt.FDiv, acc, fatom st))
+    | _ -> acc
+  in
+  multiplicative (fatom st)
+
+and fatom st =
+  match peek st with
+  | Lexer.Float_lit x ->
+      advance st;
+      Stmt.Fconst x
+  | Lexer.Int_lit _ | Lexer.Ident ("MIN" | "MAX" | "LAST") ->
+      Stmt.Of_int (iexpr st)
+  | Lexer.Minus ->
+      advance st;
+      Stmt.Fneg (fatom st)
+  | Lexer.Lparen ->
+      advance st;
+      let e = fexpr st in
+      expect st Lexer.Rparen ")";
+      e
+  | Lexer.Ident f when List.mem f intrinsics ->
+      advance st;
+      expect st Lexer.Lparen "(";
+      let args = ref [ fexpr st ] in
+      while peek st = Lexer.Comma do
+        advance st;
+        args := fexpr st :: !args
+      done;
+      expect st Lexer.Rparen ")";
+      Stmt.Fcall (f, List.rev !args)
+  | Lexer.Ident name when is_integer_name name -> Stmt.Of_int (iexpr st)
+  | Lexer.Ident name ->
+      advance st;
+      if peek st = Lexer.Lparen then begin
+        advance st;
+        let subs = ref [ iexpr st ] in
+        while peek st = Lexer.Comma do
+          advance st;
+          subs := iexpr st :: !subs
+        done;
+        expect st Lexer.Rparen ")";
+        Stmt.Ref (name, List.rev !subs)
+      end
+      else Stmt.Fvar name
+  | _ -> fail st "expected an expression"
+
+(* ---------- conditions ---------- *)
+
+let as_int (fe : Stmt.fexpr) =
+  match fe with Stmt.Of_int e -> Some e | _ -> None
+
+let rec cond st = cond_or st
+
+and cond_or st =
+  let left = cond_and st in
+  if peek st = Lexer.Or_op then begin
+    advance st;
+    Stmt.Or (left, cond_or st)
+  end
+  else left
+
+and cond_and st =
+  let left = cond_not st in
+  if peek st = Lexer.And_op then begin
+    advance st;
+    Stmt.And (left, cond_and st)
+  end
+  else left
+
+and cond_not st =
+  if peek st = Lexer.Not_op then begin
+    advance st;
+    Stmt.Not (cond_not st)
+  end
+  else cond_primary st
+
+and cond_primary st =
+  (* '(' could open a nested condition or a parenthesized operand; try the
+     condition first and backtrack. *)
+  if peek st = Lexer.Lparen then begin
+    let saved = st.pos in
+    advance st;
+    match cond st with
+    | c when peek st = Lexer.Rparen ->
+        advance st;
+        c
+    | _ ->
+        st.pos <- saved;
+        comparison st
+    | exception Parse_error _ ->
+        st.pos <- saved;
+        comparison st
+  end
+  else comparison st
+
+and comparison st =
+  let left = fexpr st in
+  match peek st with
+  | Lexer.Rel r -> (
+      advance st;
+      let right = fexpr st in
+      match as_int left, as_int right with
+      | Some a, Some b -> Stmt.Icmp (r, a, b)
+      | _ -> Stmt.Fcmp (r, left, right))
+  | _ -> fail st "expected a relational operator"
+
+(* ---------- statements ---------- *)
+
+let rec statements st ~until =
+  skip_newlines st;
+  let out = ref [] in
+  let rec loop () =
+    match peek st with
+    | Lexer.Eof -> ()
+    | Lexer.Ident name when List.mem name until -> ()
+    | Lexer.Ident "END" -> (
+        match fst st.toks.(st.pos + 1) with
+        | Lexer.Ident suffix when List.mem ("END" ^ suffix) until -> ()
+        | _ -> fail st "unexpected END")
+    | _ ->
+        out := statement st :: !out;
+        skip_newlines st;
+        loop ()
+  in
+  loop ();
+  List.rev !out
+
+and close_block st keyword =
+  (* Accept ENDDO / END DO / ENDIF / END IF. *)
+  (match peek st with
+  | Lexer.Ident k when k = "END" ^ keyword -> advance st
+  | Lexer.Ident "END" -> (
+      advance st;
+      match peek st with
+      | Lexer.Ident k when k = keyword -> advance st
+      | _ -> fail st ("expected END " ^ keyword))
+  | _ -> fail st ("expected END " ^ keyword));
+  end_of_statement st
+
+and statement st : Ext.stmt =
+  match peek st with
+  | Lexer.Ident "DO" ->
+      advance st;
+      let index =
+        match peek st with
+        | Lexer.Ident name ->
+            advance st;
+            name
+        | _ -> fail st "expected a loop index"
+      in
+      expect st Lexer.Assign_op "=";
+      let lo = iexpr st in
+      expect st Lexer.Comma ",";
+      let hi = iexpr st in
+      let step =
+        if peek st = Lexer.Comma then begin
+          advance st;
+          Some (iexpr st)
+        end
+        else None
+      in
+      end_of_statement st;
+      let body = statements st ~until:[ "ENDDO" ] in
+      close_block st "DO";
+      (match step with
+      | None -> Ext.Do { index; lo; hi; body }
+      | Some s -> (
+          match plain_block body with
+          | Some plain -> Ext.Exec (Stmt.Loop { index; lo; hi; step = s; body = plain })
+          | None -> fail st "stepped DO cannot contain extended statements"))
+  | Lexer.Ident "BLOCK" ->
+      advance st;
+      (match peek st with
+      | Lexer.Ident "DO" -> advance st
+      | _ -> fail st "expected DO after BLOCK");
+      let index =
+        match peek st with
+        | Lexer.Ident name ->
+            advance st;
+            name
+        | _ -> fail st "expected a loop index"
+      in
+      expect st Lexer.Assign_op "=";
+      let lo = iexpr st in
+      expect st Lexer.Comma ",";
+      let hi = iexpr st in
+      end_of_statement st;
+      let body = statements st ~until:[ "ENDDO" ] in
+      close_block st "DO";
+      Ext.Block_do { index; lo; hi; body }
+  | Lexer.Ident "IN" ->
+      advance st;
+      let block_index =
+        match peek st with
+        | Lexer.Ident name ->
+            advance st;
+            name
+        | _ -> fail st "expected a BLOCK DO index"
+      in
+      (match peek st with
+      | Lexer.Ident "DO" -> advance st
+      | _ -> fail st "expected DO");
+      let index =
+        match peek st with
+        | Lexer.Ident name ->
+            advance st;
+            name
+        | _ -> fail st "expected a loop index"
+      in
+      let bounds =
+        if peek st = Lexer.Assign_op then begin
+          advance st;
+          let lo = iexpr st in
+          expect st Lexer.Comma ",";
+          let hi = iexpr st in
+          Some (lo, hi)
+        end
+        else None
+      in
+      end_of_statement st;
+      let body = statements st ~until:[ "ENDDO" ] in
+      close_block st "DO";
+      Ext.In_do { block_index; index; bounds; body }
+  | Lexer.Ident "IF" ->
+      advance st;
+      expect st Lexer.Lparen "(";
+      let c = cond st in
+      expect st Lexer.Rparen ")";
+      (match peek st with
+      | Lexer.Ident "THEN" -> advance st
+      | _ -> fail st "expected THEN");
+      end_of_statement st;
+      let then_body = statements st ~until:[ "ELSE"; "ENDIF" ] in
+      let else_body =
+        match peek st with
+        | Lexer.Ident "ELSE" ->
+            advance st;
+            end_of_statement st;
+            statements st ~until:[ "ENDIF" ]
+        | _ -> []
+      in
+      close_block st "IF";
+      let to_plain what body =
+        match plain_block body with
+        | Some plain -> plain
+        | None -> fail st ("extended statement inside an IF " ^ what)
+      in
+      Ext.Exec
+        (Stmt.If (c, to_plain "branch" then_body, to_plain "branch" else_body))
+  | Lexer.Ident name ->
+      advance st;
+      let subs =
+        if peek st = Lexer.Lparen then begin
+          advance st;
+          let subs = ref [ iexpr st ] in
+          while peek st = Lexer.Comma do
+            advance st;
+            subs := iexpr st :: !subs
+          done;
+          expect st Lexer.Rparen ")";
+          List.rev !subs
+        end
+        else []
+      in
+      expect st Lexer.Assign_op "=";
+      let s =
+        if is_integer_name name then Stmt.Iassign (name, subs, iexpr st)
+        else Stmt.Assign (name, subs, fexpr st)
+      in
+      end_of_statement st;
+      Ext.Exec s
+  | _ -> fail st "expected a statement"
+
+and plain_block (body : Ext.stmt list) : Stmt.t list option =
+  let rec conv acc = function
+    | [] -> Some (List.rev acc)
+    | Ext.Exec s :: rest -> conv (s :: acc) rest
+    | Ext.Do { index; lo; hi; body } :: rest -> (
+        match plain_block body with
+        | Some plain -> conv (Stmt.loop index lo hi plain :: acc) rest
+        | None -> None)
+    | (Ext.Block_do _ | Ext.In_do _) :: _ -> None
+  in
+  conv [] body
+
+let program src =
+  let st = { toks = Array.of_list (Lexer.tokenize src); pos = 0 } in
+  let result = statements st ~until:[] in
+  skip_newlines st;
+  (match peek st with
+  | Lexer.Eof -> ()
+  | _ -> fail st "trailing input");
+  result
+
+let stmts src =
+  let prog = program src in
+  match plain_block prog with
+  | Some plain -> plain
+  | None ->
+      raise
+        (Parse_error
+           { line = 0; message = "program uses BLOCK DO / IN DO extensions" })

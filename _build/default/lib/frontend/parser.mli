@@ -1,0 +1,20 @@
+(** Recursive-descent parser for the mini-Fortran surface syntax.
+
+    Supports the subset the paper's kernels are written in: [DO] loops,
+    block [IF]/[THEN]/[ELSE], assignments, [MIN]/[MAX]/[SQRT]/[ABS]
+    intrinsics, plus the Section-6 extensions [BLOCK DO], [IN ... DO]
+    and [LAST].  Fortran implicit typing applies: names starting with
+    I-N are INTEGER, others REAL.
+
+    {v
+    DO 10-style labels are not supported; close loops with END DO.
+    v} *)
+
+exception Parse_error of { line : int; message : string }
+
+val program : string -> Ext.stmt list
+(** Parse a whole program (possibly using the extensions). *)
+
+val stmts : string -> Stmt.t list
+(** Parse a plain program; raises {!Parse_error} if extended constructs
+    are present. *)

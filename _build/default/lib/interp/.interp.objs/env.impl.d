@@ -1,0 +1,1 @@
+lib/interp/env.ml: Array Float Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/interp/exec.ml: Env Expr Float Hashtbl Int Ir_util List Printf Stmt

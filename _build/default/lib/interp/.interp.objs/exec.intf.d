@@ -1,0 +1,1 @@
+lib/interp/exec.mli: Env Expr Ir_util Stmt

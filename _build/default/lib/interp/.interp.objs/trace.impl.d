@@ -1,0 +1,1 @@
+lib/interp/trace.ml: Arch Cache Env Exec Hashtbl List

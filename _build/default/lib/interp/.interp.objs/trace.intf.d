@@ -1,0 +1,1 @@
+lib/interp/trace.mli: Arch Cache Env Exec Stmt

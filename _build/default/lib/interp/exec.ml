@@ -1,0 +1,131 @@
+exception Error of string
+
+type hook = string -> int list -> Ir_util.kind -> unit
+
+let err fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+type state = {
+  env : Env.t;
+  scope : (string, int) Hashtbl.t;  (** loop indices, innermost wins *)
+  hook : hook option;
+}
+
+let lookup_int st v =
+  match Hashtbl.find_opt st.scope v with
+  | Some n -> n
+  | None -> (
+      try Env.iscalar st.env v
+      with Failure msg -> err "%s" msg)
+
+let touch st name idx kind =
+  match st.hook with Some h -> h name idx kind | None -> ()
+
+let rec eval_i st (e : Expr.t) =
+  match e with
+  | Expr.Int n -> n
+  | Expr.Var v -> lookup_int st v
+  | Expr.Bin (op, a, b) -> (
+      let x = eval_i st a and y = eval_i st b in
+      match op with
+      | Expr.Add -> x + y
+      | Expr.Sub -> x - y
+      | Expr.Mul -> x * y
+      | Expr.Div -> if y = 0 then err "division by zero" else x / y)
+  | Expr.Min (a, b) -> min (eval_i st a) (eval_i st b)
+  | Expr.Max (a, b) -> max (eval_i st a) (eval_i st b)
+  | Expr.Idx (name, subs) ->
+      let idx = List.map (eval_i st) subs in
+      touch st name idx Ir_util.Read;
+      (try Env.get_i st.env name idx with Failure msg -> err "%s" msg)
+
+let intrinsic name args =
+  match name, args with
+  | ("SQRT" | "DSQRT"), [ x ] ->
+      if x < 0.0 then err "SQRT of negative %g" x else sqrt x
+  | ("ABS" | "DABS"), [ x ] -> Float.abs x
+  | ("SIGN" | "DSIGN"), [ a; b ] -> if b >= 0.0 then Float.abs a else -.Float.abs a
+  | _ -> err "unknown intrinsic %s/%d" name (List.length args)
+
+let rec eval_f st (fe : Stmt.fexpr) =
+  match fe with
+  | Stmt.Fconst x -> x
+  | Stmt.Fvar v -> (
+      try Env.fscalar st.env v with Failure msg -> err "%s" msg)
+  | Stmt.Ref (name, subs) ->
+      let idx = List.map (eval_i st) subs in
+      touch st name idx Ir_util.Read;
+      (try Env.get_f st.env name idx with Failure msg -> err "%s" msg)
+  | Stmt.Fbin (op, a, b) -> (
+      let x = eval_f st a and y = eval_f st b in
+      match op with
+      | Stmt.FAdd -> x +. y
+      | Stmt.FSub -> x -. y
+      | Stmt.FMul -> x *. y
+      | Stmt.FDiv -> x /. y)
+  | Stmt.Fneg a -> -.eval_f st a
+  | Stmt.Fcall (name, args) -> intrinsic name (List.map (eval_f st) args)
+  | Stmt.Of_int e -> float_of_int (eval_i st e)
+
+let eval_rel (r : Stmt.rel) c =
+  match r with
+  | Stmt.Eq -> c = 0
+  | Stmt.Ne -> c <> 0
+  | Stmt.Lt -> c < 0
+  | Stmt.Le -> c <= 0
+  | Stmt.Gt -> c > 0
+  | Stmt.Ge -> c >= 0
+
+let rec eval_cond st (c : Stmt.cond) =
+  match c with
+  | Stmt.Fcmp (r, a, b) -> eval_rel r (Float.compare (eval_f st a) (eval_f st b))
+  | Stmt.Icmp (r, a, b) -> eval_rel r (Int.compare (eval_i st a) (eval_i st b))
+  | Stmt.Not a -> not (eval_cond st a)
+  | Stmt.And (a, b) -> eval_cond st a && eval_cond st b
+  | Stmt.Or (a, b) -> eval_cond st a || eval_cond st b
+
+let rec exec st (s : Stmt.t) =
+  match s with
+  | Stmt.Assign (name, [], rhs) ->
+      let x = eval_f st rhs in
+      Env.set_fscalar st.env name x
+  | Stmt.Assign (name, subs, rhs) ->
+      let x = eval_f st rhs in
+      let idx = List.map (eval_i st) subs in
+      touch st name idx Ir_util.Write;
+      (try Env.set_f st.env name idx x with Failure msg -> err "%s" msg)
+  | Stmt.Iassign (name, [], rhs) ->
+      if Hashtbl.mem st.scope name then err "assignment to loop index %s" name;
+      let x = eval_i st rhs in
+      Env.set_iscalar st.env name x
+  | Stmt.Iassign (name, subs, rhs) ->
+      let x = eval_i st rhs in
+      let idx = List.map (eval_i st) subs in
+      touch st name idx Ir_util.Write;
+      (try Env.set_i st.env name idx x with Failure msg -> err "%s" msg)
+  | Stmt.If (c, t, e) ->
+      if eval_cond st c then exec_block st t else exec_block st e
+  | Stmt.Loop l ->
+      let lo = eval_i st l.lo and hi = eval_i st l.hi and step = eval_i st l.step in
+      if step = 0 then err "DO %s: zero step" l.index;
+      let trips = max 0 ((hi - lo + step) / step) in
+      let saved = Hashtbl.find_opt st.scope l.index in
+      let i = ref lo in
+      for _ = 1 to trips do
+        Hashtbl.replace st.scope l.index !i;
+        exec_block st l.body;
+        i := !i + step
+      done;
+      (match saved with
+      | Some old -> Hashtbl.replace st.scope l.index old
+      | None -> Hashtbl.remove st.scope l.index)
+
+and exec_block st block = List.iter (exec st) block
+
+let run ?hook env block =
+  let st = { env; scope = Hashtbl.create 8; hook } in
+  exec_block st block
+
+let eval_expr env bindings e =
+  let st = { env; scope = Hashtbl.create 8; hook = None } in
+  List.iter (fun (k, v) -> Hashtbl.replace st.scope k v) bindings;
+  eval_i st e

@@ -1,0 +1,26 @@
+(** IR interpreter.
+
+    Executes a statement block against an {!Env.t}.  Two uses:
+
+    - ground truth for the transformation test suite: a transformation is
+      correct when interpreting the original and the transformed IR from
+      equal initial environments yields equal final environments;
+    - memory tracing: [hook] fires on every array *element* access in
+      execution order, which {!Trace} feeds to the cache simulator.
+
+    DO-loop semantics are Fortran's: bounds and step are evaluated once
+    on entry, the trip count is [max 0 ((hi - lo + step) / step)], and
+    the index variable is local to the loop. *)
+
+exception Error of string
+
+type hook = string -> int list -> Ir_util.kind -> unit
+(** [hook array indices kind]; [indices] are the subscript values. *)
+
+val run : ?hook:hook -> Env.t -> Stmt.t list -> unit
+(** Execute the block, mutating [env].  Raises {!Error} on undefined
+    variables, bad subscripts, or an unknown intrinsic. *)
+
+val eval_expr : Env.t -> (string * int) list -> Expr.t -> int
+(** Evaluate an integer expression under loop-index bindings (exposed
+    for the analysis oracle). *)

@@ -1,0 +1,37 @@
+type t = {
+  cache : Cache.t;
+  elt_bytes : int;
+  bases : (string, int) Hashtbl.t;
+  env : Env.t;
+}
+
+let create (m : Arch.t) env ~arrays =
+  let bases = Hashtbl.create 8 in
+  let next = ref 0 in
+  let align n = (n + m.line_bytes - 1) / m.line_bytes * m.line_bytes in
+  List.iter
+    (fun name ->
+      Hashtbl.replace bases name !next;
+      let total =
+        List.fold_left
+          (fun acc (lo, hi) -> acc * (hi - lo + 1))
+          1 (Env.farray_dims env name)
+      in
+      next := align (!next + (total * m.elt_bytes)))
+    arrays;
+  { cache = Arch.fresh_cache m; elt_bytes = m.elt_bytes; bases; env }
+
+let hook t : Exec.hook =
+ fun name idx _kind ->
+  match Hashtbl.find_opt t.bases name with
+  | None -> ()
+  | Some base ->
+      let off = Env.linear_index t.env name idx in
+      ignore (Cache.access t.cache (base + (off * t.elt_bytes)))
+
+let stats t = Cache.stats t.cache
+
+let run m env ~arrays block =
+  let t = create m env ~arrays in
+  Exec.run ~hook:(hook t) env block;
+  stats t

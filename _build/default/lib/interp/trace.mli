@@ -1,0 +1,19 @@
+(** Memory-trace adapter: interpreter hook -> cache simulator.
+
+    Lays the environment's arrays out in a flat simulated address space
+    (each array base aligned to a cache line) and converts every element
+    access into a byte-address cache access. *)
+
+type t
+
+val create : Arch.t -> Env.t -> arrays:string list -> t
+(** [create machine env ~arrays] builds a tracer for the named REAL
+    arrays of [env] (others are ignored — scalars live in registers). *)
+
+val hook : t -> Exec.hook
+
+val stats : t -> Cache.stats
+
+val run : Arch.t -> Env.t -> arrays:string list -> Stmt.t list ->
+  Cache.stats
+(** Convenience: trace one execution of the block and return the stats. *)

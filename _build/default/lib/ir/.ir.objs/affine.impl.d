@@ -1,0 +1,1 @@
+lib/ir/affine.ml: Expr Format Int List Map String

@@ -1,0 +1,1 @@
+lib/ir/fortran_pp.ml: Buffer Ir_util List Printf Stmt String

@@ -1,0 +1,1 @@
+lib/ir/fortran_pp.mli: Stmt

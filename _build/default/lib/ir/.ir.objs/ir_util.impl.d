@@ -1,0 +1,1 @@
+lib/ir/ir_util.ml: Buffer Expr Hashtbl List Printf Stmt String

@@ -1,0 +1,1 @@
+lib/ir/stmt.ml: Buffer Expr Float List Printf String

@@ -1,0 +1,25 @@
+open Stmt
+
+let i n = Expr.Int n
+let v name = Expr.Var name
+let ( +! ) = Expr.add
+let ( -! ) = Expr.sub
+let ( *! ) = Expr.mul
+let fv name = Fvar name
+let fc x = Fconst x
+let a1 name sub = Ref (name, [ sub ])
+let a2 name s1 s2 = Ref (name, [ s1; s2 ])
+let ( +. ) a b = Fbin (FAdd, a, b)
+let ( -. ) a b = Fbin (FSub, a, b)
+let ( *. ) a b = Fbin (FMul, a, b)
+let ( /. ) a b = Fbin (FDiv, a, b)
+let sqrt_ a = Fcall ("SQRT", [ a ])
+let set1 name sub rhs = Assign (name, [ sub ], rhs)
+let set2 name s1 s2 rhs = Assign (name, [ s1; s2 ], rhs)
+let setf name rhs = Assign (name, [], rhs)
+let seti name rhs = Iassign (name, [], rhs)
+let do_ ?step index lo hi body = loop ?step index lo hi body
+let if_ c t = If (c, t, [])
+let if_else c t e = If (c, t, e)
+let feq a b = Fcmp (Eq, a, b)
+let fne a b = Fcmp (Ne, a, b)

@@ -1,0 +1,50 @@
+(** Concise construction of IR fragments.
+
+    Kernels in {!module:Kernels} are written with these combinators so
+    they read close to the paper's Fortran listings. *)
+
+open Stmt
+
+val i : int -> Expr.t
+val v : string -> Expr.t
+
+val ( +! ) : Expr.t -> Expr.t -> Expr.t
+val ( -! ) : Expr.t -> Expr.t -> Expr.t
+val ( *! ) : Expr.t -> Expr.t -> Expr.t
+
+val fv : string -> fexpr
+(** REAL scalar. *)
+
+val fc : float -> fexpr
+
+val a1 : string -> Expr.t -> fexpr
+(** 1-D REAL array reference. *)
+
+val a2 : string -> Expr.t -> Expr.t -> fexpr
+(** 2-D REAL array reference. *)
+
+val ( +. ) : fexpr -> fexpr -> fexpr
+val ( -. ) : fexpr -> fexpr -> fexpr
+val ( *. ) : fexpr -> fexpr -> fexpr
+val ( /. ) : fexpr -> fexpr -> fexpr
+
+val sqrt_ : fexpr -> fexpr
+
+val set1 : string -> Expr.t -> fexpr -> t
+(** [set1 a i rhs] is [a(i) = rhs]. *)
+
+val set2 : string -> Expr.t -> Expr.t -> fexpr -> t
+(** [set2 a i j rhs] is [a(i,j) = rhs]. *)
+
+val setf : string -> fexpr -> t
+(** REAL scalar assignment. *)
+
+val seti : string -> Expr.t -> t
+(** INTEGER scalar assignment. *)
+
+val do_ : ?step:Expr.t -> string -> Expr.t -> Expr.t -> t list -> t
+val if_ : cond -> t list -> t
+val if_else : cond -> t list -> t list -> t
+
+val feq : fexpr -> fexpr -> cond
+val fne : fexpr -> fexpr -> cond

@@ -1,0 +1,42 @@
+let listing block = Stmt.block_to_string block
+
+let subroutine ~name ~params block =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "SUBROUTINE %s(%s)\n" name (String.concat ", " params));
+  let arrays = Ir_util.arrays_of block in
+  let decl space =
+    let names =
+      List.filter_map
+        (fun (n, rank, sp) ->
+          if sp <> space then None
+          else if rank = 0 then Some n
+          else
+            let stars = String.concat ", " (List.init rank (fun _ -> "*")) in
+            Some (Printf.sprintf "%s(%s)" n stars))
+        arrays
+    in
+    if names <> [] then
+      Buffer.add_string buf
+        (Printf.sprintf "  %s %s\n"
+           (match space with
+           | Ir_util.Float_data -> "REAL*8"
+           | Ir_util.Int_data -> "INTEGER")
+           (String.concat ", " names))
+  in
+  decl Ir_util.Float_data;
+  decl Ir_util.Int_data;
+  let idx = Ir_util.index_vars block and sym = Ir_util.symbolic_params block in
+  if idx @ sym <> [] then
+    Buffer.add_string buf
+      (Printf.sprintf "  INTEGER %s\n"
+         (String.concat ", " (List.sort_uniq String.compare (idx @ sym))));
+  List.iter
+    (fun s ->
+      let rendered = Stmt.to_string s in
+      String.split_on_char '\n' rendered
+      |> List.iter (fun line ->
+             if line <> "" then Buffer.add_string buf ("  " ^ line ^ "\n")))
+    block;
+  Buffer.add_string buf "END\n";
+  Buffer.contents buf

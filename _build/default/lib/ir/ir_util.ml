@@ -1,0 +1,222 @@
+type space = Float_data | Int_data
+type kind = Read | Write
+
+type access = {
+  array : string;
+  subs : Expr.t list;
+  kind : kind;
+  space : space;
+  path : Stmt.path;
+  loops : Stmt.loop list;
+  pos : int;
+}
+
+let accesses block =
+  let acc = ref [] in
+  let pos = ref 0 in
+  let emit ~loops ~path array subs kind space =
+    acc := { array; subs; kind; space; path; loops; pos = !pos } :: !acc
+  in
+  (* Reads inside an integer expression: integer array elements ([Idx])
+     and integer scalars.  Loop indices are not memory and are skipped;
+     never-written symbols (problem sizes) produce read records that pair
+     with no write and are harmless. *)
+  let rec expr_reads ~loops ~path (e : Expr.t) =
+    match e with
+    | Expr.Int _ -> ()
+    | Expr.Var v ->
+        if not (List.exists (fun (l : Stmt.loop) -> String.equal l.index v) loops)
+        then emit ~loops ~path v [] Read Int_data
+    | Expr.Bin (_, a, b) | Expr.Min (a, b) | Expr.Max (a, b) ->
+        expr_reads ~loops ~path a;
+        expr_reads ~loops ~path b
+    | Expr.Idx (name, subs) ->
+        List.iter (expr_reads ~loops ~path) subs;
+        emit ~loops ~path name subs Read Int_data
+  in
+  let rec fexpr_reads ~loops ~path (fe : Stmt.fexpr) =
+    match fe with
+    | Stmt.Fconst _ -> ()
+    | Stmt.Fvar v -> emit ~loops ~path v [] Read Float_data
+    | Stmt.Ref (name, subs) ->
+        List.iter (expr_reads ~loops ~path) subs;
+        emit ~loops ~path name subs Read Float_data
+    | Stmt.Fbin (_, a, b) ->
+        fexpr_reads ~loops ~path a;
+        fexpr_reads ~loops ~path b
+    | Stmt.Fneg a -> fexpr_reads ~loops ~path a
+    | Stmt.Fcall (_, args) -> List.iter (fexpr_reads ~loops ~path) args
+    | Stmt.Of_int e -> expr_reads ~loops ~path e
+  in
+  let rec cond_reads ~loops ~path (c : Stmt.cond) =
+    match c with
+    | Stmt.Fcmp (_, a, b) ->
+        fexpr_reads ~loops ~path a;
+        fexpr_reads ~loops ~path b
+    | Stmt.Icmp (_, a, b) ->
+        expr_reads ~loops ~path a;
+        expr_reads ~loops ~path b
+    | Stmt.Not a -> cond_reads ~loops ~path a
+    | Stmt.And (a, b) | Stmt.Or (a, b) ->
+        cond_reads ~loops ~path a;
+        cond_reads ~loops ~path b
+  in
+  let rec walk ~loops prefix block =
+    List.iteri
+      (fun n s ->
+        let path = prefix @ [ Stmt.I n ] in
+        (match s with
+        | Stmt.Assign (name, subs, rhs) ->
+            fexpr_reads ~loops ~path rhs;
+            List.iter (expr_reads ~loops ~path) subs;
+            emit ~loops ~path name subs Write Float_data
+        | Stmt.Iassign (name, subs, rhs) ->
+            expr_reads ~loops ~path rhs;
+            List.iter (expr_reads ~loops ~path) subs;
+            emit ~loops ~path name subs Write Int_data
+        | Stmt.If (c, t, e) ->
+            cond_reads ~loops ~path c;
+            incr pos;
+            walk ~loops (path @ [ Stmt.Then_ ]) t;
+            walk ~loops (path @ [ Stmt.Else_ ]) e
+        | Stmt.Loop l ->
+            expr_reads ~loops ~path l.lo;
+            expr_reads ~loops ~path l.hi;
+            expr_reads ~loops ~path l.step;
+            incr pos;
+            walk ~loops:(loops @ [ l ]) path l.body);
+        incr pos)
+      block
+  in
+  walk ~loops:[] [] block;
+  List.rev !acc
+
+let arrays_of block =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun a ->
+      let rank = List.length a.subs in
+      match Hashtbl.find_opt tbl a.array with
+      | Some (r, _) -> if rank > r then Hashtbl.replace tbl a.array (rank, a.space)
+      | None -> Hashtbl.add tbl a.array (rank, a.space))
+    (accesses block);
+  Hashtbl.fold (fun name (rank, space) acc -> (name, rank, space) :: acc) tbl []
+  |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+
+let index_vars block =
+  List.map (fun (_, (l : Stmt.loop)) -> l.index) (Stmt.find_loops block)
+
+let symbolic_params block =
+  let indices = index_vars block in
+  let written =
+    List.filter_map
+      (fun a -> match a.kind, a.subs with Write, [] -> Some a.array | _ -> None)
+      (accesses block)
+  in
+  let vars = ref [] in
+  let add_expr e = vars := Expr.free_vars e @ !vars in
+  let rec walk_f (fe : Stmt.fexpr) =
+    match fe with
+    | Stmt.Fconst _ | Stmt.Fvar _ -> ()
+    | Stmt.Ref (_, subs) -> List.iter add_expr subs
+    | Stmt.Fbin (_, a, b) ->
+        walk_f a;
+        walk_f b
+    | Stmt.Fneg a -> walk_f a
+    | Stmt.Fcall (_, args) -> List.iter walk_f args
+    | Stmt.Of_int e -> add_expr e
+  in
+  let rec walk_c (c : Stmt.cond) =
+    match c with
+    | Stmt.Fcmp (_, a, b) ->
+        walk_f a;
+        walk_f b
+    | Stmt.Icmp (_, a, b) ->
+        add_expr a;
+        add_expr b
+    | Stmt.Not a -> walk_c a
+    | Stmt.And (a, b) | Stmt.Or (a, b) ->
+        walk_c a;
+        walk_c b
+  in
+  Stmt.iter
+    (fun s ->
+      match s with
+      | Stmt.Assign (_, subs, rhs) ->
+          List.iter add_expr subs;
+          walk_f rhs
+      | Stmt.Iassign (_, subs, rhs) ->
+          List.iter add_expr subs;
+          add_expr rhs
+      | Stmt.If (c, _, _) -> walk_c c
+      | Stmt.Loop l ->
+          add_expr l.lo;
+          add_expr l.hi;
+          add_expr l.step)
+    block;
+  let arrays =
+    List.filter_map
+      (fun (n, rank, _) -> if rank > 0 then Some n else None)
+      (arrays_of block)
+  in
+  List.sort_uniq String.compare !vars
+  |> List.filter (fun v ->
+         (not (List.mem v indices))
+         && (not (List.mem v written))
+         && not (List.mem v arrays))
+
+let fresh ~used base =
+  if not (List.mem base used) then base
+  else
+    let rec go n =
+      let candidate = base ^ string_of_int n in
+      if List.mem candidate used then go (n + 1) else candidate
+    in
+    go 2
+
+let plot_iteration_space ~bindings ~width ~height (l : Stmt.loop) =
+  let lookup v =
+    match List.assoc_opt v bindings with
+    | Some n -> n
+    | None -> invalid_arg ("plot_iteration_space: unbound " ^ v)
+  in
+  let no_arr name _ = invalid_arg ("plot_iteration_space: array " ^ name) in
+  let inner =
+    match l.body with
+    | [ Stmt.Loop il ] -> il
+    | _ -> invalid_arg "plot_iteration_space: expected depth-2 nest"
+  in
+  let eval_with i e =
+    Expr.eval (fun v -> if String.equal v l.index then i else lookup v) no_arr e
+  in
+  let olo = Expr.eval lookup no_arr l.lo and ohi = Expr.eval lookup no_arr l.hi in
+  let ilo_of i = eval_with i inner.lo and ihi_of i = eval_with i inner.hi in
+  let gmin = ref max_int and gmax = ref min_int in
+  for i = olo to ohi do
+    let lo = ilo_of i and hi = ihi_of i in
+    if lo <= hi then begin
+      if lo < !gmin then gmin := lo;
+      if hi > !gmax then gmax := hi
+    end
+  done;
+  if !gmin > !gmax then "(empty iteration space)\n"
+  else begin
+    let buf = Buffer.create 256 in
+    let rows = min height (ohi - olo + 1) in
+    let cols = min width (!gmax - !gmin + 1) in
+    let orange = float_of_int (ohi - olo + 1) in
+    let irange = float_of_int (!gmax - !gmin + 1) in
+    Buffer.add_string buf
+      (Printf.sprintf "%s: %d..%d (rows)   %s: %d..%d (cols)\n" l.index olo ohi
+         inner.index !gmin !gmax);
+    for r = 0 to rows - 1 do
+      let i = olo + int_of_float (float_of_int r /. float_of_int rows *. orange) in
+      let lo = ilo_of i and hi = ihi_of i in
+      for c = 0 to cols - 1 do
+        let j = !gmin + int_of_float (float_of_int c /. float_of_int cols *. irange) in
+        Buffer.add_char buf (if j >= lo && j <= hi then '#' else '.')
+      done;
+      Buffer.add_char buf '\n'
+    done;
+    Buffer.contents buf
+  end

@@ -1,0 +1,47 @@
+(** IR traversal utilities shared by analysis and transformations. *)
+
+type space = Float_data | Int_data
+
+type kind = Read | Write
+
+(** One array or scalar access, with its statement context.  Scalars are
+    modelled as rank-0 accesses ([subs = []]); this lets the dependence
+    machinery treat scalar recurrences (e.g. the [TAU] temporary in the
+    pivoting code) uniformly. *)
+type access = {
+  array : string;
+  subs : Expr.t list;
+  kind : kind;
+  space : space;
+  path : Stmt.path;  (** path of the enclosing statement *)
+  loops : Stmt.loop list;  (** enclosing loops, outermost first *)
+  pos : int;  (** textual order of the enclosing statement *)
+}
+
+val accesses : Stmt.t list -> access list
+(** Every access in the block, in textual order.  For an assignment the
+    right-hand side reads precede the left-hand side write, matching
+    Fortran evaluation order.  Reads occurring in loop bounds and IF
+    conditions are included (they can be sources of dependences that
+    prevent interchange, as in Givens QR). *)
+
+val arrays_of : Stmt.t list -> (string * int * space) list
+(** Array names with their rank and element space, sorted by name.
+    Scalars (rank 0) are included. *)
+
+val index_vars : Stmt.t list -> string list
+(** All loop index variables, outermost-first preorder. *)
+
+val symbolic_params : Stmt.t list -> string list
+(** Free integer variables that are not loop indices and not written by
+    the block — the problem sizes ([N]) and block sizes ([KS]). *)
+
+val fresh : used:string list -> string -> string
+(** [fresh ~used base] returns [base] or [base2], [base3], ... — the
+    first name not in [used]. *)
+
+val plot_iteration_space :
+  bindings:(string * int) list -> width:int -> height:int -> Stmt.loop -> string
+(** ASCII rendering of a depth-2 iteration space (outer loop vertical,
+    inner horizontal), used to regenerate the paper's Figure 1.  Symbolic
+    bounds are closed with [bindings]. *)

@@ -1,0 +1,1 @@
+lib/kernels/k_cholesky.ml: Array Builder Env Kernel_def Lcg List Stdlib Stmt

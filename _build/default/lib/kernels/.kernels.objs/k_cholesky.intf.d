@@ -1,0 +1,1 @@
+lib/kernels/k_cholesky.mli: Kernel_def Stmt

@@ -1,0 +1,1 @@
+lib/kernels/k_conv.ml: Builder Env Expr Kernel_def Lcg List Stmt

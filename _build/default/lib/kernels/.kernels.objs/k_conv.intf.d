@@ -1,0 +1,1 @@
+lib/kernels/k_conv.mli: Kernel_def Stmt

@@ -1,0 +1,1 @@
+lib/kernels/k_givens.ml: Builder Env Kernel_def Lcg List Stdlib Stmt

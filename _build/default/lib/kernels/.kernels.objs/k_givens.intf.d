@@ -1,0 +1,1 @@
+lib/kernels/k_givens.mli: Kernel_def Stmt

@@ -1,0 +1,1 @@
+lib/kernels/k_lu.mli: Env Kernel_def Stmt

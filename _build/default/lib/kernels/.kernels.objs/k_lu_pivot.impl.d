@@ -1,0 +1,1 @@
+lib/kernels/k_lu_pivot.ml: Builder Env Kernel_def Lcg List Stdlib Stmt

@@ -1,0 +1,1 @@
+lib/kernels/k_lu_pivot.mli: Env Kernel_def Stmt

@@ -1,0 +1,1 @@
+lib/kernels/k_matmul.mli: Kernel_def Stmt

@@ -1,0 +1,1 @@
+lib/kernels/k_trisolve.mli: Kernel_def Stmt

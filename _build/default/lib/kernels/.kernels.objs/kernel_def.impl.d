@@ -1,0 +1,1 @@
+lib/kernels/kernel_def.ml: Env Exec List Stmt

@@ -1,0 +1,1 @@
+lib/kernels/n_givens.ml: Array Linalg

@@ -1,0 +1,1 @@
+lib/kernels/n_lu_pivot.mli: Linalg

@@ -1,0 +1,44 @@
+open Builder
+
+let point_loop : Stmt.loop =
+  let vn = v "N" and vk = v "K" and vi = v "I" and vj = v "J" in
+  let root = set2 "A" vk vk (sqrt_ (a2 "A" vk vk)) in
+  let scale =
+    do_ "I" (vk +! i 1) vn [ set2 "A" vi vk (a2 "A" vi vk /. a2 "A" vk vk) ]
+  in
+  let update =
+    do_ "J" (vk +! i 1) vn
+      [
+        do_ "I" vj vn
+          [ set2 "A" vi vj (a2 "A" vi vj -. (a2 "A" vi vk *. a2 "A" vj vk)) ];
+      ]
+  in
+  match do_ "K" (i 1) vn [ root; scale; update ] with
+  | Stmt.Loop l -> l
+  | Stmt.Assign _ | Stmt.Iassign _ | Stmt.If _ -> assert false
+
+let kernel : Kernel_def.t =
+  {
+    name = "cholesky";
+    description = "Cholesky factorization (lower triangle, in place)";
+    block = [ Stmt.Loop point_loop ];
+    params = [ "N" ];
+    setup =
+      (fun env ~bindings ~seed ->
+        let n = List.assoc "N" bindings in
+        Env.add_farray env "A" [ (1, n); (1, n) ];
+        (* symmetric positive definite: M^T M + n*I, built in place *)
+        let rng = Lcg.create seed in
+        let m = Array.init n (fun _ -> Array.init n (fun _ -> Stdlib.( -. ) (Lcg.float rng 1.0) 0.5)) in
+        for r = 1 to n do
+          for c = 1 to n do
+            let acc = ref 0.0 in
+            for k = 0 to n - 1 do
+              acc := Stdlib.( +. ) !acc (Stdlib.( *. ) m.(k).(r - 1) m.(k).(c - 1))
+            done;
+            Env.set_f env "A" [ r; c ]
+              (if r = c then Stdlib.( +. ) !acc (float_of_int n) else !acc)
+          done
+        done);
+    traced = [ "A" ];
+  }

@@ -1,0 +1,29 @@
+(** Convolution and adjoint convolution of two time series (§3.2), the
+    oil-exploration kernels with trapezoidal/rhomboidal iteration spaces:
+
+    adjoint convolution
+
+    {v
+    DO I = 0, N3
+      DO K = I, MIN(I + N2, N1)
+        F3(I) = F3(I) + DT*F1(K)*F2(I-K)
+    v}
+
+    convolution
+
+    {v
+    DO I = 0, N3
+      DO K = MAX(0, I - N2), MIN(I, N1)
+        F3(I) = F3(I) + DT*F1(K)*F2(I-K)
+    v}
+
+    [F2] is indexed by [I-K], which is in [[-N2, 0]] for the adjoint
+    kernel and [[0, N2]] for the direct one; the environment declares it
+    over [[-N2, N2]].  [DT] is a REAL scalar. *)
+
+val aconv_loop : Stmt.loop
+val conv_loop : Stmt.loop
+
+val aconv : Kernel_def.t
+val conv : Kernel_def.t
+(** Parameters: [N1] (length of F1 range), [N2], [N3]. *)

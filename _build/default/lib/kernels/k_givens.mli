@@ -1,0 +1,20 @@
+(** QR decomposition with Givens rotations (§5.4, Figure 9):
+
+    {v
+    DO L = 1, N
+      DO J = L+1, M
+        IF (A(J,L) .NE. 0.0) THEN
+          DEN = SQRT(A(L,L)*A(L,L) + A(J,L)*A(J,L))
+          C = A(L,L)/DEN
+          S = A(J,L)/DEN
+          DO K = L, N
+            A1 = A(L,K);  A2 = A(J,K)
+            A(L,K) =  C*A1 + S*A2
+            A(J,K) = -S*A1 + C*A2
+    v}
+
+    [A] is M x N with M >= N. *)
+
+val point_loop : Stmt.loop
+val kernel : Kernel_def.t
+(** Parameters: [M] (rows), [N] (columns). *)

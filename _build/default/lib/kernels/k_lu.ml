@@ -1,0 +1,40 @@
+open Builder
+
+let point_loop : Stmt.loop =
+  let vn = v "N" and vk = v "K" and vi = v "I" and vj = v "J" in
+  let scale =
+    do_ "I" (vk +! i 1) vn [ set2 "A" vi vk (a2 "A" vi vk /. a2 "A" vk vk) ]
+  in
+  let update =
+    do_ "J" (vk +! i 1) vn
+      [
+        do_ "I" (vk +! i 1) vn
+          [ set2 "A" vi vj (a2 "A" vi vj -. (a2 "A" vi vk *. a2 "A" vk vj)) ];
+      ]
+  in
+  match do_ "K" (i 1) (vn -! i 1) [ scale; update ] with
+  | Stmt.Loop l -> l
+  | Stmt.Assign _ | Stmt.Iassign _ | Stmt.If _ -> assert false
+
+let fill_matrix env ~n ~seed =
+  Env.add_farray env "A" [ (1, n); (1, n) ];
+  let rng = Lcg.create seed in
+  Env.fill_farray env "A" (fun idx ->
+      match idx with
+      | [ r; c ] ->
+          let base = Stdlib.( -. ) (Lcg.float rng 1.0) 0.5 in
+          if r = c then Stdlib.( +. ) base (float_of_int n) else base
+      | _ -> assert false)
+
+let kernel : Kernel_def.t =
+  {
+    name = "lu";
+    description = "LU decomposition without pivoting (point algorithm)";
+    block = [ Stmt.Loop point_loop ];
+    params = [ "N" ];
+    setup =
+      (fun env ~bindings ~seed ->
+        let n = List.assoc "N" bindings in
+        fill_matrix env ~n ~seed);
+    traced = [ "A" ];
+  }

@@ -1,0 +1,60 @@
+open Builder
+
+let guarded_k_loop : Stmt.loop =
+  let vn = v "N" and vi = v "I" and vj = v "J" and vk = v "K" in
+  let inner =
+    do_ "I" (i 1) vn
+      [ set2 "C" vi vj (a2 "C" vi vj +. (a2 "A" vi vk *. a2 "B" vk vj)) ]
+  in
+  match do_ "K" (i 1) vn [ if_ (fne (a2 "B" vk vj) (fc 0.0)) [ inner ] ] with
+  | Stmt.Loop l -> l
+  | Stmt.Assign _ | Stmt.Iassign _ | Stmt.If _ -> assert false
+
+let nest : Stmt.loop =
+  match Builder.do_ "J" (Builder.i 1) (Builder.v "N") [ Stmt.Loop guarded_k_loop ] with
+  | Stmt.Loop l -> l
+  | Stmt.Assign _ | Stmt.Iassign _ | Stmt.If _ -> assert false
+
+(* B's nonzeros come in short runs so IF-inspection has ranges to find;
+   [freq_pct] is the overall nonzero percentage. *)
+let fill env ~n ~freq_pct ~seed =
+  Env.add_farray env "A" [ (1, n); (1, n) ];
+  Env.add_farray env "B" [ (1, n); (1, n) ];
+  Env.add_farray env "C" [ (1, n); (1, n) ];
+  let rng = Lcg.create seed in
+  Env.fill_farray env "A" (fun _ -> Lcg.float rng 1.0);
+  Env.fill_farray env "C" (fun _ -> 0.0);
+  (* Column-major fill with run structure along K (the first index). *)
+  let p = Stdlib.( /. ) (float_of_int freq_pct) 100.0 in
+  let run_len = 4 in
+  for j = 1 to n do
+    let k = ref 1 in
+    while !k <= n do
+      if Lcg.bool rng (Stdlib.( /. ) p (float_of_int run_len)) then begin
+        (* start a run of nonzeros *)
+        let stop = min n (!k + run_len - 1) in
+        for kk = !k to stop do
+          Env.set_f env "B" [ kk; j ] (Stdlib.( +. ) 0.5 (Lcg.float rng 0.5))
+        done;
+        k := stop + 1
+      end
+      else begin
+        Env.set_f env "B" [ !k; j ] 0.0;
+        incr k
+      end
+    done
+  done
+
+let kernel : Kernel_def.t =
+  {
+    name = "matmul";
+    description = "SGEMM-style matrix multiply with a zero guard on B";
+    block = [ Stmt.Loop nest ];
+    params = [ "N"; "FREQ_PCT" ];
+    setup =
+      (fun env ~bindings ~seed ->
+        let n = List.assoc "N" bindings in
+        let freq_pct = List.assoc "FREQ_PCT" bindings in
+        fill env ~n ~freq_pct ~seed);
+    traced = [ "A"; "B"; "C" ];
+  }

@@ -1,0 +1,35 @@
+open Builder
+
+let point_loop : Stmt.loop =
+  let vn = v "N" and vk = v "K" and vi = v "I" in
+  let solve = set1 "X" vk (a1 "B" vk /. a2 "A" vk vk) in
+  let update =
+    do_ "I" (vk +! i 1) vn
+      [ set1 "B" vi (a1 "B" vi -. (a2 "A" vi vk *. a1 "X" vk)) ]
+  in
+  match do_ "K" (i 1) vn [ solve; update ] with
+  | Stmt.Loop l -> l
+  | Stmt.Assign _ | Stmt.Iassign _ | Stmt.If _ -> assert false
+
+let kernel : Kernel_def.t =
+  {
+    name = "trisolve";
+    description = "forward substitution (lower-triangular solve)";
+    block = [ Stmt.Loop point_loop ];
+    params = [ "N" ];
+    setup =
+      (fun env ~bindings ~seed ->
+        let n = List.assoc "N" bindings in
+        Env.add_farray env "A" [ (1, n); (1, n) ];
+        Env.add_farray env "B" [ (1, n) ];
+        Env.add_farray env "X" [ (1, n) ];
+        let rng = Lcg.create seed in
+        Env.fill_farray env "A" (fun idx ->
+            match idx with
+            | [ r; c ] ->
+                let base = Stdlib.( -. ) (Lcg.float rng 1.0) 0.5 in
+                if r = c then Stdlib.( +. ) base (float_of_int n) else base
+            | _ -> assert false);
+        Env.fill_farray env "B" (fun _ -> Lcg.float rng 1.0));
+    traced = [ "A"; "B"; "X" ];
+  }

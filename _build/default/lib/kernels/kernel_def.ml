@@ -1,0 +1,38 @@
+type t = {
+  name : string;
+  description : string;
+  block : Stmt.t list;
+  params : string list;
+  setup : Env.t -> bindings:(string * int) list -> seed:int -> unit;
+  traced : string list;
+}
+
+let make_env k ~bindings ~seed =
+  let env = Env.create () in
+  List.iter
+    (fun p ->
+      match List.assoc_opt p bindings with
+      | Some v -> Env.set_iscalar env p v
+      | None -> invalid_arg ("kernel " ^ k.name ^ ": missing parameter " ^ p))
+    k.params;
+  (* Bind any extra parameters the caller supplied too (block sizes). *)
+  List.iter (fun (p, v) -> Env.set_iscalar env p v) bindings;
+  k.setup env ~bindings ~seed;
+  env
+
+let run k ~bindings ~seed =
+  let env = make_env k ~bindings ~seed in
+  Exec.run env k.block;
+  env
+
+let run_block k block ~bindings ~seed =
+  let env = make_env k ~bindings ~seed in
+  Exec.run env block;
+  env
+
+let equivalent ?(tol = 0.0) ?(extra = []) k block ~bindings ~seed =
+  let reference = run k ~bindings ~seed in
+  let candidate = run_block k block ~bindings:(extra @ bindings) ~seed in
+  match Env.diff ~only:k.traced ~tol reference candidate with
+  | None -> Ok ()
+  | Some msg -> Error (k.name ^ ": transformed kernel diverges: " ^ msg)

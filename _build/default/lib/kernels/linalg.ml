@@ -1,0 +1,50 @@
+type mat = { m : int; n : int; a : float array }
+
+let create m n = { m; n; a = Array.make (m * n) 0.0 }
+let idx t i j = ((j - 1) * t.m) + (i - 1)
+let get t i j = t.a.(idx t i j)
+let set t i j x = t.a.(idx t i j) <- x
+
+let random ?(seed = 1) m n =
+  let t = create m n in
+  let rng = Lcg.create seed in
+  for k = 0 to (m * n) - 1 do
+    t.a.(k) <- Lcg.float rng 2.0 -. 1.0
+  done;
+  t
+
+let random_diag_dominant ?(seed = 1) n =
+  let t = random ~seed n n in
+  for i = 1 to n do
+    set t i i (get t i i +. float_of_int n)
+  done;
+  t
+
+let copy_mat t = { t with a = Array.copy t.a }
+
+let max_abs_diff x y =
+  assert (x.m = y.m && x.n = y.n);
+  let worst = ref 0.0 in
+  Array.iteri
+    (fun k v ->
+      let d = Float.abs (v -. y.a.(k)) in
+      if d > !worst then worst := d)
+    x.a;
+  !worst
+
+let frobenius t =
+  sqrt (Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 t.a)
+
+let vec_random ?(seed = 1) n =
+  let rng = Lcg.create seed in
+  Array.init n (fun _ -> Lcg.float rng 1.0)
+
+let max_abs_diff_vec x y =
+  assert (Array.length x = Array.length y);
+  let worst = ref 0.0 in
+  Array.iteri
+    (fun k v ->
+      let d = Float.abs (v -. y.(k)) in
+      if d > !worst then worst := d)
+    x;
+  !worst

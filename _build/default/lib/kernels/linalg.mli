@@ -1,0 +1,26 @@
+(** Dense column-major matrices for the native benchmark kernels.
+
+    The native kernels mirror the Fortran codes: column-major layout,
+    1-based logical indexing mapped to a flat [float array].  They are
+    the timed subjects of the benchmark harness (the IR interpreter is
+    for semantics and cache simulation, not wall-clock measurement). *)
+
+type mat = { m : int; n : int; a : float array }
+(** [a.((j-1)*m + (i-1))] is element (i, j). *)
+
+val create : int -> int -> mat
+val idx : mat -> int -> int -> int
+val get : mat -> int -> int -> float
+val set : mat -> int -> int -> float -> unit
+
+val random : ?seed:int -> int -> int -> mat
+val random_diag_dominant : ?seed:int -> int -> mat
+val copy_mat : mat -> mat
+
+val max_abs_diff : mat -> mat -> float
+
+val frobenius : mat -> float
+
+val vec_random : ?seed:int -> int -> float array
+
+val max_abs_diff_vec : float array -> float array -> float

@@ -1,0 +1,135 @@
+type series = {
+  f1 : float array;
+  f2 : float array;
+  f3 : float array;
+  dt : float;
+  n1 : int;
+  n2 : int;
+  n3 : int;
+}
+
+let make ?(seed = 1) ~n1 ~n2 ~n3 () =
+  let rng = Lcg.create seed in
+  {
+    f1 = Array.init (n1 + 1) (fun _ -> Lcg.float rng 1.0);
+    f2 = Array.init (2 * n2 + n3 + 1) (fun _ -> Lcg.float rng 1.0);
+    f3 = Array.make (n3 + 1) 0.0;
+    dt = 0.01;
+    n1;
+    n2;
+    n3;
+  }
+
+let reset s = Array.fill s.f3 0 (Array.length s.f3) 0.0
+
+let aconv s =
+  let { f1; f2; f3; dt; n1; n2; n3 } = s in
+  for i = 0 to n3 do
+    let hi = min (i + n2) n1 in
+    let acc = ref f3.(i) in
+    for k = i to hi do
+      acc := !acc +. (dt *. f1.(k) *. f2.(i - k + n2))
+    done;
+    f3.(i) <- !acc
+  done
+
+let conv s =
+  let { f1; f2; f3; dt; n1; n2; n3 } = s in
+  for i = 0 to n3 do
+    let lo = max 0 (i - n2) and hi = min i n1 in
+    let acc = ref f3.(i) in
+    for k = lo to hi do
+      acc := !acc +. (dt *. f1.(k) *. f2.(i - k + n2))
+    done;
+    f3.(i) <- !acc
+  done
+
+(* Unroll-and-jam by 4 over rows [i0 .. i1] whose per-row k range is
+   [lo i, hi i]: per block, the intersection rectangle is jammed with the
+   four accumulators in scalars (sharing each [dt * f1.(k)] load), and
+   the head/tail triangles run per row.  Per-row accumulation order is
+   unchanged (head, rectangle, tail are consecutive k sub-ranges), so the
+   result is bit-identical to the plain loops. *)
+let jam4 ~dt ~f1 ~f2 ~f3 ~n2 ~i0 ~i1 ~lo ~hi =
+  let plain_row r klo khi =
+    if klo <= khi then begin
+      let acc = ref f3.(r) in
+      for k = klo to khi do
+        acc := !acc +. (dt *. f1.(k) *. f2.(r - k + n2))
+      done;
+      f3.(r) <- !acc
+    end
+  in
+  let i = ref i0 in
+  while !i + 3 <= i1 do
+    let r0 = !i in
+    let rect_lo =
+      max (max (lo r0) (lo (r0 + 1))) (max (lo (r0 + 2)) (lo (r0 + 3)))
+    in
+    let rect_hi =
+      min (min (hi r0) (hi (r0 + 1))) (min (hi (r0 + 2)) (hi (r0 + 3)))
+    in
+    if rect_hi - rect_lo >= 4 then begin
+      for r = r0 to r0 + 3 do
+        plain_row r (lo r) (min (hi r) (rect_lo - 1))
+      done;
+      let s0 = ref f3.(r0)
+      and s1 = ref f3.(r0 + 1)
+      and s2 = ref f3.(r0 + 2)
+      and s3 = ref f3.(r0 + 3) in
+      for k = rect_lo to rect_hi do
+        let x = dt *. f1.(k) in
+        s0 := !s0 +. (x *. f2.(r0 - k + n2));
+        s1 := !s1 +. (x *. f2.(r0 + 1 - k + n2));
+        s2 := !s2 +. (x *. f2.(r0 + 2 - k + n2));
+        s3 := !s3 +. (x *. f2.(r0 + 3 - k + n2))
+      done;
+      f3.(r0) <- !s0;
+      f3.(r0 + 1) <- !s1;
+      f3.(r0 + 2) <- !s2;
+      f3.(r0 + 3) <- !s3;
+      for r = r0 to r0 + 3 do
+        plain_row r (max (lo r) (rect_hi + 1)) (hi r)
+      done
+    end
+    else
+      for r = r0 to r0 + 3 do
+        plain_row r (lo r) (hi r)
+      done;
+    i := !i + 4
+  done;
+  for r = !i to i1 do
+    plain_row r (lo r) (hi r)
+  done
+
+let aconv_opt s =
+  let { f1; f2; f3; dt; n1; n2; n3 } = s in
+  (* Index-set split at the trapezoid crossover I = N1 - N2. *)
+  let split = min n3 (n1 - n2) in
+  (* Rhomboidal part: K in [I, I+N2]. *)
+  jam4 ~dt ~f1 ~f2 ~f3 ~n2 ~i0:0 ~i1:split
+    ~lo:(fun i -> i)
+    ~hi:(fun i -> i + n2);
+  (* Triangular part: K in [I, N1]. *)
+  jam4 ~dt ~f1 ~f2 ~f3 ~n2 ~i0:(max 0 (split + 1)) ~i1:n3
+    ~lo:(fun i -> i)
+    ~hi:(fun _ -> n1)
+
+let conv_opt s =
+  let { f1; f2; f3; dt; n1; n2; n3 } = s in
+  (* Full MIN/MAX removal gives four regions (paper §3.2). *)
+  let s1 = min (min n3 n1) (n2 - 1) in
+  jam4 ~dt ~f1 ~f2 ~f3 ~n2 ~i0:0 ~i1:s1 ~lo:(fun _ -> 0) ~hi:(fun i -> i);
+  jam4 ~dt ~f1 ~f2 ~f3 ~n2
+    ~i0:(max 0 (s1 + 1))
+    ~i1:(min n3 n1)
+    ~lo:(fun i -> i - n2)
+    ~hi:(fun i -> i);
+  let s3lo = max 0 (min n3 n1 + 1) in
+  let s3hi = min n3 (n2 - 1) in
+  jam4 ~dt ~f1 ~f2 ~f3 ~n2 ~i0:s3lo ~i1:s3hi ~lo:(fun _ -> 0) ~hi:(fun _ -> n1);
+  jam4 ~dt ~f1 ~f2 ~f3 ~n2
+    ~i0:(max s3lo (s3hi + 1))
+    ~i1:n3
+    ~lo:(fun i -> i - n2)
+    ~hi:(fun _ -> n1)

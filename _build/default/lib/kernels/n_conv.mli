@@ -1,0 +1,30 @@
+(** Native convolution kernels for the §3.2 table (T1).
+
+    Arrays are 0-based here: [f1.(k)] for k in [0, n1], [f3.(i)] for i in
+    [0, n3], and [f2] is stored with offset [n2] so that logical index
+    [i - k] (in [[-n2, n2]]) maps to [f2.(i - k + n2)].
+
+    The [*_opt] variants perform what the paper's transformation
+    sequence produces: index-set splitting of the MIN/MAX bounds,
+    unroll-and-jam of the outer loop by 4, and scalar replacement of the
+    [F3] accumulators.  They are bit-identical to the originals (each
+    output element accumulates the same terms in the same order). *)
+
+type series = {
+  f1 : float array;
+  f2 : float array;  (** offset by n2 *)
+  f3 : float array;
+  dt : float;
+  n1 : int;
+  n2 : int;
+  n3 : int;
+}
+
+val make : ?seed:int -> n1:int -> n2:int -> n3:int -> unit -> series
+val reset : series -> unit
+(** Zero the output [f3]. *)
+
+val aconv : series -> unit
+val aconv_opt : series -> unit
+val conv : series -> unit
+val conv_opt : series -> unit

@@ -1,0 +1,66 @@
+open Linalg
+
+let point t =
+  let m = t.m and n = t.n and a = t.a in
+  for l = 1 to n do
+    let lc = (l - 1) * m in
+    for j = l + 1 to m do
+      if a.(lc + j - 1) <> 0.0 then begin
+        let all = a.(lc + l - 1) and ajl = a.(lc + j - 1) in
+        let den = sqrt ((all *. all) +. (ajl *. ajl)) in
+        let c = all /. den and s = ajl /. den in
+        for k = l to n do
+          let kc = (k - 1) * m in
+          let a1 = a.(kc + l - 1) and a2 = a.(kc + j - 1) in
+          a.(kc + l - 1) <- (c *. a1) +. (s *. a2);
+          a.(kc + j - 1) <- (-.s *. a1) +. (c *. a2)
+        done
+      end
+    done
+  done
+
+let optimized t =
+  let m = t.m and n = t.n and a = t.a in
+  let cs = Array.make (m + 1) 0.0 and sn = Array.make (m + 1) 0.0 in
+  let jlb = Array.make ((m / 2) + 2) 0 and jub = Array.make ((m / 2) + 2) 0 in
+  for l = 1 to n do
+    let lc = (l - 1) * m in
+    (* Setup sweep: rotation coefficients, the eliminated column, and the
+       inspection of the zero guard. *)
+    let jc = ref 0 and flag = ref false in
+    for j = l + 1 to m do
+      if a.(lc + j - 1) <> 0.0 then begin
+        let all = a.(lc + l - 1) and ajl = a.(lc + j - 1) in
+        let den = sqrt ((all *. all) +. (ajl *. ajl)) in
+        let c = all /. den and s = ajl /. den in
+        cs.(j) <- c;
+        sn.(j) <- s;
+        a.(lc + l - 1) <- (c *. all) +. (s *. ajl);
+        a.(lc + j - 1) <- (-.s *. all) +. (c *. ajl);
+        if not !flag then begin
+          incr jc;
+          jlb.(!jc) <- j;
+          flag := true
+        end
+      end
+      else if !flag then begin
+        jub.(!jc) <- j - 1;
+        flag := false
+      end
+    done;
+    if !flag then jub.(!jc) <- m;
+    (* Executor: K outermost, J innermost (stride-one), A(L,K) in a
+       scalar. *)
+    for k = l + 1 to n do
+      let kc = (k - 1) * m in
+      let alk = ref a.(kc + l - 1) in
+      for jn = 1 to !jc do
+        for j = jlb.(jn) to jub.(jn) do
+          let a1 = !alk and a2 = a.(kc + j - 1) in
+          alk := (cs.(j) *. a1) +. (sn.(j) *. a2);
+          a.(kc + j - 1) <- (-.sn.(j) *. a1) +. (cs.(j) *. a2)
+        done
+      done;
+      a.(kc + l - 1) <- !alk
+    done
+  done

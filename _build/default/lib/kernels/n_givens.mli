@@ -1,0 +1,16 @@
+(** Native Givens QR for the §5.4 table (T5).
+
+    - [point] — Figure 9: rotations applied row-pair by row-pair with the
+      column sweep innermost-but-one; the [A(L,K)]/[A(J,K)] accesses
+      stride across columns (stride [M] in column-major storage), which
+      is what makes the point code slow;
+    - [optimized] — Figure 10: rotation coefficients are computed and
+      stored per row in a [J] sweep that also performs IF-inspection of
+      the zero guard; the update then runs with [K] outermost and [J]
+      innermost (stride-one [A(J,K)], [A(L,K)] kept in a scalar).
+
+    Bit-identical results (per column the same rotations apply in the
+    same order; the [A(L,K)] scalar chain reassociates nothing). *)
+
+val point : Linalg.mat -> unit
+val optimized : Linalg.mat -> unit

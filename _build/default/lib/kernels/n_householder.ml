@@ -1,0 +1,161 @@
+open Linalg
+
+(* Generate the reflector for column k (rows k..m): v has implicit 1 in
+   position k; the tail is stored below the diagonal.  Returns tau such
+   that H = I - tau * v * v^T annihilates A(k+1..m, k). *)
+let reflector t k =
+  let m = t.m and a = t.a in
+  let kc = (k - 1) * m in
+  let alpha = a.(kc + k - 1) in
+  let norm2 = ref 0.0 in
+  for i = k + 1 to m do
+    let x = a.(kc + i - 1) in
+    norm2 := !norm2 +. (x *. x)
+  done;
+  if !norm2 = 0.0 then 0.0
+  else begin
+    let beta =
+      let r = sqrt ((alpha *. alpha) +. !norm2) in
+      if alpha >= 0.0 then -.r else r
+    in
+    let tau = (beta -. alpha) /. beta in
+    let scale = 1.0 /. (alpha -. beta) in
+    for i = k + 1 to m do
+      a.(kc + i - 1) <- a.(kc + i - 1) *. scale
+    done;
+    a.(kc + k - 1) <- beta;
+    tau
+  end
+
+(* Apply H = I - tau*v*v^T (v from column k) to column j (rows k..m). *)
+let apply_reflector t ~k ~tau j =
+  if tau <> 0.0 then begin
+    let m = t.m and a = t.a in
+    let kc = (k - 1) * m and jc = (j - 1) * m in
+    let w = ref a.(jc + k - 1) in
+    for i = k + 1 to m do
+      w := !w +. (a.(kc + i - 1) *. a.(jc + i - 1))
+    done;
+    let w = tau *. !w in
+    a.(jc + k - 1) <- a.(jc + k - 1) -. w;
+    for i = k + 1 to m do
+      a.(jc + i - 1) <- a.(jc + i - 1) -. (a.(kc + i - 1) *. w)
+    done
+  end
+
+let point t =
+  let n = t.n in
+  let taus = Array.make (n + 1) 0.0 in
+  for k = 1 to n do
+    let tau = reflector t k in
+    taus.(k) <- tau;
+    for j = k + 1 to n do
+      apply_reflector t ~k ~tau j
+    done
+  done;
+  taus
+
+(* Compact WY: factor a panel of [b] columns pointwise, build the b x b
+   upper-triangular T with Q = I - V T V^T, then apply to the trailing
+   columns with matrix-matrix work:  W = V^T C;  W := T^T W;  C -= V W. *)
+let blocked ~block t =
+  let m = t.m and n = t.n and a = t.a in
+  let taus = Array.make (n + 1) 0.0 in
+  let bT = Array.make (block * block) 0.0 in
+  let w = Array.make (block * n) 0.0 in
+  let kb = ref 1 in
+  while !kb <= n do
+    let bend = min (!kb + block - 1) n in
+    let bs = bend - !kb + 1 in
+    (* Panel: point algorithm restricted to panel columns. *)
+    for k = !kb to bend do
+      let tau = reflector t k in
+      taus.(k) <- tau;
+      for j = k + 1 to bend do
+        apply_reflector t ~k ~tau j
+      done
+    done;
+    (* Build T (bs x bs, column-major in bT):
+       T(1..i-1, i) = -tau_i * T(1..i-1, 1..i-1) * (V_{1..i-1}^T v_i),
+       T(i,i) = tau_i. *)
+    for i = 1 to bs do
+      let ki = !kb + i - 1 in
+      let tau = taus.(ki) in
+      bT.(((i - 1) * block) + i - 1) <- tau;
+      if i > 1 then begin
+        (* z = V_{1..i-1}^T v_i  (length i-1) *)
+        let z = Array.make (i - 1) 0.0 in
+        for p = 1 to i - 1 do
+          let kp = !kb + p - 1 in
+          let cp = (kp - 1) * m and ci = (ki - 1) * m in
+          (* rows ki..m of v_i (unit at ki), rows kp..m of v_p (unit at kp);
+             overlap starts at ki. *)
+          let acc = ref a.(cp + ki - 1) (* v_p at row ki times v_i's 1 *) in
+          for r = ki + 1 to m do
+            acc := !acc +. (a.(cp + r - 1) *. a.(ci + r - 1))
+          done;
+          z.(p - 1) <- !acc
+        done;
+        (* T(1..i-1, i) = -tau * T(1..i-1,1..i-1) * z *)
+        for r = 1 to i - 1 do
+          let acc = ref 0.0 in
+          for p = r to i - 1 do
+            acc := !acc +. (bT.(((p - 1) * block) + r - 1) *. z.(p - 1))
+          done;
+          bT.(((i - 1) * block) + r - 1) <- -.tau *. !acc
+        done
+      end
+    done;
+    (* Apply (I - V T V^T)^T = I - V T^T V^T to trailing columns. *)
+    let ntrail = n - bend in
+    if ntrail > 0 then begin
+      (* W(p, j) = v_p^T c_j  for p = 1..bs, trailing j. *)
+      for j = 1 to ntrail do
+        let jc = (bend + j - 1) * m in
+        for p = 1 to bs do
+          let kp = !kb + p - 1 in
+          let cp = (kp - 1) * m in
+          let acc = ref a.(jc + kp - 1) in
+          for r = kp + 1 to m do
+            acc := !acc +. (a.(cp + r - 1) *. a.(jc + r - 1))
+          done;
+          w.(((j - 1) * block) + p - 1) <- !acc
+        done
+      done;
+      (* W := T^T W  (T upper triangular => T^T lower). *)
+      for j = 1 to ntrail do
+        let wc = (j - 1) * block in
+        for p = bs downto 1 do
+          let acc = ref 0.0 in
+          for q = 1 to p do
+            acc := !acc +. (bT.(((p - 1) * block) + q - 1) *. w.(wc + q - 1))
+          done;
+          w.(wc + p - 1) <- !acc
+        done
+      done;
+      (* C -= V W. *)
+      for j = 1 to ntrail do
+        let jc = (bend + j - 1) * m and wc = (j - 1) * block in
+        for p = 1 to bs do
+          let kp = !kb + p - 1 in
+          let cp = (kp - 1) * m in
+          let wpj = w.(wc + p - 1) in
+          a.(jc + kp - 1) <- a.(jc + kp - 1) -. wpj;
+          for r = kp + 1 to m do
+            a.(jc + r - 1) <- a.(jc + r - 1) -. (a.(cp + r - 1) *. wpj)
+          done
+        done
+      done
+    end;
+    kb := !kb + block
+  done;
+  taus
+
+let r_of t =
+  let r = create t.n t.n in
+  for j = 1 to t.n do
+    for i = 1 to min j t.n do
+      set r i j (get t i j)
+    done
+  done;
+  r

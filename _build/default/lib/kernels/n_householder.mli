@@ -1,0 +1,26 @@
+(** Householder QR (§5.3) — the paper's *non-blockable* algorithm.
+
+    The block form applies several reflectors at once as
+    [Q = I - V*T*V^T]; the triangular factor [T] involves computation
+    and storage with no counterpart in the point algorithm, which is why
+    no dependence-based compiler transformation can derive it.  Both
+    forms are implemented natively so the benchmark can still show the
+    block form's memory advantage; DESIGN.md and the paper's §5.3/§6
+    explain why this one needs the language extension instead of a
+    compiler derivation.
+
+    Both routines overwrite [A] (m x n, m >= n) with [R] in the upper
+    triangle and the Householder vectors below the diagonal (LAPACK
+    convention, implicit unit leading element), returning the scalar
+    factors [tau]. *)
+
+val point : Linalg.mat -> float array
+(** One reflector at a time, applied directly to the whole trailing
+    matrix. *)
+
+val blocked : block:int -> Linalg.mat -> float array
+(** Panel factorization + compact-WY ([T] matrix) application to the
+    trailing matrix. *)
+
+val r_of : Linalg.mat -> Linalg.mat
+(** Extract the upper-triangular R (for comparisons). *)

@@ -1,0 +1,133 @@
+open Linalg
+
+let point t =
+  let n = t.n and m = t.m and a = t.a in
+  assert (m = n);
+  for k = 1 to n - 1 do
+    let kc = (k - 1) * m in
+    let piv = a.(kc + k - 1) in
+    for i = k + 1 to n do
+      a.(kc + i - 1) <- a.(kc + i - 1) /. piv
+    done;
+    for j = k + 1 to n do
+      let jc = (j - 1) * m in
+      let akj = a.(jc + k - 1) in
+      for i = k + 1 to n do
+        a.(jc + i - 1) <- a.(jc + i - 1) -. (a.(kc + i - 1) *. akj)
+      done
+    done
+  done
+
+(* Shared panel factorization: the point algorithm restricted to columns
+   [k .. kend] (rows k..n), exactly the head group of Figure 6. *)
+let panel t ~k ~kend =
+  let n = t.n and m = t.m and a = t.a in
+  for kk = k to kend do
+    let kkc = (kk - 1) * m in
+    let piv = a.(kkc + kk - 1) in
+    for i = kk + 1 to n do
+      a.(kkc + i - 1) <- a.(kkc + i - 1) /. piv
+    done;
+    for j = kk + 1 to min kend n do
+      let jc = (j - 1) * m in
+      let akj = a.(jc + kk - 1) in
+      for i = kk + 1 to n do
+        a.(jc + i - 1) <- a.(jc + i - 1) -. (a.(kkc + i - 1) *. akj)
+      done
+    done
+  done
+
+(* "1": Sorensen-style hand block — panel, then the trailing update as a
+   sequence of rank-1 updates with stride-one inner loops. *)
+let sorensen ~block t =
+  let n = t.n and m = t.m and a = t.a in
+  assert (m = n);
+  let k = ref 1 in
+  while !k <= n - 1 do
+    let kend = min (!k + block - 1) (n - 1) in
+    panel t ~k:!k ~kend;
+    for j = kend + 1 to n do
+      let jc = (j - 1) * m in
+      for kk = !k to kend do
+        let kkc = (kk - 1) * m in
+        let akj = a.(jc + kk - 1) in
+        for i = kk + 1 to n do
+          a.(jc + i - 1) <- a.(jc + i - 1) -. (a.(kkc + i - 1) *. akj)
+        done
+      done
+    done;
+    k := !k + block
+  done
+
+(* "2": the Figure-6 form the compiler derives — trailing update with the
+   elimination (KK) loop innermost. *)
+let blocked ~block t =
+  let n = t.n and m = t.m and a = t.a in
+  assert (m = n);
+  let k = ref 1 in
+  while !k <= n - 1 do
+    let kend = min (!k + block - 1) (n - 1) in
+    panel t ~k:!k ~kend;
+    for j = kend + 1 to n do
+      let jc = (j - 1) * m in
+      for i = !k + 1 to n do
+        let kmax = min kend (i - 1) in
+        let x = ref a.(jc + i - 1) in
+        for kk = !k to kmax do
+          x := !x -. (a.(((kk - 1) * m) + i - 1) *. a.(jc + kk - 1))
+        done;
+        a.(jc + i - 1) <- !x
+      done
+    done;
+    k := !k + block
+  done
+
+(* "2+": Figure 6 plus unroll-and-jam of the trailing column loop (by 4)
+   and scalar replacement of the accumulators. *)
+let blocked_opt ~block t =
+  let n = t.n and m = t.m and a = t.a in
+  assert (m = n);
+  let k = ref 1 in
+  while !k <= n - 1 do
+    let kend = min (!k + block - 1) (n - 1) in
+    panel t ~k:!k ~kend;
+    let j = ref (kend + 1) in
+    while !j + 3 <= n do
+      let j0 = (!j - 1) * m
+      and j1 = !j * m
+      and j2 = (!j + 1) * m
+      and j3 = (!j + 2) * m in
+      for i = !k + 1 to n do
+        let kmax = min kend (i - 1) in
+        let s0 = ref a.(j0 + i - 1)
+        and s1 = ref a.(j1 + i - 1)
+        and s2 = ref a.(j2 + i - 1)
+        and s3 = ref a.(j3 + i - 1) in
+        for kk = !k to kmax do
+          let aik = a.(((kk - 1) * m) + i - 1) in
+          s0 := !s0 -. (aik *. a.(j0 + kk - 1));
+          s1 := !s1 -. (aik *. a.(j1 + kk - 1));
+          s2 := !s2 -. (aik *. a.(j2 + kk - 1));
+          s3 := !s3 -. (aik *. a.(j3 + kk - 1))
+        done;
+        a.(j0 + i - 1) <- !s0;
+        a.(j1 + i - 1) <- !s1;
+        a.(j2 + i - 1) <- !s2;
+        a.(j3 + i - 1) <- !s3
+      done;
+      j := !j + 4
+    done;
+    (* remainder columns *)
+    for j = !j to n do
+      let jc = (j - 1) * m in
+      for i = !k + 1 to n do
+        let kmax = min kend (i - 1) in
+        let x = ref a.(jc + i - 1) in
+        for kk = !k to kmax do
+          x := !x -. (a.(((kk - 1) * m) + i - 1) *. a.(jc + kk - 1))
+        done;
+        a.(jc + i - 1) <- !x
+      done
+    done;
+    k := !k + block
+  done

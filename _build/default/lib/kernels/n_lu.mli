@@ -1,0 +1,20 @@
+(** Native LU-without-pivoting variants for the §5.1 table (T3).
+
+    All variants factor in place and must agree bit-for-bit with
+    {!point} up to float-reassociation-free transformations (checked in
+    the test suite):
+
+    - [point] — the natural point algorithm;
+    - [sorensen] — the hand-blocked right-looking variant ("1" in the
+      paper's table): panel factorization followed by a blocked trailing
+      update with the block loop outermost;
+    - [blocked] — the compiler-derived Figure-6 form ("2"): panel, then
+      trailing update with the elimination step innermost;
+    - [blocked_opt] — Figure 6 plus trapezoidal unroll-and-jam and
+      scalar replacement ("2+"): the trailing update unrolls the column
+      loop and keeps the accumulators in scalars. *)
+
+val point : Linalg.mat -> unit
+val sorensen : block:int -> Linalg.mat -> unit
+val blocked : block:int -> Linalg.mat -> unit
+val blocked_opt : block:int -> Linalg.mat -> unit

@@ -1,0 +1,122 @@
+open Linalg
+
+let swap_rows t r1 r2 =
+  if r1 <> r2 then begin
+    let m = t.m and a = t.a in
+    for j = 0 to t.n - 1 do
+      let c = j * m in
+      let tau = a.(c + r1 - 1) in
+      a.(c + r1 - 1) <- a.(c + r2 - 1);
+      a.(c + r2 - 1) <- tau
+    done
+  end
+
+let pivot_of t k =
+  let m = t.m and a = t.a in
+  let kc = (k - 1) * m in
+  let imax = ref k and amax = ref (Float.abs a.(kc + k - 1)) in
+  for i = k + 1 to t.n do
+    let x = Float.abs a.(kc + i - 1) in
+    if x > !amax then begin
+      amax := x;
+      imax := i
+    end
+  done;
+  !imax
+
+(* One elimination step: pivot, swap, scale, and update columns
+   [k+1 .. jend] (the panel bound; [jend = n] recovers the point
+   algorithm). *)
+let step t k ~jend =
+  let n = t.n and m = t.m and a = t.a in
+  swap_rows t k (pivot_of t k);
+  let kc = (k - 1) * m in
+  let piv = a.(kc + k - 1) in
+  for i = k + 1 to n do
+    a.(kc + i - 1) <- a.(kc + i - 1) /. piv
+  done;
+  for j = k + 1 to jend do
+    let jc = (j - 1) * m in
+    let akj = a.(jc + k - 1) in
+    for i = k + 1 to n do
+      a.(jc + i - 1) <- a.(jc + i - 1) -. (a.(kc + i - 1) *. akj)
+    done
+  done
+
+let point t =
+  assert (t.m = t.n);
+  for k = 1 to t.n - 1 do
+    step t k ~jend:t.n
+  done
+
+let trailing_plain t ~k ~kend =
+  let n = t.n and m = t.m and a = t.a in
+  for j = kend + 1 to n do
+    let jc = (j - 1) * m in
+    for i = k + 1 to n do
+      let kmax = min kend (i - 1) in
+      let x = ref a.(jc + i - 1) in
+      for kk = k to kmax do
+        x := !x -. (a.(((kk - 1) * m) + i - 1) *. a.(jc + kk - 1))
+      done;
+      a.(jc + i - 1) <- !x
+    done
+  done
+
+let trailing_opt t ~k ~kend =
+  let n = t.n and m = t.m and a = t.a in
+  let j = ref (kend + 1) in
+  while !j + 3 <= n do
+    let j0 = (!j - 1) * m
+    and j1 = !j * m
+    and j2 = (!j + 1) * m
+    and j3 = (!j + 2) * m in
+    for i = k + 1 to n do
+      let kmax = min kend (i - 1) in
+      let s0 = ref a.(j0 + i - 1)
+      and s1 = ref a.(j1 + i - 1)
+      and s2 = ref a.(j2 + i - 1)
+      and s3 = ref a.(j3 + i - 1) in
+      for kk = k to kmax do
+        let aik = a.(((kk - 1) * m) + i - 1) in
+        s0 := !s0 -. (aik *. a.(j0 + kk - 1));
+        s1 := !s1 -. (aik *. a.(j1 + kk - 1));
+        s2 := !s2 -. (aik *. a.(j2 + kk - 1));
+        s3 := !s3 -. (aik *. a.(j3 + kk - 1))
+      done;
+      a.(j0 + i - 1) <- !s0;
+      a.(j1 + i - 1) <- !s1;
+      a.(j2 + i - 1) <- !s2;
+      a.(j3 + i - 1) <- !s3
+    done;
+    j := !j + 4
+  done;
+  for j = !j to n do
+    let jc = (j - 1) * m in
+    for i = k + 1 to n do
+      let kmax = min kend (i - 1) in
+      let x = ref a.(jc + i - 1) in
+      for kk = k to kmax do
+        x := !x -. (a.(((kk - 1) * m) + i - 1) *. a.(jc + kk - 1))
+      done;
+      a.(jc + i - 1) <- !x
+    done
+  done
+
+let with_trailing trailing ~block t =
+  assert (t.m = t.n);
+  let n = t.n in
+  let k = ref 1 in
+  while !k <= n - 1 do
+    let kend = min (!k + block - 1) (n - 1) in
+    (* Panel: the point algorithm, updates restricted to panel columns —
+       but swaps and pivot searches act on whole rows, as in Figure 8. *)
+    for kk = !k to kend do
+      step t kk ~jend:(min kend n)
+    done;
+    trailing t ~k:!k ~kend;
+    k := !k + block
+  done
+
+let blocked ~block t = with_trailing trailing_plain ~block t
+let blocked_opt ~block t = with_trailing trailing_opt ~block t

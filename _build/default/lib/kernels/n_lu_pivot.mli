@@ -1,0 +1,16 @@
+(** Native LU-with-partial-pivoting variants for the §5.2 table (T4).
+
+    - [point] — Figure 7 plus the pivot search;
+    - [blocked] — the Figure-8 block form, derivable only with
+      commutativity knowledge (row swaps commute with whole-column
+      updates): the point algorithm runs on the panel columns, the
+      trailing update is deferred per block;
+    - [blocked_opt] — Figure 8 plus unroll-and-jam and scalar
+      replacement on the trailing update ("1+").
+
+    All variants produce bit-identical factors (the commuted operations
+    perform the same floating-point operations on the same values). *)
+
+val point : Linalg.mat -> unit
+val blocked : block:int -> Linalg.mat -> unit
+val blocked_opt : block:int -> Linalg.mat -> unit

@@ -1,0 +1,130 @@
+open Linalg
+
+let make_b ?(seed = 5) ~n ~freq_pct () =
+  let b = create n n in
+  let rng = Lcg.create seed in
+  let p = float_of_int freq_pct /. 100.0 in
+  let run_len = 4 in
+  for j = 1 to n do
+    let k = ref 1 in
+    while !k <= n do
+      if Lcg.bool rng (p /. float_of_int run_len) then begin
+        let stop = min n (!k + run_len - 1) in
+        for kk = !k to stop do
+          set b kk j (0.5 +. Lcg.float rng 0.5)
+        done;
+        k := stop + 1
+      end
+      else incr k
+    done
+  done;
+  b
+
+let original ~a ~b ~c =
+  let n = a.n and m = a.m in
+  let aa = a.a and ba = b.a and ca = c.a in
+  for j = 1 to n do
+    let jc = (j - 1) * m in
+    for k = 1 to n do
+      let bkj = ba.(((j - 1) * b.m) + k - 1) in
+      if bkj <> 0.0 then begin
+        let kc = (k - 1) * m in
+        for i = 1 to m do
+          ca.(jc + i - 1) <- ca.(jc + i - 1) +. (aa.(kc + i - 1) *. bkj)
+        done
+      end
+    done
+  done
+
+(* The paper's strawman: unroll-and-jam K by 2 with the guards replicated
+   in the innermost loop. *)
+let uj ~a ~b ~c =
+  let n = a.n and m = a.m in
+  let aa = a.a and ba = b.a and ca = c.a in
+  for j = 1 to n do
+    let jc = (j - 1) * m and bj = (j - 1) * b.m in
+    let k = ref 1 in
+    while !k + 1 <= n do
+      let b0 = ba.(bj + !k - 1) and b1 = ba.(bj + !k) in
+      let k0 = (!k - 1) * m and k1 = !k * m in
+      for i = 1 to m do
+        if b0 <> 0.0 then
+          ca.(jc + i - 1) <- ca.(jc + i - 1) +. (aa.(k0 + i - 1) *. b0);
+        if b1 <> 0.0 then
+          ca.(jc + i - 1) <- ca.(jc + i - 1) +. (aa.(k1 + i - 1) *. b1)
+      done;
+      k := !k + 2
+    done;
+    if !k = n then begin
+      let b0 = ba.(bj + n - 1) in
+      if b0 <> 0.0 then begin
+        let k0 = (n - 1) * m in
+        for i = 1 to m do
+          ca.(jc + i - 1) <- ca.(jc + i - 1) +. (aa.(k0 + i - 1) *. b0)
+        done
+      end
+    end
+  done
+
+(* IF-inspection: record the nonzero ranges of column J, then run the
+   unguarded update over the ranges with K unrolled by 2. *)
+let uj_if ~a ~b ~c =
+  let n = a.n and m = a.m in
+  let aa = a.a and ba = b.a and ca = c.a in
+  let klb = Array.make ((n / 2) + 2) 0 and kub = Array.make ((n / 2) + 2) 0 in
+  for j = 1 to n do
+    let jc = (j - 1) * m and bj = (j - 1) * b.m in
+    (* inspector *)
+    let kc = ref 0 and flag = ref false in
+    for k = 1 to n do
+      if ba.(bj + k - 1) <> 0.0 then begin
+        if not !flag then begin
+          incr kc;
+          klb.(!kc) <- k;
+          flag := true
+        end
+      end
+      else if !flag then begin
+        kub.(!kc) <- k - 1;
+        flag := false
+      end
+    done;
+    if !flag then kub.(!kc) <- n;
+    (* executor: K unrolled by 4 within each range (plus a pairwise and a
+       single-step remainder); each C(I,J) still accumulates its nonzero
+       Ks in increasing order, so results stay bit-identical *)
+    for kn = 1 to !kc do
+      let k = ref klb.(kn) in
+      let kend = kub.(kn) in
+      while !k + 3 <= kend do
+        let b0 = ba.(bj + !k - 1) and b1 = ba.(bj + !k)
+        and b2 = ba.(bj + !k + 1) and b3 = ba.(bj + !k + 2) in
+        let k0 = (!k - 1) * m and k1 = !k * m
+        and k2 = (!k + 1) * m and k3 = (!k + 2) * m in
+        for i = 1 to m do
+          let x = ca.(jc + i - 1) in
+          let x = x +. (aa.(k0 + i - 1) *. b0) in
+          let x = x +. (aa.(k1 + i - 1) *. b1) in
+          let x = x +. (aa.(k2 + i - 1) *. b2) in
+          ca.(jc + i - 1) <- x +. (aa.(k3 + i - 1) *. b3)
+        done;
+        k := !k + 4
+      done;
+      while !k + 1 <= kend do
+        let b0 = ba.(bj + !k - 1) and b1 = ba.(bj + !k) in
+        let k0 = (!k - 1) * m and k1 = !k * m in
+        for i = 1 to m do
+          ca.(jc + i - 1) <-
+            (ca.(jc + i - 1) +. (aa.(k0 + i - 1) *. b0)) +. (aa.(k1 + i - 1) *. b1)
+        done;
+        k := !k + 2
+      done;
+      if !k = kend then begin
+        let b0 = ba.(bj + !k - 1) in
+        let k0 = (!k - 1) * m in
+        for i = 1 to m do
+          ca.(jc + i - 1) <- ca.(jc + i - 1) +. (aa.(k0 + i - 1) *. b0)
+        done
+      end
+    done
+  done

@@ -1,0 +1,22 @@
+(** Native guarded matrix multiply for the §4 table (T2).
+
+    [C += A * B] where zero entries of [B] are skipped by a guard, as in
+    the paper's SGEMM fragment.  Variants:
+
+    - [original] — guard on [B(K,J)] around the inner column update;
+    - [uj] — unroll-and-jam of the K loop by 2 with the guard moved into
+      the innermost loop (the paper's strawman, expected to be slower);
+    - [uj_if] — IF-inspection of the K loop, then unroll-and-jam by 2
+      inside the recorded ranges (the paper's winner).
+
+    All variants accumulate each [C(I,J)] over the same nonzero [K]s in
+    the same order, so results are bit-identical. *)
+
+val make_b : ?seed:int -> n:int -> freq_pct:int -> unit -> Linalg.mat
+(** [B] with about [freq_pct]% nonzero entries arranged in runs of ~4
+    along each column (the run structure is what gives IF-inspection
+    ranges to find). *)
+
+val original : a:Linalg.mat -> b:Linalg.mat -> c:Linalg.mat -> unit
+val uj : a:Linalg.mat -> b:Linalg.mat -> c:Linalg.mat -> unit
+val uj_if : a:Linalg.mat -> b:Linalg.mat -> c:Linalg.mat -> unit

@@ -1,0 +1,1 @@
+lib/lang/ext.ml: Buffer Builder Expr List Printf Stmt String

@@ -1,0 +1,1 @@
+lib/lang/ext.mli: Expr Stmt

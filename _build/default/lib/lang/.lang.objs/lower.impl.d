@@ -1,0 +1,1 @@
+lib/lang/lower.ml: Arch Expr Ext List Result Stmt

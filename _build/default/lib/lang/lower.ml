@@ -1,0 +1,96 @@
+(* Environment: for each enclosing BLOCK DO index, its (block size, hi). *)
+type blocks = (string * (int * Expr.t)) list
+
+let last_of (blocks : blocks) k =
+  match List.assoc_opt k blocks with
+  | Some (ks, hi) ->
+      Ok (Expr.min_ (Expr.add (Expr.var k) (Expr.Int (ks - 1))) hi)
+  | None -> Error ("LAST(" ^ k ^ ") outside BLOCK DO " ^ k)
+
+(* Replace LAST(k) pseudo-references in an expression. *)
+let rec subst_last blocks (e : Expr.t) =
+  let ( let* ) = Result.bind in
+  match e with
+  | Expr.Int _ | Expr.Var _ -> Ok e
+  | Expr.Bin (op, a, b) ->
+      let* a = subst_last blocks a in
+      let* b = subst_last blocks b in
+      Ok (Expr.Bin (op, a, b))
+  | Expr.Min (a, b) ->
+      let* a = subst_last blocks a in
+      let* b = subst_last blocks b in
+      Ok (Expr.min_ a b)
+  | Expr.Max (a, b) ->
+      let* a = subst_last blocks a in
+      let* b = subst_last blocks b in
+      Ok (Expr.max_ a b)
+  | Expr.Idx ("LAST", [ Expr.Var k ]) -> last_of blocks k
+  | Expr.Idx (name, subs) ->
+      let* subs =
+        List.fold_right
+          (fun s acc ->
+            let* acc = acc in
+            let* s = subst_last blocks s in
+            Ok (s :: acc))
+          subs (Ok [])
+      in
+      Ok (Expr.Idx (name, subs))
+
+let lower ?block_size ~machine ext =
+  let ( let* ) = Result.bind in
+  let ks_default =
+    match block_size with Some b -> b | None -> Arch.block_size machine ()
+  in
+  let rec go blocks (s : Ext.stmt) =
+    match s with
+    | Ext.Exec stmt ->
+        (* Plain statements may still mention LAST in bounds/subscripts. *)
+        let result = ref (Ok ()) in
+        let stmt' =
+          Stmt.map_expr
+            (fun e ->
+              match subst_last blocks e with
+              | Ok e' -> e'
+              | Error m ->
+                  if !result = Ok () then result := Error m;
+                  e)
+            stmt
+        in
+        let* () = !result in
+        Ok stmt'
+    | Ext.Do { index; lo; hi; body } ->
+        let* lo = subst_last blocks lo in
+        let* hi = subst_last blocks hi in
+        let* body = go_block blocks body in
+        Ok (Stmt.loop index lo hi body)
+    | Ext.Block_do { index; lo; hi; body } ->
+        let* lo = subst_last blocks lo in
+        let* hi = subst_last blocks hi in
+        let blocks = (index, (ks_default, hi)) :: blocks in
+        let* body = go_block blocks body in
+        Ok (Stmt.loop ~step:(Expr.Int ks_default) index lo hi body)
+    | Ext.In_do { block_index; index; bounds; body } -> (
+        match List.assoc_opt block_index blocks with
+        | None -> Error ("IN " ^ block_index ^ " DO outside its BLOCK DO")
+        | Some (_ks, _hi) ->
+            let* lo, hi =
+              match bounds with
+              | None ->
+                  let* l = last_of blocks block_index in
+                  Ok (Expr.var block_index, l)
+              | Some (lo, hi) ->
+                  let* lo = subst_last blocks lo in
+                  let* hi = subst_last blocks hi in
+                  Ok (lo, hi)
+            in
+            let* body = go_block blocks body in
+            Ok (Stmt.loop index lo hi body))
+  and go_block blocks body =
+    List.fold_right
+      (fun s acc ->
+        let* acc = acc in
+        let* s = go blocks s in
+        Ok (s :: acc))
+      body (Ok [])
+  in
+  go [] ext

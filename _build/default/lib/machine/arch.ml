@@ -1,0 +1,51 @@
+type t = {
+  name : string;
+  cache_bytes : int;
+  line_bytes : int;
+  assoc : int;
+  elt_bytes : int;
+  miss_cycles : int;
+  hit_cycles : int;
+}
+
+let rs6000_540 =
+  {
+    name = "RS/6000-540";
+    cache_bytes = 64 * 1024;
+    line_bytes = 128;
+    assoc = 4;
+    elt_bytes = 8;
+    miss_cycles = 15;
+    hit_cycles = 1;
+  }
+
+let small_test =
+  {
+    name = "small-test";
+    cache_bytes = 2 * 1024;
+    line_bytes = 32;
+    assoc = 1;
+    elt_bytes = 8;
+    miss_cycles = 15;
+    hit_cycles = 1;
+  }
+
+let modern_l1 =
+  {
+    name = "modern-L1";
+    cache_bytes = 32 * 1024;
+    line_bytes = 64;
+    assoc = 8;
+    elt_bytes = 8;
+    miss_cycles = 20;
+    hit_cycles = 1;
+  }
+
+let fresh_cache m =
+  Cache.create ~size_bytes:m.cache_bytes ~line_bytes:m.line_bytes ~assoc:m.assoc
+
+let block_size m ?(working_set_arrays = 3) () =
+  let budget = m.cache_bytes / 3 / (working_set_arrays * m.elt_bytes) in
+  let rec grow b = if b * b * 4 <= budget * 2 && b < 256 then grow (b * 2) else b in
+  let b = grow 8 in
+  max 8 (min 256 b)

@@ -1,0 +1,37 @@
+(** Target machine descriptions.
+
+    The blocking transformations are machine-independent; the *choice of
+    block size* is not.  A [Machine.t] carries the cache geometry used by
+    the simulator and by the block-size heuristics in [Transform.Blocker]
+    and [Lang.Lower]. *)
+
+type t = {
+  name : string;
+  cache_bytes : int;
+  line_bytes : int;
+  assoc : int;
+  elt_bytes : int;  (** REAL*8 => 8 *)
+  miss_cycles : int;  (** memory latency on a cache miss *)
+  hit_cycles : int;
+}
+
+val rs6000_540 : t
+(** An RS/6000 model 540-like data cache: 64 KB, 4-way, 128-byte lines,
+    with the 10-20 cycle miss latency range the paper's introduction
+    cites (we use 15). *)
+
+val small_test : t
+(** A deliberately tiny cache (2 KB direct-mapped, 32-byte lines) so unit
+    tests can provoke capacity misses with small arrays. *)
+
+val modern_l1 : t
+(** A 32 KB 8-way L1 with 64-byte lines, for ablation benches. *)
+
+val fresh_cache : t -> Cache.t
+
+val block_size : t -> ?working_set_arrays:int -> unit -> int
+(** A block-size heuristic in elements: the largest power of two [b] such
+    that [working_set_arrays] blocks of [b x b] elements fit in a third
+    of the cache (leaving room for cross-interference), clamped to
+    [8, 256].  This is the "machine-dependent detail" the Section-6
+    language extensions delegate to the compiler. *)

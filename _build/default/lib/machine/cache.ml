@@ -1,0 +1,79 @@
+type t = {
+  line_bits : int;
+  n_sets : int;
+  assoc : int;
+  (* tags.(set * assoc + way) = line tag, or -1 when invalid.  LRU order is
+     maintained by ages: ages.(slot) increases with staleness. *)
+  tags : int array;
+  ages : int array;
+  mutable n_accesses : int;
+  mutable n_hits : int;
+}
+
+type stats = { accesses : int; hits : int; misses : int }
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let log2 n =
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+let create ~size_bytes ~line_bytes ~assoc =
+  if not (is_pow2 size_bytes && is_pow2 line_bytes) then
+    invalid_arg "Cache.create: sizes must be powers of two";
+  if assoc < 1 || size_bytes mod (line_bytes * assoc) <> 0 then
+    invalid_arg "Cache.create: bad associativity";
+  let n_sets = size_bytes / (line_bytes * assoc) in
+  {
+    line_bits = log2 line_bytes;
+    n_sets;
+    assoc;
+    tags = Array.make (n_sets * assoc) (-1);
+    ages = Array.make (n_sets * assoc) 0;
+    n_accesses = 0;
+    n_hits = 0;
+  }
+
+let access t addr =
+  t.n_accesses <- t.n_accesses + 1;
+  let line = addr lsr t.line_bits in
+  let set = line mod t.n_sets in
+  let base = set * t.assoc in
+  let found = ref (-1) in
+  for w = 0 to t.assoc - 1 do
+    if t.tags.(base + w) = line then found := w
+  done;
+  if !found >= 0 then begin
+    t.n_hits <- t.n_hits + 1;
+    let hit_age = t.ages.(base + !found) in
+    for w = 0 to t.assoc - 1 do
+      if t.ages.(base + w) < hit_age then t.ages.(base + w) <- t.ages.(base + w) + 1
+    done;
+    t.ages.(base + !found) <- 0;
+    true
+  end
+  else begin
+    (* Evict the oldest way. *)
+    let victim = ref 0 in
+    for w = 1 to t.assoc - 1 do
+      if t.ages.(base + w) > t.ages.(base + !victim) then victim := w
+    done;
+    for w = 0 to t.assoc - 1 do
+      t.ages.(base + w) <- t.ages.(base + w) + 1
+    done;
+    t.tags.(base + !victim) <- line;
+    t.ages.(base + !victim) <- 0;
+    false
+  end
+
+let stats t =
+  { accesses = t.n_accesses; hits = t.n_hits; misses = t.n_accesses - t.n_hits }
+
+let reset t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.ages 0 (Array.length t.ages) 0;
+  t.n_accesses <- 0;
+  t.n_hits <- 0
+
+let miss_ratio s =
+  if s.accesses = 0 then 0.0 else float_of_int s.misses /. float_of_int s.accesses

@@ -1,0 +1,26 @@
+(** Set-associative LRU cache simulator.
+
+    The paper's measurements were taken on an IBM RS/6000 model 540; we
+    cannot rerun those, so the repository substitutes this simulator (fed
+    by the IR interpreter's memory trace) to reproduce the *memory
+    behaviour* each transformation is supposed to change: miss counts
+    before and after blocking.  Write misses allocate (the RS/6000 data
+    cache was write-allocate); replacement is true LRU per set. *)
+
+type t
+
+type stats = { accesses : int; hits : int; misses : int }
+
+val create : size_bytes:int -> line_bytes:int -> assoc:int -> t
+(** [size_bytes] and [line_bytes] must be powers of two, and
+    [size_bytes mod (line_bytes * assoc) = 0]. *)
+
+val access : t -> int -> bool
+(** [access t addr] touches the byte address; returns [true] on hit.
+    Updates LRU state. *)
+
+val stats : t -> stats
+val reset : t -> unit
+
+val miss_ratio : stats -> float
+(** misses / accesses, 0 when there were no accesses. *)

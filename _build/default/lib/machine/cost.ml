@@ -1,0 +1,5 @@
+let memory_cycles (m : Arch.t) (s : Cache.stats) =
+  (s.hits * m.hit_cycles) + (s.misses * m.miss_cycles)
+
+let speedup ~baseline ~optimized =
+  if optimized = 0 then 1.0 else float_of_int baseline /. float_of_int optimized

@@ -1,0 +1,7 @@
+(** Cycle-count cost model over simulated cache statistics. *)
+
+val memory_cycles : Arch.t -> Cache.stats -> int
+(** hits * hit_cycles + misses * miss_cycles. *)
+
+val speedup : baseline:int -> optimized:int -> float
+(** baseline / optimized as a float; 1.0 when optimized is 0. *)

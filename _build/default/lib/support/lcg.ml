@@ -1,0 +1,25 @@
+type t = { mutable state : int64 }
+
+(* Knuth's MMIX multiplier; 64-bit state, top 48 bits used. *)
+let multiplier = 6364136223846793005L
+let increment = 1442695040888963407L
+
+let create seed = { state = Int64.of_int (seed * 2654435761 + 1) }
+
+let next t =
+  t.state <- Int64.add (Int64.mul t.state multiplier) increment;
+  t.state
+
+let bits48 t = Int64.to_int (Int64.shift_right_logical (next t) 16)
+
+let split t =
+  let s = next t in
+  { state = Int64.logxor s 0x9E3779B97F4A7C15L }
+
+let int t bound =
+  assert (bound > 0);
+  bits48 t mod bound
+
+let uniform t = float_of_int (bits48 t) /. 281474976710656.0
+let float t x = uniform t *. x
+let bool t p = uniform t < p

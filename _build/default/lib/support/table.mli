@@ -1,0 +1,27 @@
+(** Plain-text tables for the benchmark harness and examples.
+
+    The benchmark executable reproduces the paper's tables; this module
+    renders aligned ASCII tables from a header row and data rows. *)
+
+type align = Left | Right
+
+type t
+
+val create : ?title:string -> (string * align) list -> t
+(** [create ~title columns] starts a table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** [add_row t cells] appends a row. Raises [Invalid_argument] if the number
+    of cells differs from the number of columns. *)
+
+val render : t -> string
+(** Render the table, headers underlined, columns padded per alignment. *)
+
+val print : t -> unit
+(** [print t] writes [render t] to standard output. *)
+
+val cell_s : float -> string
+(** Format a time in seconds with 2 or 3 significant decimals, e.g. "4.59s". *)
+
+val cell_f : float -> string
+(** Format a ratio such as a speedup, e.g. "1.80". *)

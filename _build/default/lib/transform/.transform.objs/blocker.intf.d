@@ -1,0 +1,1 @@
+lib/transform/blocker.mli: Expr Stmt Symbolic

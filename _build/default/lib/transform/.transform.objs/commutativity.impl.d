@@ -1,0 +1,1 @@
+lib/transform/commutativity.ml: Array Dependence Expr List Stmt String

@@ -1,0 +1,1 @@
+lib/transform/commutativity.mli: Dependence Stmt

@@ -1,0 +1,1 @@
+lib/transform/distribution.ml: Array Ddg Dependence Hashtbl Int List Printf Result Stmt

@@ -1,0 +1,1 @@
+lib/transform/distribution.mli: Dependence Stmt Symbolic

@@ -1,0 +1,1 @@
+lib/transform/givens_opt.ml: Blocker Expr If_inspection Interchange Ir_util List Printf Result Scalar_expansion Stmt String Symbolic

@@ -1,0 +1,1 @@
+lib/transform/givens_opt.mli: Blocker If_inspection Stmt

@@ -1,0 +1,1 @@
+lib/transform/if_inspection.ml: Affine Builder Expr Ir_util List Section Stmt String

@@ -1,0 +1,1 @@
+lib/transform/if_inspection.mli: Stmt Symbolic

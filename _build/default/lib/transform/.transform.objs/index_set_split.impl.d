@@ -1,0 +1,1 @@
+lib/transform/index_set_split.ml: Affine Expr Ir_util List Section Stmt Symbolic

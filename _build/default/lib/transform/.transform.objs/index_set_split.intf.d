@@ -1,0 +1,1 @@
+lib/transform/index_set_split.mli: Expr Ir_util Stmt Symbolic

@@ -1,0 +1,1 @@
+lib/transform/interchange.ml: Affine Dependence Expr List Result Stmt

@@ -1,0 +1,1 @@
+lib/transform/interchange.mli: Dependence Stmt Symbolic

@@ -1,0 +1,1 @@
+lib/transform/scalar_expansion.ml: Expr Ir_util List Stmt String

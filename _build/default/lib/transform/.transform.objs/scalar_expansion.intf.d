@@ -1,0 +1,1 @@
+lib/transform/scalar_expansion.mli: Stmt

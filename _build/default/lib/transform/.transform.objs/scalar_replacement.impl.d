@@ -1,0 +1,1 @@
+lib/transform/scalar_replacement.ml: Expr Hashtbl Ir_util List Section Stmt String

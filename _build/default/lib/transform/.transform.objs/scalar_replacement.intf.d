@@ -1,0 +1,1 @@
+lib/transform/scalar_replacement.mli: Expr Stmt Symbolic

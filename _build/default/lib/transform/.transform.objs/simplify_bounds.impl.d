@@ -1,0 +1,1 @@
+lib/transform/simplify_bounds.ml: Affine Expr List Stmt Symbolic

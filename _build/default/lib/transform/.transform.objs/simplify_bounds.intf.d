@@ -1,0 +1,1 @@
+lib/transform/simplify_bounds.mli: Expr Stmt Symbolic

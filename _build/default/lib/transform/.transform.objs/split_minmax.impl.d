@@ -1,0 +1,1 @@
+lib/transform/split_minmax.ml: Affine Expr List Result Stmt

@@ -1,0 +1,1 @@
+lib/transform/split_minmax.mli: Stmt

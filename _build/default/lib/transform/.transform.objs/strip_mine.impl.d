@@ -1,0 +1,1 @@
+lib/transform/strip_mine.ml: Expr Ir_util List Stmt

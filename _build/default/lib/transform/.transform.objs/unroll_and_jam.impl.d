@@ -1,0 +1,1 @@
+lib/transform/unroll_and_jam.ml: Affine Expr Ir_util List Result Stmt Symbolic

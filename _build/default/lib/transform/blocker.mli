@@ -1,0 +1,58 @@
+(** Blocking drivers: compositions of the primitive transformations that
+    derive the paper's block algorithms from point algorithms.
+
+    Every driver is mechanical: it locates loops structurally, asks the
+    dependence/section analyses for legality, and applies the primitive
+    transformations.  Planning heuristics may assume full blocks
+    ([K + KS <= N]) — the emitted code never depends on that assumption
+    (bounds carry MIN/MAX guards), and distribution legality is
+    re-checked under universally valid facts only. *)
+
+type trace_step = { name : string; detail : string; after : Stmt.t list }
+
+type 'a traced = { result : 'a; steps : trace_step list }
+
+val strip_mine_and_interchange :
+  block_size:Expr.t ->
+  new_index:string ->
+  levels:int ->
+  Stmt.loop ->
+  (Stmt.loop, string) result
+(** §2.3: strip-mine the outer loop of a perfect nest and sink the strip
+    loop inward [levels] positions (rectangular or triangular
+    interchange chosen per level). *)
+
+val block_lu : block_size_var:string -> Stmt.loop -> (Stmt.t traced, string) result
+(** §5.1: derive block LU decomposition (Figure 6) from the point
+    algorithm.  The input must be the point LU K-loop whose body is
+    [scale loop; update nest].  Steps performed and checked:
+
+    + strip-mine K by the symbolic block size;
+    + attempt distribution of the strip loop — the analysis must report
+      the preventing recurrence;
+    + Procedure IndexSetSplit finds the split point for the update's
+      column loop (sections of the recurrence's endpoints);
+    + index-set split + bound simplification;
+    + distribution (now provably legal via section disjointness);
+    + interchange the strip loop to the innermost position of the
+      wide-column nest (rectangular, then triangular). *)
+
+val block_lu_pivot :
+  block_size_var:string -> Stmt.loop -> (Stmt.t traced, string) result
+(** §5.2: same derivation for LU with partial pivoting.  Plain
+    dependence-based distribution must fail (the row-swap recurrence);
+    the driver then asks {!Commutativity.may_ignore} to license ignoring
+    dependences between row interchanges and whole-column updates, after
+    which distribution proceeds and yields Figure 8. *)
+
+val block_trapezoid :
+  ctx:Symbolic.t ->
+  factor:int ->
+  Stmt.loop ->
+  (Stmt.t list traced, string) result
+(** §3.2: remove the MIN/MAX bounds by index-set splitting, then apply
+    the shape-appropriate unroll-and-jam (triangular, upper-triangular,
+    rhomboidal or rectangular) to each region.  [ctx] carries the facts
+    that justify the rhomboidal form (e.g. [N2 >= factor - 1]); regions
+    that cannot be unrolled are left split but unblocked (partial
+    blocking). *)

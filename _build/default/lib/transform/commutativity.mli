@@ -1,0 +1,33 @@
+(** Commutativity knowledge (§5.2).
+
+    Data dependence alone cannot block LU with partial pivoting: moving
+    the row interchanges of later elimination steps ahead of earlier
+    column updates reverses a dependence.  But a row interchange
+    commutes with a whole-column update — both versions compute the same
+    final values, though intermediate values flow through different
+    locations.  The paper proposes pattern matching to recognize this
+    pair of operations and license ignoring the preventing recurrence.
+
+    This module implements that pattern matcher:
+
+    - a {e row swap} is [T = A(r1,J); A(r1,J) = A(r2,J); A(r2,J) = T]
+      inside a [J] loop sweeping full rows of [A];
+    - a {e column update} is [A(I,J) = A(I,J) - A(I,k)*A(k,J)] (or [+])
+      inside an [I] loop sweeping a column.
+
+    [may_ignore] licenses ignoring a dependence between a row-swap
+    statement group and a column-update statement when deciding
+    distribution legality. *)
+
+val is_row_swap : Stmt.t -> bool
+(** Does this statement (a loop over row elements) perform a row
+    interchange of a 2-D array via a temporary? *)
+
+val is_column_update : Stmt.t -> bool
+(** Is this a (nest of loops around a) whole-column update of the
+    Gaussian-elimination form? *)
+
+val may_ignore : Stmt.loop -> Dependence.t -> bool
+(** True when the dependence connects a row-swap group and a
+    column-update group among the immediate body statements of the
+    loop — the §5.2 license for distribution. *)

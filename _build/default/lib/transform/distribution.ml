@@ -1,0 +1,56 @@
+let check_partition n groups =
+  let covered = List.concat groups in
+  let sorted = List.sort Int.compare covered in
+  if sorted <> List.init n (fun i -> i) then
+    Error "groups must partition the body statements"
+  else Ok ()
+
+let build_loops (l : Stmt.loop) groups =
+  let body = Array.of_list l.body in
+  List.map
+    (fun group ->
+      let stmts = List.map (fun i -> body.(i)) (List.sort Int.compare group) in
+      Stmt.Loop { l with body = stmts })
+    groups
+
+let legality ~edges ~groups =
+  (* Map statement -> group position. *)
+  let pos = Hashtbl.create 8 in
+  List.iteri (fun gi group -> List.iter (fun s -> Hashtbl.replace pos s gi) group) groups;
+  let violation =
+    List.find_opt
+      (fun (e : Ddg.edge) ->
+        let ga = Hashtbl.find pos e.from_stmt and gb = Hashtbl.find pos e.to_stmt in
+        ga > gb)
+      edges
+  in
+  match violation with
+  | None -> Ok ()
+  | Some e ->
+      Error
+        (Printf.sprintf
+           "dependence from statement %d to statement %d would be reversed: %s"
+           e.from_stmt e.to_stmt
+           (Dependence.to_string e.dep))
+
+let apply_with_override ~ctx ~ignore_dep (l : Stmt.loop) ~groups =
+  let ( let* ) = Result.bind in
+  let n = List.length l.body in
+  let* () = check_partition n groups in
+  let g = Ddg.build ~ctx l in
+  let edges = List.filter (fun (e : Ddg.edge) -> not (ignore_dep e.dep)) g.edges in
+  (* A dependence between statements of the same group never constrains the
+     split; between groups, the direction must follow group order.  Edges
+     within an SCC that spans two groups show up as one forward and one
+     backward edge, so the backward-edge check below subsumes the SCC
+     condition. *)
+  let* () = legality ~edges ~groups in
+  Ok (build_loops l groups)
+
+let apply ~ctx l ~groups = apply_with_override ~ctx ~ignore_dep:(fun _ -> false) l ~groups
+
+let auto ~ctx (l : Stmt.loop) =
+  let g = Ddg.build ~ctx l in
+  match Ddg.distribution_order g with
+  | None -> Error "the loop body is a single recurrence: distribution impossible"
+  | Some groups -> Ok (build_loops l groups)

@@ -1,0 +1,119 @@
+let at_point (l : Stmt.loop) p =
+  if not (Expr.equal l.step (Expr.Int 1)) then
+    invalid_arg "Index_set_split.at_point: step must be 1";
+  let low = { l with hi = Expr.min_ l.hi p } in
+  (* The second loop starts at p+1 (clamped to lo): when p >= hi it is
+     empty, when p < lo the first loop is empty — coverage is exact in
+     every case, and [p + 1] keeps the bound affine so later analysis
+     (section disjointness for distribution) stays precise. *)
+  let high = { l with lo = Expr.max_ l.lo (Expr.succ p) } in
+  [ Stmt.Loop low; Stmt.Loop high ]
+
+type split_plan = { loop : Stmt.loop; point : Expr.t; conflict_first : bool }
+
+type side = Hi_side | Lo_side
+
+(* Solve [a*v + rest = boundary] for [v], returning the last index value of
+   the part that touches the common region.  Only [a > 0] is supported (the
+   paper notes the extension to [a < 0] is trivial; our kernels do not need
+   it). *)
+let solve_split ~side ~a ~rest boundary =
+  if a <= 0 then None
+  else
+    let open Expr in
+    match side with
+    | Hi_side ->
+        (* conflict where a*v + rest <= boundary *)
+        Some (div (sub boundary (Affine.to_expr rest)) (Int a))
+    | Lo_side ->
+        (* conflict where a*v + rest >= boundary; first (clean) part is
+           a*v + rest <= boundary - 1 *)
+        Some (div (sub (pred boundary) (Affine.to_expr rest)) (Int a))
+
+(* A boundary candidate between the common and disjoint parts of one
+   dimension.  Hi-side: some valid upper bound [h1] of one section lies
+   provably below some valid upper bound of the other — everything the
+   first section touches in this dimension is <= h1, so [h1] bounds the
+   common region from above and the *other* section (the larger one)
+   extends beyond it.  Lo-side dually. *)
+let candidate_of_dim ~ctx ~(s1 : Section.t) ~(s2 : Section.t) i =
+  let d1 = List.nth s1.dims i and d2 = List.nth s2.dims i in
+  let first_proved f pairs =
+    List.find_map (fun (a, b) -> if f a b then Some (a, b) else None) pairs
+  in
+  match first_proved (Symbolic.prove_lt ctx) (Section.hi_pairs d1 d2) with
+  | Some (h1, _) -> Some (Hi_side, h1, false)  (* s2 is larger above *)
+  | None -> (
+      match first_proved (Symbolic.prove_lt ctx) (Section.hi_pairs d2 d1) with
+      | Some (h2, _) -> Some (Hi_side, h2, true)  (* s1 is larger above *)
+      | None -> (
+          match first_proved (Symbolic.prove_gt ctx) (Section.lo_pairs d1 d2) with
+          | Some (l1, _) -> Some (Lo_side, l1, false)  (* s2 extends below *)
+          | None -> (
+              match
+                first_proved (Symbolic.prove_gt ctx) (Section.lo_pairs d2 d1)
+              with
+              | Some (l2, _) -> Some (Lo_side, l2, true)
+              | None -> None)))
+
+let procedure ~ctx ~(source : Ir_util.access) ~(sink : Ir_util.access)
+    ~split_candidates =
+  match
+    ( Section.of_access ~ctx ~within:source.loops source,
+      Section.of_access ~ctx ~within:sink.loops sink )
+  with
+  | None, _ | _, None -> Error "sections of the dependence are not computable"
+  | Some s1, Some s2 ->
+      if List.length s1.dims <> List.length s2.dims then
+        Error "sections have different ranks"
+      else if Section.equal ctx s1 s2 then
+        Error "intersection and union are equal: no disjoint region to split off"
+      else begin
+        let candidate_indices = List.init (List.length s1.dims) (fun i -> i) in
+        let try_dim i =
+          match candidate_of_dim ~ctx ~s1 ~s2 i with
+          | None -> None
+          | Some (side, boundary, larger_is_s1) -> (
+              let larger = if larger_is_s1 then source else sink in
+              let sub = List.nth larger.subs i in
+              match Affine.of_expr sub with
+              | None -> None
+              | Some aff -> (
+                  (* The subscript must depend on exactly one candidate
+                     loop's index. *)
+                  let cands =
+                    List.filter
+                      (fun (l : Stmt.loop) -> Affine.coeff aff l.index <> 0)
+                      split_candidates
+                  in
+                  match cands with
+                  | [ l ] -> (
+                      let a, rest = Affine.split_on l.index aff in
+                      (* [rest] must not involve other loops we could split,
+                         or the solution would not be a valid bound. *)
+                      let rest_clean =
+                        List.for_all
+                          (fun (l' : Stmt.loop) ->
+                            Affine.coeff rest l'.index = 0)
+                          split_candidates
+                      in
+                      if not rest_clean then None
+                      else
+                        match
+                          solve_split ~side ~a ~rest (Affine.to_expr boundary)
+                        with
+                        | Some point ->
+                            Some
+                              { loop = l; point; conflict_first = (side = Hi_side) }
+                        | None -> None)
+                  | _ -> None))
+        in
+        let rec first_some = function
+          | [] ->
+              Error
+                "no dimension yields a solvable boundary for the candidate loops"
+          | i :: rest -> (
+              match try_dim i with Some plan -> Ok plan | None -> first_some rest)
+        in
+        first_some candidate_indices
+      end

@@ -1,0 +1,40 @@
+(** Index-set splitting (Section 3 of the paper).
+
+    [at_point] is the primitive: one loop becomes two loops over
+    non-intersecting halves of the original index set, execution order
+    unchanged.  [procedure] is Procedure IndexSetSplit (Figure 3): given
+    a transformation-preventing dependence, use section analysis to find
+    the sub-range on which the conflict actually occurs and return the
+    split point that isolates it. *)
+
+val at_point : Stmt.loop -> Expr.t -> Stmt.t list
+(** [at_point l p] returns
+
+    {v
+    DO i = lo, MIN(hi, p)  body
+    DO i = MAX(lo, MIN(hi, p) + 1), hi  body
+    v}
+
+    Always legal for step-1 loops; raises [Invalid_argument] on other
+    steps. *)
+
+type split_plan = {
+  loop : Stmt.loop;  (** the inner loop whose index set to split *)
+  point : Expr.t;  (** split after this value *)
+  conflict_first : bool;
+      (** true when the dependence is confined to the first (low) part *)
+}
+
+val procedure :
+  ctx:Symbolic.t ->
+  source:Ir_util.access ->
+  sink:Ir_util.access ->
+  split_candidates:Stmt.loop list ->
+  (split_plan, string) result
+(** Figure 3: compute the sections of the dependence's source and sink
+    (each over the execution of its own enclosing loops as recorded in
+    the access), intersect and union them; if they are equal, fail.
+    Otherwise set the subscript of the larger section's reference equal
+    to the boundary between the common and disjoint parts and solve for
+    that reference's inner-loop induction variable (which must be one of
+    [split_candidates]). *)

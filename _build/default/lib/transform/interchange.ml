@@ -1,0 +1,112 @@
+let inner_of (l : Stmt.loop) =
+  match l.body with
+  | [ Stmt.Loop inner ] -> Ok inner
+  | _ -> Error "interchange requires a perfectly nested pair"
+
+let step1 (l : Stmt.loop) name =
+  if Expr.equal l.step (Expr.Int 1) then Ok ()
+  else Error (name ^ " loop must have step 1")
+
+let legal_by_vectors deps ~outer_level =
+  List.for_all
+    (fun (d : Dependence.t) ->
+      match List.nth_opt d.vector outer_level, List.nth_opt d.vector (outer_level + 1) with
+      | Some a, Some b -> not (a.lt && b.gt)
+      | _ -> true)
+    deps
+
+let rectangular ?check (l : Stmt.loop) =
+  let ( let* ) = Result.bind in
+  let* inner = inner_of l in
+  let* () = step1 l "outer" in
+  let* () = step1 inner "inner" in
+  let indep e = not (Expr.mentions l.index e) in
+  if not (indep inner.lo && indep inner.hi) then
+    Error "inner bounds depend on the outer index: not rectangular"
+  else if Expr.mentions inner.index l.lo || Expr.mentions inner.index l.hi then
+    Error "outer bounds depend on the inner index"
+  else
+    let* () =
+      match check with
+      | None -> Ok ()
+      | Some (_ctx, deps) ->
+          if legal_by_vectors deps ~outer_level:0 then Ok ()
+          else Error "a dependence with direction (<,>) prevents interchange"
+    in
+    Ok { inner with body = [ Stmt.Loop { l with body = inner.body } ] }
+
+(* Extract [a, beta] from an affine bound [a*II + beta] with a > 0. *)
+let linear_in index e =
+  match Affine.of_expr e with
+  | None -> Error "bound is not affine"
+  | Some aff ->
+      let a, rest = Affine.split_on index aff in
+      if a <= 0 then Error "outer-index coefficient must be positive"
+      else Ok (a, Affine.to_expr rest)
+
+let floor_div e a = if a = 1 then e else Expr.div e (Expr.Int a)
+
+let ceil_div e a =
+  if a = 1 then e else Expr.div (Expr.add e (Expr.Int (a - 1))) (Expr.Int a)
+
+let triangular_lower (l : Stmt.loop) =
+  let ( let* ) = Result.bind in
+  let* inner = inner_of l in
+  let* () = step1 l "outer" in
+  let* () = step1 inner "inner" in
+  if Expr.mentions l.index inner.hi then
+    Error "inner upper bound also depends on the outer index"
+  else
+    let* a, beta = linear_in l.index inner.lo in
+    (* DO II = rlo, rhi / DO J = a*II+beta, M   ==>
+       DO J = a*rlo+beta, M / DO II = rlo, MIN((J-beta)/a, rhi) *)
+    let new_outer_lo =
+      Expr.simplify (Expr.add (Expr.mul (Expr.Int a) l.lo) beta)
+    in
+    let new_inner_hi =
+      Expr.min_ (floor_div (Expr.sub (Expr.var inner.index) beta) a) l.hi
+    in
+    Ok
+      {
+        inner with
+        lo = new_outer_lo;
+        body =
+          [ Stmt.Loop { l with hi = new_inner_hi; body = inner.body } ];
+      }
+
+let triangular_upper (l : Stmt.loop) =
+  let ( let* ) = Result.bind in
+  let* inner = inner_of l in
+  let* () = step1 l "outer" in
+  let* () = step1 inner "inner" in
+  if Expr.mentions l.index inner.lo then
+    Error "inner lower bound also depends on the outer index"
+  else
+    let* a, beta = linear_in l.index inner.hi in
+    (* DO II = rlo, rhi / DO J = L, a*II+beta   ==>
+       DO J = L, a*rhi+beta / DO II = MAX(rlo, ceil((J-beta)/a)), rhi *)
+    let new_outer_hi =
+      Expr.simplify (Expr.add (Expr.mul (Expr.Int a) l.hi) beta)
+    in
+    let new_inner_lo =
+      Expr.max_ l.lo (ceil_div (Expr.sub (Expr.var inner.index) beta) a)
+    in
+    Ok
+      {
+        inner with
+        hi = new_outer_hi;
+        body =
+          [ Stmt.Loop { l with lo = new_inner_lo; body = inner.body } ];
+      }
+
+let triangular (l : Stmt.loop) =
+  match inner_of l with
+  | Error _ as e -> e
+  | Ok inner ->
+      let lo_dep = Expr.mentions l.index inner.lo in
+      let hi_dep = Expr.mentions l.index inner.hi in
+      if lo_dep && hi_dep then
+        Error "both inner bounds depend on the outer index"
+      else if lo_dep then triangular_lower l
+      else if hi_dep then triangular_upper l
+      else rectangular l

@@ -1,0 +1,51 @@
+(** Loop interchange, including the paper's triangular variants (§3.1).
+
+    Rectangular interchange swaps two perfectly nested loops whose
+    bounds are independent.  The triangular forms implement the bound
+    modification derived in the paper: for
+
+    {v
+    DO II = rlo, rhi
+      DO J = a*II + beta, M      (a > 0)
+    v}
+
+    interchange yields
+
+    {v
+    DO J = a*rlo + beta, M
+      DO II = rlo, MIN((J - beta)/a, rhi)
+    v}
+
+    and symmetrically when the *upper* inner bound depends on [II].
+    Integer division here is Fortran's (truncation); the formulas are
+    exact when [J - beta] stays nonnegative, which the caller must
+    ensure (all kernels in this repository have positive index spaces).
+
+    Interchange legality is dependence-based; [legal_by_vectors] refuses
+    when any dependence could have a [(<, >)] pattern on the two loops.
+    The triangular entry points perform the *geometric* transformation
+    only — callers combine them with their own legality argument (in the
+    LU driver, the paper's §5.1 derivation backed by section analysis). *)
+
+val rectangular :
+  ?check:(Symbolic.t * Dependence.t list) -> Stmt.loop -> (Stmt.loop, string) result
+(** Swap a depth-2 perfect nest with independent bounds.  With [check],
+    refuse if some dependence's direction vector could be reversed. *)
+
+val legal_by_vectors : Dependence.t list -> outer_level:int -> bool
+(** No dependence has a possibly-[<] at [outer_level] combined with a
+    possibly-[>] at [outer_level + 1] (0-based loop levels among the
+    common loops). *)
+
+val triangular_lower : Stmt.loop -> (Stmt.loop, string) result
+(** Inner *lower* bound is an affine function of the outer index with
+    positive coefficient; inner upper bound independent. *)
+
+val triangular_upper : Stmt.loop -> (Stmt.loop, string) result
+(** Inner *upper* bound is an affine function of the outer index with
+    positive coefficient; inner lower bound independent. *)
+
+val triangular : Stmt.loop -> (Stmt.loop, string) result
+(** Dispatch between {!rectangular}, {!triangular_lower} and
+    {!triangular_upper} by inspecting which inner bound mentions the
+    outer index. *)

@@ -1,0 +1,51 @@
+let apply ~scalar ~array_name (l : Stmt.loop) =
+  let block = [ Stmt.Loop l ] in
+  (* Expanding in place (array named like the scalar) is allowed: once
+     every occurrence is rewritten, the rank-0 name is gone. *)
+  let arrays =
+    List.filter_map
+      (fun (n, rank, _) ->
+        if rank > 0 || not (String.equal n scalar) then Some n else None)
+      (Ir_util.arrays_of block)
+  in
+  if List.mem array_name arrays || List.mem array_name (Ir_util.index_vars block)
+  then Error (array_name ^ " is already in use")
+  else
+    let accs =
+      List.filter
+        (fun (a : Ir_util.access) -> String.equal a.array scalar && a.subs = [])
+        (Ir_util.accesses [ Stmt.Loop l ])
+    in
+    match accs with
+    | [] -> Error (scalar ^ " does not occur in the loop")
+    | first :: _ when first.kind <> Ir_util.Write ->
+        Error (scalar ^ " may be live on entry: first access is a read")
+    | _ ->
+        let idx = Expr.var l.index in
+        let rec rewrite_f (fe : Stmt.fexpr) =
+          match fe with
+          | Stmt.Fvar v when String.equal v scalar -> Stmt.Ref (array_name, [ idx ])
+          | Stmt.Fconst _ | Stmt.Fvar _ | Stmt.Ref _ | Stmt.Of_int _ -> fe
+          | Stmt.Fbin (op, a, b) -> Stmt.Fbin (op, rewrite_f a, rewrite_f b)
+          | Stmt.Fneg a -> Stmt.Fneg (rewrite_f a)
+          | Stmt.Fcall (f, args) -> Stmt.Fcall (f, List.map rewrite_f args)
+        in
+        let rec rewrite_c (c : Stmt.cond) =
+          match c with
+          | Stmt.Fcmp (r, a, b) -> Stmt.Fcmp (r, rewrite_f a, rewrite_f b)
+          | Stmt.Icmp _ -> c
+          | Stmt.Not a -> Stmt.Not (rewrite_c a)
+          | Stmt.And (a, b) -> Stmt.And (rewrite_c a, rewrite_c b)
+          | Stmt.Or (a, b) -> Stmt.Or (rewrite_c a, rewrite_c b)
+        in
+        let rec rewrite (s : Stmt.t) =
+          match s with
+          | Stmt.Assign (v, [], rhs) when String.equal v scalar ->
+              Stmt.Assign (array_name, [ idx ], rewrite_f rhs)
+          | Stmt.Assign (a, subs, rhs) -> Stmt.Assign (a, subs, rewrite_f rhs)
+          | Stmt.Iassign _ -> s
+          | Stmt.If (c, t, e) ->
+              Stmt.If (rewrite_c c, List.map rewrite t, List.map rewrite e)
+          | Stmt.Loop il -> Stmt.Loop { il with body = List.map rewrite il.body }
+        in
+        Ok { l with body = List.map rewrite l.body }

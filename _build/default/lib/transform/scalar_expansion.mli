@@ -1,0 +1,13 @@
+(** Scalar expansion: turn a loop-private scalar into an array indexed by
+    the loop, removing the anti/output dependences the scalar carries so
+    the loop can be distributed (used in the Givens QR optimization,
+    where the rotation coefficients [C]/[S] must survive distribution of
+    the [J] loop). *)
+
+val apply :
+  scalar:string -> array_name:string -> Stmt.loop -> (Stmt.loop, string) result
+(** Replace every definition and use of REAL scalar [scalar] in the
+    loop's body by [array_name(index)].  Fails if the scalar is live on
+    entry (used before defined in some iteration — checked
+    syntactically: the first access textually must be a write) or if
+    [array_name] is already in use. *)

@@ -1,0 +1,125 @@
+let is_innermost (l : Stmt.loop) =
+  List.for_all
+    (fun s -> match s with Stmt.Loop _ -> false | _ -> true)
+    l.body
+
+(* Distinct (array, subscripts) of rank >= 1 accessed in the loop, with
+   their kinds. *)
+let grouped_accesses (l : Stmt.loop) =
+  let accs = Ir_util.accesses [ Stmt.Loop l ] in
+  let groups : (string * Expr.t list, bool ref) Hashtbl.t = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun (a : Ir_util.access) ->
+      if a.subs <> [] && a.space = Ir_util.Float_data then begin
+        let key = (a.array, a.subs) in
+        let known = Hashtbl.mem groups key in
+        let written =
+          if known then Hashtbl.find groups key else ref false
+        in
+        if a.kind = Ir_util.Write then written := true;
+        if not known then begin
+          Hashtbl.add groups key written;
+          order := key :: !order
+        end
+      end)
+    accs;
+  List.rev_map (fun key -> (key, !(Hashtbl.find groups key))) !order
+
+let invariant (l : Stmt.loop) subs =
+  List.for_all (fun e -> not (Expr.mentions l.index e)) subs
+
+let safe ~ctx (l : Stmt.loop) (array, subs) =
+  (* Every other access to the same array must be provably disjoint from
+     this element over the loop's execution. *)
+  let within = [ l ] in
+  match Section.of_ref ~ctx ~within array subs with
+  | None -> false
+  | Some mine ->
+      List.for_all
+        (fun (a : Ir_util.access) ->
+          if not (String.equal a.array array) then true
+          else if a.subs = [] then true
+          else if
+            List.length a.subs = List.length subs
+            && List.for_all2 Expr.equal a.subs subs
+          then true
+          else
+            match Section.of_ref ~ctx ~within array a.subs with
+            | Some theirs -> Section.disjoint ctx mine theirs
+            | None -> false)
+        (Ir_util.accesses [ Stmt.Loop l ])
+
+let replaceable ~ctx l =
+  grouped_accesses l
+  |> List.filter_map (fun ((array, subs), _written) ->
+         if invariant l subs && safe ~ctx l (array, subs) then Some (array, subs)
+         else None)
+
+let rec replace_in_fexpr array subs temp (fe : Stmt.fexpr) =
+  match fe with
+  | Stmt.Ref (a, s)
+    when String.equal a array
+         && List.length s = List.length subs
+         && List.for_all2 Expr.equal s subs ->
+      Stmt.Fvar temp
+  | Stmt.Fconst _ | Stmt.Fvar _ | Stmt.Ref _ | Stmt.Of_int _ -> fe
+  | Stmt.Fbin (op, x, y) ->
+      Stmt.Fbin (op, replace_in_fexpr array subs temp x, replace_in_fexpr array subs temp y)
+  | Stmt.Fneg x -> Stmt.Fneg (replace_in_fexpr array subs temp x)
+  | Stmt.Fcall (f, args) ->
+      Stmt.Fcall (f, List.map (replace_in_fexpr array subs temp) args)
+
+let rec replace_in_cond array subs temp (c : Stmt.cond) =
+  match c with
+  | Stmt.Fcmp (r, x, y) ->
+      Stmt.Fcmp (r, replace_in_fexpr array subs temp x, replace_in_fexpr array subs temp y)
+  | Stmt.Icmp _ -> c
+  | Stmt.Not x -> Stmt.Not (replace_in_cond array subs temp x)
+  | Stmt.And (x, y) ->
+      Stmt.And (replace_in_cond array subs temp x, replace_in_cond array subs temp y)
+  | Stmt.Or (x, y) ->
+      Stmt.Or (replace_in_cond array subs temp x, replace_in_cond array subs temp y)
+
+let rec replace_in_stmt array subs temp (s : Stmt.t) =
+  match s with
+  | Stmt.Assign (a, lhs_subs, rhs) ->
+      let rhs = replace_in_fexpr array subs temp rhs in
+      if
+        String.equal a array
+        && List.length lhs_subs = List.length subs
+        && List.for_all2 Expr.equal lhs_subs subs
+      then Stmt.Assign (temp, [], rhs)
+      else Stmt.Assign (a, lhs_subs, rhs)
+  | Stmt.Iassign _ -> s
+  | Stmt.If (c, t, e) ->
+      Stmt.If
+        ( replace_in_cond array subs temp c,
+          List.map (replace_in_stmt array subs temp) t,
+          List.map (replace_in_stmt array subs temp) e )
+  | Stmt.Loop l ->
+      Stmt.Loop { l with body = List.map (replace_in_stmt array subs temp) l.body }
+
+let apply ~ctx (l : Stmt.loop) =
+  if not (is_innermost l) then Error "scalar replacement expects an innermost loop"
+  else begin
+    let targets =
+      grouped_accesses l
+      |> List.filter (fun ((_, subs), _) -> invariant l subs)
+      |> List.filter (fun (key, _) -> safe ~ctx l key)
+    in
+    let used = ref (Ir_util.index_vars [ Stmt.Loop l ]
+                    @ List.map (fun (n, _, _) -> n) (Ir_util.arrays_of [ Stmt.Loop l ])) in
+    let loads = ref [] and stores = ref [] in
+    let body = ref l.body in
+    List.iter
+      (fun ((array, subs), written) ->
+        let temp = Ir_util.fresh ~used:!used ("T" ^ array) in
+        used := temp :: !used;
+        loads := Stmt.Assign (temp, [], Stmt.Ref (array, subs)) :: !loads;
+        if written then
+          stores := Stmt.Assign (array, subs, Stmt.Fvar temp) :: !stores;
+        body := List.map (replace_in_stmt array subs temp) !body)
+      targets;
+    Ok (List.rev !loads @ [ Stmt.Loop { l with body = !body } ] @ List.rev !stores)
+  end

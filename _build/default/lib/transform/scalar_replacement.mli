@@ -1,0 +1,24 @@
+(** Scalar replacement (Callahan–Carr–Kennedy).
+
+    Array references that are invariant with respect to the innermost
+    loop are loaded into scalars before the loop (and stored back after
+    it when written), exposing the reuse to the register allocator.
+    This is the "+" in the paper's "2+"/"1+" variants, applied together
+    with unroll-and-jam.
+
+    Safety: a replaced reference's location must not be touched by any
+    *other* (possibly aliasing) access inside the loop.  We require, for
+    every other access to the same array, that section analysis prove
+    disjointness with the replaced element under the caller's context
+    facts. *)
+
+val apply :
+  ctx:Symbolic.t -> Stmt.loop -> (Stmt.t list, string) result
+(** [apply ~ctx l] for an innermost loop [l] (no nested loops).  Returns
+    [loads @ [loop'] @ stores].  References that cannot be proven safe
+    are simply left in place; the transformation fails only if [l] is
+    not innermost. *)
+
+val replaceable : ctx:Symbolic.t -> Stmt.loop -> (string * Expr.t list) list
+(** The invariant references that pass the safety test (for
+    diagnostics). *)

@@ -1,0 +1,30 @@
+let rec expr ~ctx (e : Expr.t) =
+  match e with
+  | Expr.Int _ | Expr.Var _ -> e
+  | Expr.Bin (op, a, b) -> (
+      let a = expr ~ctx a and b = expr ~ctx b in
+      match op with
+      | Expr.Add -> Expr.add a b
+      | Expr.Sub -> Expr.sub a b
+      | Expr.Mul -> Expr.mul a b
+      | Expr.Div -> Expr.div a b)
+  | Expr.Min (a, b) -> (
+      let a = expr ~ctx a and b = expr ~ctx b in
+      match Affine.of_expr a, Affine.of_expr b with
+      | Some fa, Some fb ->
+          if Symbolic.prove_le ctx fa fb then a
+          else if Symbolic.prove_le ctx fb fa then b
+          else Expr.min_ a b
+      | _ -> Expr.min_ a b)
+  | Expr.Max (a, b) -> (
+      let a = expr ~ctx a and b = expr ~ctx b in
+      match Affine.of_expr a, Affine.of_expr b with
+      | Some fa, Some fb ->
+          if Symbolic.prove_ge ctx fa fb then a
+          else if Symbolic.prove_ge ctx fb fa then b
+          else Expr.max_ a b
+      | _ -> Expr.max_ a b)
+  | Expr.Idx (name, subs) -> Expr.Idx (name, List.map (expr ~ctx) subs)
+
+let block ~ctx stmts =
+  List.map (Stmt.map_expr (expr ~ctx)) stmts

@@ -1,0 +1,117 @@
+let inner_of (l : Stmt.loop) =
+  match l.body with
+  | [ Stmt.Loop inner ] -> Ok inner
+  | _ -> Error "expected a perfectly nested inner loop"
+
+(* Classify the two arguments of a MIN/MAX: exactly one must depend on
+   [index], affinely with positive coefficient. *)
+let classify index p q =
+  let dep e = Expr.mentions index e in
+  match dep p, dep q with
+  | true, false -> Ok (p, q)
+  | false, true -> Ok (q, p)
+  | true, true -> Error "both MIN/MAX arguments depend on the outer index"
+  | false, false -> Error "neither MIN/MAX argument depends on the outer index"
+
+let coeff_of index e =
+  match Affine.of_expr e with
+  | None -> Error "bound argument is not affine"
+  | Some aff ->
+      let a, rest = Affine.split_on index aff in
+      if a <= 0 then Error "negative outer-index coefficient unsupported"
+      else Ok (a, Affine.to_expr rest)
+
+let floor_div e a = if a = 1 then Expr.simplify e else Expr.div e (Expr.Int a)
+
+let split_outer (l : Stmt.loop) point rebuild_low rebuild_high =
+  let low_inner = rebuild_low () and high_inner = rebuild_high () in
+  let low =
+    { l with hi = Expr.min_ l.hi point; body = [ Stmt.Loop low_inner ] }
+  in
+  let high =
+    {
+      l with
+      lo = Expr.max_ l.lo (Expr.succ (Expr.min_ l.hi point));
+      body = [ Stmt.Loop high_inner ];
+    }
+  in
+  [ Stmt.Loop low; Stmt.Loop high ]
+
+let split_inner_min (l : Stmt.loop) =
+  let ( let* ) = Result.bind in
+  let* inner = inner_of l in
+  match inner.hi with
+  | Expr.Min (p, q) ->
+      let* dep_arm, free_arm = classify l.index p q in
+      let* a, beta = coeff_of l.index dep_arm in
+      (* a*I + beta <= free  <=>  I <= (free - beta) / a *)
+      let point = floor_div (Expr.sub free_arm beta) a in
+      Ok
+        (split_outer l point
+           (fun () -> { inner with hi = dep_arm })
+           (fun () -> { inner with hi = free_arm }))
+  | _ -> Error "inner hi bound is not a MIN"
+
+let split_inner_max (l : Stmt.loop) =
+  let ( let* ) = Result.bind in
+  let* inner = inner_of l in
+  match inner.lo with
+  | Expr.Max (p, q) ->
+      let* dep_arm, free_arm = classify l.index p q in
+      let* a, beta = coeff_of l.index dep_arm in
+      (* a*I + beta >= free  <=>  I >= ceil((free - beta) / a); below the
+         crossover the lower bound is [free], above it [dep]. *)
+      let point =
+        if a = 1 then Expr.simplify (Expr.pred (Expr.sub free_arm beta))
+        else
+          (* last I with a*I + beta <= free - 1 *)
+          floor_div (Expr.sub (Expr.pred free_arm) beta) a
+      in
+      Ok
+        (split_outer l point
+           (fun () -> { inner with lo = free_arm })
+           (fun () -> { inner with lo = dep_arm }))
+  | _ -> Error "inner lo bound is not a MAX"
+
+let rec has_minmax (e : Expr.t) =
+  match e with
+  | Expr.Min _ | Expr.Max _ -> true
+  | Expr.Int _ | Expr.Var _ -> false
+  | Expr.Bin (_, a, b) -> has_minmax a || has_minmax b
+  | Expr.Idx (_, subs) -> List.exists has_minmax subs
+
+let remove_all l =
+  let rec process (s : Stmt.t) budget =
+    if budget = 0 then Error "too many MIN/MAX splits"
+    else
+      match s with
+      | Stmt.Loop l -> (
+          match inner_of l with
+          | Error _ -> Ok [ s ]
+          | Ok inner ->
+              let next =
+                match inner.hi with
+                | Expr.Min _ -> Some (split_inner_min l)
+                | _ -> (
+                    match inner.lo with
+                    | Expr.Max _ -> Some (split_inner_max l)
+                    | _ -> None)
+              in
+              (match next with
+              | None ->
+                  if has_minmax inner.lo || has_minmax inner.hi then
+                    Error "inner bound has a nested MIN/MAX form"
+                  else Ok [ s ]
+              | Some (Error _ as e) -> e
+              | Some (Ok parts) ->
+                  let rec all acc = function
+                    | [] -> Ok (List.concat (List.rev acc))
+                    | part :: rest -> (
+                        match process part (budget - 1) with
+                        | Ok ss -> all (ss :: acc) rest
+                        | Error _ as e -> e)
+                  in
+                  all [] parts))
+      | Stmt.Assign _ | Stmt.Iassign _ | Stmt.If _ -> Ok [ s ]
+  in
+  process (Stmt.Loop l) 8

@@ -1,0 +1,19 @@
+let apply ~block_size ~new_index (l : Stmt.loop) =
+  if not (Expr.equal l.step (Expr.Int 1)) then
+    Error "strip mining requires step 1"
+  else
+    let used =
+      l.index
+      :: (Ir_util.index_vars l.body
+         @ Ir_util.symbolic_params [ Stmt.Loop l ]
+         @ List.concat_map Expr.free_vars [ l.lo; l.hi ])
+    in
+    if List.mem new_index used then Error ("index " ^ new_index ^ " already in use")
+    else
+      let body = Stmt.subst_block [ (l.index, Expr.var new_index) ] l.body in
+      let strip =
+        Stmt.loop new_index (Expr.var l.index)
+          (Expr.min_ (Expr.add (Expr.var l.index) (Expr.pred block_size)) l.hi)
+          body
+      in
+      Ok { l with step = block_size; body = [ strip ] }

@@ -1,0 +1,18 @@
+(** Strip mining: split one loop's iteration space into blocks.
+
+    [DO I = lo, hi] becomes
+
+    {v
+    DO I = lo, hi, IS
+      DO II = I, MIN(I + IS - 1, hi)
+    v}
+
+    Strip mining alone is always legal (it only renames the traversal);
+    it is the first step of strip-mine-and-interchange and of
+    unroll-and-jam. *)
+
+val apply :
+  block_size:Expr.t -> new_index:string -> Stmt.loop -> (Stmt.loop, string) result
+(** Returns the new outer loop (whose body is the single strip loop).
+    Fails when the loop's step is not 1 or the new index name collides
+    with a variable used in the loop. *)

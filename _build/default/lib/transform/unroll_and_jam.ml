@@ -1,0 +1,208 @@
+let check_factor factor =
+  if factor < 2 then Error "unroll factor must be at least 2" else Ok ()
+
+let inner_of (l : Stmt.loop) =
+  match l.body with
+  | [ Stmt.Loop inner ] -> Ok inner
+  | _ -> Error "unroll-and-jam requires a perfectly nested inner loop"
+
+(* Remainder loop covering the iterations the unrolled main loop misses:
+   starts at lo + factor * ((hi - lo + 1) / factor). *)
+let remainder_loop (l : Stmt.loop) factor =
+  let open Expr in
+  let trip = add (sub l.hi l.lo) (Int 1) in
+  let start = add l.lo (mul (Int factor) (div trip (Int factor))) in
+  { l with lo = simplify start }
+
+let copies (l : Stmt.loop) factor body =
+  List.concat_map
+    (fun k ->
+      Stmt.subst_block
+        [ (l.index, Expr.add (Expr.var l.index) (Expr.Int k)) ]
+        body)
+    (List.init factor (fun k -> k))
+
+let rectangular ~factor (l : Stmt.loop) =
+  let ( let* ) = Result.bind in
+  let* () = check_factor factor in
+  let* inner = inner_of l in
+  if not (Expr.equal l.step (Expr.Int 1)) then Error "outer step must be 1"
+  else if Expr.mentions l.index inner.lo || Expr.mentions l.index inner.hi then
+    Error "inner bounds depend on the outer index: use triangular"
+  else
+    let jammed = { inner with body = copies l factor inner.body } in
+    let main =
+      {
+        l with
+        hi = Expr.simplify (Expr.sub l.hi (Expr.Int (factor - 1)));
+        step = Expr.Int factor;
+        body = [ Stmt.Loop jammed ];
+      }
+    in
+    Ok [ Stmt.Loop main; Stmt.Loop (remainder_loop l factor) ]
+
+let triangular ~factor (l : Stmt.loop) =
+  let ( let* ) = Result.bind in
+  let* () = check_factor factor in
+  let* inner = inner_of l in
+  if not (Expr.equal l.step (Expr.Int 1)) then Error "outer step must be 1"
+  else if Expr.mentions l.index inner.hi then
+    Error "inner upper bound depends on the outer index"
+  else
+    let* beta =
+      match Affine.of_expr inner.lo with
+      | None -> Error "inner lower bound is not affine"
+      | Some aff ->
+          let a, rest = Affine.split_on l.index aff in
+          if a <> 1 then Error "only unit coefficient supported"
+          else Ok (Affine.to_expr rest)
+    in
+    let fm1 = factor - 1 and fm2 = factor - 2 in
+    let open Expr in
+    let i = var l.index in
+    (* Triangular part: II = I .. I+IS-2, J = II+beta .. MIN(I+IS-2+beta, M). *)
+    let ii = Ir_util.fresh ~used:(l.index :: Ir_util.index_vars [ Stmt.Loop l ]) (l.index ^ l.index) in
+    let tri_inner_hi = min_ (add (add i (Int fm2)) beta) inner.hi in
+    let tri_body =
+      Stmt.subst_block [ (l.index, var ii) ] inner.body
+    in
+    let tri =
+      Stmt.loop ii i
+        (add i (Int fm2))
+        [ Stmt.loop inner.index (add (var ii) beta) tri_inner_hi tri_body ]
+    in
+    (* Rectangular part: J = I+IS-1+beta .. M, body unrolled over the block. *)
+    let rect =
+      Stmt.loop inner.index
+        (add (add i (Int fm1)) beta)
+        inner.hi
+        (copies l factor inner.body)
+    in
+    let main =
+      {
+        l with
+        hi = Expr.simplify (sub l.hi (Int fm1));
+        step = Int factor;
+        body = [ tri; rect ];
+      }
+    in
+    Ok [ Stmt.Loop main; Stmt.Loop (remainder_loop l factor) ]
+
+let rhomboidal ~ctx ~factor (l : Stmt.loop) =
+  let ( let* ) = Result.bind in
+  let* () = check_factor factor in
+  let* inner = inner_of l in
+  if not (Expr.equal l.step (Expr.Int 1)) then Error "outer step must be 1"
+  else
+    let unit_offset bound =
+      match Affine.of_expr bound with
+      | None -> Error "inner bound is not affine"
+      | Some aff ->
+          let a, rest = Affine.split_on l.index aff in
+          if a <> 1 then Error "only unit coefficient supported" else Ok rest
+    in
+    let* b1 = unit_offset inner.lo in
+    let* b2 = unit_offset inner.hi in
+    (* The jammed rectangle must be at least as wide as the block. *)
+    if
+      not
+        (Symbolic.prove_ge ctx (Affine.sub b2 b1)
+           (Affine.const (factor - 1)))
+    then Error "rhomboid too narrow for this unroll factor"
+    else begin
+      let fm1 = factor - 1 and fm2 = factor - 2 in
+      let b1e = Affine.to_expr b1 and b2e = Affine.to_expr b2 in
+      let open Expr in
+      let i = var l.index in
+      let used = l.index :: Ir_util.index_vars [ Stmt.Loop l ] in
+      let ii = Ir_util.fresh ~used (l.index ^ l.index) in
+      let row body = Stmt.subst_block [ (l.index, var ii) ] body in
+      (* Head triangle: rows I .. I+u-2, columns below the rectangle. *)
+      let head =
+        Stmt.loop ii i
+          (add i (Int fm2))
+          [
+            Stmt.loop inner.index
+              (add (var ii) b1e)
+              (min_ (add (var ii) b2e) (add (add i (Int fm2)) b1e))
+              (row inner.body);
+          ]
+      in
+      (* Jammed rectangle: columns I+u-1+b1 .. I+b2, all rows unrolled. *)
+      let rect =
+        Stmt.loop inner.index
+          (add (add i (Int fm1)) b1e)
+          (add i b2e)
+          (copies l factor inner.body)
+      in
+      (* Tail triangle: rows I+1 .. I+u-1, columns above the rectangle. *)
+      let tail =
+        Stmt.loop ii
+          (add i (Int 1))
+          (add i (Int fm1))
+          [
+            Stmt.loop inner.index
+              (max_ (add (var ii) b1e) (add (add i b2e) (Int 1)))
+              (add (var ii) b2e)
+              (row inner.body);
+          ]
+      in
+      let main =
+        {
+          l with
+          hi = Expr.simplify (sub l.hi (Int fm1));
+          step = Int factor;
+          body = [ head; rect; tail ];
+        }
+      in
+      Ok [ Stmt.Loop main; Stmt.Loop (remainder_loop l factor) ]
+    end
+
+let upper_triangular ~factor (l : Stmt.loop) =
+  let ( let* ) = Result.bind in
+  let* () = check_factor factor in
+  let* inner = inner_of l in
+  if not (Expr.equal l.step (Expr.Int 1)) then Error "outer step must be 1"
+  else if Expr.mentions l.index inner.lo then
+    Error "inner lower bound depends on the outer index"
+  else
+    let* beta =
+      match Affine.of_expr inner.hi with
+      | None -> Error "inner upper bound is not affine"
+      | Some aff ->
+          let a, rest = Affine.split_on l.index aff in
+          if a <> 1 then Error "only unit coefficient supported"
+          else Ok (Affine.to_expr rest)
+    in
+    let fm1 = factor - 1 in
+    let open Expr in
+    let i = var l.index in
+    let used = l.index :: Ir_util.index_vars [ Stmt.Loop l ] in
+    let ii = Ir_util.fresh ~used (l.index ^ l.index) in
+    let row body = Stmt.subst_block [ (l.index, var ii) ] body in
+    (* Jammed rectangle: K = lo .. I + beta (row I's range, a subset of
+       every later row's). *)
+    let rect =
+      Stmt.loop inner.index inner.lo (add i beta) (copies l factor inner.body)
+    in
+    (* Tails: rows I+1 .. I+u-1 cover K = I+beta+1 .. II+beta. *)
+    let tail =
+      Stmt.loop ii
+        (add i (Int 1))
+        (add i (Int fm1))
+        [
+          Stmt.loop inner.index
+            (max_ inner.lo (add (add i beta) (Int 1)))
+            (add (var ii) beta)
+            (row inner.body);
+        ]
+    in
+    let main =
+      {
+        l with
+        hi = Expr.simplify (sub l.hi (Int fm1));
+        step = Int factor;
+        body = [ rect; tail ];
+      }
+    in
+    Ok [ Stmt.Loop main; Stmt.Loop (remainder_loop l factor) ]

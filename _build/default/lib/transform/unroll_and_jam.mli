@@ -1,0 +1,40 @@
+(** Unroll-and-jam (register blocking).
+
+    Unrolls an outer loop by a constant factor and fuses ("jams") the
+    resulting copies of the inner loop, so the inner loop body carries
+    [factor] outer iterations' worth of work and outer-loop-invariant
+    values can be held in registers.
+
+    [rectangular] requires the inner bounds to be independent of the
+    outer index; a remainder loop handles trip counts not divisible by
+    the factor (the paper's "pre-loop", here placed after).
+
+    [triangular] implements §3.1 for inner *lower* bounds of the form
+    [II + beta] (unit coefficient): the iteration space below the line
+    [J = (I+IS-1) + beta] stays a (shrunken) triangular nest, and the
+    rectangular region above it is unrolled. *)
+
+val rectangular : factor:int -> Stmt.loop -> (Stmt.t list, string) result
+(** [rectangular ~factor l] where [l.body] is one inner loop.  Returns
+    the unrolled main loop plus the remainder loop. *)
+
+val triangular : factor:int -> Stmt.loop -> (Stmt.t list, string) result
+(** [triangular ~factor l] for [DO I / DO J = I + beta, M].  Returns the
+    main blocked loop (triangular sub-nest + unrolled rectangular part)
+    plus the remainder loop. *)
+
+val upper_triangular : factor:int -> Stmt.loop -> (Stmt.t list, string) result
+(** [upper_triangular ~factor l] for [DO I / DO J = L, I + beta] — the
+    inner *upper* bound tracks the outer index with unit coefficient and
+    the lower bound is independent (the first region of the convolution
+    kernel).  The jammed rectangle is [L .. I + beta]; rows above the
+    first extend it with a per-row tail. *)
+
+val rhomboidal :
+  ctx:Symbolic.t -> factor:int -> Stmt.loop -> (Stmt.t list, string) result
+(** [rhomboidal ~ctx ~factor l] for [DO I / DO J = I + b1, I + b2] — both
+    inner bounds track the outer index with unit coefficient (the
+    convolution kernels after MIN/MAX removal).  The block decomposes
+    into a head triangle, a jammed rectangle [I+factor-1+b1 .. I+b2],
+    and a tail triangle.  Requires [b2 - b1 >= factor - 1] (provable in
+    [ctx]) so the three parts tile the rhomboid exactly. *)

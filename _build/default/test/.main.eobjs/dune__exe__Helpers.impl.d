@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Env Exec Expr Kernel_def List QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_affine.ml: Affine Alcotest Expr Helpers List QCheck2

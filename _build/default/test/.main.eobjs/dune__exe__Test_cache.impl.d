@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Cache Helpers Int List QCheck2

@@ -1,0 +1,1 @@
+test/test_dependence.ml: Alcotest Builder Ddg Dependence Expr Helpers K_conv K_lu List Oracle QCheck2 Stmt Strip_mine Symbolic

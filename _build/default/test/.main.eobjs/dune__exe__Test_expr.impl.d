@@ -1,0 +1,1 @@
+test/test_expr.ml: Alcotest Expr Helpers QCheck2 Stdlib

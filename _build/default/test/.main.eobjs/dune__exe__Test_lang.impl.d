@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Arch Expr Ext Helpers K_conv K_lu Kernel_def Lexer List Lower Parser QCheck2 Result Stmt

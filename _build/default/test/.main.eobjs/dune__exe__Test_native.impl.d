@@ -1,0 +1,1 @@
+test/test_native.ml: Array Float Helpers Linalg List N_conv N_givens N_householder N_lu N_lu_pivot N_matmul Printf QCheck2

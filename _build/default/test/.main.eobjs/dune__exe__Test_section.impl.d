@@ -1,0 +1,1 @@
+test/test_section.ml: Affine Alcotest Builder Expr Helpers Ir_util K_lu List Option Section Stmt String Strip_mine Symbolic

@@ -1,0 +1,1 @@
+test/test_stmt_interp.ml: Alcotest Array Builder Env Exec Expr Helpers List Stmt

@@ -1,0 +1,1 @@
+test/test_support.ml: Alcotest Helpers Lcg List QCheck2 String Table

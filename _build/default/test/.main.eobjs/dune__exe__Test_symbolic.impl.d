@@ -1,0 +1,1 @@
+test/test_symbolic.ml: Affine Alcotest Builder Expr Helpers QCheck2 Stmt Symbolic

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Arch Blockability Builder Env Helpers Option Trace

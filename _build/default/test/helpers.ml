@@ -1,0 +1,49 @@
+(* Shared test utilities. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let case name f = Alcotest.test_case name `Quick f
+
+let qcase ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count ~name gen prop)
+
+let ok_or_fail what = function
+  | Ok v -> v
+  | Error m -> Alcotest.failf "%s: %s" what m
+
+(* Interpreter equivalence of a kernel against a transformed block. *)
+let equivalent ?tol ?(extra = []) kernel block ~bindings ~seed =
+  match Kernel_def.equivalent ?tol ~extra kernel block ~bindings ~seed with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m
+
+(* Evaluate an integer expression with an assoc environment. *)
+let eval_expr env e =
+  Expr.eval
+    (fun v ->
+      match List.assoc_opt v env with
+      | Some n -> n
+      | None -> Alcotest.failf "unbound %s" v)
+    (fun name _ -> Alcotest.failf "array %s" name)
+    e
+
+(* A small environment with one 1-D array for interpreter tests. *)
+let env_1d ?(n = 16) name =
+  let env = Env.create () in
+  Env.add_farray env name [ (1, n) ];
+  Env.set_iscalar env "N" n;
+  env
+
+let run_block env block = Exec.run env block
+
+(* Compare two runs of blocks from identical environments. *)
+let same_result ?tol ~make env_to_block1 env_to_block2 =
+  let e1 = make () and e2 = make () in
+  run_block e1 (env_to_block1 ());
+  run_block e2 (env_to_block2 ());
+  match Env.diff ?tol e1 e2 with
+  | None -> ()
+  | Some m -> Alcotest.fail m

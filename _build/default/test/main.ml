@@ -1,0 +1,17 @@
+let () =
+  Alcotest.run "blockability"
+    [
+      Test_expr.suite;
+      Test_affine.suite;
+      Test_symbolic.suite;
+      Test_stmt_interp.suite;
+      Test_cache.suite;
+      Test_dependence.suite;
+      Test_section.suite;
+      Test_transform.suite;
+      Test_drivers.suite;
+      Test_native.suite;
+      Test_lang.suite;
+      Test_support.suite;
+      Test_trace.suite;
+    ]

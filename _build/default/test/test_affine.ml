@@ -1,0 +1,59 @@
+open Helpers
+
+let gen_affine =
+  let open QCheck2.Gen in
+  let term = pair (int_range (-5) 5) (oneofl [ "I"; "J"; "N"; "KS" ]) in
+  map2
+    (fun const terms ->
+      List.fold_left
+        (fun acc (c, v) -> Affine.add acc (Affine.scale c (Affine.var v)))
+        (Affine.const const) terms)
+    (int_range (-20) 20)
+    (list_size (int_range 0 5) term)
+
+let env = [ ("I", 4); ("J", -3); ("N", 12); ("KS", 5) ]
+let lookup v = List.assoc v env
+
+let of_expr_cases () =
+  let open Expr in
+  let check_some what e expected_vars =
+    match Affine.of_expr e with
+    | Some a -> Alcotest.(check (list string)) what expected_vars (Affine.vars a)
+    | None -> Alcotest.failf "%s: expected affine" what
+  in
+  check_some "linear" (add (mul (Int 2) (Var "I")) (Var "N")) [ "I"; "N" ];
+  check_some "cancel" (sub (Var "I") (Var "I")) [];
+  check_bool "min is not affine" true (Affine.of_expr (min_ (Var "I") (Var "N")) = None);
+  check_bool "I*J is not affine" true
+    (Affine.of_expr (Bin (Mul, Var "I", Var "J")) = None);
+  check_some "div exact" (div (mul (Int 4) (Var "I")) (Int 2)) [ "I" ];
+  check_bool "div inexact rejected" true
+    (Affine.of_expr (Bin (Div, Var "I", Int 2)) = None)
+
+let suite =
+  ( "affine",
+    [
+      case "of_expr classification" of_expr_cases;
+      qcase "to_expr round trip" gen_affine (fun a ->
+          match Affine.of_expr (Affine.to_expr a) with
+          | Some a' -> Affine.equal a a'
+          | None -> false);
+      qcase "eval matches expr eval" gen_affine (fun a ->
+          Affine.eval lookup a = eval_expr env (Affine.to_expr a));
+      qcase "add commutes" (QCheck2.Gen.pair gen_affine gen_affine) (fun (a, b) ->
+          Affine.equal (Affine.add a b) (Affine.add b a));
+      qcase "sub self is zero" gen_affine (fun a ->
+          Affine.equal (Affine.sub a a) Affine.zero);
+      qcase "scale distributes" (QCheck2.Gen.pair gen_affine gen_affine)
+        (fun (a, b) ->
+          Affine.equal
+            (Affine.scale 3 (Affine.add a b))
+            (Affine.add (Affine.scale 3 a) (Affine.scale 3 b)));
+      qcase "split_on reassembles"
+        (QCheck2.Gen.pair gen_affine (QCheck2.Gen.oneofl [ "I"; "J"; "N" ]))
+        (fun (a, v) ->
+          let c, rest = Affine.split_on v a in
+          Affine.equal a (Affine.add rest (Affine.scale c (Affine.var v))));
+    ] )
+
+let _ = check_int

@@ -1,0 +1,79 @@
+open Helpers
+
+let direct_mapped_conflict () =
+  (* 2 KB direct-mapped, 32-byte lines: addresses 0 and 2048 conflict. *)
+  let c = Cache.create ~size_bytes:2048 ~line_bytes:32 ~assoc:1 in
+  check_bool "cold miss" false (Cache.access c 0);
+  check_bool "hit" true (Cache.access c 8);
+  check_bool "conflict evicts" false (Cache.access c 2048);
+  check_bool "and misses again" false (Cache.access c 0)
+
+let associativity_helps () =
+  let c = Cache.create ~size_bytes:2048 ~line_bytes:32 ~assoc:2 in
+  ignore (Cache.access c 0);
+  ignore (Cache.access c 2048);
+  check_bool "both resident" true (Cache.access c 0 && Cache.access c 2048)
+
+let lru_order () =
+  let c = Cache.create ~size_bytes:128 ~line_bytes:32 ~assoc:2 in
+  (* one set spans addresses congruent mod 64; three conflicting lines *)
+  ignore (Cache.access c 0);
+  ignore (Cache.access c 64);
+  ignore (Cache.access c 0);
+  (* 64 is now LRU; inserting 128 evicts it *)
+  ignore (Cache.access c 128);
+  check_bool "0 survives" true (Cache.access c 0);
+  check_bool "64 evicted" false (Cache.access c 64)
+
+let spatial_locality () =
+  let c = Cache.create ~size_bytes:65536 ~line_bytes:128 ~assoc:4 in
+  for i = 0 to 1023 do
+    ignore (Cache.access c (i * 8))
+  done;
+  let s = Cache.stats c in
+  check_int "one miss per line" (1024 * 8 / 128) s.misses
+
+let reset_works () =
+  let c = Cache.create ~size_bytes:1024 ~line_bytes:32 ~assoc:1 in
+  ignore (Cache.access c 0);
+  Cache.reset c;
+  let s = Cache.stats c in
+  check_int "zeroed" 0 s.accesses;
+  check_bool "cold again" false (Cache.access c 0)
+
+let bad_geometry () =
+  Alcotest.check_raises "not a power of two"
+    (Invalid_argument "Cache.create: sizes must be powers of two") (fun () ->
+      ignore (Cache.create ~size_bytes:1000 ~line_bytes:32 ~assoc:1))
+
+let gen_trace =
+  QCheck2.Gen.(list_size (int_range 0 500) (int_range 0 4095))
+
+let suite =
+  ( "cache",
+    [
+      case "direct-mapped conflicts" direct_mapped_conflict;
+      case "associativity" associativity_helps;
+      case "LRU replacement" lru_order;
+      case "spatial locality" spatial_locality;
+      case "reset" reset_works;
+      case "geometry validation" bad_geometry;
+      qcase "stats are consistent" gen_trace (fun addrs ->
+          let c = Cache.create ~size_bytes:1024 ~line_bytes:32 ~assoc:2 in
+          List.iter (fun a -> ignore (Cache.access c a)) addrs;
+          let s = Cache.stats c in
+          s.accesses = List.length addrs
+          && s.hits + s.misses = s.accesses
+          && s.hits >= 0 && s.misses >= 0);
+      qcase "repeating a short trace hits" gen_trace (fun addrs ->
+          (* a trace touching < capacity distinct lines, replayed, all hits *)
+          let distinct =
+            List.sort_uniq Int.compare (List.map (fun a -> a / 32) addrs)
+          in
+          QCheck2.assume (List.length distinct <= 8);
+          let c = Cache.create ~size_bytes:1024 ~line_bytes:32 ~assoc:32 in
+          List.iter (fun a -> ignore (Cache.access c a)) addrs;
+          let before = (Cache.stats c).misses in
+          List.iter (fun a -> ignore (Cache.access c a)) addrs;
+          (Cache.stats c).misses = before);
+    ] )

@@ -1,0 +1,140 @@
+open Helpers
+open Builder
+
+let ctx0 = Symbolic.assume_pos Symbolic.empty "N"
+
+(* DO I = 1,N: A(I) = A(I-5) + B(I) — the paper's §2.2 example. *)
+let shift5 =
+  do_ "I" (i 1) (v "N")
+    [ set1 "A" (v "I") (a1 "A" (v "I" -! i 5) +. a1 "B" (v "I")) ]
+
+let strong_siv_distance () =
+  let deps = Dependence.all ~ctx:ctx0 [ shift5 ] in
+  let flow =
+    List.filter (fun (d : Dependence.t) -> d.kind = Dependence.Flow) deps
+  in
+  check_int "one flow dep" 1 (List.length flow);
+  match flow with
+  | [ d ] -> (
+      check_bool "carried" true (d.carrier = Some 0);
+      match d.vector with
+      | [ e ] -> check_bool "distance 5" true (e.dist = Some 5)
+      | _ -> Alcotest.fail "vector arity")
+  | _ -> assert false
+
+let ziv_independent () =
+  (* A(1) and A(2) never alias. *)
+  let block =
+    [
+      do_ "I" (i 1) (v "N")
+        [ set1 "A" (i 1) (a1 "A" (i 2) +. fc 1.0) ];
+    ]
+  in
+  let deps = Dependence.all ~ctx:ctx0 block in
+  check_bool "no flow/anti between distinct constants" true
+    (List.for_all
+       (fun (d : Dependence.t) ->
+         not
+           (Stmt.equal_fexpr (Stmt.Ref ("A", d.source.subs)) (Stmt.Ref ("A", [ i 1 ]))
+           && Stmt.equal_fexpr (Stmt.Ref ("A", d.sink.subs)) (Stmt.Ref ("A", [ i 2 ]))))
+       deps)
+
+let output_self_dep () =
+  (* A(1) = I : every iteration writes the same cell -> carried output dep *)
+  let block = [ do_ "I" (i 1) (v "N") [ set1 "A" (i 1) (Stmt.Of_int (v "I")) ] ] in
+  let deps = Dependence.all ~ctx:ctx0 block in
+  check_bool "carried output dep exists" true
+    (List.exists
+       (fun (d : Dependence.t) -> d.kind = Dependence.Output && d.carrier = Some 0)
+       deps)
+
+let no_self_dep_for_disjoint_writes () =
+  let block = [ do_ "I" (i 1) (v "N") [ set1 "A" (v "I") (fc 0.0) ] ] in
+  let deps = Dependence.all ~ctx:ctx0 block in
+  check_bool "A(I) writes are independent" true
+    (List.for_all (fun (d : Dependence.t) -> d.kind <> Dependence.Output) deps)
+
+let gcd_test () =
+  (* A(2I) vs A(2I+1): even vs odd cells, never equal. *)
+  let block =
+    [
+      do_ "I" (i 1) (v "N")
+        [ set1 "A" (i 2 *! v "I") (a1 "A" ((i 2 *! v "I") +! i 1)) ];
+    ]
+  in
+  let deps = Dependence.all ~ctx:ctx0 block in
+  check_bool "gcd disproves" true
+    (List.for_all
+       (fun (d : Dependence.t) ->
+         d.kind = Dependence.Input || d.source.subs = d.sink.subs)
+       deps)
+
+(* Oracle cross-check: analysis must be conservative on the real kernels. *)
+let oracle_agreement name block bindings () =
+  match Oracle.agrees ~bindings ~ctx:ctx0 block with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "%s: %s" name m
+
+let lu_deps_shape () =
+  (* The strip-mined LU recurrence is found: KK loop does not distribute. *)
+  let stripped =
+    ok_or_fail "strip"
+      (Strip_mine.apply ~block_size:(Expr.var "KS") ~new_index:"KK" K_lu.point_loop)
+  in
+  let kk = match stripped.body with [ Stmt.Loop l ] -> l | _ -> assert false in
+  let ctx = Symbolic.of_loop_context [ stripped; kk ] in
+  let g = Ddg.build ~ctx kk in
+  check_int "two body statements" 2 g.n;
+  check_bool "single recurrence" true (Ddg.distribution_order g = None);
+  check_bool "preventing edges cross statements" true
+    (Ddg.preventing_edges g 0 1 <> [])
+
+(* Random-subscript oracle fuzz: two references with random affine
+   subscripts inside a fixed depth-2 nest. *)
+let gen_sub =
+  let open QCheck2.Gen in
+  let* c1 = int_range 0 2 in
+  let* c2 = int_range 0 2 in
+  let* c0 = int_range (-2) 6 in
+  return
+    Expr.(add (add (mul (Int c1) (Var "I")) (mul (Int c2) (Var "J"))) (Int c0))
+
+let gen_pair = QCheck2.Gen.pair gen_sub gen_sub
+
+let fuzz_oracle (s1, s2) =
+  let block =
+    [
+      do_ "I" (i 1) (i 5)
+        [
+          do_ "J" (i 1) (i 4)
+            [ set1 "A" s1 (a1 "A" s2 +. fc 1.0) ];
+        ];
+    ]
+  in
+  (* subscripts must stay within the declared array *)
+  let bindings = [] in
+  match Oracle.agrees ~bindings ~ctx:Symbolic.empty block with
+  | Ok _ -> true
+  | Error _ -> false
+
+let suite =
+  ( "dependence",
+    [
+      case "strong SIV distance" strong_siv_distance;
+      case "ZIV independence" ziv_independent;
+      case "output self dependence" output_self_dep;
+      case "disjoint writes" no_self_dep_for_disjoint_writes;
+      case "GCD test" gcd_test;
+      case "LU recurrence found" lu_deps_shape;
+      case "oracle: LU point"
+        (oracle_agreement "lu" [ Stmt.Loop K_lu.point_loop ] [ ("N", 7) ]);
+      case "oracle: aconv"
+        (oracle_agreement "aconv"
+           [ Stmt.Loop K_conv.aconv_loop ]
+           [ ("N1", 8); ("N2", 3); ("N3", 9) ]);
+      case "oracle: conv"
+        (oracle_agreement "conv"
+           [ Stmt.Loop K_conv.conv_loop ]
+           [ ("N1", 8); ("N2", 3); ("N3", 9) ]);
+      qcase ~count:60 "oracle fuzz on random subscripts" gen_pair fuzz_oracle;
+    ] )

@@ -1,0 +1,238 @@
+open Helpers
+
+(* The end-to-end §5 derivations: golden listings and equivalence sweeps. *)
+
+let fig6_expected =
+  "DO K = 1, N - 1, KS\n\
+  \  DO KK = K, MIN(K + (KS - 1), N - 1)\n\
+  \    DO I = KK + 1, N\n\
+  \      A(I, KK) = A(I, KK)/A(KK, KK)\n\
+  \    END DO\n\
+  \    DO J = KK + 1, MIN(N, K + KS - 1)\n\
+  \      DO I = KK + 1, N\n\
+  \        A(I, J) = A(I, J) - A(I, KK)*A(KK, J)\n\
+  \      END DO\n\
+  \    END DO\n\
+  \  END DO\n\
+  \  DO J = K + KS, N\n\
+  \    DO I = K + 1, N\n\
+  \      DO KK = K, MIN(I - 1, MIN(K + (KS - 1), N - 1))\n\
+  \        A(I, J) = A(I, J) - A(I, KK)*A(KK, J)\n\
+  \      END DO\n\
+  \    END DO\n\
+  \  END DO\n\
+   END DO\n"
+
+let block_lu_golden () =
+  let { Blocker.result; steps } =
+    ok_or_fail "block_lu" (Blocker.block_lu ~block_size_var:"KS" K_lu.point_loop)
+  in
+  check_string "Figure 6" fig6_expected (Stmt.to_string result);
+  Alcotest.(check (list string))
+    "derivation steps"
+    [ "strip-mine"; "recurrence"; "index-set-split"; "distribute"; "interchange"; "result" ]
+    (List.map (fun (s : Blocker.trace_step) -> s.name) steps)
+
+let gen_case =
+  QCheck2.Gen.(triple (int_range 1 24) (int_range 1 10) (int_range 0 1000))
+
+let block_lu_equiv (n, ks, seed) =
+  let { Blocker.result; _ } =
+    Result.get_ok (Blocker.block_lu ~block_size_var:"KS" K_lu.point_loop)
+  in
+  Kernel_def.equivalent K_lu.kernel [ result ] ~extra:[ ("KS", ks) ]
+    ~bindings:[ ("N", n) ] ~seed
+  = Ok ()
+
+let block_lu_pivot_equiv (n, ks, seed) =
+  let { Blocker.result; _ } =
+    Result.get_ok (Blocker.block_lu_pivot ~block_size_var:"KS" K_lu_pivot.point_loop)
+  in
+  Kernel_def.equivalent K_lu_pivot.kernel [ result ] ~extra:[ ("KS", ks) ]
+    ~bindings:[ ("N", n) ] ~seed
+  = Ok ()
+
+(* §5.2's point: WITHOUT commutativity knowledge the pivoting kernel's
+   distribution is illegal; the non-pivot driver must therefore fail on
+   it, and plain distribution of the split body must be refused. *)
+let pivot_needs_commutativity () =
+  match Blocker.block_lu ~block_size_var:"KS" K_lu_pivot.point_loop with
+  | Ok _ -> Alcotest.fail "pivoting LU must not block without commutativity"
+  | Error _ -> ()
+
+let givens_equiv (m_extra, n, seed) =
+  let m = n + m_extra in
+  match Givens_opt.optimize K_givens.point_loop with
+  | Error _ -> false
+  | Ok ({ result; _ }, names) ->
+      let kernel =
+        {
+          K_givens.kernel with
+          Kernel_def.setup =
+            (fun env ~bindings ~seed ->
+              K_givens.kernel.Kernel_def.setup env ~bindings ~seed;
+              let m = List.assoc "M" bindings in
+              Env.add_iarray env names.If_inspection.lb [ (1, (m / 2) + 1) ];
+              Env.add_iarray env names.If_inspection.ub [ (1, (m / 2) + 1) ];
+              Env.add_farray env "C" [ (1, m) ];
+              Env.add_farray env "S" [ (1, m) ]);
+        }
+      in
+      Kernel_def.equivalent kernel [ result ]
+        ~bindings:[ ("M", m); ("N", n) ]
+        ~seed
+      = Ok ()
+
+let matmul_if_equiv (n, freq, seed) =
+  let entry = Option.get (Blockability.find "matmul") in
+  Blockability.verify entry
+    ~bindings:[ ("N", n); ("FREQ_PCT", freq * 10) ]
+    ~seed
+  = Ok ()
+
+let registry_verifies () =
+  List.iter
+    (fun (e : Blockability.entry) ->
+      match Blockability.verify e with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "%s: %s" e.name m)
+    Blockability.entries
+
+let blocking_reduces_misses () =
+  (* the X1 ablation in miniature: on a small cache and a matrix that far
+     exceeds it, block LU must miss less than point LU *)
+  let entry = Option.get (Blockability.find "lu") in
+  match
+    Blockability.simulate ~machine:Arch.small_test
+      ~bindings:[ ("N", 64); ("KS", 4) ]
+      entry
+  with
+  | Error m -> Alcotest.fail m
+  | Ok r ->
+      check_bool "same access count" true
+        (r.point_stats.accesses = r.transformed_stats.accesses);
+      check_bool
+        (Printf.sprintf "misses drop (%d -> %d)" r.point_stats.misses
+           r.transformed_stats.misses)
+        true
+        (r.transformed_stats.misses < r.point_stats.misses)
+
+let strip_mine_and_interchange_driver () =
+  (* the §2.3 running example as a driver call *)
+  let open Builder in
+  let nest =
+    do_ "J" (i 1) (v "N")
+      [ do_ "I" (i 1) (v "M") [ set1 "A" (v "I") (a1 "A" (v "I") +. a1 "B" (v "J")) ] ]
+  in
+  let l = match nest with Stmt.Loop l -> l | _ -> assert false in
+  let blocked =
+    ok_or_fail "smi"
+      (Blocker.strip_mine_and_interchange ~block_size:(Expr.var "JS")
+         ~new_index:"JJ" ~levels:1 l)
+  in
+  check_string "outer stays J" "J" blocked.index;
+  match blocked.body with
+  | [ Stmt.Loop mid ] -> (
+      check_string "middle is I" "I" mid.index;
+      match mid.body with
+      | [ Stmt.Loop inner ] -> check_string "inner is JJ" "JJ" inner.index
+      | _ -> Alcotest.fail "shape")
+  | _ -> Alcotest.fail "shape"
+
+let block_trapezoid_equiv (n1, n2, seed) =
+  let n2 = n2 + 3 (* rhomboidal regions need N2 >= factor-1 = 3 *) in
+  let ctx =
+    Symbolic.assume_ge
+      (List.fold_left Symbolic.assume_pos Symbolic.empty [ "N1"; "N2"; "N3" ])
+      (Affine.var "N2") (Affine.const 3)
+  in
+  let check loop kernel =
+    match Blocker.block_trapezoid ~ctx ~factor:4 loop with
+    | Error _ -> false
+    | Ok { result; _ } ->
+        Kernel_def.equivalent kernel result
+          ~bindings:[ ("N1", n1); ("N2", n2); ("N3", n1 + 7) ]
+          ~seed
+        = Ok ()
+  in
+  check K_conv.aconv_loop K_conv.aconv && check K_conv.conv_loop K_conv.conv
+
+(* blocking both outer loops of a matmul-style nest: strip-mine-and-
+   interchange applied twice gives a 2-D tiled nest, still equivalent *)
+let two_level_tiling () =
+  let open Builder in
+  let nest =
+    do_ "J" (i 1) (v "N")
+      [
+        do_ "K" (i 1) (v "N")
+          [
+            do_ "I" (i 1) (v "N")
+              [ set2 "C" (v "I") (v "J")
+                  (a2 "C" (v "I") (v "J") +. (a2 "A" (v "I") (v "K") *. a2 "B" (v "K") (v "J"))) ];
+          ];
+      ]
+  in
+  let l = match nest with Stmt.Loop l -> l | _ -> assert false in
+  (* sink a strip of J past K and I (two levels) *)
+  let tiled =
+    ok_or_fail "tile J"
+      (Blocker.strip_mine_and_interchange ~block_size:(Expr.var "JS")
+         ~new_index:"JJ" ~levels:2 l)
+  in
+  let kernel : Kernel_def.t =
+    {
+      name = "mm";
+      description = "";
+      block = [ nest ];
+      params = [ "N" ];
+      setup =
+        (fun env ~bindings ~seed ->
+          let n = List.assoc "N" bindings in
+          Env.add_farray env "A" [ (1, n); (1, n) ];
+          Env.add_farray env "B" [ (1, n); (1, n) ];
+          Env.add_farray env "C" [ (1, n); (1, n) ];
+          let rng = Lcg.create seed in
+          Env.fill_farray env "A" (fun _ -> Lcg.float rng 1.0);
+          Env.fill_farray env "B" (fun _ -> Lcg.float rng 1.0));
+      traced = [ "C" ];
+    }
+  in
+  equivalent kernel [ Stmt.Loop tiled ] ~extra:[ ("JS", 3) ]
+    ~bindings:[ ("N", 11) ] ~seed:17
+
+(* §8 breadth: the same generic driver blocks triangular solve and
+   Cholesky, neither of which the paper studied. *)
+let breadth_equiv (n, ks, seed) =
+  let check kernel loop =
+    match Blocker.block_lu ~block_size_var:"KS" loop with
+    | Error _ -> false
+    | Ok { result; _ } ->
+        Kernel_def.equivalent kernel [ result ] ~extra:[ ("KS", ks) ]
+          ~bindings:[ ("N", n) ] ~seed
+        = Ok ()
+  in
+  check K_trisolve.kernel K_trisolve.point_loop
+  && check K_cholesky.kernel K_cholesky.point_loop
+
+let suite =
+  ( "drivers",
+    [
+      case "block LU golden listing (Figure 6)" block_lu_golden;
+      qcase ~count:40 "block LU equivalence" gen_case block_lu_equiv;
+      qcase ~count:25 "block LU with pivoting equivalence" gen_case
+        block_lu_pivot_equiv;
+      case "pivoting requires commutativity knowledge" pivot_needs_commutativity;
+      qcase ~count:25 "Givens optimization equivalence" gen_case givens_equiv;
+      qcase ~count:20 "matmul IF-inspection equivalence"
+        QCheck2.Gen.(triple (int_range 1 24) (int_range 0 10) (int_range 0 1000))
+        matmul_if_equiv;
+      case "whole registry verifies" registry_verifies;
+      case "blocking reduces simulated misses" blocking_reduces_misses;
+      case "strip-mine-and-interchange driver" strip_mine_and_interchange_driver;
+      qcase ~count:30 "trapezoid driver (split + shaped UJ)"
+        QCheck2.Gen.(triple (int_range 4 25) (int_range 0 20) (int_range 0 999))
+        block_trapezoid_equiv;
+      case "two-level tiling" two_level_tiling;
+      qcase ~count:25 "breadth: trisolve and Cholesky block too" gen_case
+        breadth_equiv;
+    ] )

@@ -1,0 +1,72 @@
+open Helpers
+
+(* Random affine-ish expressions over a fixed variable set. *)
+let gen_expr =
+  let open QCheck2.Gen in
+  let var = oneofl [ "I"; "J"; "K"; "N" ] in
+  sized @@ fix (fun self n ->
+      if n = 0 then oneof [ map Expr.int (int_range (-9) 9); map Expr.var var ]
+      else
+        frequency
+          [
+            (2, map Expr.int (int_range (-9) 9));
+            (2, map Expr.var var);
+            (3, map2 Expr.add (self (n / 2)) (self (n / 2)));
+            (3, map2 Expr.sub (self (n / 2)) (self (n / 2)));
+            (2, map2 Expr.mul (map Expr.int (int_range (-3) 3)) (self (n / 2)));
+            (2, map2 Expr.min_ (self (n / 2)) (self (n / 2)));
+            (2, map2 Expr.max_ (self (n / 2)) (self (n / 2)));
+          ])
+
+let test_env = [ ("I", 3); ("J", -2); ("K", 7); ("N", 10) ]
+
+let constant_folding () =
+  let open Expr in
+  check_bool "add fold" true (equal (add (Int 2) (Int 3)) (Int 5));
+  check_bool "mul zero" true (equal (mul (Int 0) (Var "N")) (Int 0));
+  check_bool "add zero" true (equal (add (Var "I") (Int 0)) (Var "I"));
+  check_bool "sub self" true (equal (sub (Var "I") (Var "I")) (Int 0));
+  check_bool "div one" true (equal (div (Var "N") (Int 1)) (Var "N"));
+  check_bool "min same" true (equal (min_ (Var "I") (Var "I")) (Var "I"))
+
+let printing () =
+  let open Expr in
+  check_string "min" "MIN(J + JS - 1, N)"
+    (to_string (min_ (sub (add (Var "J") (Var "JS")) (Int 1)) (Var "N")));
+  check_string "mul prec" "2*(I + 1)"
+    (to_string (Bin (Mul, Int 2, Bin (Add, Var "I", Int 1))));
+  check_string "neg const" "K + KS - 1"
+    (to_string (add (add (Var "K") (Var "KS")) (Int (-1))));
+  check_string "idx" "KLB(KN)" (to_string (idx "KLB" [ Var "KN" ]))
+
+let subst_basics () =
+  let open Expr in
+  let e = add (Var "I") (mul (Int 2) (Var "J")) in
+  let e' = subst [ ("I", Int 5) ] e in
+  check_int "subst eval" Stdlib.(5 + (2 * -2)) (eval_expr [ ("J", -2) ] e')
+
+let free_vars () =
+  let open Expr in
+  let e = min_ (add (Var "I") (Var "N")) (idx "KLB" [ Var "KN" ]) in
+  Alcotest.(check (list string))
+    "free vars" [ "I"; "KLB"; "KN"; "N" ] (Expr.free_vars e)
+
+let suite =
+  ( "expr",
+    [
+      case "constant folding" constant_folding;
+      case "printing" printing;
+      case "substitution" subst_basics;
+      case "free variables" free_vars;
+      qcase "simplify preserves evaluation" gen_expr (fun e ->
+          try eval_expr test_env (Expr.simplify e) = eval_expr test_env e
+          with Division_by_zero -> true);
+      qcase "subst of absent variable is identity" gen_expr (fun e ->
+          Expr.equal (Expr.subst [ ("ZZ", Expr.Int 1) ] e) e);
+      qcase "eval after shift" gen_expr (fun e ->
+          (* substituting I := I + 0 never changes the value *)
+          try
+            eval_expr test_env (Expr.subst [ ("I", Expr.add (Expr.var "I") (Expr.Int 0)) ] e)
+            = eval_expr test_env e
+          with Division_by_zero -> true);
+    ] )

@@ -1,0 +1,182 @@
+open Helpers
+open Linalg
+
+let gen_cfg = QCheck2.Gen.(triple (int_range 1 40) (int_range 1 12) (int_range 0 999))
+
+let lu_variants_exact (n, b, seed) =
+  let a0 = random_diag_dominant ~seed n in
+  let reference = copy_mat a0 in
+  N_lu.point reference;
+  List.for_all
+    (fun f ->
+      let x = copy_mat a0 in
+      f x;
+      max_abs_diff reference x = 0.0)
+    [ N_lu.sorensen ~block:b; N_lu.blocked ~block:b; N_lu.blocked_opt ~block:b ]
+
+let lu_pivot_variants_exact (n, b, seed) =
+  let a0 = random ~seed n n in
+  let reference = copy_mat a0 in
+  N_lu_pivot.point reference;
+  List.for_all
+    (fun f ->
+      let x = copy_mat a0 in
+      f x;
+      max_abs_diff reference x = 0.0)
+    [ N_lu_pivot.blocked ~block:b; N_lu_pivot.blocked_opt ~block:b ]
+
+let lu_factors_correct () =
+  (* L*U must reconstruct A. *)
+  let n = 24 in
+  let a0 = random_diag_dominant ~seed:11 n in
+  let f = copy_mat a0 in
+  N_lu.point f;
+  let worst = ref 0.0 in
+  for i = 1 to n do
+    for j = 1 to n do
+      let acc = ref 0.0 in
+      for k = 1 to min i j do
+        let l_ik = if k = i then 1.0 else if k < i then get f i k else 0.0 in
+        let u_kj = if k <= j then get f k j else 0.0 in
+        acc := !acc +. (l_ik *. u_kj)
+      done;
+      let d = Float.abs (!acc -. get a0 i j) in
+      if d > !worst then worst := d
+    done
+  done;
+  check_bool (Printf.sprintf "LU reconstructs A (err %.2g)" !worst) true
+    (!worst < 1e-10 *. float_of_int n)
+
+let pivot_growth_bounded () =
+  (* with partial pivoting all multipliers are <= 1 in magnitude *)
+  let n = 30 in
+  let f = random ~seed:5 n n in
+  N_lu_pivot.point f;
+  let ok = ref true in
+  for j = 1 to n do
+    for i = j + 1 to n do
+      if Float.abs (get f i j) > 1.0 +. 1e-12 then ok := false
+    done
+  done;
+  check_bool "multipliers bounded" true !ok
+
+let conv_variants_exact (n1, n2, seed) =
+  let s = N_conv.make ~seed ~n1 ~n2 ~n3:(n1 + 5) () in
+  N_conv.aconv s;
+  let r1 = Array.copy s.f3 in
+  N_conv.reset s;
+  N_conv.aconv_opt s;
+  let ok1 = max_abs_diff_vec r1 s.f3 = 0.0 in
+  N_conv.reset s;
+  N_conv.conv s;
+  let r2 = Array.copy s.f3 in
+  N_conv.reset s;
+  N_conv.conv_opt s;
+  ok1 && max_abs_diff_vec r2 s.f3 = 0.0
+
+let conv_matches_definition () =
+  (* direct O(n^2) definition of the convolution sums *)
+  let s = N_conv.make ~seed:3 ~n1:15 ~n2:6 ~n3:20 () in
+  N_conv.conv s;
+  let worst = ref 0.0 in
+  for i = 0 to s.n3 do
+    let acc = ref 0.0 in
+    for k = 0 to s.n1 do
+      if i - k >= 0 && i - k <= s.n2 then
+        acc := !acc +. (s.dt *. s.f1.(k) *. s.f2.(i - k + s.n2))
+    done;
+    let d = Float.abs (!acc -. s.f3.(i)) in
+    if d > !worst then worst := d
+  done;
+  check_bool "conv matches definition" true (!worst < 1e-12)
+
+let matmul_variants_exact (n, freq, seed) =
+  let freq = freq * 8 in
+  let a = random ~seed n n in
+  let b = N_matmul.make_b ~seed:(seed + 1) ~n ~freq_pct:freq () in
+  let c1 = create n n and c2 = create n n and c3 = create n n in
+  N_matmul.original ~a ~b ~c:c1;
+  N_matmul.uj ~a ~b ~c:c2;
+  N_matmul.uj_if ~a ~b ~c:c3;
+  max_abs_diff c1 c2 = 0.0 && max_abs_diff c1 c3 = 0.0
+
+let matmul_matches_dense () =
+  let n = 20 in
+  let a = random ~seed:9 n n and b = N_matmul.make_b ~seed:10 ~n ~freq_pct:60 () in
+  let c = create n n in
+  N_matmul.original ~a ~b ~c;
+  let worst = ref 0.0 in
+  for i = 1 to n do
+    for j = 1 to n do
+      let acc = ref 0.0 in
+      for k = 1 to n do
+        acc := !acc +. (get a i k *. get b k j)
+      done;
+      let d = Float.abs (!acc -. get c i j) in
+      if d > !worst then worst := d
+    done
+  done;
+  check_bool "matmul matches dense" true (!worst < 1e-10)
+
+let givens_variants_exact (m_extra, n, seed) =
+  let m = n + m_extra in
+  let a0 = random ~seed m n in
+  let g1 = copy_mat a0 and g2 = copy_mat a0 in
+  N_givens.point g1;
+  N_givens.optimized g2;
+  max_abs_diff g1 g2 = 0.0
+
+let givens_triangularizes () =
+  let a0 = random ~seed:21 30 18 in
+  let g = copy_mat a0 in
+  N_givens.point g;
+  let ok = ref true in
+  for j = 1 to g.n do
+    for i = j + 1 to g.m do
+      if Float.abs (get g i j) > 1e-10 then ok := false
+    done
+  done;
+  check_bool "below-diagonal zeroed" true !ok;
+  (* rotations preserve the Frobenius norm *)
+  check_bool "norm preserved" true
+    (Float.abs (frobenius g -. frobenius a0) < 1e-9 *. frobenius a0)
+
+let householder_block_matches_point (m_extra, n, seed) =
+  let m = n + m_extra in
+  let a0 = random ~seed m n in
+  let h1 = copy_mat a0 and h2 = copy_mat a0 in
+  ignore (N_householder.point h1);
+  ignore (N_householder.blocked ~block:5 h2);
+  let r1 = N_householder.r_of h1 and r2 = N_householder.r_of h2 in
+  (* block QR reassociates: compare R with a norm-scaled tolerance; the
+     rows of R are determined up to sign in general, but both versions use
+     the same reflector convention so signs agree. *)
+  max_abs_diff r1 r2 < 1e-9 *. (1.0 +. frobenius r1)
+
+let householder_norm_preserved () =
+  let a0 = random ~seed:31 40 25 in
+  let h = copy_mat a0 in
+  ignore (N_householder.blocked ~block:8 h);
+  let r = N_householder.r_of h in
+  check_bool "orthogonal transform preserves norm" true
+    (Float.abs (frobenius r -. frobenius a0) < 1e-9 *. frobenius a0)
+
+let suite =
+  ( "native",
+    [
+      qcase ~count:30 "LU variants bit-identical" gen_cfg lu_variants_exact;
+      qcase ~count:30 "pivoting LU variants bit-identical" gen_cfg
+        lu_pivot_variants_exact;
+      case "LU reconstructs A" lu_factors_correct;
+      case "pivot multipliers bounded" pivot_growth_bounded;
+      qcase ~count:30 "convolution variants bit-identical" gen_cfg
+        conv_variants_exact;
+      case "conv matches its definition" conv_matches_definition;
+      qcase ~count:30 "matmul variants bit-identical" gen_cfg matmul_variants_exact;
+      case "guarded matmul matches dense" matmul_matches_dense;
+      qcase ~count:30 "Givens variants bit-identical" gen_cfg givens_variants_exact;
+      case "Givens triangularizes and preserves norm" givens_triangularizes;
+      qcase ~count:25 "Householder block matches point" gen_cfg
+        householder_block_matches_point;
+      case "Householder norm preservation" householder_norm_preserved;
+    ] )

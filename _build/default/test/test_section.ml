@@ -1,0 +1,126 @@
+open Helpers
+open Builder
+
+(* Sections of the strip-mined LU kernel must match the paper's Figure 5:
+   statement 20's A(I,KK) covers A(K+1:N, K:K+KS-1) and statement 10's
+   A(I,J) covers A(K+1:N, K+1:N). *)
+
+let lu_setup () =
+  let stripped =
+    ok_or_fail "strip"
+      (Strip_mine.apply ~block_size:(Expr.var "KS") ~new_index:"KK" K_lu.point_loop)
+  in
+  let kk = match stripped.body with [ Stmt.Loop l ] -> l | _ -> assert false in
+  let ctx = Symbolic.of_loop_context [ stripped; kk ] in
+  let ctx = Symbolic.assume_pos ctx "KS" in
+  let ctx = Symbolic.assume_pos ctx "N" in
+  (ctx, kk)
+
+let find_access kk ~stmt ~kind ~subs_str =
+  let accs = Ir_util.accesses [ Stmt.Loop kk ] in
+  List.find
+    (fun (a : Ir_util.access) ->
+      a.kind = kind
+      && (match a.path with Stmt.I 0 :: Stmt.I k :: _ -> k = stmt | _ -> false)
+      && String.concat "," (List.map Expr.to_string a.subs) = subs_str)
+    accs
+
+let figure5 () =
+  let ctx, kk = lu_setup () in
+  let scale_write = find_access kk ~stmt:0 ~kind:Ir_util.Write ~subs_str:"I,KK" in
+  let update_write = find_access kk ~stmt:1 ~kind:Ir_util.Write ~subs_str:"I,J" in
+  let sec a =
+    match Section.of_access ~ctx ~within:a.Ir_util.loops a with
+    | Some s -> s
+    | None -> Alcotest.fail "section not computable"
+  in
+  let s20 = sec scale_write and s10 = sec update_write in
+  check_string "statement 20 section" "A(K + 1:N, K:K + KS - 1) (hull)"
+    (Section.to_string s20);
+  check_string "statement 10 section" "A(K + 1:N, K + 1:N)"
+    (Section.to_string s10);
+  check_bool "not equal" false (Section.equal ctx s20 s10);
+  check_bool "not disjoint" false (Section.disjoint ctx s20 s10)
+
+let disjoint_after_split () =
+  let ctx, _ = lu_setup () in
+  (* col ranges [K, K+KS-1] vs [K+KS, N] are provably disjoint *)
+  let open Affine in
+  let d1 =
+    {
+      Section.los = [ var "K" ];
+      his = [ sub (add (var "K") (var "KS")) (const 1) ];
+      step = 1;
+    }
+  in
+  let d2 = { Section.los = [ add (var "K") (var "KS") ]; his = [ var "N" ]; step = 1 } in
+  let s1 = { Section.array = "A"; dims = [ d1 ]; exact = true } in
+  let s2 = { Section.array = "A"; dims = [ d2 ]; exact = true } in
+  check_bool "disjoint" true (Section.disjoint ctx s1 s2);
+  check_bool "not subset" false (Section.subset ctx s1 s2)
+
+let rows_columns_elements () =
+  let ctx = Symbolic.assume_pos Symbolic.empty "N" in
+  let ctx = Symbolic.assume_ge ctx (Affine.var "N") (Affine.const 5) in
+  let loop_j =
+    match do_ "J" (i 1) (v "N") [] with Stmt.Loop l -> l | _ -> assert false
+  in
+  let row = Section.of_ref ~ctx ~within:[ loop_j ] "A" [ i 3; v "J" ] in
+  let elt = Section.of_ref ~ctx ~within:[ loop_j ] "A" [ i 3; i 5 ] in
+  match row, elt with
+  | Some row, Some elt ->
+      check_string "row section" "A(3:3, 1:N)" (Section.to_string row);
+      check_bool "element inside row" true (Section.subset ctx elt row);
+      check_bool "row not inside element" false (Section.subset ctx row elt)
+  | _ -> Alcotest.fail "sections not computable"
+
+let strided_section () =
+  let ctx = Symbolic.empty in
+  let loop =
+    match do_ "I" (i 0) (i 10) [] with Stmt.Loop l -> l | _ -> assert false
+  in
+  match Section.of_ref ~ctx ~within:[ loop ] "A" [ i 2 *! v "I" ] with
+  | Some s ->
+      check_string "stride 2" "A(0:20:2)" (Section.to_string s);
+      (* odd singleton is disjoint from the even section by stride...
+         hull-wise they overlap, so disjoint must say false (sound). *)
+      let odd = Section.of_ref ~ctx ~within:[] "A" [ i 3 ] in
+      check_bool "no false disjointness" false
+        (Section.disjoint ctx s (Option.get odd))
+  | None -> Alcotest.fail "section not computable"
+
+let min_bound_candidates () =
+  (* Both MIN arms become valid upper-bound candidates. *)
+  let ctx = Symbolic.assume_pos Symbolic.empty "KS" in
+  let loop =
+    match
+      do_ "KK" (v "K") (Expr.min_ (v "K" +! v "KS" -! i 1) (v "N" -! i 1)) []
+    with
+    | Stmt.Loop l -> l
+    | _ -> assert false
+  in
+  match Section.of_ref ~ctx ~within:[ loop ] "A" [ v "KK" ] with
+  | Some s ->
+      let d = List.hd s.dims in
+      check_int "two hi candidates" 2 (List.length d.his);
+      check_bool "inexact" false s.exact
+  | None -> Alcotest.fail "section not computable"
+
+let non_affine_subscript () =
+  let ctx = Symbolic.empty in
+  let loop =
+    match do_ "I" (i 1) (i 8) [] with Stmt.Loop l -> l | _ -> assert false
+  in
+  check_bool "indirect subscript has no section" true
+    (Section.of_ref ~ctx ~within:[ loop ] "A" [ Expr.idx "P" [ v "I" ] ] = None)
+
+let suite =
+  ( "section",
+    [
+      case "Figure 5 sections" figure5;
+      case "disjointness after split" disjoint_after_split;
+      case "rows, columns, elements" rows_columns_elements;
+      case "strided sections" strided_section;
+      case "MIN-bound candidates" min_bound_candidates;
+      case "non-affine refused" non_affine_subscript;
+    ] )

@@ -1,0 +1,154 @@
+open Helpers
+open Builder
+
+(* ---------- Stmt: paths, substitution ---------- *)
+
+let simple_nest () =
+  do_ "I" (i 1) (v "N")
+    [
+      set1 "A" (v "I") (a1 "A" (v "I") +. fc 1.0);
+      do_ "J" (i 1) (v "N") [ set1 "B" (v "J") (a1 "A" (v "I")) ];
+    ]
+
+let paths () =
+  let block = [ simple_nest () ] in
+  (match Stmt.get_at block [ Stmt.I 0; Stmt.I 1 ] with
+  | Stmt.Loop l -> check_string "inner loop" "J" l.index
+  | _ -> Alcotest.fail "expected loop");
+  let replaced =
+    Stmt.replace_at block [ Stmt.I 0; Stmt.I 1 ] [ setf "X" (fc 0.0) ]
+  in
+  match replaced with
+  | [ Stmt.Loop l ] ->
+      check_int "body size" 2 (List.length l.body);
+      (match List.nth l.body 1 with
+      | Stmt.Assign ("X", [], _) -> ()
+      | _ -> Alcotest.fail "expected spliced assign")
+  | _ -> Alcotest.fail "expected loop"
+
+let path_if () =
+  let block = [ if_else (feq (fv "X") (fc 0.0)) [ setf "A" (fc 1.0) ] [ setf "B" (fc 2.0) ] ] in
+  (match Stmt.get_at block [ Stmt.I 0; Stmt.Then_; Stmt.I 0 ] with
+  | Stmt.Assign ("A", [], _) -> ()
+  | _ -> Alcotest.fail "then branch");
+  match Stmt.get_at block [ Stmt.I 0; Stmt.Else_; Stmt.I 0 ] with
+  | Stmt.Assign ("B", [], _) -> ()
+  | _ -> Alcotest.fail "else branch"
+
+let subst_shadowing () =
+  let nest = simple_nest () in
+  (* substituting I must not touch the loop's own body occurrences *)
+  let s = Stmt.subst [ ("I", Expr.Int 99) ] nest in
+  match s with
+  | Stmt.Loop l ->
+      check_bool "body untouched" true (Stmt.equal_block l.body
+        (match nest with Stmt.Loop l0 -> l0.body | _ -> assert false))
+  | _ -> Alcotest.fail "loop expected"
+
+let subst_bounds () =
+  let s = Stmt.subst [ ("N", Expr.Int 5) ] (simple_nest ()) in
+  match s with
+  | Stmt.Loop l -> check_bool "bound replaced" true (Expr.equal l.hi (Expr.Int 5))
+  | _ -> Alcotest.fail "loop expected"
+
+let find_loops () =
+  let loops = Stmt.find_loops [ simple_nest () ] in
+  Alcotest.(check (list string))
+    "loop order" [ "I"; "J" ]
+    (List.map (fun (_, (l : Stmt.loop)) -> l.index) loops)
+
+(* ---------- Env / interpreter ---------- *)
+
+let column_major () =
+  let env = Env.create () in
+  Env.add_farray env "A" [ (1, 3); (1, 4) ];
+  Env.set_f env "A" [ 2; 1 ] 5.0;
+  Env.set_f env "A" [ 1; 2 ] 7.0;
+  check_int "linear (2,1)" 1 (Env.linear_index env "A" [ 2; 1 ]);
+  check_int "linear (1,2)" 3 (Env.linear_index env "A" [ 1; 2 ]);
+  let data = Env.farray_data env "A" in
+  check_bool "storage" true (data.(1) = 5.0 && data.(3) = 7.0)
+
+let lower_bounds () =
+  let env = Env.create () in
+  Env.add_farray env "F2" [ (-3, 3) ];
+  Env.set_f env "F2" [ -3 ] 1.5;
+  check_int "offset of lo" 0 (Env.linear_index env "F2" [ -3 ]);
+  check_bool "readback" true (Env.get_f env "F2" [ -3 ] = 1.5)
+
+let out_of_bounds () =
+  let env = Env.create () in
+  Env.add_farray env "A" [ (1, 3) ];
+  Alcotest.check_raises "oob read" (Exec.Error "Env: A subscript 1 = 4 out of bounds [1,3]")
+    (fun () -> Exec.run env [ setf "X" (a1 "A" (i 4)) ])
+
+let loop_semantics () =
+  let env = env_1d ~n:10 "A" in
+  (* bounds evaluated once; empty loop body never runs *)
+  Exec.run env [ do_ "I" (i 5) (i 4) [ set1 "A" (v "I") (fc 1.0) ] ];
+  check_bool "empty loop" true (Array.for_all (fun x -> x = 0.0) (Env.farray_data env "A"));
+  Exec.run env [ do_ "I" (i 1) (i 10) ~step:(i 3) [ set1 "A" (v "I") (fc 1.0) ] ];
+  let a = Env.farray_data env "A" in
+  check_bool "step 3 hits 1,4,7,10" true
+    (a.(0) = 1.0 && a.(3) = 1.0 && a.(6) = 1.0 && a.(9) = 1.0 && a.(1) = 0.0)
+
+let if_and_intrinsics () =
+  let env = env_1d ~n:4 "A" in
+  Exec.run env
+    [
+      setf "X" (fc 9.0);
+      if_ (feq (fv "X") (fc 9.0)) [ set1 "A" (i 1) (sqrt_ (fv "X")) ];
+      if_else (fne (fv "X") (fc 9.0))
+        [ set1 "A" (i 2) (fc 1.0) ]
+        [ set1 "A" (i 2) (fc 2.0) ];
+      set1 "A" (i 3) (Stmt.Fcall ("ABS", [ fc (-3.5) ]));
+    ];
+  let a = Env.farray_data env "A" in
+  check_bool "sqrt" true (a.(0) = 3.0);
+  check_bool "else" true (a.(1) = 2.0);
+  check_bool "abs" true (a.(2) = 3.5)
+
+let int_arrays_and_idx_bounds () =
+  let env = Env.create () in
+  Env.add_iarray env "LB" [ (1, 2) ];
+  Env.add_farray env "A" [ (1, 10) ];
+  Exec.run env
+    [
+      Stmt.Iassign ("LB", [ i 1 ], i 3);
+      Stmt.Iassign ("LB", [ i 2 ], i 5);
+      do_ "K" (Expr.idx "LB" [ i 1 ]) (Expr.idx "LB" [ i 2 ]) [ set1 "A" (v "K") (fc 1.0) ];
+    ];
+  let a = Env.farray_data env "A" in
+  check_bool "range 3..5" true (a.(1) = 0.0 && a.(2) = 1.0 && a.(4) = 1.0 && a.(5) = 0.0)
+
+let env_copy_diff () =
+  let env = env_1d ~n:4 "A" in
+  let dup = Env.copy env in
+  Env.set_f env "A" [ 1 ] 1.0;
+  check_bool "copy isolated" true (Env.get_f dup "A" [ 1 ] = 0.0);
+  check_bool "diff detects" true (Env.diff env dup <> None);
+  check_bool "only filter" true (Env.diff ~only:[ "B" ] env dup = None)
+
+let loop_index_protection () =
+  let env = env_1d "A" in
+  Alcotest.check_raises "loop index assignment"
+    (Exec.Error "assignment to loop index I")
+    (fun () -> Exec.run env [ do_ "I" (i 1) (i 2) [ seti "I" (i 5) ] ])
+
+let suite =
+  ( "stmt-interp",
+    [
+      case "paths get/replace" paths;
+      case "paths into IF branches" path_if;
+      case "substitution shadows loop index" subst_shadowing;
+      case "substitution reaches bounds" subst_bounds;
+      case "find_loops preorder" find_loops;
+      case "column-major layout" column_major;
+      case "non-unit lower bounds" lower_bounds;
+      case "subscript bounds checked" out_of_bounds;
+      case "DO loop semantics" loop_semantics;
+      case "IF and intrinsics" if_and_intrinsics;
+      case "integer arrays in bounds" int_arrays_and_idx_bounds;
+      case "env copy and diff" env_copy_diff;
+      case "loop index is read-only" loop_index_protection;
+    ] )

@@ -1,0 +1,54 @@
+open Helpers
+
+let table_rendering () =
+  let t = Table.create ~title:"T" [ ("A", Table.Left); ("B", Table.Right) ] in
+  Table.add_row t [ "x"; "10" ];
+  Table.add_row t [ "longer"; "7" ];
+  let rendered = Table.render t in
+  check_bool "has title" true (String.length rendered > 0);
+  check_bool "right-aligned" true
+    (String.split_on_char '\n' rendered
+    |> List.exists (fun line -> line = "x       10"));
+  Alcotest.check_raises "arity checked"
+    (Invalid_argument "Table.add_row: wrong number of cells") (fun () ->
+      Table.add_row t [ "only one" ])
+
+let cells () =
+  check_string "seconds" "12.46s" (Table.cell_s 12.46);
+  check_string "millis" "2.50ms" (Table.cell_s 0.0025);
+  check_string "ratio" "1.80" (Table.cell_f 1.8000001)
+
+let lcg_determinism () =
+  let a = Lcg.create 42 and b = Lcg.create 42 in
+  let xs = List.init 50 (fun _ -> Lcg.int a 1000) in
+  let ys = List.init 50 (fun _ -> Lcg.int b 1000) in
+  check_bool "same seed, same stream" true (xs = ys);
+  let c = Lcg.create 43 in
+  let zs = List.init 50 (fun _ -> Lcg.int c 1000) in
+  check_bool "different seed, different stream" true (xs <> zs)
+
+let lcg_split_independent () =
+  let a = Lcg.create 7 in
+  let b = Lcg.split a in
+  let xs = List.init 20 (fun _ -> Lcg.int a 100) in
+  let ys = List.init 20 (fun _ -> Lcg.int b 100) in
+  check_bool "split streams differ" true (xs <> ys)
+
+let suite =
+  ( "support",
+    [
+      case "table rendering" table_rendering;
+      case "table cells" cells;
+      case "lcg determinism" lcg_determinism;
+      case "lcg split" lcg_split_independent;
+      qcase "lcg int in range"
+        QCheck2.Gen.(pair (int_range 1 1000) (int_range 0 99999))
+        (fun (bound, seed) ->
+          let rng = Lcg.create seed in
+          let x = Lcg.int rng bound in
+          x >= 0 && x < bound);
+      qcase "lcg uniform in [0,1)" QCheck2.Gen.(int_range 0 99999) (fun seed ->
+          let rng = Lcg.create seed in
+          let x = Lcg.uniform rng in
+          x >= 0.0 && x < 1.0);
+    ] )

@@ -1,0 +1,94 @@
+open Helpers
+
+let av = Affine.var
+let ac = Affine.const
+let ( ++ ) = Affine.add
+let ( -- ) = Affine.sub
+
+(* The driver contexts these goals come from (§5.1): K in [1, N-1],
+   KK in [K, K+KS-1], KS >= 1, N >= 1. *)
+let lu_ctx =
+  let ctx = Symbolic.empty in
+  let ctx = Symbolic.assume_pos ctx "KS" in
+  let ctx = Symbolic.assume_pos ctx "N" in
+  let ctx = Symbolic.assume_ge ctx (av "K") (ac 1) in
+  let ctx = Symbolic.assume_le ctx (av "K") (av "N" -- ac 1) in
+  let ctx = Symbolic.assume_ge ctx (av "KK") (av "K") in
+  Symbolic.assume_le ctx (av "KK") (av "K" ++ av "KS" -- ac 1)
+
+let lu_goals () =
+  let t = Symbolic.prove_le lu_ctx and f a b = not (Symbolic.prove_le lu_ctx a b) in
+  check_bool "KK+1 <= K+KS" true (t (av "KK" ++ ac 1) (av "K" ++ av "KS"));
+  check_bool "K+KS-1 < K+KS" true
+    (Symbolic.prove_lt lu_ctx (av "K" ++ av "KS" -- ac 1) (av "K" ++ av "KS"));
+  check_bool "K <= N-1" true (t (av "K") (av "N" -- ac 1));
+  check_bool "not K+KS-1 <= N-1" true (f (av "K" ++ av "KS" -- ac 1) (av "N" -- ac 1));
+  check_bool "K+1 > K" true (Symbolic.prove_gt lu_ctx (av "K" ++ ac 1) (av "K"));
+  (* with the planning assumption the full-block fact becomes provable *)
+  let plan = Symbolic.assume_le lu_ctx (av "K" ++ av "KS" -- ac 1) (av "N" -- ac 1) in
+  check_bool "planning: K+KS-1 < N" true
+    (Symbolic.prove_lt plan (av "K" ++ av "KS" -- ac 1) (av "N"))
+
+let unknown_is_sound () =
+  let ctx = Symbolic.empty in
+  check_bool "nothing known" false (Symbolic.prove_ge ctx (av "A") (av "B"));
+  check_bool "const" true (Symbolic.prove_ge ctx (ac 3) (ac 3));
+  check_bool "const strict" true (Symbolic.prove_gt ctx (ac 4) (ac 3));
+  check_bool "false const" false (Symbolic.prove_gt ctx (ac 3) (ac 3))
+
+let compare_cases () =
+  let ctx = Symbolic.assume_ge Symbolic.empty (av "X") (av "Y" ++ ac 2) in
+  (match Symbolic.compare_ ctx (av "X") (av "Y") with
+  | Symbolic.Gt -> ()
+  | _ -> Alcotest.fail "expected Gt");
+  match Symbolic.compare_ ctx (av "Y") (av "Z") with
+  | Symbolic.Unknown -> ()
+  | _ -> Alcotest.fail "expected Unknown"
+
+let chained_facts () =
+  (* A transitive chain the directed search must follow: A >= B, B >= C,
+     C >= D+1 |- A > D. *)
+  let ctx = Symbolic.empty in
+  let ctx = Symbolic.assume_ge ctx (av "A") (av "B") in
+  let ctx = Symbolic.assume_ge ctx (av "B") (av "C") in
+  let ctx = Symbolic.assume_ge ctx (av "C") (av "D" ++ ac 1) in
+  check_bool "chain" true (Symbolic.prove_gt ctx (av "A") (av "D"))
+
+let of_loop_context_minmax () =
+  let open Builder in
+  let strip =
+    match
+      do_ "KK" (v "K") (Expr.min_ (v "K" +! v "KS" -! i 1) (v "N" -! i 1)) []
+    with
+    | Stmt.Loop l -> l
+    | _ -> assert false
+  in
+  let ctx = Symbolic.of_loop_context [ strip ] in
+  check_bool "KK <= K+KS-1 from MIN arm" true
+    (Symbolic.prove_le ctx (av "KK") (av "K" ++ av "KS" -- ac 1));
+  check_bool "KK <= N-1 from MIN arm" true
+    (Symbolic.prove_le ctx (av "KK") (av "N" -- ac 1));
+  check_bool "KK >= K" true (Symbolic.prove_ge ctx (av "KK") (av "K"))
+
+let gen_consts =
+  QCheck2.Gen.(pair (int_range (-50) 50) (int_range (-50) 50))
+
+let suite =
+  ( "symbolic",
+    [
+      case "LU driver goals" lu_goals;
+      case "unknown is sound" unknown_is_sound;
+      case "compare" compare_cases;
+      case "transitive chains" chained_facts;
+      case "loop context with MIN bound" of_loop_context_minmax;
+      qcase "constants decide exactly" gen_consts (fun (a, b) ->
+          let ctx = Symbolic.empty in
+          Symbolic.prove_ge ctx (ac a) (ac b) = (a >= b));
+      qcase "assumed facts are provable" gen_consts (fun (a, b) ->
+          let lo, hi = (min a b, max a b) in
+          let ctx = Symbolic.assume_ge Symbolic.empty (av "X") (ac lo) in
+          let ctx = Symbolic.assume_le ctx (av "X") (ac hi) in
+          Symbolic.prove_ge ctx (av "X") (ac lo)
+          && Symbolic.prove_le ctx (av "X") (ac hi)
+          && Symbolic.prove_le ctx (av "X") (ac (hi + 3)));
+    ] )

@@ -1,0 +1,68 @@
+open Helpers
+open Builder
+
+(* Trace must lay arrays out line-aligned and count one access per array
+   element touch, so a stride-1 sweep of 8-byte elements on 128-byte lines
+   misses once per 16 elements. *)
+
+let stride_one_sweep () =
+  let env = Env.create () in
+  let n = 4096 in
+  Env.add_farray env "A" [ (1, n) ];
+  Env.set_iscalar env "N" n;
+  let block = [ do_ "I" (i 1) (v "N") [ set1 "A" (v "I") (fc 1.0) ] ] in
+  let stats = Trace.run Arch.rs6000_540 env ~arrays:[ "A" ] block in
+  check_int "one access per element" n stats.accesses;
+  check_int "one miss per line" (n * 8 / 128) stats.misses
+
+(* B(J) reused across I iterations: after the cold miss every touch of a
+   resident line hits. *)
+let temporal_reuse () =
+  let env = Env.create () in
+  let m = 64 and n = 8 in
+  Env.add_farray env "A" [ (1, m) ];
+  Env.add_farray env "B" [ (1, n) ];
+  Env.set_iscalar env "M" m;
+  Env.set_iscalar env "N" n;
+  let block =
+    [
+      do_ "J" (i 1) (v "N")
+        [ do_ "I" (i 1) (v "M") [ set1 "A" (v "I") (a1 "A" (v "I") +. a1 "B" (v "J")) ] ];
+    ]
+  in
+  let stats = Trace.run Arch.rs6000_540 env ~arrays:[ "A"; "B" ] block in
+  (* footprint fits the 64KB cache: only cold misses *)
+  let lines = ((m * 8) + 127) / 128 + (((n * 8) + 127) / 128) in
+  check_int "only cold misses" lines stats.misses
+
+let untracked_arrays_ignored () =
+  let env = Env.create () in
+  Env.add_farray env "A" [ (1, 16) ];
+  Env.add_farray env "B" [ (1, 16) ];
+  let block =
+    [ do_ "I" (i 1) (i 16) [ set1 "A" (v "I") (a1 "B" (v "I")) ] ]
+  in
+  let stats = Trace.run Arch.small_test env ~arrays:[ "A" ] block in
+  check_int "only A is traced" 16 stats.accesses
+
+let simulate_counts_match () =
+  (* point and transformed LU touch the same number of elements *)
+  let entry = Option.get (Blockability.find "lu") in
+  match
+    Blockability.simulate ~machine:Arch.small_test
+      ~bindings:[ ("N", 20); ("KS", 4) ]
+      entry
+  with
+  | Error m -> Alcotest.fail m
+  | Ok r ->
+      check_int "same element touches" r.point_stats.accesses
+        r.transformed_stats.accesses
+
+let suite =
+  ( "trace",
+    [
+      case "stride-one sweep" stride_one_sweep;
+      case "temporal reuse" temporal_reuse;
+      case "untracked arrays ignored" untracked_arrays_ignored;
+      case "transformation preserves access counts" simulate_counts_match;
+    ] )
