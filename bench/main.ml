@@ -1,21 +1,50 @@
 (* Benchmark harness: regenerates every table and figure of the paper's
-   evaluation.  See DESIGN.md's experiment index (T1-T5, F1-F11, X1).
+   evaluation.  See DESIGN.md's experiment index (T1-T5, F1-F11, X1, PAR).
 
-   Usage:  main.exe [t1|t2|t3|t4|t5|figures|cache|ablation|bechamel|all] [--quick]
+   Usage:  main.exe [t1|t2|t3|t4|t5|figures|cache|ablation|bechamel|par|all]
+                    [--quick] [--json PATH]
 
    Absolute 1992 seconds are not reproducible; the claim checked here is
-   the *shape*: which variant wins and by roughly what factor. *)
+   the *shape*: which variant wins and by roughly what factor.
 
-let quick = Array.exists (fun a -> a = "--quick") Sys.argv
+   [--json PATH] additionally dumps every table produced by the run as
+   machine-readable JSON (see Table.json_of_tables), so successive PRs
+   leave a perf trajectory behind (BENCH_*.json). *)
 
-let selected =
-  let args =
-    Array.to_list Sys.argv |> List.tl
-    |> List.filter (fun a -> a <> "--quick")
+let argv = List.tl (Array.to_list Sys.argv)
+let quick = List.mem "--quick" argv
+
+let json_path, selected =
+  let rec go sel json = function
+    | [] -> (json, List.rev sel)
+    | "--quick" :: rest -> go sel json rest
+    | "--json" :: path :: rest -> go sel (Some path) rest
+    | [ "--json" ] ->
+        prerr_endline "main.exe: --json requires a path argument";
+        exit 2
+    | a :: rest -> go (a :: sel) json rest
   in
-  match args with [] -> [ "all" ] | l -> l
+  let json, sel = go [] None argv in
+  (* Fail fast on an unwritable path rather than after the whole run. *)
+  (match json with
+  | Some path -> (
+      match open_out path with
+      | oc -> close_out oc
+      | exception Sys_error msg ->
+          Printf.eprintf "main.exe: cannot write --json output: %s\n" msg;
+          exit 2)
+  | None -> ());
+  (json, match sel with [] -> [ "all" ] | l -> l)
 
 let want what = List.mem what selected || List.mem "all" selected
+
+(* Every table goes through [output]: printed for the human, remembered
+   for the [--json] trajectory dump. *)
+let registry : (string * Table.t) list ref = ref []
+
+let output ~id tbl =
+  Table.print tbl;
+  registry := !registry @ [ (id, tbl) ]
 
 (* ------------------------------------------------------------------ *)
 (* timing                                                              *)
@@ -74,7 +103,7 @@ let t1 () =
         [ "Conv"; string_of_int n1; Table.cell_s t_orig; Table.cell_s t_opt;
           Table.cell_f (t_orig /. t_opt) ])
     sizes;
-  Table.print tbl;
+  output ~id:"t1" tbl;
   print_string "paper (RS/6000-540): speedups 1.80-1.91\n"
 
 (* ------------------------------------------------------------------ *)
@@ -107,7 +136,7 @@ let t2 () =
           Table.cell_s t_ujif; Table.cell_f (t_orig /. t_ujif);
         ])
     [ 2; 10; 50 ];
-  Table.print tbl;
+  output ~id:"t2" tbl;
   print_string "paper: UJ alone slower than original; UJ+IF speedup 1.45-1.48\n"
 
 (* ------------------------------------------------------------------ *)
@@ -118,11 +147,13 @@ let t3 () =
   banner "T3  (paper §5.1): LU decomposition without pivoting";
   let tbl =
     Table.create
-      ~title:"LU: point vs hand block (1) vs derived block (2) vs 2+UJ+scalar (2+)"
+      ~title:
+        "LU: point vs hand block (1) vs derived block (2) vs 2+UJ+scalar (2+) \
+         vs recursive (Rec)"
       [
         ("Size", Table.Right); ("Block", Table.Right); ("Point", Table.Right);
         ("1", Table.Right); ("2", Table.Right); ("2+", Table.Right);
-        ("Speedup", Table.Right);
+        ("Rec", Table.Right); ("Speedup", Table.Right);
       ]
   in
   let sizes = if quick then [ (200, [ 32 ]) ] else [ (300, [ 32; 64 ]); (500, [ 32; 64 ]) ] in
@@ -131,6 +162,8 @@ let t3 () =
       let a0 = Linalg.random_diag_dominant ~seed:2 n in
       let bench f = time (fun () -> f (Linalg.copy_mat a0)) in
       let t_point = bench N_lu.point in
+      (* cache-oblivious comparison column: no block parameter to tune *)
+      let t_rec = bench (fun m -> N_lu.recursive m) in
       List.iter
         (fun b ->
           let t1v = bench (N_lu.sorensen ~block:b) in
@@ -140,11 +173,11 @@ let t3 () =
             [
               string_of_int n; string_of_int b; Table.cell_s t_point;
               Table.cell_s t1v; Table.cell_s t2v; Table.cell_s t2p;
-              Table.cell_f (t_point /. t2p);
+              Table.cell_s t_rec; Table.cell_f (t_point /. t2p);
             ])
         blocks)
     sizes;
-  Table.print tbl;
+  output ~id:"t3" tbl;
   print_string "paper: 1 and 2 within ~8% of point; 2+ speedup 2.5-3.2\n"
 
 (* ------------------------------------------------------------------ *)
@@ -177,7 +210,7 @@ let t4 () =
             ])
         blocks)
     sizes;
-  Table.print tbl;
+  output ~id:"t4" tbl;
   print_string "paper: 1 close to point; 1+ speedup 2.3-2.7\n"
 
 (* ------------------------------------------------------------------ *)
@@ -206,7 +239,7 @@ let t5 () =
           Table.cell_f (t_point /. t_opt);
         ])
     sizes;
-  Table.print tbl;
+  output ~id:"t5-givens" tbl;
   print_string "paper: speedup 2.04 at 300, 5.49 at 500 (see also the X1 cache ablation,\n\
 which reproduces the factor on the simulated 64KB cache)\n";
   (* §5.3: Householder QR — the non-blockable one; we still show the block
@@ -231,7 +264,7 @@ which reproduces the factor on the simulated 64KB cache)\n";
           Table.cell_f (t_point /. t_blk);
         ])
     sizes;
-  Table.print tbl2
+  output ~id:"t5-householder" tbl2
 
 (* ------------------------------------------------------------------ *)
 (* Figures                                                             *)
@@ -372,7 +405,7 @@ let cache_ablation () =
                    ~optimized:r.transformed_cycles);
             ])
     cases;
-  Table.print tbl
+  output ~id:"x1-cache" tbl
 
 (* ------------------------------------------------------------------ *)
 (* Ablation: block-size sensitivity and the block-size chooser         *)
@@ -393,7 +426,7 @@ let ablation () =
       Table.add_row tbl
         [ string_of_int b; Table.cell_s t; Table.cell_f (t_point /. t) ])
     [ 8; 16; 32; 64; 128; 256 ];
-  Table.print tbl;
+  output ~id:"ablation-block-size" tbl;
   (* and the simulated-machine chooser the Section-6 lowering uses *)
   List.iter
     (fun (m : Arch.t) ->
@@ -422,7 +455,90 @@ let ablation () =
             ]
       | Error m -> Printf.printf "%s\n" m)
     [ 2; 4; 8; 16; 32 ];
-  Table.print tbl2
+  output ~id:"ablation-simulated-ks" tbl2
+
+(* ------------------------------------------------------------------ *)
+(* PAR: the multicore runtime on the blocked kernels (beyond the paper)*)
+(* ------------------------------------------------------------------ *)
+
+(* Serial "2+"-style variants vs the same kernels fanned out over the
+   domain pool at 1, 2, 4 and [recommended_domain_count] lanes.  The
+   speedup and scaling-efficiency columns are measured against the
+   serial variant at the ND lane count (ND = what Pool.default would
+   use, absent BLOCKABILITY_DOMAINS). *)
+let par () =
+  let nd = Domain.recommended_domain_count () in
+  banner
+    (Printf.sprintf
+       "PAR  (beyond the paper): domain-pool runtime, %d core%s visible" nd
+       (if nd = 1 then "" else "s"));
+  let lanes = List.sort_uniq compare [ 1; 2; 4; nd ] in
+  let pools = List.map (fun d -> (d, Pool.create ~domains:d)) lanes in
+  let tbl =
+    Table.create
+      ~title:"Parallel blocked kernels: serial vs domain-pool execution"
+      ([ ("Kernel", Table.Left); ("Size", Table.Right); ("Serial", Table.Right) ]
+      @ List.map (fun d -> (Printf.sprintf "%dD" d, Table.Right)) lanes
+      @ [ ("Speedup", Table.Right); ("Eff", Table.Right) ])
+  in
+  let row name size ~serial ~par =
+    let t_serial = time serial in
+    let times = List.map (fun (d, p) -> (d, time (fun () -> par p))) pools in
+    let t_nd = List.assoc nd times in
+    let speedup = t_serial /. t_nd in
+    Table.add_row tbl
+      ([ name; size; Table.cell_s t_serial ]
+      @ List.map (fun (_, t) -> Table.cell_s t) times
+      @ [
+          Table.cell_f speedup;
+          Printf.sprintf "%.0f%%" (100.0 *. speedup /. float_of_int nd);
+        ])
+  in
+  let n_lu = if quick then 200 else 500 in
+  let a0 = Linalg.random_diag_dominant ~seed:2 n_lu in
+  row "LU blocked"
+    (Printf.sprintf "%d/b32" n_lu)
+    ~serial:(fun () -> N_lu.blocked_opt ~block:32 (Linalg.copy_mat a0))
+    ~par:(fun p -> N_lu.blocked_par ~pool:p ~block:32 (Linalg.copy_mat a0));
+  let ap0 = Linalg.random ~seed:3 n_lu n_lu in
+  row "LU pivot blocked"
+    (Printf.sprintf "%d/b32" n_lu)
+    ~serial:(fun () -> N_lu_pivot.blocked_opt ~block:32 (Linalg.copy_mat ap0))
+    ~par:(fun p -> N_lu_pivot.blocked_par ~pool:p ~block:32 (Linalg.copy_mat ap0));
+  let n_mm = if quick then 150 else 300 in
+  let ma = Linalg.random ~seed:4 n_mm n_mm in
+  let mb = N_matmul.make_b ~seed:5 ~n:n_mm ~freq_pct:10 () in
+  let mc = Linalg.create n_mm n_mm in
+  let reset_c () = Array.fill mc.Linalg.a 0 (n_mm * n_mm) 0.0 in
+  row "Matmul UJ+IF"
+    (Printf.sprintf "%d/10%%" n_mm)
+    ~serial:(fun () ->
+      reset_c ();
+      N_matmul.uj_if ~a:ma ~b:mb ~c:mc)
+    ~par:(fun p ->
+      reset_c ();
+      N_matmul.uj_if_par ~pool:p ~a:ma ~b:mb ~c:mc ());
+  let n_cv = if quick then 300 else 500 in
+  let cv_iters = if quick then 60 else 200 in
+  let s = N_conv.make ~n1:n_cv ~n2:n_cv ~n3:(4 * n_cv / 3) () in
+  row "Aconv split+UJ"
+    (Printf.sprintf "%dx%d" n_cv cv_iters)
+    ~serial:(fun () ->
+      for _ = 1 to cv_iters do
+        N_conv.reset s;
+        N_conv.aconv_opt s
+      done)
+    ~par:(fun p ->
+      for _ = 1 to cv_iters do
+        N_conv.reset s;
+        N_conv.aconv_opt_par ~pool:p s
+      done);
+  output ~id:"par" tbl;
+  Printf.printf
+    "all *_par results are bitwise equal to their serial variants;\n\
+     lanes > cores (this host: %d) cannot speed anything up.\n"
+    nd;
+  List.iter (fun (_, p) -> Pool.shutdown p) pools
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel: one Test.make per table                                   *)
@@ -489,4 +605,13 @@ let () =
   if want "cache" then cache_ablation ();
   if want "ablation" then ablation ();
   if want "bechamel" then bechamel_tests ();
+  if want "par" then par ();
+  (match json_path with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Table.json_of_tables !registry);
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "\nwrote %d table(s) to %s\n" (List.length !registry) path);
   Printf.printf "\ndone.\n"

@@ -22,26 +22,39 @@ let make ?(seed = 1) ~n1 ~n2 ~n3 () =
 
 let reset s = Array.fill s.f3 0 (Array.length s.f3) 0.0
 
+(* Hot loops index the series through unchecked accessors; [check]
+   asserts the index-space bounds once per entry point: K stays in
+   [0, n1], I in [0, n3], and I - K + n2 in [0, 2*n2 + n3]. *)
+let ug = Array.unsafe_get
+let us = Array.unsafe_set
+
+let check s =
+  assert (Array.length s.f1 >= s.n1 + 1);
+  assert (Array.length s.f2 >= (2 * s.n2) + s.n3 + 1);
+  assert (Array.length s.f3 >= s.n3 + 1)
+
 let aconv s =
+  check s;
   let { f1; f2; f3; dt; n1; n2; n3 } = s in
   for i = 0 to n3 do
     let hi = min (i + n2) n1 in
-    let acc = ref f3.(i) in
+    let acc = ref (ug f3 i) in
     for k = i to hi do
-      acc := !acc +. (dt *. f1.(k) *. f2.(i - k + n2))
+      acc := !acc +. (dt *. ug f1 k *. ug f2 (i - k + n2))
     done;
-    f3.(i) <- !acc
+    us f3 i !acc
   done
 
 let conv s =
+  check s;
   let { f1; f2; f3; dt; n1; n2; n3 } = s in
   for i = 0 to n3 do
     let lo = max 0 (i - n2) and hi = min i n1 in
-    let acc = ref f3.(i) in
+    let acc = ref (ug f3 i) in
     for k = lo to hi do
-      acc := !acc +. (dt *. f1.(k) *. f2.(i - k + n2))
+      acc := !acc +. (dt *. ug f1 k *. ug f2 (i - k + n2))
     done;
-    f3.(i) <- !acc
+    us f3 i !acc
   done
 
 (* Unroll-and-jam by 4 over rows [i0 .. i1] whose per-row k range is
@@ -53,11 +66,11 @@ let conv s =
 let jam4 ~dt ~f1 ~f2 ~f3 ~n2 ~i0 ~i1 ~lo ~hi =
   let plain_row r klo khi =
     if klo <= khi then begin
-      let acc = ref f3.(r) in
+      let acc = ref (ug f3 r) in
       for k = klo to khi do
-        acc := !acc +. (dt *. f1.(k) *. f2.(r - k + n2))
+        acc := !acc +. (dt *. ug f1 k *. ug f2 (r - k + n2))
       done;
-      f3.(r) <- !acc
+      us f3 r !acc
     end
   in
   let i = ref i0 in
@@ -73,21 +86,21 @@ let jam4 ~dt ~f1 ~f2 ~f3 ~n2 ~i0 ~i1 ~lo ~hi =
       for r = r0 to r0 + 3 do
         plain_row r (lo r) (min (hi r) (rect_lo - 1))
       done;
-      let s0 = ref f3.(r0)
-      and s1 = ref f3.(r0 + 1)
-      and s2 = ref f3.(r0 + 2)
-      and s3 = ref f3.(r0 + 3) in
+      let s0 = ref (ug f3 r0)
+      and s1 = ref (ug f3 (r0 + 1))
+      and s2 = ref (ug f3 (r0 + 2))
+      and s3 = ref (ug f3 (r0 + 3)) in
       for k = rect_lo to rect_hi do
-        let x = dt *. f1.(k) in
-        s0 := !s0 +. (x *. f2.(r0 - k + n2));
-        s1 := !s1 +. (x *. f2.(r0 + 1 - k + n2));
-        s2 := !s2 +. (x *. f2.(r0 + 2 - k + n2));
-        s3 := !s3 +. (x *. f2.(r0 + 3 - k + n2))
+        let x = dt *. ug f1 k in
+        s0 := !s0 +. (x *. ug f2 (r0 - k + n2));
+        s1 := !s1 +. (x *. ug f2 (r0 + 1 - k + n2));
+        s2 := !s2 +. (x *. ug f2 (r0 + 2 - k + n2));
+        s3 := !s3 +. (x *. ug f2 (r0 + 3 - k + n2))
       done;
-      f3.(r0) <- !s0;
-      f3.(r0 + 1) <- !s1;
-      f3.(r0 + 2) <- !s2;
-      f3.(r0 + 3) <- !s3;
+      us f3 r0 !s0;
+      us f3 (r0 + 1) !s1;
+      us f3 (r0 + 2) !s2;
+      us f3 (r0 + 3) !s3;
       for r = r0 to r0 + 3 do
         plain_row r (max (lo r) (rect_hi + 1)) (hi r)
       done
@@ -103,6 +116,7 @@ let jam4 ~dt ~f1 ~f2 ~f3 ~n2 ~i0 ~i1 ~lo ~hi =
   done
 
 let aconv_opt s =
+  check s;
   let { f1; f2; f3; dt; n1; n2; n3 } = s in
   (* Index-set split at the trapezoid crossover I = N1 - N2. *)
   let split = min n3 (n1 - n2) in
@@ -115,7 +129,26 @@ let aconv_opt s =
     ~lo:(fun i -> i)
     ~hi:(fun _ -> n1)
 
+(* Parallel [aconv_opt]: every output row I is written exactly once, so
+   the two split regions each fan their row range out over the pool.
+   Chunk starts are aligned to the jam width (4), so each chunk's
+   group-of-4 decomposition coincides with the serial one and the result
+   is bitwise equal to [aconv_opt].  The triangular region's rows get
+   cheaper as I grows — the guided tail keeps lanes balanced. *)
+let aconv_opt_par ?pool s =
+  check s;
+  let { f1; f2; f3; dt; n1; n2; n3 } = s in
+  let split = min n3 (n1 - n2) in
+  let region ~i0 ~i1 ~lo ~hi =
+    Parallel.for_ ?pool ~chunking:(Parallel.Guided { min_chunk = 16 })
+      ~align:4 ~lo:i0 ~hi:i1
+      (fun c0 c1 -> jam4 ~dt ~f1 ~f2 ~f3 ~n2 ~i0:c0 ~i1:c1 ~lo ~hi)
+  in
+  region ~i0:0 ~i1:split ~lo:(fun i -> i) ~hi:(fun i -> i + n2);
+  region ~i0:(max 0 (split + 1)) ~i1:n3 ~lo:(fun i -> i) ~hi:(fun _ -> n1)
+
 let conv_opt s =
+  check s;
   let { f1; f2; f3; dt; n1; n2; n3 } = s in
   (* Full MIN/MAX removal gives four regions (paper §3.2). *)
   let s1 = min (min n3 n1) (n2 - 1) in

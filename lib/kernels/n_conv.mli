@@ -26,5 +26,13 @@ val reset : series -> unit
 
 val aconv : series -> unit
 val aconv_opt : series -> unit
+
+val aconv_opt_par : ?pool:Pool.t -> series -> unit
+(** [aconv_opt] with each split region's row range fanned out over
+    [pool] (default {!Pool.default}).  Every output row is written by
+    exactly one chunk and chunk starts are aligned to the jam width, so
+    the result is bitwise equal to [aconv_opt] and deterministic across
+    runs and pool sizes. *)
+
 val conv : series -> unit
 val conv_opt : series -> unit

@@ -1,19 +1,26 @@
 open Linalg
 
+(* All hot loops below index [a] through these unchecked accessors; each
+   entry point asserts once that the flat array really covers the m*n
+   index space the loops stay inside. *)
+let ug = Array.unsafe_get
+let us = Array.unsafe_set
+let check t = assert (t.m = t.n && Array.length t.a >= t.m * t.n)
+
 let point t =
+  check t;
   let n = t.n and m = t.m and a = t.a in
-  assert (m = n);
   for k = 1 to n - 1 do
     let kc = (k - 1) * m in
-    let piv = a.(kc + k - 1) in
+    let piv = ug a (kc + k - 1) in
     for i = k + 1 to n do
-      a.(kc + i - 1) <- a.(kc + i - 1) /. piv
+      us a (kc + i - 1) (ug a (kc + i - 1) /. piv)
     done;
     for j = k + 1 to n do
       let jc = (j - 1) * m in
-      let akj = a.(jc + k - 1) in
+      let akj = ug a (jc + k - 1) in
       for i = k + 1 to n do
-        a.(jc + i - 1) <- a.(jc + i - 1) -. (a.(kc + i - 1) *. akj)
+        us a (jc + i - 1) (ug a (jc + i - 1) -. (ug a (kc + i - 1) *. akj))
       done
     done
   done
@@ -24,15 +31,15 @@ let panel t ~k ~kend =
   let n = t.n and m = t.m and a = t.a in
   for kk = k to kend do
     let kkc = (kk - 1) * m in
-    let piv = a.(kkc + kk - 1) in
+    let piv = ug a (kkc + kk - 1) in
     for i = kk + 1 to n do
-      a.(kkc + i - 1) <- a.(kkc + i - 1) /. piv
+      us a (kkc + i - 1) (ug a (kkc + i - 1) /. piv)
     done;
     for j = kk + 1 to min kend n do
       let jc = (j - 1) * m in
-      let akj = a.(jc + kk - 1) in
+      let akj = ug a (jc + kk - 1) in
       for i = kk + 1 to n do
-        a.(jc + i - 1) <- a.(jc + i - 1) -. (a.(kkc + i - 1) *. akj)
+        us a (jc + i - 1) (ug a (jc + i - 1) -. (ug a (kkc + i - 1) *. akj))
       done
     done
   done
@@ -40,8 +47,8 @@ let panel t ~k ~kend =
 (* "1": Sorensen-style hand block — panel, then the trailing update as a
    sequence of rank-1 updates with stride-one inner loops. *)
 let sorensen ~block t =
+  check t;
   let n = t.n and m = t.m and a = t.a in
-  assert (m = n);
   let k = ref 1 in
   while !k <= n - 1 do
     let kend = min (!k + block - 1) (n - 1) in
@@ -50,9 +57,9 @@ let sorensen ~block t =
       let jc = (j - 1) * m in
       for kk = !k to kend do
         let kkc = (kk - 1) * m in
-        let akj = a.(jc + kk - 1) in
+        let akj = ug a (jc + kk - 1) in
         for i = kk + 1 to n do
-          a.(jc + i - 1) <- a.(jc + i - 1) -. (a.(kkc + i - 1) *. akj)
+          us a (jc + i - 1) (ug a (jc + i - 1) -. (ug a (kkc + i - 1) *. akj))
         done
       done
     done;
@@ -62,8 +69,8 @@ let sorensen ~block t =
 (* "2": the Figure-6 form the compiler derives — trailing update with the
    elimination (KK) loop innermost. *)
 let blocked ~block t =
+  check t;
   let n = t.n and m = t.m and a = t.a in
-  assert (m = n);
   let k = ref 1 in
   while !k <= n - 1 do
     let kend = min (!k + block - 1) (n - 1) in
@@ -72,62 +79,112 @@ let blocked ~block t =
       let jc = (j - 1) * m in
       for i = !k + 1 to n do
         let kmax = min kend (i - 1) in
-        let x = ref a.(jc + i - 1) in
+        let x = ref (ug a (jc + i - 1)) in
         for kk = !k to kmax do
-          x := !x -. (a.(((kk - 1) * m) + i - 1) *. a.(jc + kk - 1))
+          x := !x -. (ug a (((kk - 1) * m) + i - 1) *. ug a (jc + kk - 1))
         done;
-        a.(jc + i - 1) <- !x
+        us a (jc + i - 1) !x
       done
     done;
     k := !k + block
   done
 
+(* The "2+" trailing update over an explicit column range [jlo .. jhi]:
+   unroll-and-jam of the column loop by 4 with the accumulators in
+   scalars, plus the plain loop on the (jhi - jlo + 1) mod 4 remainder
+   columns.  Per column the elimination steps apply in increasing KK
+   order through one load/store chain, so any decomposition of the
+   column range reproduces the point results bit-for-bit — which is what
+   lets the recursive and parallel drivers below reuse it. *)
+let trailing_cols t ~k ~kend ~jlo ~jhi =
+  let m = t.m and a = t.a in
+  let j = ref jlo in
+  while !j + 3 <= jhi do
+    let j0 = (!j - 1) * m
+    and j1 = !j * m
+    and j2 = (!j + 1) * m
+    and j3 = (!j + 2) * m in
+    for i = k + 1 to t.n do
+      let kmax = min kend (i - 1) in
+      let s0 = ref (ug a (j0 + i - 1))
+      and s1 = ref (ug a (j1 + i - 1))
+      and s2 = ref (ug a (j2 + i - 1))
+      and s3 = ref (ug a (j3 + i - 1)) in
+      for kk = k to kmax do
+        let aik = ug a (((kk - 1) * m) + i - 1) in
+        s0 := !s0 -. (aik *. ug a (j0 + kk - 1));
+        s1 := !s1 -. (aik *. ug a (j1 + kk - 1));
+        s2 := !s2 -. (aik *. ug a (j2 + kk - 1));
+        s3 := !s3 -. (aik *. ug a (j3 + kk - 1))
+      done;
+      us a (j0 + i - 1) !s0;
+      us a (j1 + i - 1) !s1;
+      us a (j2 + i - 1) !s2;
+      us a (j3 + i - 1) !s3
+    done;
+    j := !j + 4
+  done;
+  for j = !j to jhi do
+    let jc = (j - 1) * m in
+    for i = k + 1 to t.n do
+      let kmax = min kend (i - 1) in
+      let x = ref (ug a (jc + i - 1)) in
+      for kk = k to kmax do
+        x := !x -. (ug a (((kk - 1) * m) + i - 1) *. ug a (jc + kk - 1))
+      done;
+      us a (jc + i - 1) !x
+    done
+  done
+
 (* "2+": Figure 6 plus unroll-and-jam of the trailing column loop (by 4)
    and scalar replacement of the accumulators. *)
 let blocked_opt ~block t =
-  let n = t.n and m = t.m and a = t.a in
-  assert (m = n);
+  check t;
+  let n = t.n in
   let k = ref 1 in
   while !k <= n - 1 do
     let kend = min (!k + block - 1) (n - 1) in
     panel t ~k:!k ~kend;
-    let j = ref (kend + 1) in
-    while !j + 3 <= n do
-      let j0 = (!j - 1) * m
-      and j1 = !j * m
-      and j2 = (!j + 1) * m
-      and j3 = (!j + 2) * m in
-      for i = !k + 1 to n do
-        let kmax = min kend (i - 1) in
-        let s0 = ref a.(j0 + i - 1)
-        and s1 = ref a.(j1 + i - 1)
-        and s2 = ref a.(j2 + i - 1)
-        and s3 = ref a.(j3 + i - 1) in
-        for kk = !k to kmax do
-          let aik = a.(((kk - 1) * m) + i - 1) in
-          s0 := !s0 -. (aik *. a.(j0 + kk - 1));
-          s1 := !s1 -. (aik *. a.(j1 + kk - 1));
-          s2 := !s2 -. (aik *. a.(j2 + kk - 1));
-          s3 := !s3 -. (aik *. a.(j3 + kk - 1))
-        done;
-        a.(j0 + i - 1) <- !s0;
-        a.(j1 + i - 1) <- !s1;
-        a.(j2 + i - 1) <- !s2;
-        a.(j3 + i - 1) <- !s3
-      done;
-      j := !j + 4
-    done;
-    (* remainder columns *)
-    for j = !j to n do
-      let jc = (j - 1) * m in
-      for i = !k + 1 to n do
-        let kmax = min kend (i - 1) in
-        let x = ref a.(jc + i - 1) in
-        for kk = !k to kmax do
-          x := !x -. (a.(((kk - 1) * m) + i - 1) *. a.(jc + kk - 1))
-        done;
-        a.(jc + i - 1) <- !x
-      done
-    done;
+    trailing_cols t ~k:!k ~kend ~jlo:(kend + 1) ~jhi:n;
     k := !k + block
   done
+
+(* "2P": the parallel form of "2+".  The panel is a recurrence and stays
+   serial; the trailing columns are independent (each reads the panel
+   and writes only itself), so they fan out across the pool.  Chunk
+   starts are aligned to the jam width so the group-of-4 decomposition —
+   and therefore the floating-point result — is identical to
+   [blocked_opt]'s.  Guided chunking: the region is re-entered once per
+   K block on a steadily shrinking column range, so cheap tail chunks
+   keep lanes from starving at the barrier. *)
+let blocked_par ?pool ~block t =
+  check t;
+  let n = t.n in
+  let k = ref 1 in
+  while !k <= n - 1 do
+    let kend = min (!k + block - 1) (n - 1) in
+    panel t ~k:!k ~kend;
+    Parallel.for_ ?pool ~chunking:(Parallel.Guided { min_chunk = 8 }) ~align:4
+      ~lo:(kend + 1) ~hi:n
+      (fun jlo jhi -> trailing_cols t ~k:!k ~kend ~jlo ~jhi);
+    k := !k + block
+  done
+
+(* Recursive (cache-oblivious) LU, after ReLAPACK: factor the left half
+   of the columns, apply its updates to the right half with the same
+   trailing kernel, recurse right.  Updates still reach each column in
+   increasing KK order, so the factors equal [point]'s bit-for-bit at
+   every base size. *)
+let recursive ?(base = 16) t =
+  check t;
+  let base = max 1 base in
+  let rec go ~k0 ~k1 =
+    if k1 - k0 + 1 <= base then panel t ~k:k0 ~kend:k1
+    else begin
+      let mid = (k0 + k1) / 2 in
+      go ~k0 ~k1:mid;
+      trailing_cols t ~k:k0 ~kend:mid ~jlo:(mid + 1) ~jhi:k1;
+      go ~k0:(mid + 1) ~k1
+    end
+  in
+  if t.n > 1 then go ~k0:1 ~k1:t.n

@@ -12,9 +12,19 @@
       trailing update with the elimination step innermost;
     - [blocked_opt] — Figure 6 plus trapezoidal unroll-and-jam and
       scalar replacement ("2+"): the trailing update unrolls the column
-      loop and keeps the accumulators in scalars. *)
+      loop and keeps the accumulators in scalars;
+    - [recursive] — cache-oblivious splitting of the column range in
+      halves (ReLAPACK-style), bottoming out in a [base]-column panel;
+      every level reuses the "2+" trailing kernel;
+    - [blocked_par] — "2+" with the trailing update fanned out over
+      [pool] (default {!Pool.default}).  The trailing columns are
+      dependence-free at a fixed elimination block, and chunk starts are
+      aligned to the jam width, so the result is bitwise equal to
+      [blocked_opt] and deterministic across runs and pool sizes. *)
 
 val point : Linalg.mat -> unit
 val sorensen : block:int -> Linalg.mat -> unit
 val blocked : block:int -> Linalg.mat -> unit
 val blocked_opt : block:int -> Linalg.mat -> unit
+val recursive : ?base:int -> Linalg.mat -> unit
+val blocked_par : ?pool:Pool.t -> block:int -> Linalg.mat -> unit

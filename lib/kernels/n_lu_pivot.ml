@@ -1,22 +1,28 @@
 open Linalg
 
+(* Hot loops index [a] through unchecked accessors; each entry point
+   asserts once that the flat array covers the m*n index space. *)
+let ug = Array.unsafe_get
+let us = Array.unsafe_set
+let check t = assert (t.m = t.n && Array.length t.a >= t.m * t.n)
+
 let swap_rows t r1 r2 =
   if r1 <> r2 then begin
     let m = t.m and a = t.a in
     for j = 0 to t.n - 1 do
       let c = j * m in
-      let tau = a.(c + r1 - 1) in
-      a.(c + r1 - 1) <- a.(c + r2 - 1);
-      a.(c + r2 - 1) <- tau
+      let tau = ug a (c + r1 - 1) in
+      us a (c + r1 - 1) (ug a (c + r2 - 1));
+      us a (c + r2 - 1) tau
     done
   end
 
 let pivot_of t k =
   let m = t.m and a = t.a in
   let kc = (k - 1) * m in
-  let imax = ref k and amax = ref (Float.abs a.(kc + k - 1)) in
+  let imax = ref k and amax = ref (Float.abs (ug a (kc + k - 1))) in
   for i = k + 1 to t.n do
-    let x = Float.abs a.(kc + i - 1) in
+    let x = Float.abs (ug a (kc + i - 1)) in
     if x > !amax then begin
       amax := x;
       imax := i
@@ -31,20 +37,20 @@ let step t k ~jend =
   let n = t.n and m = t.m and a = t.a in
   swap_rows t k (pivot_of t k);
   let kc = (k - 1) * m in
-  let piv = a.(kc + k - 1) in
+  let piv = ug a (kc + k - 1) in
   for i = k + 1 to n do
-    a.(kc + i - 1) <- a.(kc + i - 1) /. piv
+    us a (kc + i - 1) (ug a (kc + i - 1) /. piv)
   done;
   for j = k + 1 to jend do
     let jc = (j - 1) * m in
-    let akj = a.(jc + k - 1) in
+    let akj = ug a (jc + k - 1) in
     for i = k + 1 to n do
-      a.(jc + i - 1) <- a.(jc + i - 1) -. (a.(kc + i - 1) *. akj)
+      us a (jc + i - 1) (ug a (jc + i - 1) -. (ug a (kc + i - 1) *. akj))
     done
   done
 
 let point t =
-  assert (t.m = t.n);
+  check t;
   for k = 1 to t.n - 1 do
     step t k ~jend:t.n
   done
@@ -55,56 +61,62 @@ let trailing_plain t ~k ~kend =
     let jc = (j - 1) * m in
     for i = k + 1 to n do
       let kmax = min kend (i - 1) in
-      let x = ref a.(jc + i - 1) in
+      let x = ref (ug a (jc + i - 1)) in
       for kk = k to kmax do
-        x := !x -. (a.(((kk - 1) * m) + i - 1) *. a.(jc + kk - 1))
+        x := !x -. (ug a (((kk - 1) * m) + i - 1) *. ug a (jc + kk - 1))
       done;
-      a.(jc + i - 1) <- !x
+      us a (jc + i - 1) !x
     done
   done
 
-let trailing_opt t ~k ~kend =
-  let n = t.n and m = t.m and a = t.a in
-  let j = ref (kend + 1) in
-  while !j + 3 <= n do
+(* The "1+" trailing update over an explicit column range: unroll-and-jam
+   by 4 with scalar accumulators, remainder columns plain.  As in
+   {!N_lu.trailing_cols}, per-column updates apply in increasing KK
+   order, so any column-range decomposition is bit-identical. *)
+let trailing_cols t ~k ~kend ~jlo ~jhi =
+  let m = t.m and a = t.a in
+  let j = ref jlo in
+  while !j + 3 <= jhi do
     let j0 = (!j - 1) * m
     and j1 = !j * m
     and j2 = (!j + 1) * m
     and j3 = (!j + 2) * m in
-    for i = k + 1 to n do
+    for i = k + 1 to t.n do
       let kmax = min kend (i - 1) in
-      let s0 = ref a.(j0 + i - 1)
-      and s1 = ref a.(j1 + i - 1)
-      and s2 = ref a.(j2 + i - 1)
-      and s3 = ref a.(j3 + i - 1) in
+      let s0 = ref (ug a (j0 + i - 1))
+      and s1 = ref (ug a (j1 + i - 1))
+      and s2 = ref (ug a (j2 + i - 1))
+      and s3 = ref (ug a (j3 + i - 1)) in
       for kk = k to kmax do
-        let aik = a.(((kk - 1) * m) + i - 1) in
-        s0 := !s0 -. (aik *. a.(j0 + kk - 1));
-        s1 := !s1 -. (aik *. a.(j1 + kk - 1));
-        s2 := !s2 -. (aik *. a.(j2 + kk - 1));
-        s3 := !s3 -. (aik *. a.(j3 + kk - 1))
+        let aik = ug a (((kk - 1) * m) + i - 1) in
+        s0 := !s0 -. (aik *. ug a (j0 + kk - 1));
+        s1 := !s1 -. (aik *. ug a (j1 + kk - 1));
+        s2 := !s2 -. (aik *. ug a (j2 + kk - 1));
+        s3 := !s3 -. (aik *. ug a (j3 + kk - 1))
       done;
-      a.(j0 + i - 1) <- !s0;
-      a.(j1 + i - 1) <- !s1;
-      a.(j2 + i - 1) <- !s2;
-      a.(j3 + i - 1) <- !s3
+      us a (j0 + i - 1) !s0;
+      us a (j1 + i - 1) !s1;
+      us a (j2 + i - 1) !s2;
+      us a (j3 + i - 1) !s3
     done;
     j := !j + 4
   done;
-  for j = !j to n do
+  for j = !j to jhi do
     let jc = (j - 1) * m in
-    for i = k + 1 to n do
+    for i = k + 1 to t.n do
       let kmax = min kend (i - 1) in
-      let x = ref a.(jc + i - 1) in
+      let x = ref (ug a (jc + i - 1)) in
       for kk = k to kmax do
-        x := !x -. (a.(((kk - 1) * m) + i - 1) *. a.(jc + kk - 1))
+        x := !x -. (ug a (((kk - 1) * m) + i - 1) *. ug a (jc + kk - 1))
       done;
-      a.(jc + i - 1) <- !x
+      us a (jc + i - 1) !x
     done
   done
 
+let trailing_opt t ~k ~kend = trailing_cols t ~k ~kend ~jlo:(kend + 1) ~jhi:t.n
+
 let with_trailing trailing ~block t =
-  assert (t.m = t.n);
+  check t;
   let n = t.n in
   let k = ref 1 in
   while !k <= n - 1 do
@@ -120,3 +132,16 @@ let with_trailing trailing ~block t =
 
 let blocked ~block t = with_trailing trailing_plain ~block t
 let blocked_opt ~block t = with_trailing trailing_opt ~block t
+
+(* "1P": the §5.2 commutativity argument is what makes this legal — row
+   swaps commute with whole-column updates, so all swaps for the block
+   land during the serial panel and the deferred trailing update sees a
+   fixed row order.  At that point the trailing columns are independent
+   and fan out over the pool exactly as in the unpivoted case. *)
+let blocked_par ?pool ~block t =
+  with_trailing
+    (fun t ~k ~kend ->
+      Parallel.for_ ?pool ~chunking:(Parallel.Guided { min_chunk = 8 })
+        ~align:4 ~lo:(kend + 1) ~hi:t.n
+        (fun jlo jhi -> trailing_cols t ~k ~kend ~jlo ~jhi))
+    ~block t

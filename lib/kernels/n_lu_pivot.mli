@@ -6,7 +6,15 @@
       updates): the point algorithm runs on the panel columns, the
       trailing update is deferred per block;
     - [blocked_opt] — Figure 8 plus unroll-and-jam and scalar
-      replacement on the trailing update ("1+").
+      replacement on the trailing update ("1+");
+    - [blocked_par] — "1+" with the deferred trailing update fanned out
+      over [pool] (default {!Pool.default}).  Legal for the same §5.2
+      commutativity reason the block form exists at all: every row swap
+      of the block happens in the serial panel, so the parallel trailing
+      columns see a fixed row order and are mutually independent.  Chunk
+      starts are aligned to the jam width, so the result is bitwise
+      equal to [blocked_opt] and deterministic across runs and pool
+      sizes.
 
     All variants produce bit-identical factors (the commuted operations
     perform the same floating-point operations on the same values). *)
@@ -14,3 +22,4 @@
 val point : Linalg.mat -> unit
 val blocked : block:int -> Linalg.mat -> unit
 val blocked_opt : block:int -> Linalg.mat -> unit
+val blocked_par : ?pool:Pool.t -> block:int -> Linalg.mat -> unit

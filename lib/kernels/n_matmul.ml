@@ -1,5 +1,16 @@
 open Linalg
 
+(* Hot loops index the flat arrays through unchecked accessors; each
+   entry point asserts the index-space bound once. *)
+let ug = Array.unsafe_get
+let us = Array.unsafe_set
+
+let check ~a ~b ~c =
+  assert (a.m = c.m && a.n = b.m && b.n = c.n);
+  assert (Array.length a.a >= a.m * a.n);
+  assert (Array.length b.a >= b.m * b.n);
+  assert (Array.length c.a >= c.m * c.n)
+
 let make_b ?(seed = 5) ~n ~freq_pct () =
   let b = create n n in
   let rng = Lcg.create seed in
@@ -21,16 +32,17 @@ let make_b ?(seed = 5) ~n ~freq_pct () =
   b
 
 let original ~a ~b ~c =
+  check ~a ~b ~c;
   let n = a.n and m = a.m in
   let aa = a.a and ba = b.a and ca = c.a in
   for j = 1 to n do
     let jc = (j - 1) * m in
     for k = 1 to n do
-      let bkj = ba.(((j - 1) * b.m) + k - 1) in
+      let bkj = ug ba (((j - 1) * b.m) + k - 1) in
       if bkj <> 0.0 then begin
         let kc = (k - 1) * m in
         for i = 1 to m do
-          ca.(jc + i - 1) <- ca.(jc + i - 1) +. (aa.(kc + i - 1) *. bkj)
+          us ca (jc + i - 1) (ug ca (jc + i - 1) +. (ug aa (kc + i - 1) *. bkj))
         done
       end
     done
@@ -39,92 +51,122 @@ let original ~a ~b ~c =
 (* The paper's strawman: unroll-and-jam K by 2 with the guards replicated
    in the innermost loop. *)
 let uj ~a ~b ~c =
+  check ~a ~b ~c;
   let n = a.n and m = a.m in
   let aa = a.a and ba = b.a and ca = c.a in
   for j = 1 to n do
     let jc = (j - 1) * m and bj = (j - 1) * b.m in
     let k = ref 1 in
     while !k + 1 <= n do
-      let b0 = ba.(bj + !k - 1) and b1 = ba.(bj + !k) in
+      let b0 = ug ba (bj + !k - 1) and b1 = ug ba (bj + !k) in
       let k0 = (!k - 1) * m and k1 = !k * m in
       for i = 1 to m do
         if b0 <> 0.0 then
-          ca.(jc + i - 1) <- ca.(jc + i - 1) +. (aa.(k0 + i - 1) *. b0);
+          us ca (jc + i - 1) (ug ca (jc + i - 1) +. (ug aa (k0 + i - 1) *. b0));
         if b1 <> 0.0 then
-          ca.(jc + i - 1) <- ca.(jc + i - 1) +. (aa.(k1 + i - 1) *. b1)
+          us ca (jc + i - 1) (ug ca (jc + i - 1) +. (ug aa (k1 + i - 1) *. b1))
       done;
       k := !k + 2
     done;
     if !k = n then begin
-      let b0 = ba.(bj + n - 1) in
+      let b0 = ug ba (bj + n - 1) in
       if b0 <> 0.0 then begin
         let k0 = (n - 1) * m in
         for i = 1 to m do
-          ca.(jc + i - 1) <- ca.(jc + i - 1) +. (aa.(k0 + i - 1) *. b0)
+          us ca (jc + i - 1) (ug ca (jc + i - 1) +. (ug aa (k0 + i - 1) *. b0))
         done
       end
     end
   done
 
-(* IF-inspection: record the nonzero ranges of column J, then run the
-   unguarded update over the ranges with K unrolled by 2. *)
-let uj_if ~a ~b ~c =
+(* IF-inspection of one column J: record the nonzero ranges of B(:,J)
+   into the [klb]/[kub] scratch, then run the unguarded update over the
+   ranges with K unrolled by 4 (plus pairwise and single-step
+   remainders).  Each C(I,J) accumulates its nonzero Ks in increasing
+   order, so results stay bit-identical to [original] — and because the
+   column touches only C(:,J), any set of columns can run in any order
+   or concurrently. *)
+let uj_if_col ~a ~b ~c ~klb ~kub j =
   let n = a.n and m = a.m in
   let aa = a.a and ba = b.a and ca = c.a in
-  let klb = Array.make ((n / 2) + 2) 0 and kub = Array.make ((n / 2) + 2) 0 in
-  for j = 1 to n do
-    let jc = (j - 1) * m and bj = (j - 1) * b.m in
-    (* inspector *)
-    let kc = ref 0 and flag = ref false in
-    for k = 1 to n do
-      if ba.(bj + k - 1) <> 0.0 then begin
-        if not !flag then begin
-          incr kc;
-          klb.(!kc) <- k;
-          flag := true
-        end
+  let jc = (j - 1) * m and bj = (j - 1) * b.m in
+  (* inspector *)
+  let kc = ref 0 and flag = ref false in
+  for k = 1 to n do
+    if ug ba (bj + k - 1) <> 0.0 then begin
+      if not !flag then begin
+        incr kc;
+        us klb !kc k;
+        flag := true
       end
-      else if !flag then begin
-        kub.(!kc) <- k - 1;
-        flag := false
-      end
+    end
+    else if !flag then begin
+      us kub !kc (k - 1);
+      flag := false
+    end
+  done;
+  if !flag then us kub !kc n;
+  (* executor *)
+  for kn = 1 to !kc do
+    let k = ref (ug klb kn) in
+    let kend = ug kub kn in
+    while !k + 3 <= kend do
+      let b0 = ug ba (bj + !k - 1)
+      and b1 = ug ba (bj + !k)
+      and b2 = ug ba (bj + !k + 1)
+      and b3 = ug ba (bj + !k + 2) in
+      let k0 = (!k - 1) * m
+      and k1 = !k * m
+      and k2 = (!k + 1) * m
+      and k3 = (!k + 2) * m in
+      for i = 1 to m do
+        let x = ug ca (jc + i - 1) in
+        let x = x +. (ug aa (k0 + i - 1) *. b0) in
+        let x = x +. (ug aa (k1 + i - 1) *. b1) in
+        let x = x +. (ug aa (k2 + i - 1) *. b2) in
+        us ca (jc + i - 1) (x +. (ug aa (k3 + i - 1) *. b3))
+      done;
+      k := !k + 4
     done;
-    if !flag then kub.(!kc) <- n;
-    (* executor: K unrolled by 4 within each range (plus a pairwise and a
-       single-step remainder); each C(I,J) still accumulates its nonzero
-       Ks in increasing order, so results stay bit-identical *)
-    for kn = 1 to !kc do
-      let k = ref klb.(kn) in
-      let kend = kub.(kn) in
-      while !k + 3 <= kend do
-        let b0 = ba.(bj + !k - 1) and b1 = ba.(bj + !k)
-        and b2 = ba.(bj + !k + 1) and b3 = ba.(bj + !k + 2) in
-        let k0 = (!k - 1) * m and k1 = !k * m
-        and k2 = (!k + 1) * m and k3 = (!k + 2) * m in
-        for i = 1 to m do
-          let x = ca.(jc + i - 1) in
-          let x = x +. (aa.(k0 + i - 1) *. b0) in
-          let x = x +. (aa.(k1 + i - 1) *. b1) in
-          let x = x +. (aa.(k2 + i - 1) *. b2) in
-          ca.(jc + i - 1) <- x +. (aa.(k3 + i - 1) *. b3)
-        done;
-        k := !k + 4
+    while !k + 1 <= kend do
+      let b0 = ug ba (bj + !k - 1) and b1 = ug ba (bj + !k) in
+      let k0 = (!k - 1) * m and k1 = !k * m in
+      for i = 1 to m do
+        us ca (jc + i - 1)
+          ((ug ca (jc + i - 1) +. (ug aa (k0 + i - 1) *. b0))
+          +. (ug aa (k1 + i - 1) *. b1))
       done;
-      while !k + 1 <= kend do
-        let b0 = ba.(bj + !k - 1) and b1 = ba.(bj + !k) in
-        let k0 = (!k - 1) * m and k1 = !k * m in
-        for i = 1 to m do
-          ca.(jc + i - 1) <-
-            (ca.(jc + i - 1) +. (aa.(k0 + i - 1) *. b0)) +. (aa.(k1 + i - 1) *. b1)
-        done;
-        k := !k + 2
-      done;
-      if !k = kend then begin
-        let b0 = ba.(bj + !k - 1) in
-        let k0 = (!k - 1) * m in
-        for i = 1 to m do
-          ca.(jc + i - 1) <- ca.(jc + i - 1) +. (aa.(k0 + i - 1) *. b0)
-        done
-      end
-    done
+      k := !k + 2
+    done;
+    if !k = kend then begin
+      let b0 = ug ba (bj + !k - 1) in
+      let k0 = (!k - 1) * m in
+      for i = 1 to m do
+        us ca (jc + i - 1) (ug ca (jc + i - 1) +. (ug aa (k0 + i - 1) *. b0))
+      done
+    end
   done
+
+let scratch n = (Array.make ((n / 2) + 2) 0, Array.make ((n / 2) + 2) 0)
+
+(* IF-inspection: record the nonzero ranges of column J, then run the
+   unguarded update over the ranges with K unrolled. *)
+let uj_if ~a ~b ~c =
+  check ~a ~b ~c;
+  let klb, kub = scratch a.n in
+  for j = 1 to a.n do
+    uj_if_col ~a ~b ~c ~klb ~kub j
+  done
+
+(* Parallel IF-inspection: the J loop carries no dependence (column J
+   writes only C(:,J)), so columns fan out over the pool.  Each chunk
+   gets its own inspector scratch; per-column work is identical to
+   [uj_if], so the result is bitwise equal regardless of schedule. *)
+let uj_if_par ?pool ~a ~b ~c () =
+  check ~a ~b ~c;
+  Parallel.for_ ?pool ~chunking:(Parallel.Guided { min_chunk = 4 }) ~lo:1
+    ~hi:a.n (fun jlo jhi ->
+      let klb, kub = scratch a.n in
+      for j = jlo to jhi do
+        uj_if_col ~a ~b ~c ~klb ~kub j
+      done)

@@ -7,10 +7,14 @@
     - [uj] — unroll-and-jam of the K loop by 2 with the guard moved into
       the innermost loop (the paper's strawman, expected to be slower);
     - [uj_if] — IF-inspection of the K loop, then unroll-and-jam by 2
-      inside the recorded ranges (the paper's winner).
+      inside the recorded ranges (the paper's winner);
+    - [uj_if_par] — [uj_if] with the J loop fanned out over a domain
+      pool: column J writes only C(:,J), so columns are independent and
+      each chunk carries its own inspector scratch.
 
     All variants accumulate each [C(I,J)] over the same nonzero [K]s in
-    the same order, so results are bit-identical. *)
+    the same order, so results are bit-identical (including the parallel
+    variant, whatever the schedule). *)
 
 val make_b : ?seed:int -> n:int -> freq_pct:int -> unit -> Linalg.mat
 (** [B] with about [freq_pct]% nonzero entries arranged in runs of ~4
@@ -20,3 +24,6 @@ val make_b : ?seed:int -> n:int -> freq_pct:int -> unit -> Linalg.mat
 val original : a:Linalg.mat -> b:Linalg.mat -> c:Linalg.mat -> unit
 val uj : a:Linalg.mat -> b:Linalg.mat -> c:Linalg.mat -> unit
 val uj_if : a:Linalg.mat -> b:Linalg.mat -> c:Linalg.mat -> unit
+
+val uj_if_par :
+  ?pool:Pool.t -> a:Linalg.mat -> b:Linalg.mat -> c:Linalg.mat -> unit -> unit

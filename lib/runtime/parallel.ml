@@ -1,0 +1,57 @@
+type chunking =
+  | Static
+  | Guided of { min_chunk : int }
+
+let chunks ~lanes ~chunking ~align ~lo ~hi =
+  let total = hi - lo + 1 in
+  if total <= 0 then [||]
+  else
+    let align = max 1 align in
+    let round_up c = (c + align - 1) / align * align in
+    match chunking with
+    | Static ->
+        (* lane boundaries at i*total/lanes, pushed up to alignment *)
+        let cut i =
+          if i >= lanes then total else min total (round_up (i * total / lanes))
+        in
+        let cs = ref [] in
+        for i = lanes - 1 downto 0 do
+          let s = cut i and e = cut (i + 1) in
+          if e > s then cs := (lo + s, lo + e - 1) :: !cs
+        done;
+        Array.of_list !cs
+    | Guided { min_chunk } ->
+        let min_chunk = max 1 min_chunk in
+        let cs = ref [] and start = ref lo in
+        while !start <= hi do
+          let remaining = hi - !start + 1 in
+          let c = max min_chunk (remaining / (2 * lanes)) in
+          let c = min (round_up c) remaining in
+          cs := (!start, !start + c - 1) :: !cs;
+          start := !start + c
+        done;
+        Array.of_list (List.rev !cs)
+
+let for_ ?pool ?(chunking = Static) ?(align = 1) ~lo ~hi f =
+  if hi >= lo then begin
+    let pool = match pool with Some p -> p | None -> Pool.default () in
+    let lanes = Pool.size pool in
+    if lanes = 1 then f lo hi
+    else begin
+      let cs = chunks ~lanes ~chunking ~align ~lo ~hi in
+      let n = Array.length cs in
+      if n <= 1 then f lo hi
+      else begin
+        let next = Atomic.make 0 in
+        Pool.run pool (fun () ->
+            let continue = ref true in
+            while !continue do
+              let i = Atomic.fetch_and_add next 1 in
+              if i >= n then continue := false
+              else
+                let s, e = cs.(i) in
+                f s e
+            done)
+      end
+    end
+  end

@@ -1,0 +1,124 @@
+type t = {
+  lanes : int;
+  mu : Mutex.t;
+  work_cv : Condition.t;
+  done_cv : Condition.t;
+  mutable task : (unit -> unit) option;
+  mutable epoch : int; (* bumped once per region; workers wait for a bump *)
+  mutable active : int; (* workers still inside the current region *)
+  mutable workers : unit Domain.t list;
+  mutable stopping : bool;
+  mutable in_region : bool; (* reentrancy guard, caller lane only *)
+  mutable exn : exn option; (* first failure observed in the region *)
+}
+
+let create ~domains =
+  {
+    lanes = max 1 domains;
+    mu = Mutex.create ();
+    work_cv = Condition.create ();
+    done_cv = Condition.create ();
+    task = None;
+    epoch = 0;
+    active = 0;
+    workers = [];
+    stopping = false;
+    in_region = false;
+    exn = None;
+  }
+
+let size t = t.lanes
+
+let record_exn t e =
+  (* called with t.mu held *)
+  if t.exn = None then t.exn <- Some e
+
+let worker t ~epoch0 =
+  let seen = ref epoch0 in
+  let rec loop () =
+    Mutex.lock t.mu;
+    while t.epoch = !seen && not t.stopping do
+      Condition.wait t.work_cv t.mu
+    done;
+    if t.stopping then Mutex.unlock t.mu
+    else begin
+      seen := t.epoch;
+      let f = Option.get t.task in
+      Mutex.unlock t.mu;
+      let failure = try f (); None with e -> Some e in
+      Mutex.lock t.mu;
+      (match failure with Some e -> record_exn t e | None -> ());
+      t.active <- t.active - 1;
+      if t.active = 0 then Condition.broadcast t.done_cv;
+      Mutex.unlock t.mu;
+      loop ()
+    end
+  in
+  loop ()
+
+let shutdown t =
+  Mutex.lock t.mu;
+  let ws = t.workers in
+  t.workers <- [];
+  t.stopping <- true;
+  Condition.broadcast t.work_cv;
+  Mutex.unlock t.mu;
+  List.iter Domain.join ws;
+  Mutex.lock t.mu;
+  t.stopping <- false;
+  Mutex.unlock t.mu
+
+let ensure_started t =
+  (* called with t.mu held; spawn the missing workers lazily *)
+  let missing = t.lanes - 1 - List.length t.workers in
+  if missing > 0 then begin
+    if t.workers = [] then at_exit (fun () -> shutdown t);
+    let epoch0 = t.epoch in
+    for _ = 1 to missing do
+      t.workers <- Domain.spawn (fun () -> worker t ~epoch0) :: t.workers
+    done
+  end
+
+let run t f =
+  if t.lanes = 1 || t.in_region then f ()
+  else begin
+    Mutex.lock t.mu;
+    ensure_started t;
+    t.task <- Some f;
+    t.active <- t.lanes - 1;
+    t.exn <- None;
+    t.epoch <- t.epoch + 1;
+    t.in_region <- true;
+    Condition.broadcast t.work_cv;
+    Mutex.unlock t.mu;
+    let failure = try f (); None with e -> Some e in
+    Mutex.lock t.mu;
+    (match failure with Some e -> record_exn t e | None -> ());
+    while t.active > 0 do
+      Condition.wait t.done_cv t.mu
+    done;
+    t.task <- None;
+    t.in_region <- false;
+    let e = t.exn in
+    t.exn <- None;
+    Mutex.unlock t.mu;
+    match e with Some e -> raise e | None -> ()
+  end
+
+let default_pool = ref None
+
+let default () =
+  match !default_pool with
+  | Some p -> p
+  | None ->
+      let domains =
+        match Sys.getenv_opt "BLOCKABILITY_DOMAINS" with
+        | Some s -> (
+            match int_of_string_opt (String.trim s) with
+            | Some n when n >= 1 -> n
+            | _ -> Domain.recommended_domain_count ())
+        | None -> Domain.recommended_domain_count ()
+      in
+      let p = create ~domains in
+      default_pool := Some p;
+      p

@@ -1,0 +1,38 @@
+(** A lazily-started pool of worker domains for data-parallel kernels.
+
+    A pool of size [d] executes parallel regions on [d] lanes: the
+    calling domain plus [d - 1] worker domains.  Workers are spawned on
+    the first {!run} (creation is free) and are reused across calls —
+    spawning a domain costs ~10-100us, far too much to pay per trailing
+    update, so the workers park on a condition variable between regions.
+
+    Pools are not reentrant: calling {!run} from inside a running region
+    degrades gracefully to executing the thunk serially on the calling
+    lane. *)
+
+type t
+
+val create : domains:int -> t
+(** [create ~domains] makes a pool of [max 1 domains] lanes.  No domain
+    is spawned until the first {!run}. *)
+
+val size : t -> int
+(** Number of lanes (including the caller's). *)
+
+val default : unit -> t
+(** The shared process-wide pool.  Its size is
+    [BLOCKABILITY_DOMAINS] if that environment variable is set to a
+    positive integer, otherwise [Domain.recommended_domain_count ()].
+    Created on first use and reused for the life of the process. *)
+
+val run : t -> (unit -> unit) -> unit
+(** [run t f] executes [f ()] once on every lane concurrently and
+    returns when all lanes have finished.  [f] is expected to
+    self-schedule its share of the work (see {!Parallel.for_}).  If any
+    lane raises, one of the exceptions is re-raised in the caller after
+    all lanes have finished. *)
+
+val shutdown : t -> unit
+(** Stop and join the worker domains.  The pool remains usable: the
+    next {!run} re-spawns them.  Registered with [at_exit] for every
+    pool that ever started workers, so programs terminate cleanly. *)

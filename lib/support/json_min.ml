@@ -1,0 +1,180 @@
+type t =
+  | Null
+  | Bool of bool
+  | Number of float
+  | String of string
+  | Array of t list
+  | Object of (string * t) list
+
+exception Bad of int * string
+
+let parse s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Bad (!pos, msg)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n
+      && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word v =
+    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      v
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let string_body () =
+    (* opening quote consumed by caller *)
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string"
+      else
+        let c = s.[!pos] in
+        advance ();
+        match c with
+        | '"' -> Buffer.contents buf
+        | '\\' -> (
+            if !pos >= n then fail "unterminated escape";
+            let e = s.[!pos] in
+            advance ();
+            match e with
+            | '"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't' ->
+                Buffer.add_char buf '\\';
+                Buffer.add_char buf e;
+                go ()
+            | 'u' ->
+                if !pos + 4 > n then fail "truncated \\u escape";
+                for _ = 1 to 4 do
+                  (match s.[!pos] with
+                  | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> ()
+                  | _ -> fail "bad \\u escape");
+                  advance ()
+                done;
+                Buffer.add_string buf "\\u";
+                go ()
+            | _ -> fail "bad escape character")
+        | c when Char.code c < 0x20 -> fail "raw control character in string"
+        | c ->
+            Buffer.add_char buf c;
+            go ()
+    in
+    go ()
+  in
+  let number () =
+    let start = !pos in
+    if peek () = Some '-' then advance ();
+    let digits () =
+      let d0 = !pos in
+      while !pos < n && match s.[!pos] with '0' .. '9' -> true | _ -> false do
+        advance ()
+      done;
+      if !pos = d0 then fail "expected digit"
+    in
+    (* RFC 8259 int part: "0", or a nonzero digit followed by digits *)
+    (match peek () with
+    | Some '0' ->
+        advance ();
+        (match peek () with
+        | Some '0' .. '9' -> fail "leading zero"
+        | _ -> ())
+    | _ -> digits ());
+    if peek () = Some '.' then begin
+      advance ();
+      digits ()
+    end;
+    (match peek () with
+    | Some ('e' | 'E') ->
+        advance ();
+        (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+        digits ()
+    | _ -> ());
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "bad number"
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Object []
+        end
+        else begin
+          let members = ref [] in
+          let rec member () =
+            skip_ws ();
+            expect '"';
+            let key = string_body () in
+            skip_ws ();
+            expect ':';
+            let v = value () in
+            members := (key, v) :: !members;
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                member ()
+            | Some '}' -> advance ()
+            | _ -> fail "expected ',' or '}'"
+          in
+          member ();
+          Object (List.rev !members)
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Array []
+        end
+        else begin
+          let items = ref [] in
+          let rec item () =
+            let v = value () in
+            items := v :: !items;
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                item ()
+            | Some ']' -> advance ()
+            | _ -> fail "expected ',' or ']'"
+          in
+          item ();
+          Array (List.rev !items)
+        end
+    | Some '"' ->
+        advance ();
+        String (string_body ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some ('-' | '0' .. '9') -> Number (number ())
+    | Some c -> fail (Printf.sprintf "unexpected '%c'" c)
+  in
+  match
+    let v = value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Bad (at, msg) -> Error (Printf.sprintf "at byte %d: %s" at msg)
+
+let validate s = Result.map (fun _ -> ()) (parse s)

@@ -1,0 +1,23 @@
+(** A minimal JSON reader: just enough to check that the benchmark
+    harness's [--json] output is well-formed without depending on an
+    external JSON library.
+
+    Supports the full RFC 8259 grammar (objects, arrays, strings with
+    escapes, numbers, [true]/[false]/[null]); strings are validated but
+    not decoded. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Number of float
+  | String of string  (** raw contents, escapes left as written *)
+  | Array of t list
+  | Object of (string * t) list
+
+val parse : string -> (t, string) result
+(** Parse a complete JSON document; trailing garbage is an error.  The
+    error string includes the offending byte offset. *)
+
+val validate : string -> (unit, string) result
+(** [parse] with the value thrown away: the benchmark tests' no-op
+    consumer. *)

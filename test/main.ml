@@ -14,4 +14,5 @@ let () =
       Test_lang.suite;
       Test_support.suite;
       Test_trace.suite;
+      Test_parallel.suite;
     ]

@@ -12,7 +12,10 @@ let lu_variants_exact (n, b, seed) =
       let x = copy_mat a0 in
       f x;
       max_abs_diff reference x = 0.0)
-    [ N_lu.sorensen ~block:b; N_lu.blocked ~block:b; N_lu.blocked_opt ~block:b ]
+    [
+      N_lu.sorensen ~block:b; N_lu.blocked ~block:b; N_lu.blocked_opt ~block:b;
+      N_lu.recursive ~base:b;
+    ]
 
 let lu_pivot_variants_exact (n, b, seed) =
   let a0 = random ~seed n n in

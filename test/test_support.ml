@@ -18,6 +18,44 @@ let cells () =
   check_string "millis" "2.50ms" (Table.cell_s 0.0025);
   check_string "ratio" "1.80" (Table.cell_f 1.8000001)
 
+let table_json_roundtrip () =
+  (* the --json payload must survive a real parse, including escapes *)
+  let t =
+    Table.create ~title:"quotes \" and \\ and\nnewlines"
+      [ ("A \"col\"", Table.Left); ("B", Table.Right) ]
+  in
+  Table.add_row t [ "x\ty"; "10" ];
+  Table.add_row t [ "plain"; "1.80" ];
+  (match Json_min.validate (Table.to_json t) with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "to_json not parseable: %s" m);
+  let doc = Table.json_of_tables [ ("t1", t); ("par", t) ] in
+  match Json_min.parse doc with
+  | Error m -> Alcotest.failf "json_of_tables not parseable: %s" m
+  | Ok (Json_min.Object [ ("tables", Json_min.Array entries) ]) ->
+      check_int "two tables" 2 (List.length entries)
+  | Ok _ -> Alcotest.fail "unexpected document shape"
+
+let json_rejects_malformed () =
+  List.iter
+    (fun s ->
+      match Json_min.validate s with
+      | Ok () -> Alcotest.failf "accepted malformed %S" s
+      | Error _ -> ())
+    [
+      ""; "{"; "[1,]"; "{\"a\":}"; "\"unterminated"; "01"; "1 2"; "nul";
+      "{\"a\":1,}"; "\"bad \\x escape\"";
+    ];
+  List.iter
+    (fun s ->
+      match Json_min.validate s with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "rejected valid %S: %s" s m)
+    [
+      "null"; "-1.5e-3"; "[]"; "{}"; " [ {\"a\" : [true, false]} ] ";
+      "\"esc \\\\ \\u00e9\"";
+    ]
+
 let lcg_determinism () =
   let a = Lcg.create 42 and b = Lcg.create 42 in
   let xs = List.init 50 (fun _ -> Lcg.int a 1000) in
@@ -39,6 +77,8 @@ let suite =
     [
       case "table rendering" table_rendering;
       case "table cells" cells;
+      case "table json roundtrip" table_json_roundtrip;
+      case "json_min rejects malformed" json_rejects_malformed;
       case "lcg determinism" lcg_determinism;
       case "lcg split" lcg_split_independent;
       qcase "lcg int in range"
