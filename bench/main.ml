@@ -1,30 +1,52 @@
 (* Benchmark harness: regenerates every table and figure of the paper's
    evaluation.  See DESIGN.md's experiment index (T1-T5, F1-F11, X1, PAR).
 
-   Usage:  main.exe [t1|t2|t3|t4|t5|figures|cache|ablation|bechamel|par|all]
+   Usage:  main.exe [t1|t2|t3|t4|t5|figures|cache|ablation|bechamel|par|obs|all]
                     [--quick] [--json PATH]
+                    [--baseline PATH] [--check] [--tolerance F]
 
    Absolute 1992 seconds are not reproducible; the claim checked here is
    the *shape*: which variant wins and by roughly what factor.
 
    [--json PATH] additionally dumps every table produced by the run as
    machine-readable JSON (see Table.json_of_tables), so successive PRs
-   leave a perf trajectory behind (BENCH_*.json). *)
+   leave a perf trajectory behind (BENCH_*.json).
+
+   [--baseline PATH] compares this run's tables against a previous
+   [--json] dump through Bench_gate and prints the verdict; with
+   [--check] a flagged regression exits non-zero (the CI regression
+   gate, see `dune build @check`).  [--tolerance F] overrides the
+   default slowdown factor (1.5); [--slack S] the absolute seconds of
+   grace added on top (0.002). *)
 
 let argv = List.tl (Array.to_list Sys.argv)
 let quick = List.mem "--quick" argv
 
-let json_path, selected =
-  let rec go sel json = function
-    | [] -> (json, List.rev sel)
-    | "--quick" :: rest -> go sel json rest
-    | "--json" :: path :: rest -> go sel (Some path) rest
-    | [ "--json" ] ->
-        prerr_endline "main.exe: --json requires a path argument";
+let json_path, baseline_path, check_mode, tolerance, slack, selected =
+  let rec go sel json base check tol slack = function
+    | [] -> (json, base, check, tol, slack, List.rev sel)
+    | "--quick" :: rest -> go sel json base check tol slack rest
+    | "--check" :: rest -> go sel json base true tol slack rest
+    | "--json" :: path :: rest -> go sel (Some path) base check tol slack rest
+    | "--baseline" :: path :: rest -> go sel json (Some path) check tol slack rest
+    | "--tolerance" :: f :: rest -> (
+        match float_of_string_opt f with
+        | Some t when t > 0.0 -> go sel json base check (Some t) slack rest
+        | _ ->
+            Printf.eprintf "main.exe: --tolerance wants a positive float, got %s\n" f;
+            exit 2)
+    | "--slack" :: f :: rest -> (
+        match float_of_string_opt f with
+        | Some s when s >= 0.0 -> go sel json base check tol (Some s) rest
+        | _ ->
+            Printf.eprintf "main.exe: --slack wants a non-negative float, got %s\n" f;
+            exit 2)
+    | [ ("--json" | "--baseline" | "--tolerance" | "--slack") as flag ] ->
+        Printf.eprintf "main.exe: %s requires an argument\n" flag;
         exit 2
-    | a :: rest -> go (a :: sel) json rest
+    | a :: rest -> go (a :: sel) json base check tol slack rest
   in
-  let json, sel = go [] None argv in
+  let json, base, check, tol, slack, sel = go [] None None false None None argv in
   (* Fail fast on an unwritable path rather than after the whole run. *)
   (match json with
   | Some path -> (
@@ -34,7 +56,17 @@ let json_path, selected =
           Printf.eprintf "main.exe: cannot write --json output: %s\n" msg;
           exit 2)
   | None -> ());
-  (json, match sel with [] -> [ "all" ] | l -> l)
+  (* ... and on a missing/unreadable baseline. *)
+  (match base with
+  | Some path when not (Sys.file_exists path) ->
+      Printf.eprintf "main.exe: baseline %s does not exist\n" path;
+      exit 2
+  | _ -> ());
+  if check && base = None then begin
+    prerr_endline "main.exe: --check requires --baseline PATH";
+    exit 2
+  end;
+  (json, base, check, tol, slack, match sel with [] -> [ "all" ] | l -> l)
 
 let want what = List.mem what selected || List.mem "all" selected
 
@@ -51,6 +83,12 @@ let output ~id tbl =
 (* ------------------------------------------------------------------ *)
 
 let now_ns () = Monotonic_clock.now ()
+
+(* Give the observability layer a real monotonic clock (its default is
+   Sys.time-based) and honour BLOCKABILITY_TRACE for whole-run traces. *)
+let () =
+  Obs.set_clock (fun () -> Int64.to_int (Monotonic_clock.now ()));
+  Obs.init_from_env ()
 
 let time_once f =
   let t0 = now_ns () in
@@ -595,6 +633,83 @@ let bechamel_tests () =
         analyzed)
     tests
 
+(* ------------------------------------------------------------------ *)
+(* OBS: overhead of the observability layer itself                     *)
+(* ------------------------------------------------------------------ *)
+
+(* The claim being timed: with the null sink and metrics off, the
+   instrumented runtime is indistinguishable from the seed (the guards
+   are single bool-ref reads), and even metrics-on overhead stays small
+   because blocked kernels amortize each chunk over real work. *)
+let obs_suite () =
+  banner "OBS: observability overhead (untraced vs traced blocked LU)";
+  let n = if quick then 200 else 400 in
+  let a0 = Linalg.random_diag_dominant ~seed:2 n in
+  let pool = Pool.create ~domains:(min 4 (Domain.recommended_domain_count ())) in
+  let run () = N_lu.blocked_par ~pool ~block:32 (Linalg.copy_mat a0) in
+  let tbl =
+    Table.create
+      ~title:(Printf.sprintf "Parallel blocked LU at N=%d, observability on/off" n)
+      [ ("Variant", Table.Left); ("Time", Table.Right); ("vs off", Table.Right) ]
+  in
+  let t_off = time run in
+  Table.add_row tbl [ "metrics off (null sink)"; Table.cell_s t_off; Table.cell_f 1.0 ];
+  Obs.Metrics.set_enabled true;
+  let t_on = time run in
+  Obs.Metrics.set_enabled false;
+  Table.add_row tbl
+    [ "metrics on"; Table.cell_s t_on; Table.cell_f (t_on /. t_off) ];
+  let mem, _events = Obs.memory () in
+  Obs.set_sink mem;
+  Obs.Metrics.set_enabled true;
+  let t_trace = time run in
+  Obs.Metrics.set_enabled false;
+  Obs.set_sink Obs.null;
+  Table.add_row tbl
+    [ "metrics + memory sink"; Table.cell_s t_trace; Table.cell_f (t_trace /. t_off) ];
+  Pool.shutdown pool;
+  output ~id:"obs-overhead" tbl;
+  (* and what the metrics actually recorded, as a smoke test *)
+  Obs.Metrics.set_enabled true;
+  let p2 = Pool.create ~domains:2 in
+  N_lu.blocked_par ~pool:p2 ~block:32 (Linalg.copy_mat a0);
+  Pool.shutdown p2;
+  print_string (Obs.Metrics.report ());
+  Obs.Metrics.set_enabled false;
+  Obs.Metrics.reset ()
+
+(* ------------------------------------------------------------------ *)
+(* the regression gate                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let run_gate path =
+  let fail msg =
+    Printf.eprintf "bench gate: %s\n" msg;
+    exit 2
+  in
+  let baseline =
+    match Json_min.parse (read_file path) with
+    | Ok v -> v
+    | Error m -> fail (path ^ ": " ^ m)
+  in
+  let current =
+    match Json_min.parse (Table.json_of_tables !registry) with
+    | Ok v -> v
+    | Error m -> fail ("current run: " ^ m)
+  in
+  match Bench_gate.compare ?tolerance ?slack_s:slack ~baseline ~current () with
+  | Error m -> fail m
+  | Ok verdict ->
+      Printf.printf "\n%s" (Bench_gate.report verdict);
+      if check_mode && not (Bench_gate.ok verdict) then exit 1
+
 let () =
   if want "t1" then t1 ();
   if want "t2" then t2 ();
@@ -606,6 +721,7 @@ let () =
   if want "ablation" then ablation ();
   if want "bechamel" then bechamel_tests ();
   if want "par" then par ();
+  if want "obs" then obs_suite ();
   (match json_path with
   | None -> ()
   | Some path ->
@@ -614,4 +730,5 @@ let () =
       output_char oc '\n';
       close_out oc;
       Printf.printf "\nwrote %d table(s) to %s\n" (List.length !registry) path);
+  Option.iter run_gate baseline_path;
   Printf.printf "\ndone.\n"

@@ -1,6 +1,8 @@
 (* blockc — command-line driver for the blockability toolkit.
 
-   Subcommands: list, show, derive, verify, simulate, parse, lower. *)
+   Subcommands: list, show, derive, verify, simulate, explain, sections,
+   parse, lower.  `blockc --explain KERNEL` is a shorthand for the
+   explain subcommand. *)
 
 open Cmdliner
 
@@ -59,6 +61,65 @@ let machine_arg =
 
 let or_default bindings = if bindings = [] then None else Some bindings
 
+(* ---- tracing flags (shared by the transformation-running commands) ---- *)
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some (enum [ ("text", "text"); ("json", "json"); ("chrome", "chrome") ])) None
+    & info [ "trace" ] ~docv:"FORMAT"
+        ~doc:
+          "Emit an observability trace: $(b,text) (human-readable lines), \
+           $(b,json) (JSON objects, one per line) or $(b,chrome) (Chrome \
+           trace_event; load the file in chrome://tracing or Perfetto). \
+           Writes to stderr unless $(b,--trace-out) is given; $(b,chrome) \
+           requires $(b,--trace-out).")
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"PATH" ~doc:"Write the trace to $(docv).")
+
+(* Install the requested sink (or honour BLOCKABILITY_TRACE when no flag
+   is given).  Returns an [Error] for usage mistakes so callers can turn
+   it into a cmdliner usage error. *)
+let setup_trace fmt out =
+  match (fmt, out) with
+  | None, None ->
+      Obs.init_from_env ();
+      Ok ()
+  | None, Some _ -> Error "--trace-out is only meaningful with --trace"
+  | Some "chrome", None ->
+      Error
+        "--trace chrome requires --trace-out PATH (the trace_event document \
+         is written whole on exit and cannot stream to stderr)"
+  | Some fmt, out -> (
+      match
+        match out with
+        | None -> Ok stderr
+        | Some p -> ( try Ok (open_out p) with Sys_error m -> Error m)
+      with
+      | Error m -> Error ("--trace-out: " ^ m)
+      | Ok oc -> (
+          match Obs.sink_of_name fmt oc with
+          | Error m -> Error m
+          | Ok sink ->
+              Obs.set_sink sink;
+              at_exit Obs.flush;
+              Ok ()))
+
+(* Wrap a command body so --trace/--trace-out are honoured and their
+   usage errors are reported through cmdliner. *)
+let traced run =
+  Term.ret
+    Term.(
+      const (fun fmt out k ->
+          match setup_trace fmt out with
+          | Error m -> `Error (true, m)
+          | Ok () -> `Ok (k ()))
+      $ trace_arg $ trace_out_arg $ run)
+
 (* ---- list ---- *)
 
 let list_cmd =
@@ -88,7 +149,7 @@ let show_cmd =
 (* ---- derive ---- *)
 
 let derive_cmd =
-  let run e =
+  let run e () =
     match Blockability.derive e with
     | Error m ->
         prerr_endline ("derivation failed: " ^ m);
@@ -103,12 +164,12 @@ let derive_cmd =
   Cmd.v
     (Cmd.info "derive"
        ~doc:"Run the compiler driver on a kernel and print the result.")
-    Term.(const run $ kernel_arg)
+    (traced Term.(const run $ kernel_arg))
 
 (* ---- verify ---- *)
 
 let verify_cmd =
-  let run e bindings seed =
+  let run e bindings seed () =
     match Blockability.verify ?bindings:(or_default bindings) ~seed e with
     | Ok () -> print_endline "equivalent: transformed kernel matches the point kernel"
     | Error m ->
@@ -118,12 +179,20 @@ let verify_cmd =
   Cmd.v
     (Cmd.info "verify"
        ~doc:"Interpret point and transformed kernels and compare memory.")
-    Term.(const run $ kernel_arg $ bindings_arg $ seed_arg)
+    (traced Term.(const run $ kernel_arg $ bindings_arg $ seed_arg))
 
 (* ---- simulate ---- *)
 
+let print_by_array ~what by_array =
+  List.iter
+    (fun (name, (s : Cache.stats)) ->
+      Printf.printf "  %-11s %-6s accesses %9d  misses %9d  miss-rate %5.2f%%\n"
+        what name s.accesses s.misses
+        (100.0 *. Cache.miss_ratio s))
+    by_array
+
 let simulate_cmd =
-  let run e bindings seed machine =
+  let run e bindings seed machine () =
     match
       Blockability.simulate ?bindings:(or_default bindings) ~seed ~machine e
     with
@@ -139,14 +208,106 @@ let simulate_cmd =
         in
         Printf.printf "machine: %s\n" machine.Arch.name;
         pr "point" r.point_stats r.point_cycles;
+        print_by_array ~what:"point" r.point_by_array;
         pr "transformed" r.transformed_stats r.transformed_cycles;
+        print_by_array ~what:"transformed" r.transformed_by_array;
         Printf.printf "memory-cycle speedup: %.2f\n"
           (Cost.speedup ~baseline:r.point_cycles ~optimized:r.transformed_cycles)
   in
   Cmd.v
     (Cmd.info "simulate"
        ~doc:"Trace both kernels through the cache simulator.")
-    Term.(const run $ kernel_arg $ bindings_arg $ seed_arg $ machine_arg)
+    (traced Term.(const run $ kernel_arg $ bindings_arg $ seed_arg $ machine_arg))
+
+(* ---- explain ---- *)
+
+let value_to_string = function
+  | Obs.Str s -> s
+  | Obs.Int n -> string_of_int n
+  | Obs.Float f -> Printf.sprintf "%g" f
+  | Obs.Bool b -> string_of_bool b
+
+let args_suffix = function
+  | [] -> ""
+  | args ->
+      Printf.sprintf " (%s)"
+        (String.concat ", "
+           (List.map (fun (k, v) -> k ^ "=" ^ value_to_string v) args))
+
+let print_explain_event (ev : Obs.event) =
+  let indent = String.make (2 * ev.depth) ' ' in
+  match ev.kind with
+  | Obs.End -> ()
+  | Obs.Begin -> Printf.printf "%s>> %s%s\n" indent ev.name (args_suffix ev.args)
+  | Obs.Instant when String.equal ev.cat "decision" ->
+      let str k =
+        match List.assoc_opt k ev.args with Some (Obs.Str s) -> s | _ -> ""
+      in
+      let applied =
+        match List.assoc_opt "applied" ev.args with
+        | Some (Obs.Bool b) -> b
+        | _ -> false
+      in
+      let reason = str "reason" in
+      let evidence =
+        List.filter
+          (fun (k, _) -> not (List.mem k [ "target"; "applied"; "reason" ]))
+          ev.args
+      in
+      Printf.printf "%s%s %s(%s)%s\n" indent
+        (if applied then "[applied ]" else "[rejected]")
+        ev.name (str "target")
+        (if applied && String.equal reason "legal" then ""
+         else ": " ^ reason);
+      List.iter
+        (fun (k, v) ->
+          Printf.printf "%s             %s = %s\n" indent k (value_to_string v))
+        evidence
+  | Obs.Instant ->
+      Printf.printf "%s-- %s%s\n" indent ev.name (args_suffix ev.args)
+
+let explain_run e bindings seed machine =
+  Printf.printf "kernel: %s (%s)\n%s\n\n" e.Blockability.name
+    e.Blockability.paper_ref e.Blockability.kernel.Kernel_def.description;
+  (* Collect every event the derivation emits, on top of whatever sink
+     --trace / BLOCKABILITY_TRACE installed. *)
+  let mem, events = Obs.memory () in
+  let prev = Obs.current_sink () in
+  Obs.set_sink (if Obs.enabled () then Obs.tee prev mem else mem);
+  let result = Blockability.derive e in
+  Obs.set_sink prev;
+  print_endline "decision trace:";
+  List.iter print_explain_event (events ());
+  match result with
+  | Error m ->
+      Printf.printf "\nverdict: NOT BLOCKABLE\n%s\n" m
+  | Ok { Blocker.result = stmt; _ } -> (
+      Printf.printf "\nverdict: blockable — final block structure:\n\n%s"
+        (Stmt.to_string stmt);
+      match
+        Blockability.simulate ?bindings:(or_default bindings) ~seed ~machine e
+      with
+      | Error m -> Printf.printf "\ncache report unavailable: %s\n" m
+      | Ok r ->
+          Printf.printf "\ncache report (machine %s):\n" machine.Arch.name;
+          print_by_array ~what:"point" r.point_by_array;
+          print_by_array ~what:"transformed" r.transformed_by_array;
+          Printf.printf
+            "  total       point misses %d -> transformed misses %d  \
+             (memory-cycle speedup %.2f)\n"
+            r.point_stats.misses r.transformed_stats.misses
+            (Cost.speedup ~baseline:r.point_cycles
+               ~optimized:r.transformed_cycles))
+
+let explain_cmd =
+  let run e bindings seed machine () = explain_run e bindings seed machine in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Replay the compiler driver with decision tracing on and print \
+          why each transformation was applied or rejected, the final \
+          block structure, and a per-array cache report.")
+    (traced Term.(const run $ kernel_arg $ bindings_arg $ seed_arg $ machine_arg))
 
 (* ---- sections ---- *)
 
@@ -234,5 +395,27 @@ let lower_cmd =
 let () =
   let doc = "compiler blockability of numerical algorithms (Carr-Kennedy SC'92)" in
   let info = Cmd.info "blockc" ~doc in
-  exit (Cmd.eval (Cmd.group info
-    [ list_cmd; show_cmd; derive_cmd; verify_cmd; simulate_cmd; sections_cmd; parse_cmd; lower_cmd ]))
+  (* `blockc --explain KERNEL` without a subcommand = `blockc explain`. *)
+  let explain_opt =
+    Arg.(
+      value
+      & opt (some entry_conv) None
+      & info [ "explain" ] ~docv:"KERNEL"
+          ~doc:"Shorthand for the $(b,explain) subcommand.")
+  in
+  let default =
+    Term.ret
+      Term.(
+        const (fun e bindings seed machine fmt out ->
+            match e with
+            | None -> `Help (`Pager, None)
+            | Some e -> (
+                match setup_trace fmt out with
+                | Error m -> `Error (true, m)
+                | Ok () -> `Ok (explain_run e bindings seed machine)))
+        $ explain_opt $ bindings_arg $ seed_arg $ machine_arg $ trace_arg
+        $ trace_out_arg)
+  in
+  exit (Cmd.eval (Cmd.group ~default info
+    [ list_cmd; show_cmd; derive_cmd; verify_cmd; simulate_cmd; explain_cmd;
+      sections_cmd; parse_cmd; lower_cmd ]))

@@ -45,6 +45,18 @@ let build ~ctx (l : Stmt.loop) =
       edges
   in
   let sccs = Scc.compute ~n ~succ in
+  if Obs.enabled () then
+    Obs.instant ~cat:"analysis" "ddg"
+      ~args:
+        [
+          ("loop", Obs.Str l.index);
+          ("stmts", Obs.Int n);
+          ("edges", Obs.Int (List.length edges));
+          ("sccs", Obs.Int (List.length sccs));
+          ( "recurrences",
+            Obs.Int (List.length (List.filter (fun c -> List.length c > 1) sccs))
+          );
+        ];
   { loop = l; n; edges; sccs }
 
 let scc_index g v =

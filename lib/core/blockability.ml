@@ -6,6 +6,7 @@ type entry = {
   extra_bindings : (string * int) list;
   extra_setup : Env.t -> bindings:(string * int) list -> unit;
   default_bindings : (string * int) list;
+  blockable : bool;
 }
 
 let no_extra (_ : Env.t) ~bindings:(_ : (string * int) list) = ()
@@ -73,6 +74,32 @@ let split_derive loop () =
          list in a one-trip loop. *)
       Ok { Blocker.result = Stmt.loop "ONE_" (Expr.Int 1) (Expr.Int 1) block; steps }
 
+(* ---- Householder: the paper's negative result (§5.3) ---- *)
+
+let householder_derive () =
+  let r =
+    match Blocker.block_lu ~block_size_var:"KS" K_householder.point_loop with
+    | Ok _ ->
+        (* §5.3 says this must not happen; surface it loudly if it does. *)
+        Error
+          "derivation unexpectedly succeeded — the §5.3 non-blockability \
+           claim is violated; the driver is accepting an illegal \
+           transformation"
+    | Error mechanical ->
+        Error
+          ("not blockable (§5.3): the block algorithm computes the \
+            compact-WY triangular factor T — computation and storage with \
+            no counterpart in the point code, so no dependence-based \
+            transformation sequence can derive it.  Mechanical derivation \
+            stops at: " ^ mechanical)
+  in
+  (match r with
+  | Error reason ->
+      Obs.decision ~transform:"block" ~target:"householder" ~applied:false
+        ~reason ()
+  | Ok _ -> ());
+  r
+
 let entries =
   [
     {
@@ -83,6 +110,7 @@ let entries =
       extra_bindings = [ ("KS", 8) ];
       extra_setup = no_extra;
       default_bindings = [ ("N", 24) ];
+      blockable = true;
     };
     {
       name = "lu_pivot";
@@ -93,6 +121,7 @@ let entries =
       extra_bindings = [ ("KS", 8) ];
       extra_setup = no_extra;
       default_bindings = [ ("N", 24) ];
+      blockable = true;
     };
     {
       name = "trisolve";
@@ -103,6 +132,7 @@ let entries =
       extra_bindings = [ ("KS", 8) ];
       extra_setup = no_extra;
       default_bindings = [ ("N", 24) ];
+      blockable = true;
     };
     {
       name = "cholesky";
@@ -113,6 +143,7 @@ let entries =
       extra_bindings = [ ("KS", 8) ];
       extra_setup = no_extra;
       default_bindings = [ ("N", 24) ];
+      blockable = true;
     };
     {
       name = "matmul";
@@ -122,6 +153,7 @@ let entries =
       extra_bindings = [];
       extra_setup = matmul_scratch;
       default_bindings = [ ("N", 24); ("FREQ_PCT", 10) ];
+      blockable = true;
     };
     {
       name = "givens";
@@ -131,6 +163,7 @@ let entries =
       extra_bindings = [];
       extra_setup = givens_scratch;
       default_bindings = [ ("M", 16); ("N", 12) ];
+      blockable = true;
     };
     {
       name = "aconv";
@@ -140,6 +173,7 @@ let entries =
       extra_bindings = [];
       extra_setup = no_extra;
       default_bindings = [ ("N1", 40); ("N2", 9); ("N3", 50) ];
+      blockable = true;
     };
     {
       name = "conv";
@@ -149,6 +183,17 @@ let entries =
       extra_bindings = [];
       extra_setup = no_extra;
       default_bindings = [ ("N1", 40); ("N2", 9); ("N3", 50) ];
+      blockable = true;
+    };
+    {
+      name = "householder";
+      paper_ref = "§5.3 (non-blockable)";
+      kernel = K_householder.kernel;
+      derive = householder_derive;
+      extra_bindings = [ ("KS", 8) ];
+      extra_setup = no_extra;
+      default_bindings = [ ("M", 16); ("N", 12) ];
+      blockable = false;
     };
   ]
 
@@ -176,9 +221,16 @@ let verify ?bindings ?(seed = 42) entry =
 type sim_result = {
   point_stats : Cache.stats;
   transformed_stats : Cache.stats;
+  point_by_array : (string * Cache.stats) list;
+  transformed_by_array : (string * Cache.stats) list;
   point_cycles : int;
   transformed_cycles : int;
 }
+
+let traced_run machine env ~arrays block =
+  let t = Trace.create machine env ~arrays in
+  Exec.run ~hook:(Trace.hook t) env block;
+  (Trace.stats t, Trace.stats_by_array t)
 
 let simulate ?bindings ?(seed = 42) ~machine entry =
   let bindings = Option.value bindings ~default:entry.default_bindings in
@@ -188,17 +240,23 @@ let simulate ?bindings ?(seed = 42) ~machine entry =
       let kernel = with_scratch entry in
       let arrays = entry.kernel.Kernel_def.traced in
       let env1 = Kernel_def.make_env kernel ~bindings ~seed in
-      let point_stats = Trace.run machine env1 ~arrays kernel.Kernel_def.block in
+      let point_stats, point_by_array =
+        traced_run machine env1 ~arrays kernel.Kernel_def.block
+      in
       let env2 =
         Kernel_def.make_env kernel
           ~bindings:(entry.extra_bindings @ bindings)
           ~seed
       in
-      let transformed_stats = Trace.run machine env2 ~arrays [ result ] in
+      let transformed_stats, transformed_by_array =
+        traced_run machine env2 ~arrays [ result ]
+      in
       Ok
         {
           point_stats;
           transformed_stats;
+          point_by_array;
+          transformed_by_array;
           point_cycles = Cost.memory_cycles machine point_stats;
           transformed_cycles = Cost.memory_cycles machine transformed_stats;
         }

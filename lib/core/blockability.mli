@@ -25,6 +25,11 @@ type entry = {
   extra_setup : Env.t -> bindings:(string * int) list -> unit;
       (** scratch arrays the transformed code needs *)
   default_bindings : (string * int) list;  (** a small default problem *)
+  blockable : bool;
+      (** whether [derive] is expected to succeed.  [false] marks the
+          paper's negative results (Householder, §5.3): [derive] returns
+          [Error] with the rejection reason, and that is the correct
+          outcome, not a failure of the system. *)
 }
 
 val entries : entry list
@@ -41,6 +46,10 @@ val verify :
 type sim_result = {
   point_stats : Cache.stats;
   transformed_stats : Cache.stats;
+  point_by_array : (string * Cache.stats) list;
+      (** per-array breakdown of [point_stats] (see
+          {!Trace.stats_by_array}) *)
+  transformed_by_array : (string * Cache.stats) list;
   point_cycles : int;
   transformed_cycles : int;
 }

@@ -1,7 +1,9 @@
+type per_array = { base : int; mutable acc : int; mutable hit : int }
+
 type t = {
   cache : Cache.t;
   elt_bytes : int;
-  bases : (string, int) Hashtbl.t;
+  bases : (string, per_array) Hashtbl.t;
   env : Env.t;
 }
 
@@ -11,7 +13,7 @@ let create (m : Arch.t) env ~arrays =
   let align n = (n + m.line_bytes - 1) / m.line_bytes * m.line_bytes in
   List.iter
     (fun name ->
-      Hashtbl.replace bases name !next;
+      Hashtbl.replace bases name { base = !next; acc = 0; hit = 0 };
       let total =
         List.fold_left
           (fun acc (lo, hi) -> acc * (hi - lo + 1))
@@ -25,11 +27,21 @@ let hook t : Exec.hook =
  fun name idx _kind ->
   match Hashtbl.find_opt t.bases name with
   | None -> ()
-  | Some base ->
+  | Some p ->
       let off = Env.linear_index t.env name idx in
-      ignore (Cache.access t.cache (base + (off * t.elt_bytes)))
+      let hit = Cache.access t.cache (p.base + (off * t.elt_bytes)) in
+      p.acc <- p.acc + 1;
+      if hit then p.hit <- p.hit + 1
 
 let stats t = Cache.stats t.cache
+
+let stats_by_array t =
+  Hashtbl.fold
+    (fun name p acc ->
+      (name, { Cache.accesses = p.acc; hits = p.hit; misses = p.acc - p.hit })
+      :: acc)
+    t.bases []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let run m env ~arrays block =
   let t = create m env ~arrays in

@@ -14,6 +14,11 @@ val hook : t -> Exec.hook
 
 val stats : t -> Cache.stats
 
+val stats_by_array : t -> (string * Cache.stats) list
+(** Per-array breakdown of the same accesses, sorted by array name; the
+    per-array [accesses]/[hits]/[misses] sum to {!stats} (every traced
+    access lands in exactly one array). *)
+
 val run : Arch.t -> Env.t -> arrays:string list -> Stmt.t list ->
   Cache.stats
 (** Convenience: trace one execution of the block and return the stats. *)

@@ -1,0 +1,431 @@
+type value = Str of string | Int of int | Float of float | Bool of bool
+
+type kind = Begin | End | Instant
+
+type event = {
+  name : string;
+  cat : string;
+  kind : kind;
+  ts : int;
+  depth : int;
+  args : (string * value) list;
+}
+
+type sink = { emit : event -> unit; flush_sink : unit -> unit }
+
+let null = { emit = (fun _ -> ()); flush_sink = (fun () -> ()) }
+
+(* ------------------------------------------------------------------ *)
+(* Clock                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* [Sys.time] is process CPU time: coarse, but monotone, stdlib-only and
+   good enough to order a derivation trace.  Benchmarks install a real
+   monotonic clock via [set_clock]. *)
+let clock = ref (fun () -> int_of_float (Sys.time () *. 1e9))
+let set_clock f = clock := f
+
+let last_ts = ref 0
+
+let now_ns () =
+  let t = !clock () in
+  if t < !last_ts then !last_ts
+  else begin
+    last_ts := t;
+    t
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Global state                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let current = ref null
+let is_enabled = ref false
+let depth = ref 0
+let mu = Mutex.create ()
+
+let set_sink s =
+  current := s;
+  is_enabled := s != null
+
+let current_sink () = !current
+let enabled () = !is_enabled
+
+let emit ev =
+  let s = !current in
+  if s != null then begin
+    Mutex.lock mu;
+    Fun.protect ~finally:(fun () -> Mutex.unlock mu) (fun () -> s.emit ev)
+  end
+
+let flush () =
+  let s = !current in
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) (fun () -> s.flush_sink ())
+
+(* ------------------------------------------------------------------ *)
+(* Emission API                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let instant ?(cat = "event") ?(args = []) name =
+  if !is_enabled then
+    emit { name; cat; kind = Instant; ts = now_ns (); depth = !depth; args }
+
+let span ?(cat = "span") ?(args = []) name f =
+  if not !is_enabled then f ()
+  else begin
+    emit { name; cat; kind = Begin; ts = now_ns (); depth = !depth; args };
+    incr depth;
+    let finish () =
+      decr depth;
+      emit { name; cat; kind = End; ts = now_ns (); depth = !depth; args = [] }
+    in
+    match f () with
+    | v ->
+        finish ();
+        v
+    | exception e ->
+        finish ();
+        raise e
+  end
+
+let decision ~transform ~target ~applied ~reason ?(evidence = []) () =
+  if !is_enabled then
+    emit
+      {
+        name = transform;
+        cat = "decision";
+        kind = Instant;
+        ts = now_ns ();
+        depth = !depth;
+        args =
+          ("target", Str target) :: ("applied", Bool applied)
+          :: ("reason", Str reason) :: evidence;
+      }
+
+let decide ~transform ~target ?(evidence = []) (r : ('a, string) result) =
+  if !is_enabled then
+    (match r with
+    | Ok _ -> decision ~transform ~target ~applied:true ~reason:"legal" ~evidence ()
+    | Error m -> decision ~transform ~target ~applied:false ~reason:m ~evidence ());
+  r
+
+(* ------------------------------------------------------------------ *)
+(* Sinks                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let string_of_value = function
+  | Str s -> s
+  | Int n -> string_of_int n
+  | Float f -> Printf.sprintf "%g" f
+  | Bool b -> string_of_bool b
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_of_value buf = function
+  | Str s ->
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (json_escape s);
+      Buffer.add_char buf '"'
+  | Int n -> Buffer.add_string buf (string_of_int n)
+  | Float f -> Buffer.add_string buf (Printf.sprintf "%.17g" f)
+  | Bool b -> Buffer.add_string buf (string_of_bool b)
+
+let json_of_args buf args =
+  Buffer.add_char buf '{';
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (json_escape k);
+      Buffer.add_string buf "\":";
+      json_of_value buf v)
+    args;
+  Buffer.add_char buf '}'
+
+let kind_name = function Begin -> "begin" | End -> "end" | Instant -> "instant"
+
+let text oc =
+  let emit ev =
+    let indent = String.make (2 * ev.depth) ' ' in
+    let marker = match ev.kind with Begin -> ">" | End -> "<" | Instant -> "." in
+    Printf.fprintf oc "%12dns %-9s %s%s %s" ev.ts ev.cat indent marker ev.name;
+    List.iter
+      (fun (k, v) -> Printf.fprintf oc " %s=%s" k (string_of_value v))
+      ev.args;
+    output_char oc '\n'
+  in
+  { emit; flush_sink = (fun () -> Stdlib.flush oc) }
+
+let jsonl oc =
+  let emit ev =
+    let buf = Buffer.create 128 in
+    Buffer.add_string buf "{\"name\":\"";
+    Buffer.add_string buf (json_escape ev.name);
+    Buffer.add_string buf "\",\"cat\":\"";
+    Buffer.add_string buf (json_escape ev.cat);
+    Buffer.add_string buf "\",\"kind\":\"";
+    Buffer.add_string buf (kind_name ev.kind);
+    Buffer.add_string buf (Printf.sprintf "\",\"ts\":%d,\"depth\":%d,\"args\":" ev.ts ev.depth);
+    json_of_args buf ev.args;
+    Buffer.add_char buf '}';
+    output_string oc (Buffer.contents buf);
+    output_char oc '\n'
+  in
+  { emit; flush_sink = (fun () -> Stdlib.flush oc) }
+
+let chrome oc =
+  let events = ref [] in
+  let emit ev = events := ev :: !events in
+  let flush_sink () =
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf "{\"traceEvents\":[";
+    List.iteri
+      (fun i ev ->
+        if i > 0 then Buffer.add_char buf ',';
+        let ph = match ev.kind with Begin -> "B" | End -> "E" | Instant -> "i" in
+        Buffer.add_string buf
+          (Printf.sprintf "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%s\",\"ts\":%.3f,\"pid\":1,\"tid\":1"
+             (json_escape ev.name) (json_escape ev.cat) ph
+             (float_of_int ev.ts /. 1e3));
+        (match ev.kind with
+        | Instant -> Buffer.add_string buf ",\"s\":\"t\""
+        | Begin | End -> ());
+        Buffer.add_string buf ",\"args\":";
+        json_of_args buf ev.args;
+        Buffer.add_char buf '}')
+      (List.rev !events);
+    Buffer.add_string buf "]}";
+    output_string oc (Buffer.contents buf);
+    output_char oc '\n';
+    Stdlib.flush oc
+  in
+  { emit; flush_sink }
+
+let memory () =
+  let acc = ref [] in
+  ( { emit = (fun ev -> acc := ev :: !acc); flush_sink = (fun () -> ()) },
+    fun () -> List.rev !acc )
+
+let tee a b =
+  {
+    emit =
+      (fun ev ->
+        a.emit ev;
+        b.emit ev);
+    flush_sink =
+      (fun () ->
+        a.flush_sink ();
+        b.flush_sink ());
+  }
+
+let sink_of_name name oc =
+  match name with
+  | "text" -> Ok (text oc)
+  | "json" -> Ok (jsonl oc)
+  | "chrome" -> Ok (chrome oc)
+  | _ -> Error (Printf.sprintf "unknown trace sink %S (expected text, json or chrome)" name)
+
+let init_from_env () =
+  match Sys.getenv_opt "BLOCKABILITY_TRACE" with
+  | None | Some "" -> ()
+  | Some spec -> (
+      let name, path =
+        match String.index_opt spec ':' with
+        | Some i ->
+            ( String.sub spec 0 i,
+              Some (String.sub spec (i + 1) (String.length spec - i - 1)) )
+        | None -> (spec, None)
+      in
+      if name = "chrome" && path = None then
+        prerr_endline
+          "BLOCKABILITY_TRACE: chrome needs an output file (chrome:PATH); tracing disabled"
+      else
+        let oc =
+          match path with
+          | None -> Some stderr
+          | Some p -> (
+              match open_out p with
+              | oc -> Some oc
+              | exception Sys_error m ->
+                  Printf.eprintf "BLOCKABILITY_TRACE: cannot open %s: %s\n%!" p m;
+                  None)
+        in
+        match oc with
+        | None -> ()
+        | Some oc -> (
+            match sink_of_name name oc with
+            | Ok s ->
+                set_sink s;
+                at_exit (fun () ->
+                    flush ();
+                    if oc != stderr then close_out_noerr oc)
+            | Error m -> Printf.eprintf "BLOCKABILITY_TRACE: %s\n%!" m))
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Metrics = struct
+  let on = ref false
+  let enabled () = !on
+  let set_enabled b = on := b
+
+  type counter = { cname : string; n : int Atomic.t }
+  type histogram = { hname : string; hbuckets : int Atomic.t array }
+  type timer = { tname : string; total : int Atomic.t; tcalls : int Atomic.t }
+
+  (* 2^0 .. 2^30, plus an overflow bucket. *)
+  let n_buckets = 32
+
+  let reg_mu = Mutex.create ()
+  let counters : counter list ref = ref []
+  let histograms : histogram list ref = ref []
+  let timers : timer list ref = ref []
+
+  let counter name =
+    Mutex.lock reg_mu;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock reg_mu)
+      (fun () ->
+        match List.find_opt (fun c -> String.equal c.cname name) !counters with
+        | Some c -> c
+        | None ->
+            let c = { cname = name; n = Atomic.make 0 } in
+            counters := c :: !counters;
+            c)
+
+  let add c k = if !on then ignore (Atomic.fetch_and_add c.n k)
+  let incr c = add c 1
+  let count c = Atomic.get c.n
+
+  let histogram name =
+    Mutex.lock reg_mu;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock reg_mu)
+      (fun () ->
+        match List.find_opt (fun h -> String.equal h.hname name) !histograms with
+        | Some h -> h
+        | None ->
+            let h =
+              { hname = name; hbuckets = Array.init n_buckets (fun _ -> Atomic.make 0) }
+            in
+            histograms := h :: !histograms;
+            h)
+
+  let bucket_of v =
+    let rec go i bound = if v <= bound || i = n_buckets - 1 then i else go (i + 1) (bound * 2) in
+    if v <= 1 then 0 else go 0 1
+
+  let observe h v = if !on then ignore (Atomic.fetch_and_add h.hbuckets.(bucket_of v) 1)
+
+  let buckets h =
+    let out = ref [] in
+    for i = n_buckets - 1 downto 0 do
+      let n = Atomic.get h.hbuckets.(i) in
+      if n > 0 then out := (1 lsl i, n) :: !out
+    done;
+    !out
+
+  let timer name =
+    Mutex.lock reg_mu;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock reg_mu)
+      (fun () ->
+        match List.find_opt (fun t -> String.equal t.tname name) !timers with
+        | Some t -> t
+        | None ->
+            let t = { tname = name; total = Atomic.make 0; tcalls = Atomic.make 0 } in
+            timers := t :: !timers;
+            t)
+
+  let record_ns t ns =
+    if !on then begin
+      ignore (Atomic.fetch_and_add t.total ns);
+      ignore (Atomic.fetch_and_add t.tcalls 1)
+    end
+
+  let time t f =
+    if not !on then f ()
+    else begin
+      let t0 = !clock () in
+      let finish () = record_ns t (!clock () - t0) in
+      match f () with
+      | v ->
+          finish ();
+          v
+      | exception e ->
+          finish ();
+          raise e
+    end
+
+  let total_ns t = Atomic.get t.total
+  let calls t = Atomic.get t.tcalls
+
+  let snapshot () =
+    let cs = List.map (fun c -> (c.cname, Atomic.get c.n)) !counters in
+    let ts =
+      List.concat_map
+        (fun t -> [ (t.tname ^ ".ns", total_ns t); (t.tname ^ ".calls", calls t) ])
+        !timers
+    in
+    let hs =
+      List.concat_map
+        (fun h ->
+          List.map
+            (fun (bound, n) -> (Printf.sprintf "%s.le_%d" h.hname bound, n))
+            (buckets h))
+        !histograms
+    in
+    List.sort (fun (a, _) (b, _) -> String.compare a b) (cs @ ts @ hs)
+
+  let report () =
+    let buf = Buffer.create 512 in
+    Buffer.add_string buf "runtime metrics:\n";
+    List.iter
+      (fun c -> Buffer.add_string buf (Printf.sprintf "  %-32s %12d\n" c.cname (Atomic.get c.n)))
+      (List.sort (fun a b -> String.compare a.cname b.cname) !counters);
+    List.iter
+      (fun t ->
+        let calls = calls t and ns = total_ns t in
+        Buffer.add_string buf
+          (Printf.sprintf "  %-32s %12dns over %d call(s)%s\n" t.tname ns calls
+             (if calls > 0 then Printf.sprintf " (%.0fns/call)" (float_of_int ns /. float_of_int calls)
+              else "")))
+      (List.sort (fun a b -> String.compare a.tname b.tname) !timers);
+    List.iter
+      (fun h ->
+        match buckets h with
+        | [] -> ()
+        | bs ->
+            Buffer.add_string buf (Printf.sprintf "  %s:\n" h.hname);
+            List.iter
+              (fun (bound, n) ->
+                Buffer.add_string buf (Printf.sprintf "    <= %-10d %12d\n" bound n))
+              bs)
+      (List.sort (fun a b -> String.compare a.hname b.hname) !histograms);
+    Buffer.contents buf
+
+  let reset () =
+    Mutex.lock reg_mu;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock reg_mu)
+      (fun () ->
+        List.iter (fun c -> Atomic.set c.n 0) !counters;
+        List.iter (fun t -> Atomic.set t.total 0; Atomic.set t.tcalls 0) !timers;
+        List.iter (fun h -> Array.iter (fun b -> Atomic.set b 0) h.hbuckets) !histograms)
+end

@@ -1,0 +1,156 @@
+(** Observability: structured events, spans, decision tracing and
+    runtime metrics for the whole stack.
+
+    Zero-dependency by design (the runtime library sits below every
+    other subsystem and links this).  The disabled state is the default
+    and near-free: [enabled ()] is a single bool-ref read, so hot paths
+    guard with [if Obs.enabled () then ...] and allocate nothing when no
+    sink is installed.  Sinks are pluggable: null (default), a
+    human-readable text log, JSON-lines, the Chrome [trace_event]
+    format (load the file in [chrome://tracing] / Perfetto), an
+    in-memory collector (used by [blockc explain] and the tests), and a
+    [tee] combinator.
+
+    Events carry a monotonic nanosecond timestamp, a category, the
+    current span-nesting depth, and a list of key/value arguments.
+    Decision events ([cat = "decision"]) are the transformation
+    engine's evidence log: every strip-mine / interchange /
+    distribution / index-set-split / IF-inspection / unroll-and-jam /
+    commutativity step records whether it was applied or rejected and
+    why. *)
+
+type value = Str of string | Int of int | Float of float | Bool of bool
+
+type kind = Begin | End | Instant
+
+type event = {
+  name : string;
+  cat : string;
+  kind : kind;
+  ts : int;  (** nanoseconds, non-decreasing *)
+  depth : int;  (** span nesting depth at emission *)
+  args : (string * value) list;
+}
+
+type sink
+
+val null : sink
+(** Drops everything.  The default; [enabled] is [false] under it. *)
+
+val text : out_channel -> sink
+(** One indented human-readable line per event. *)
+
+val jsonl : out_channel -> sink
+(** One JSON object per line (parseable by [Json_min]). *)
+
+val chrome : out_channel -> sink
+(** Chrome [trace_event] format: buffers events, writes the complete
+    [{"traceEvents": [...]}] document on [flush]. *)
+
+val memory : unit -> sink * (unit -> event list)
+(** An in-memory collector and the function that reads back the events
+    collected so far, in emission order. *)
+
+val tee : sink -> sink -> sink
+
+val set_sink : sink -> unit
+(** Install a sink (flushes nothing; [flush] does).  Installing [null]
+    disables tracing. *)
+
+val current_sink : unit -> sink
+
+val sink_of_name : string -> out_channel -> (sink, string) result
+(** ["text" | "json" | "chrome"] — the CLI / env-var sink names. *)
+
+val enabled : unit -> bool
+val flush : unit -> unit
+
+val set_clock : (unit -> int) -> unit
+(** Replace the timestamp source (nanoseconds).  The default derives
+    from [Sys.time]; timestamps are clamped to be non-decreasing. *)
+
+val now_ns : unit -> int
+
+val instant : ?cat:string -> ?args:(string * value) list -> string -> unit
+
+val span : ?cat:string -> ?args:(string * value) list -> string -> (unit -> 'a) -> 'a
+(** [span name f] emits a [Begin]/[End] pair around [f ()] (also on
+    exception) and tracks nesting depth. *)
+
+val decision :
+  transform:string ->
+  target:string ->
+  applied:bool ->
+  reason:string ->
+  ?evidence:(string * value) list ->
+  unit ->
+  unit
+(** Record one transformation decision ([cat = "decision"]). *)
+
+val decide :
+  transform:string ->
+  target:string ->
+  ?evidence:(string * value) list ->
+  ('a, string) result ->
+  ('a, string) result
+(** [decide r] records [r] as a decision — applied on [Ok], rejected
+    with the error text as reason on [Error] — and returns [r]
+    unchanged.  The transformation modules wrap their results with
+    this. *)
+
+val init_from_env : unit -> unit
+(** Honour [BLOCKABILITY_TRACE=text|json|chrome[:PATH]]: install the
+    named sink (writing to [PATH], or stderr when no path is given —
+    [chrome] requires a path) and register an exit-time [flush].
+    Unknown sink names warn on stderr and leave tracing disabled.
+    Call once at program start; does nothing when the variable is
+    unset. *)
+
+(** Runtime metrics: cheap process-global counters, log2-bucket
+    histograms and accumulating timers, safe to update from multiple
+    domains (atomics).  Disabled by default; every update is gated on
+    [enabled ()] so instrumented hot paths cost one bool-ref read and
+    allocate nothing when metrics are off. *)
+module Metrics : sig
+  val enabled : unit -> bool
+  val set_enabled : bool -> unit
+
+  type counter
+
+  val counter : string -> counter
+  (** Find-or-create by name (names are a global registry). *)
+
+  val add : counter -> int -> unit
+  val incr : counter -> unit
+  val count : counter -> int
+
+  type histogram
+
+  val histogram : string -> histogram
+  val observe : histogram -> int -> unit
+  (** Bucket [v] by power of two ([v <= 1], [<= 2], [<= 4], ...). *)
+
+  val buckets : histogram -> (int * int) list
+  (** [(upper_bound, count)] for the non-empty buckets, ascending. *)
+
+  type timer
+
+  val timer : string -> timer
+
+  val record_ns : timer -> int -> unit
+  val time : timer -> (unit -> 'a) -> 'a
+  val total_ns : timer -> int
+  val calls : timer -> int
+
+  val snapshot : unit -> (string * int) list
+  (** Flat view of everything: ["name"] for counters,
+      ["name.ns"]/["name.calls"] for timers, ["name.le_N"] for
+      histogram buckets.  Sorted by key. *)
+
+  val report : unit -> string
+  (** Human-readable multi-line rendering of [snapshot] plus derived
+      rates (mean ns/call for timers). *)
+
+  val reset : unit -> unit
+  (** Zero all registered metrics (the registry itself persists). *)
+end

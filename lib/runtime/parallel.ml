@@ -42,6 +42,18 @@ let for_ ?pool ?(chunking = Static) ?(align = 1) ~lo ~hi f =
       let n = Array.length cs in
       if n <= 1 then f lo hi
       else begin
+        let metrics = Obs.Metrics.enabled () in
+        if metrics then begin
+          Obs.Metrics.incr (Obs.Metrics.counter "par.loops");
+          Obs.Metrics.add (Obs.Metrics.counter "par.chunks") n;
+          let h =
+            Obs.Metrics.histogram
+              (match chunking with
+              | Static -> "par.chunk_size.static"
+              | Guided _ -> "par.chunk_size.guided")
+          in
+          Array.iter (fun (s, e) -> Obs.Metrics.observe h (e - s + 1)) cs
+        end;
         let next = Atomic.make 0 in
         Pool.run pool (fun () ->
             let continue = ref true in
@@ -50,7 +62,8 @@ let for_ ?pool ?(chunking = Static) ?(align = 1) ~lo ~hi f =
               if i >= n then continue := false
               else
                 let s, e = cs.(i) in
-                f s e
+                if metrics then Obs.Metrics.time (Obs.Metrics.timer "par.chunk") (fun () -> f s e)
+                else f s e
             done)
       end
     end

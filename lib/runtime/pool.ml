@@ -45,7 +45,12 @@ let worker t ~epoch0 =
       seen := t.epoch;
       let f = Option.get t.task in
       Mutex.unlock t.mu;
+      let metrics = Obs.Metrics.enabled () in
+      let t0 = if metrics then Obs.now_ns () else 0 in
       let failure = try f (); None with e -> Some e in
+      if metrics then
+        Obs.Metrics.record_ns (Obs.Metrics.timer "pool.lane_busy")
+          (Obs.now_ns () - t0);
       Mutex.lock t.mu;
       (match failure with Some e -> record_exn t e | None -> ());
       t.active <- t.active - 1;
@@ -73,15 +78,23 @@ let ensure_started t =
   let missing = t.lanes - 1 - List.length t.workers in
   if missing > 0 then begin
     if t.workers = [] then at_exit (fun () -> shutdown t);
+    let t0 = if Obs.Metrics.enabled () then Obs.now_ns () else 0 in
     let epoch0 = t.epoch in
     for _ = 1 to missing do
       t.workers <- Domain.spawn (fun () -> worker t ~epoch0) :: t.workers
-    done
+    done;
+    if Obs.Metrics.enabled () then begin
+      Obs.Metrics.add (Obs.Metrics.counter "pool.domains_spawned") missing;
+      Obs.Metrics.record_ns (Obs.Metrics.timer "pool.startup")
+        (Obs.now_ns () - t0)
+    end
   end
 
 let run t f =
   if t.lanes = 1 || t.in_region then f ()
   else begin
+    let metrics = Obs.Metrics.enabled () in
+    let t0 = if metrics then Obs.now_ns () else 0 in
     Mutex.lock t.mu;
     ensure_started t;
     t.task <- Some f;
@@ -91,7 +104,11 @@ let run t f =
     t.in_region <- true;
     Condition.broadcast t.work_cv;
     Mutex.unlock t.mu;
+    let t1 = if metrics then Obs.now_ns () else 0 in
     let failure = try f (); None with e -> Some e in
+    if metrics then
+      Obs.Metrics.record_ns (Obs.Metrics.timer "pool.lane_busy")
+        (Obs.now_ns () - t1);
     Mutex.lock t.mu;
     (match failure with Some e -> record_exn t e | None -> ());
     while t.active > 0 do
@@ -102,6 +119,11 @@ let run t f =
     let e = t.exn in
     t.exn <- None;
     Mutex.unlock t.mu;
+    if metrics then begin
+      Obs.Metrics.incr (Obs.Metrics.counter "pool.regions");
+      Obs.Metrics.record_ns (Obs.Metrics.timer "pool.region")
+        (Obs.now_ns () - t0)
+    end;
     match e with Some e -> raise e | None -> ()
   end
 

@@ -1,0 +1,151 @@
+type regression = {
+  table : string;
+  row : int;
+  row_label : string;
+  header : string;
+  base_s : float;
+  cur_s : float;
+  ratio : float;
+}
+
+type verdict = {
+  compared : int;
+  regressions : regression list;
+  warnings : string list;
+}
+
+let parse_time_cell s =
+  let s = String.trim s in
+  let strip suffix =
+    let n = String.length s and m = String.length suffix in
+    if n > m && String.equal (String.sub s (n - m) m) suffix then
+      float_of_string_opt (String.trim (String.sub s 0 (n - m)))
+    else None
+  in
+  (* longest suffixes first: "ms" also ends in "s" *)
+  match strip "ms" with
+  | Some v -> Some (v /. 1e3)
+  | None -> (
+      match strip "us" with
+      | Some v -> Some (v /. 1e6)
+      | None -> (
+          match strip "ns" with
+          | Some v -> Some (v /. 1e9)
+          | None -> strip "s"))
+
+(* ---- pulling tables out of a Json_min value ---- *)
+
+type table = { id : string; headers : string list; rows : string list list }
+
+let field name = function
+  | Json_min.Object kvs -> List.assoc_opt name kvs
+  | _ -> None
+
+let as_string_list = function
+  | Json_min.Array vs ->
+      Some (List.map (function Json_min.String s -> s | _ -> "") vs)
+  | _ -> None
+
+let tables_of_json doc =
+  match field "tables" doc with
+  | Some (Json_min.Array ts) ->
+      let parse_one t =
+        match (field "id" t, field "table" t) with
+        | Some (Json_min.String id), Some tbl -> (
+            let headers =
+              Option.bind (field "headers" tbl) as_string_list
+            in
+            match (headers, field "rows" tbl) with
+            | Some headers, Some (Json_min.Array rows) ->
+                let rows = List.filter_map as_string_list rows in
+                Ok { id; headers; rows }
+            | _ -> Error ("table " ^ id ^ ": missing headers or rows"))
+        | _ -> Error "table entry without id"
+      in
+      List.fold_left
+        (fun acc t ->
+          match (acc, parse_one t) with
+          | Error _, _ -> acc
+          | _, (Error _ as e) -> e
+          | Ok l, Ok t -> Ok (t :: l))
+        (Ok []) ts
+      |> Result.map List.rev
+  | _ -> Error "not a json_of_tables document: no \"tables\" array"
+
+let compare ?(tolerance = 1.5) ?(slack_s = 0.002) ~baseline ~current () =
+  match (tables_of_json baseline, tables_of_json current) with
+  | Error e, _ -> Error ("baseline: " ^ e)
+  | _, Error e -> Error ("current: " ^ e)
+  | Ok base_tables, Ok cur_tables ->
+      let warnings = ref [] and regressions = ref [] and compared = ref 0 in
+      let warn fmt = Printf.ksprintf (fun s -> warnings := s :: !warnings) fmt in
+      List.iter
+        (fun (bt : table) ->
+          match List.find_opt (fun (ct : table) -> ct.id = bt.id) cur_tables with
+          | None -> warn "table %s: in baseline but not in current run" bt.id
+          | Some ct ->
+              if List.length bt.rows <> List.length ct.rows then
+                warn "table %s: %d baseline rows vs %d current rows" bt.id
+                  (List.length bt.rows) (List.length ct.rows);
+              List.iteri
+                (fun ri brow ->
+                  match List.nth_opt ct.rows ri with
+                  | None -> ()
+                  | Some crow ->
+                      let row_label =
+                        match brow with lbl :: _ -> lbl | [] -> ""
+                      in
+                      List.iteri
+                        (fun ci bcell ->
+                          match
+                            ( parse_time_cell bcell,
+                              Option.bind (List.nth_opt crow ci)
+                                parse_time_cell )
+                          with
+                          | Some base_s, Some cur_s ->
+                              incr compared;
+                              if cur_s > (base_s *. tolerance) +. slack_s then
+                                regressions :=
+                                  {
+                                    table = bt.id;
+                                    row = ri;
+                                    row_label;
+                                    header =
+                                      Option.value ~default:""
+                                        (List.nth_opt bt.headers ci);
+                                    base_s;
+                                    cur_s;
+                                    ratio = cur_s /. base_s;
+                                  }
+                                  :: !regressions
+                          | _ -> ())
+                        brow)
+                bt.rows)
+        base_tables;
+      List.iter
+        (fun (ct : table) ->
+          if not (List.exists (fun (bt : table) -> bt.id = ct.id) base_tables)
+          then warn "table %s: new in current run (no baseline)" ct.id)
+        cur_tables;
+      Ok
+        {
+          compared = !compared;
+          regressions = List.rev !regressions;
+          warnings = List.rev !warnings;
+        }
+
+let ok v = v.regressions = []
+
+let report v =
+  let buf = Buffer.create 256 in
+  Printf.bprintf buf "bench gate: %d time cell(s) compared, %d regression(s)\n"
+    v.compared
+    (List.length v.regressions);
+  List.iter
+    (fun r ->
+      Printf.bprintf buf
+        "  REGRESSION %s row %d (%s) column %S: %.4fs -> %.4fs (%.2fx)\n"
+        r.table r.row r.row_label r.header r.base_s r.cur_s r.ratio)
+    v.regressions;
+  List.iter (fun w -> Printf.bprintf buf "  warning: %s\n" w) v.warnings;
+  Buffer.contents buf

@@ -1,0 +1,54 @@
+(** Benchmark regression gate.
+
+    Compares two of the harness's [--json] dumps
+    (see {!Table.json_of_tables}) and flags timing cells that got
+    slower than the baseline beyond a tolerance.  Built on {!Json_min},
+    so the gate — like the rest of the repo — has no external
+    dependencies.
+
+    Only cells that parse as times in BOTH dumps are compared
+    ("4.59s", "0.123s", "12.30ms", "850ns", "3.1us"); speedup ratios,
+    miss counts and labels are ignored — those are claims about shape,
+    not wall-clock, and the tier-2 bench tests already check them.
+    Structural drift (a table or row present on one side only) is a
+    warning, not a failure: adding a benchmark must not fail the
+    gate. *)
+
+type regression = {
+  table : string;  (** table id, e.g. ["t1"] *)
+  row : int;  (** 0-based row index *)
+  row_label : string;  (** first cell of the row *)
+  header : string;  (** column header *)
+  base_s : float;
+  cur_s : float;
+  ratio : float;  (** [cur_s /. base_s] *)
+}
+
+type verdict = {
+  compared : int;  (** number of time cells compared *)
+  regressions : regression list;
+  warnings : string list;  (** structural mismatches *)
+}
+
+val parse_time_cell : string -> float option
+(** Seconds from a rendered cell; [None] when the cell is not a time. *)
+
+val compare :
+  ?tolerance:float ->
+  ?slack_s:float ->
+  baseline:Json_min.t ->
+  current:Json_min.t ->
+  unit ->
+  (verdict, string) result
+(** [compare ~baseline ~current ()] flags every time cell with
+    [cur > base *. tolerance +. slack_s].  [tolerance] defaults to 1.5
+    (shared machines jitter; the gate hunts order-of-magnitude
+    regressions, not percent drift) and [slack_s] to 0.002 so
+    microsecond-scale cells never trip on noise.  [Error] only when a
+    dump is not structurally a [json_of_tables] document. *)
+
+val ok : verdict -> bool
+(** No regressions (warnings don't fail the gate). *)
+
+val report : verdict -> string
+(** Human-readable multi-line summary of the comparison. *)

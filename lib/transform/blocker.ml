@@ -147,8 +147,12 @@ let interchange_tail (tail : Stmt.t) =
       Error "distributed tail is not a loop"
 
 let derive ~block_size_var ~ignore_dep_of (l : Stmt.loop) =
+  Obs.span ~cat:"driver" "blocker.derive"
+    ~args:[ ("loop", Obs.Str l.index); ("block_size", Obs.Str block_size_var) ]
+  @@ fun () ->
   let steps = ref [] in
   let record name detail after =
+    Obs.instant ~cat:"driver" ~args:[ ("detail", Obs.Str detail) ] name;
     steps := { name; detail; after } :: !steps
   in
   let kk_index =
@@ -240,8 +244,14 @@ let unroll_region ~ctx ~factor (s : Stmt.t) =
   | Stmt.Assign _ | Stmt.Iassign _ | Stmt.If _ -> Error "region is not a loop"
 
 let block_trapezoid ~ctx ~factor (l : Stmt.loop) =
+  Obs.span ~cat:"driver" "blocker.trapezoid"
+    ~args:[ ("loop", Obs.Str l.index); ("factor", Obs.Int factor) ]
+  @@ fun () ->
   let steps = ref [] in
-  let record name detail after = steps := { name; detail; after } :: !steps in
+  let record name detail after =
+    Obs.instant ~cat:"driver" ~args:[ ("detail", Obs.Str detail) ] name;
+    steps := { name; detail; after } :: !steps
+  in
   let* regions = Split_minmax.remove_all l in
   record "index-set-split"
     (Printf.sprintf "MIN/MAX removal split the loop into %d region(s)"

@@ -57,6 +57,22 @@ let may_ignore (l : Stmt.loop) (dep : Dependence.t) =
   | Some a, Some b when a <> b && a < Array.length body && b < Array.length body
     ->
       let sa = body.(a) and sb = body.(b) in
-      (is_row_swap sa && is_column_update sb)
-      || (is_column_update sa && is_row_swap sb)
+      let ok =
+        (is_row_swap sa && is_column_update sb)
+        || (is_column_update sa && is_row_swap sb)
+      in
+      (* Only positive matches are decisions; every other dependence in
+         the loop is queried too and would flood the trace. *)
+      if ok then
+        Obs.decision ~transform:"commutativity" ~target:l.index ~applied:true
+          ~reason:
+            "row interchange commutes with whole-column updates (§5.2): the \
+             dependence between them may be ignored for distribution"
+          ~evidence:
+            [
+              ("dependence", Obs.Str (Dependence.to_string dep));
+              ("stmts", Obs.Str (Printf.sprintf "%d <-> %d" a b));
+            ]
+          ();
+      ok
   | _ -> false

@@ -33,17 +33,30 @@ let legality ~edges ~groups =
            e.from_stmt e.to_stmt
            (Dependence.to_string e.dep))
 
+let groups_to_string groups =
+  String.concat " | "
+    (List.map (fun g -> String.concat "," (List.map string_of_int g)) groups)
+
 let apply_with_override ~ctx ~ignore_dep (l : Stmt.loop) ~groups =
   let ( let* ) = Result.bind in
   let n = List.length l.body in
   let* () = check_partition n groups in
   let g = Ddg.build ~ctx l in
   let edges = List.filter (fun (e : Ddg.edge) -> not (ignore_dep e.dep)) g.edges in
+  let ignored = List.length g.edges - List.length edges in
   (* A dependence between statements of the same group never constrains the
      split; between groups, the direction must follow group order.  Edges
      within an SCC that spans two groups show up as one forward and one
      backward edge, so the backward-edge check below subsumes the SCC
      condition. *)
+  Obs.decide ~transform:"distribute" ~target:l.index
+    ~evidence:
+      [
+        ("groups", Obs.Str (groups_to_string groups));
+        ("edges", Obs.Int (List.length g.edges));
+        ("ignored_deps", Obs.Int ignored);
+      ]
+  @@
   let* () = legality ~edges ~groups in
   Ok (build_loops l groups)
 
@@ -51,6 +64,14 @@ let apply ~ctx l ~groups = apply_with_override ~ctx ~ignore_dep:(fun _ -> false)
 
 let auto ~ctx (l : Stmt.loop) =
   let g = Ddg.build ~ctx l in
+  Obs.decide ~transform:"distribute-auto" ~target:l.index
+    ~evidence:
+      [
+        ("stmts", Obs.Int g.n);
+        ("edges", Obs.Int (List.length g.edges));
+        ("sccs", Obs.Int (List.length g.sccs));
+      ]
+  @@
   match Ddg.distribution_order g with
   | None -> Error "the loop body is a single recurrence: distribution impossible"
   | Some groups -> Ok (build_loops l groups)

@@ -27,8 +27,12 @@ let privatize ~setup ~apply =
     apply shared
 
 let optimize (l_loop : Stmt.loop) =
+  Obs.span ~cat:"driver" "givens.optimize"
+    ~args:[ ("loop", Obs.Str l_loop.index) ]
+  @@ fun () ->
   let steps = ref [] in
   let record name detail after =
+    Obs.instant ~cat:"driver" ~args:[ ("detail", Obs.Str detail) ] name;
     steps := { Blocker.name; detail; after } :: !steps
   in
   (* Locate the J sweep and the guarded rotation. *)

@@ -66,6 +66,16 @@ let written_arrays block =
   |> List.sort_uniq String.compare
 
 let apply ~names (l : Stmt.loop) =
+  Obs.decide ~transform:"if-inspection" ~target:l.index
+    ~evidence:
+      (match l.body with
+      | [ Stmt.If (guard, _, []) ] ->
+          [
+            ("guard_arrays", Obs.Str (String.concat ", " (cond_arrays guard)));
+            ("ranges_counter", Obs.Str names.counter);
+          ]
+      | _ -> [])
+  @@
   match l.body with
   | [ Stmt.If (guard, computation, []) ] ->
       let guard_arrays = cond_arrays guard in
@@ -153,6 +163,13 @@ let cross_safe ~ctx (l : Stmt.loop) (a : Ir_util.access) (b : Ir_util.access) =
     | _ -> false
 
 let split_guarded ~ctx ~names ~setup_len (l : Stmt.loop) =
+  Obs.decide ~transform:"if-inspection-split" ~target:l.index
+    ~evidence:
+      [
+        ("setup_len", Obs.Int setup_len);
+        ("ranges_counter", Obs.Str names.counter);
+      ]
+  @@
   match l.body with
   | [ Stmt.If (guard, stmts, []) ] when List.length stmts > setup_len ->
       let rec split k = function

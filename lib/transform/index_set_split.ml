@@ -56,14 +56,48 @@ let candidate_of_dim ~ctx ~(s1 : Section.t) ~(s2 : Section.t) i =
               | Some (l2, _) -> Some (Lo_side, l2, true)
               | None -> None)))
 
+let access_to_string (a : Ir_util.access) =
+  if a.subs = [] then a.array
+  else
+    a.array ^ "(" ^ String.concat ", " (List.map Expr.to_string a.subs) ^ ")"
+
 let procedure ~ctx ~(source : Ir_util.access) ~(sink : Ir_util.access)
     ~split_candidates =
+  let decide ?(evidence = []) r =
+    Obs.decide ~transform:"index-set-split"
+      ~target:(access_to_string source ^ " -> " ^ access_to_string sink)
+      ~evidence r
+  in
   match
     ( Section.of_access ~ctx ~within:source.loops source,
       Section.of_access ~ctx ~within:sink.loops sink )
   with
-  | None, _ | _, None -> Error "sections of the dependence are not computable"
+  | None, _ | _, None ->
+      decide (Error "sections of the dependence are not computable")
   | Some s1, Some s2 ->
+      let section_evidence =
+        [
+          ("source_section", Obs.Str (Section.to_string s1));
+          ("sink_section", Obs.Str (Section.to_string s2));
+        ]
+      in
+      let decide r =
+        let evidence =
+          section_evidence
+          @
+          match r with
+          | Ok plan ->
+              [
+                ("split_loop", Obs.Str plan.loop.Stmt.index);
+                ("split_point", Obs.Str (Expr.to_string plan.point));
+                ("conflict_first", Obs.Bool plan.conflict_first);
+              ]
+          | Error _ -> []
+        in
+        decide ~evidence r
+      in
+      decide
+      @@
       if List.length s1.dims <> List.length s2.dims then
         Error "sections have different ranks"
       else if Section.equal ctx s1 s2 then

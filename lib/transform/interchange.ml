@@ -110,3 +110,61 @@ let triangular (l : Stmt.loop) =
       else if lo_dep then triangular_lower l
       else if hi_dep then triangular_upper l
       else rectangular l
+
+(* ------------------------------------------------------------------ *)
+(* Decision tracing: wrap the public entry points.  A loop whose body   *)
+(* is not a perfect pair is a structural probe (drivers use the error   *)
+(* to stop sinking), not an interchange decision, so it stays silent.   *)
+(* ------------------------------------------------------------------ *)
+
+let evidence_of ~form (l : Stmt.loop) (inner : Stmt.loop) =
+  [
+    ("form", Obs.Str form);
+    ("outer", Obs.Str l.index);
+    ("inner", Obs.Str inner.index);
+    ("inner_lo", Obs.Str (Expr.to_string inner.lo));
+    ("inner_hi", Obs.Str (Expr.to_string inner.hi));
+  ]
+
+let traced ~form ?extra l inner r =
+  match inner_of l with
+  | Error _ -> r ()
+  | Ok _ ->
+      let evidence =
+        evidence_of ~form l inner @ Option.value extra ~default:[]
+      in
+      Obs.decide ~transform:"interchange"
+        ~target:(l.index ^ "<->" ^ inner.index)
+        ~evidence (r ())
+
+let rectangular ?check (l : Stmt.loop) =
+  match inner_of l with
+  | Error _ as e -> e
+  | Ok inner ->
+      let extra =
+        match check with
+        | None -> [ ("legality", Obs.Str "bounds independent; no dependence check requested") ]
+        | Some (_, deps) ->
+            [
+              ("legality",
+               Obs.Str
+                 (Printf.sprintf "%d dependence vector(s) checked for (<,>)"
+                    (List.length deps)));
+            ]
+      in
+      traced ~form:"rectangular" ~extra l inner (fun () -> rectangular ?check l)
+
+let triangular (l : Stmt.loop) =
+  match inner_of l with
+  | Error _ as e -> e
+  | Ok inner ->
+      let form =
+        match
+          (Expr.mentions l.index inner.lo, Expr.mentions l.index inner.hi)
+        with
+        | true, true -> "both-bounds"
+        | true, false -> "triangular-lower"
+        | false, true -> "triangular-upper"
+        | false, false -> "rectangular"
+      in
+      traced ~form l inner (fun () -> triangular l)

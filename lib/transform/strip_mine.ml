@@ -1,4 +1,12 @@
 let apply ~block_size ~new_index (l : Stmt.loop) =
+  Obs.decide ~transform:"strip-mine" ~target:l.index
+    ~evidence:
+      [
+        ("block_size", Obs.Str (Expr.to_string block_size));
+        ("strip_index", Obs.Str new_index);
+        ("range", Obs.Str (Expr.to_string l.lo ^ " .. " ^ Expr.to_string l.hi));
+      ]
+  @@
   if not (Expr.equal l.step (Expr.Int 1)) then
     Error "strip mining requires step 1"
   else

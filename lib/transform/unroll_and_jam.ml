@@ -206,3 +206,19 @@ let upper_triangular ~factor (l : Stmt.loop) =
       }
     in
     Ok [ Stmt.Loop main; Stmt.Loop (remainder_loop l factor) ]
+
+(* ------------------------------------------------------------------ *)
+(* Decision tracing: wrap the public shape entry points.               *)
+(* ------------------------------------------------------------------ *)
+
+let traced shape f ~factor (l : Stmt.loop) =
+  Obs.decide ~transform:"unroll-and-jam" ~target:l.index
+    ~evidence:[ ("shape", Obs.Str shape); ("factor", Obs.Int factor) ]
+    (f ~factor l)
+
+let rectangular = traced "rectangular" rectangular
+let triangular = traced "triangular" triangular
+let upper_triangular = traced "upper-triangular" upper_triangular
+
+let rhomboidal ~ctx ~factor l =
+  traced "rhomboidal" (fun ~factor l -> rhomboidal ~ctx ~factor l) ~factor l

@@ -15,4 +15,5 @@ let () =
       Test_support.suite;
       Test_trace.suite;
       Test_parallel.suite;
+      Test_obs.suite;
     ]

@@ -93,9 +93,12 @@ let matmul_if_equiv (n, freq, seed) =
 let registry_verifies () =
   List.iter
     (fun (e : Blockability.entry) ->
-      match Blockability.verify e with
-      | Ok () -> ()
-      | Error m -> Alcotest.failf "%s: %s" e.name m)
+      match (e.blockable, Blockability.verify e) with
+      | true, Ok () -> ()
+      | true, Error m -> Alcotest.failf "%s: %s" e.name m
+      | false, Error _ -> ()
+      | false, Ok () ->
+          Alcotest.failf "%s: non-blockable entry unexpectedly verified" e.name)
     Blockability.entries
 
 let blocking_reduces_misses () =

@@ -1,0 +1,389 @@
+open Helpers
+
+(* The observability layer: event/span semantics, sink round-trips,
+   decision tracing through the real compiler drivers, metrics, the
+   per-array cache statistics, and the bench regression gate. *)
+
+(* Every test that installs a sink must restore the null default —
+   alcotest runs the other suites in the same process. *)
+let with_memory_sink f =
+  let mem, events = Obs.memory () in
+  Obs.set_sink mem;
+  Fun.protect ~finally:(fun () -> Obs.set_sink Obs.null) (fun () -> f events)
+
+let span_nesting () =
+  with_memory_sink @@ fun events ->
+  let v =
+    Obs.span "outer" (fun () ->
+        Obs.instant "mid";
+        Obs.span "inner" (fun () -> ());
+        7)
+  in
+  check_int "span returns its body's value" 7 v;
+  let evs = events () in
+  let tags =
+    List.map
+      (fun (e : Obs.event) ->
+        ( e.name,
+          (match e.kind with
+          | Obs.Begin -> "B"
+          | Obs.End -> "E"
+          | Obs.Instant -> "I"),
+          e.depth ))
+      evs
+  in
+  Alcotest.(check (list (triple string string int)))
+    "emission order and depths"
+    [
+      ("outer", "B", 0);
+      ("mid", "I", 1);
+      ("inner", "B", 1);
+      ("inner", "E", 1);
+      ("outer", "E", 0);
+    ]
+    tags;
+  (* timestamps are non-decreasing *)
+  let rec mono = function
+    | (a : Obs.event) :: (b :: _ as rest) ->
+        check_bool "timestamps non-decreasing" true (a.ts <= b.ts);
+        mono rest
+    | _ -> ()
+  in
+  mono evs
+
+let span_exception_closes () =
+  with_memory_sink @@ fun events ->
+  (try Obs.span "boom" (fun () -> failwith "x") with Failure _ -> ());
+  let evs = events () in
+  check_int "Begin and End both emitted" 2 (List.length evs);
+  check_bool "End emitted on exception" true
+    (match List.rev evs with
+    | (e : Obs.event) :: _ -> e.kind = Obs.End
+    | [] -> false);
+  Obs.instant "after";
+  check_bool "depth back to 0 after exception" true
+    (match List.rev (events ()) with
+    | (e : Obs.event) :: _ -> e.depth = 0
+    | [] -> false)
+
+let null_sink_is_off () =
+  Obs.set_sink Obs.null;
+  check_bool "disabled under null" false (Obs.enabled ());
+  (* and the whole event path stays allocation-free: spans just run the
+     body, instants return immediately *)
+  Obs.span "s" (fun () -> Obs.instant "i");
+  let before = Gc.minor_words () in
+  for _ = 1 to 1000 do
+    Obs.instant "hot"
+  done;
+  let allocated = Gc.minor_words () -. before in
+  check_bool
+    (Printf.sprintf "no allocation on disabled instants (%.0f words)" allocated)
+    true
+    (allocated < 64.0)
+
+let jsonl_round_trip () =
+  let path = Filename.temp_file "obs" ".jsonl" in
+  let oc = open_out path in
+  Obs.set_sink (Obs.jsonl oc);
+  Obs.span "phase" ~cat:"driver"
+    ~args:[ ("loop", Obs.Str "K"); ("n", Obs.Int 3) ]
+    (fun () ->
+      Obs.decision ~transform:"t" ~target:"K" ~applied:false ~reason:{|no "x"|}
+        ());
+  Obs.set_sink Obs.null;
+  close_out oc;
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Sys.remove path;
+  let lines = List.rev !lines in
+  check_int "one JSON object per event" 3 (List.length lines);
+  List.iter
+    (fun line ->
+      match Json_min.parse line with
+      | Ok (Json_min.Object kvs) ->
+          check_bool "has name" true (List.mem_assoc "name" kvs);
+          check_bool "has ts" true (List.mem_assoc "ts" kvs)
+      | Ok _ -> Alcotest.fail "event line is not an object"
+      | Error m -> Alcotest.failf "unparseable event line: %s" m)
+    lines
+
+let chrome_round_trip () =
+  let path = Filename.temp_file "obs" ".json" in
+  let oc = open_out path in
+  Obs.set_sink (Obs.chrome oc);
+  Obs.span "phase" (fun () -> Obs.instant "i");
+  Obs.flush ();
+  Obs.set_sink Obs.null;
+  close_out oc;
+  let ic = open_in path in
+  let doc = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  match Json_min.parse doc with
+  | Ok (Json_min.Object kvs) -> (
+      match List.assoc_opt "traceEvents" kvs with
+      | Some (Json_min.Array evs) ->
+          check_int "B, I, E trace events" 3 (List.length evs)
+      | _ -> Alcotest.fail "no traceEvents array")
+  | Ok _ -> Alcotest.fail "chrome trace is not an object"
+  | Error m -> Alcotest.failf "unparseable chrome trace: %s" m
+
+(* ---- decision tracing through the real drivers ---- *)
+
+let decisions events =
+  List.filter (fun (e : Obs.event) -> String.equal e.cat "decision") events
+
+let arg_bool k (e : Obs.event) =
+  match List.assoc_opt k e.args with Some (Obs.Bool b) -> Some b | _ -> None
+
+let lu_decision_trace () =
+  with_memory_sink @@ fun events ->
+  let entry = Option.get (Blockability.find "lu") in
+  check_bool "lu derives" true (Result.is_ok (Blockability.derive entry));
+  let ds = decisions (events ()) in
+  let applied name =
+    List.exists
+      (fun (e : Obs.event) ->
+        String.equal e.name name && arg_bool "applied" e = Some true)
+      ds
+  in
+  check_bool "strip-mine applied" true (applied "strip-mine");
+  check_bool "index-set-split applied" true (applied "index-set-split");
+  check_bool "distribute applied" true (applied "distribute");
+  check_bool "interchange applied" true (applied "interchange");
+  (* the split evidence names the split loop and point (§ Fig. 3) *)
+  check_bool "split evidence recorded" true
+    (List.exists
+       (fun (e : Obs.event) ->
+         String.equal e.name "index-set-split"
+         && List.mem_assoc "split_point" e.args
+         && List.mem_assoc "split_loop" e.args)
+       ds)
+
+let lu_pivot_commutativity_trace () =
+  with_memory_sink @@ fun events ->
+  let entry = Option.get (Blockability.find "lu_pivot") in
+  check_bool "lu_pivot derives" true (Result.is_ok (Blockability.derive entry));
+  check_bool "commutativity event emitted (§5.2)" true
+    (List.exists
+       (fun (e : Obs.event) ->
+         String.equal e.name "commutativity"
+         && arg_bool "applied" e = Some true)
+       (decisions (events ())))
+
+let householder_rejection_trace () =
+  with_memory_sink @@ fun events ->
+  let entry = Option.get (Blockability.find "householder") in
+  check_bool "householder entry is marked non-blockable" false
+    entry.Blockability.blockable;
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  (match Blockability.derive entry with
+  | Ok _ -> Alcotest.fail "householder must not derive (§5.3)"
+  | Error m -> check_bool "reason mentions §5.3" true (contains m "5.3"));
+  check_bool "rejection decision emitted" true
+    (List.exists
+       (fun (e : Obs.event) ->
+         String.equal e.name "block"
+         && arg_bool "applied" e = Some false)
+       (decisions (events ())))
+
+(* The point kernel behind the negative result must itself be correct:
+   interpreting it has to triangularize A (Householder reflections zero
+   the subdiagonal of each processed column). *)
+let householder_point_kernel_triangularizes () =
+  let m = 10 and n = 7 in
+  let env =
+    Kernel_def.make_env K_householder.kernel
+      ~bindings:[ ("M", m); ("N", n) ]
+      ~seed:11
+  in
+  Exec.run env K_householder.kernel.Kernel_def.block;
+  for k = 1 to n do
+    for i = k + 1 to m do
+      let v = Env.get_f env "A" [ i; k ] in
+      if Float.abs v > 1e-9 then
+        Alcotest.failf "A(%d,%d) = %g not annihilated" i k v
+    done
+  done
+
+(* ---- metrics ---- *)
+
+let metrics_basics () =
+  Obs.Metrics.set_enabled true;
+  Fun.protect ~finally:(fun () ->
+      Obs.Metrics.set_enabled false;
+      Obs.Metrics.reset ())
+  @@ fun () ->
+  Obs.Metrics.reset ();
+  let c = Obs.Metrics.counter "test.c" in
+  Obs.Metrics.incr c;
+  Obs.Metrics.add c 4;
+  check_int "counter" 5 (Obs.Metrics.count c);
+  let h = Obs.Metrics.histogram "test.h" in
+  List.iter (Obs.Metrics.observe h) [ 1; 2; 3; 900 ];
+  check_bool "histogram buckets ascend and sum" true
+    (let bs = Obs.Metrics.buckets h in
+     List.fold_left (fun acc (_, n) -> acc + n) 0 bs = 4
+     && List.sort compare bs = bs);
+  let t = Obs.Metrics.timer "test.t" in
+  Obs.Metrics.record_ns t 500;
+  let v = Obs.Metrics.time t (fun () -> 3) in
+  check_int "timer passes value through" 3 v;
+  check_int "timer calls" 2 (Obs.Metrics.calls t);
+  check_bool "timer total includes both" true (Obs.Metrics.total_ns t >= 500);
+  check_bool "snapshot sees all three" true
+    (let keys = List.map fst (Obs.Metrics.snapshot ()) in
+     List.mem "test.c" keys
+     && List.exists (fun k -> String.length k > 6 && String.sub k 0 6 = "test.h") keys
+     && List.mem "test.t.ns" keys)
+
+let pool_metrics_recorded () =
+  Obs.Metrics.set_enabled true;
+  Fun.protect ~finally:(fun () ->
+      Obs.Metrics.set_enabled false;
+      Obs.Metrics.reset ())
+  @@ fun () ->
+  Obs.Metrics.reset ();
+  let pool = Pool.create ~domains:2 in
+  let acc = Atomic.make 0 in
+  Parallel.for_ ~pool ~lo:1 ~hi:1000 (fun s e ->
+      for i = s to e do
+        ignore i;
+        Atomic.incr acc
+      done);
+  Pool.shutdown pool;
+  check_int "work all done" 1000 (Atomic.get acc);
+  check_bool "regions counted" true
+    (Obs.Metrics.count (Obs.Metrics.counter "pool.regions") >= 1);
+  check_bool "chunks counted" true
+    (Obs.Metrics.count (Obs.Metrics.counter "par.chunks") >= 2);
+  check_bool "chunk sizes observed" true
+    (Obs.Metrics.buckets (Obs.Metrics.histogram "par.chunk_size.static") <> []);
+  check_bool "per-chunk timer ran" true
+    (Obs.Metrics.calls (Obs.Metrics.timer "par.chunk") >= 2)
+
+(* ---- per-array cache stats ---- *)
+
+let per_array_stats_sum () =
+  let entry = Option.get (Blockability.find "lu") in
+  match
+    Blockability.simulate ~machine:Arch.small_test
+      ~bindings:[ ("N", 48); ("KS", 4) ]
+      entry
+  with
+  | Error m -> Alcotest.fail m
+  | Ok r ->
+      let sum f l = List.fold_left (fun acc (_, s) -> acc + f s) 0 l in
+      check_int "accesses sum to aggregate" r.point_stats.accesses
+        (sum (fun (s : Cache.stats) -> s.accesses) r.point_by_array);
+      check_int "misses sum to aggregate" r.point_stats.misses
+        (sum (fun (s : Cache.stats) -> s.misses) r.point_by_array);
+      check_int "transformed accesses sum" r.transformed_stats.accesses
+        (sum (fun (s : Cache.stats) -> s.accesses) r.transformed_by_array)
+
+(* ---- bench regression gate ---- *)
+
+let gate_doc rows =
+  let tbl =
+    Table.create ~title:"t"
+      [ ("K", Table.Left); ("Time", Table.Right); ("Speedup", Table.Right) ]
+  in
+  List.iter
+    (fun (k, secs, sp) -> Table.add_row tbl [ k; Table.cell_s secs; Table.cell_f sp ])
+    rows;
+  match Json_min.parse (Table.json_of_tables [ ("g", tbl) ]) with
+  | Ok v -> v
+  | Error m -> Alcotest.failf "gate_doc: %s" m
+
+let gate_passes_and_fails () =
+  let baseline = gate_doc [ ("lu", 1.0, 1.8); ("mm", 0.004, 1.5) ] in
+  (* same timings: passes *)
+  (match Bench_gate.compare ~baseline ~current:baseline () with
+  | Error m -> Alcotest.fail m
+  | Ok v ->
+      check_bool "identical run passes" true (Bench_gate.ok v);
+      check_int "compared both time cells" 2 v.compared);
+  (* artificially slowed table: flagged, with the cell identified *)
+  let slowed = gate_doc [ ("lu", 10.0, 1.8); ("mm", 0.004, 1.5) ] in
+  (match Bench_gate.compare ~baseline ~current:slowed () with
+  | Error m -> Alcotest.fail m
+  | Ok v -> (
+      check_bool "slowdown flagged" false (Bench_gate.ok v);
+      match v.Bench_gate.regressions with
+      | [ r ] ->
+          check_bool "right row" true (String.equal r.row_label "lu");
+          check_bool "ratio is 10x" true (r.ratio > 9.0 && r.ratio < 11.0)
+      | l -> Alcotest.failf "expected 1 regression, got %d" (List.length l)));
+  (* jitter within tolerance (and within slack for the ms cell) *)
+  let jitter = gate_doc [ ("lu", 1.4, 1.8); ("mm", 0.005, 1.5) ] in
+  match Bench_gate.compare ~baseline ~current:jitter () with
+  | Error m -> Alcotest.fail m
+  | Ok v -> check_bool "jitter tolerated" true (Bench_gate.ok v)
+
+let gate_structural_drift_warns () =
+  let baseline = gate_doc [ ("lu", 1.0, 1.8) ] in
+  match
+    Bench_gate.compare ~baseline
+      ~current:
+        (match Json_min.parse {|{"tables":[]}|} with
+        | Ok v -> v
+        | Error m -> Alcotest.failf "parse: %s" m)
+      ()
+  with
+  | Error m -> Alcotest.fail m
+  | Ok v ->
+      check_bool "missing table is only a warning" true (Bench_gate.ok v);
+      check_int "one warning" 1 (List.length v.Bench_gate.warnings)
+
+let parse_time_cells () =
+  let t = Alcotest.(check (option (float 1e-9))) in
+  t "seconds" (Some 4.59) (Bench_gate.parse_time_cell "4.59s");
+  t "millis" (Some 0.0123) (Bench_gate.parse_time_cell "12.30ms");
+  t "micros" (Some 3.1e-6) (Bench_gate.parse_time_cell "3.1us");
+  t "nanos" (Some 8.5e-7) (Bench_gate.parse_time_cell "850ns");
+  t "ratio is not a time" None (Bench_gate.parse_time_cell "1.80");
+  t "label is not a time" None (Bench_gate.parse_time_cell "Aconv");
+  t "bare s is not a time" None (Bench_gate.parse_time_cell "s")
+
+let suite =
+  ( "obs",
+    [
+      Alcotest.test_case "span nesting and ordering" `Quick span_nesting;
+      Alcotest.test_case "span closes on exception" `Quick span_exception_closes;
+      Alcotest.test_case "null sink: disabled and allocation-free" `Quick
+        null_sink_is_off;
+      Alcotest.test_case "jsonl sink round-trips through Json_min" `Quick
+        jsonl_round_trip;
+      Alcotest.test_case "chrome sink emits a trace_event document" `Quick
+        chrome_round_trip;
+      Alcotest.test_case "LU derivation leaves a decision trail" `Quick
+        lu_decision_trace;
+      Alcotest.test_case "LU pivot records commutativity (§5.2)" `Quick
+        lu_pivot_commutativity_trace;
+      Alcotest.test_case "Householder records its rejection (§5.3)" `Quick
+        householder_rejection_trace;
+      Alcotest.test_case "Householder point kernel triangularizes" `Quick
+        householder_point_kernel_triangularizes;
+      Alcotest.test_case "metrics counters/histograms/timers" `Quick
+        metrics_basics;
+      Alcotest.test_case "pool and chunk metrics recorded" `Quick
+        pool_metrics_recorded;
+      Alcotest.test_case "per-array cache stats sum to aggregate" `Quick
+        per_array_stats_sum;
+      Alcotest.test_case "bench gate passes/fails correctly" `Quick
+        gate_passes_and_fails;
+      Alcotest.test_case "bench gate warns on structural drift" `Quick
+        gate_structural_drift_warns;
+      Alcotest.test_case "time cell parsing" `Quick parse_time_cells;
+    ] )
