@@ -1,7 +1,7 @@
 (* Benchmark harness: regenerates every table and figure of the paper's
    evaluation.  See DESIGN.md's experiment index (T1-T5, F1-F11, X1, PAR).
 
-   Usage:  main.exe [t1|t2|t3|t4|t5|figures|cache|ablation|bechamel|par|obs|all]
+   Usage:  main.exe [t1|t2|t3|t4|t5|figures|cache|ablation|bechamel|par|obs|profile|all]
                     [--quick] [--json PATH]
                     [--baseline PATH] [--check] [--tolerance F]
 
@@ -679,6 +679,50 @@ let obs_suite () =
   Obs.Metrics.reset ()
 
 (* ------------------------------------------------------------------ *)
+(* PROFILE: cost of the memory-hierarchy profiler's attribution tiers  *)
+(* ------------------------------------------------------------------ *)
+
+(* The claim being timed: attribution is zero-cost when disabled.  The
+   interpreter's hook signature carries a [ref_id], but without a refmap
+   the bare run and the flat single-level trace are exactly the seed's
+   code paths; only opting into the full profiler (hierarchy walk +
+   reuse-distance engine + per-reference counters) pays for it. *)
+let profile_suite () =
+  banner "PROFILE: per-reference attribution overhead (interpreted LU)";
+  let entry = Option.get (Blockability.find "lu") in
+  let kernel = entry.Blockability.kernel in
+  let n = if quick then 32 else 64 in
+  let bindings = [ ("N", n) ] in
+  let block = kernel.Kernel_def.block in
+  let arrays = kernel.Kernel_def.traced in
+  let machine = Arch.rs6000_540 in
+  let fresh () = Kernel_def.make_env kernel ~bindings ~seed:42 in
+  let tbl =
+    Table.create
+      ~title:(Printf.sprintf "Interpreted LU at N=%d: hook tiers" n)
+      [ ("Variant", Table.Left); ("Time", Table.Right); ("vs bare", Table.Right) ]
+  in
+  let t_bare = time (fun () -> Exec.run (fresh ()) block) in
+  Table.add_row tbl [ "no hook"; Table.cell_s t_bare; Table.cell_f 1.0 ];
+  let t_flat =
+    time (fun () -> ignore (Trace.run machine (fresh ()) ~arrays block))
+  in
+  Table.add_row tbl
+    [
+      "flat cache trace (attribution off)"; Table.cell_s t_flat;
+      Table.cell_f (t_flat /. t_bare);
+    ];
+  let t_prof =
+    time (fun () -> ignore (Trace.run_profile machine (fresh ()) ~arrays block))
+  in
+  Table.add_row tbl
+    [
+      "hierarchy profiler (attribution on)"; Table.cell_s t_prof;
+      Table.cell_f (t_prof /. t_bare);
+    ];
+  output ~id:"profile-overhead" tbl
+
+(* ------------------------------------------------------------------ *)
 (* the regression gate                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -722,6 +766,7 @@ let () =
   if want "bechamel" then bechamel_tests ();
   if want "par" then par ();
   if want "obs" then obs_suite ();
+  if want "profile" then profile_suite ();
   (match json_path with
   | None -> ()
   | Some path ->

@@ -1,8 +1,8 @@
 (* blockc — command-line driver for the blockability toolkit.
 
-   Subcommands: list, show, derive, verify, simulate, explain, sections,
-   parse, lower.  `blockc --explain KERNEL` is a shorthand for the
-   explain subcommand. *)
+   Subcommands: list, show, derive, verify, simulate, explain, profile,
+   sections, parse, lower.  `blockc --explain KERNEL` is a shorthand for
+   the explain subcommand. *)
 
 open Cmdliner
 
@@ -21,6 +21,21 @@ let entry_conv =
 
 let kernel_arg =
   Arg.(required & pos 0 (some entry_conv) None & info [] ~docv:"KERNEL")
+
+(* The simulation-flavoured commands (profile / explain / simulate) are
+   what scripts drive, so an unknown kernel there must be a clean
+   non-zero exit with the catalogue on stderr — not a cmdliner usage
+   dump. *)
+let kernel_name_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"KERNEL")
+
+let resolve_kernel name =
+  match Blockability.find name with
+  | Some e -> e
+  | None ->
+      Printf.eprintf "blockc: unknown kernel '%s'\nknown kernels: %s\n" name
+        (String.concat ", " (Blockability.names ()));
+      exit 2
 
 let binding_conv =
   let parse s =
@@ -192,7 +207,8 @@ let print_by_array ~what by_array =
     by_array
 
 let simulate_cmd =
-  let run e bindings seed machine () =
+  let run name bindings seed machine () =
+    let e = resolve_kernel name in
     match
       Blockability.simulate ?bindings:(or_default bindings) ~seed ~machine e
     with
@@ -217,7 +233,8 @@ let simulate_cmd =
   Cmd.v
     (Cmd.info "simulate"
        ~doc:"Trace both kernels through the cache simulator.")
-    (traced Term.(const run $ kernel_arg $ bindings_arg $ seed_arg $ machine_arg))
+    (traced
+       Term.(const run $ kernel_name_arg $ bindings_arg $ seed_arg $ machine_arg))
 
 (* ---- explain ---- *)
 
@@ -300,14 +317,418 @@ let explain_run e bindings seed machine =
                ~optimized:r.transformed_cycles))
 
 let explain_cmd =
-  let run e bindings seed machine () = explain_run e bindings seed machine in
+  let run name bindings seed machine () =
+    explain_run (resolve_kernel name) bindings seed machine
+  in
   Cmd.v
     (Cmd.info "explain"
        ~doc:
          "Replay the compiler driver with decision tracing on and print \
           why each transformation was applied or rejected, the final \
           block structure, and a per-array cache report.")
-    (traced Term.(const run $ kernel_arg $ bindings_arg $ seed_arg $ machine_arg))
+    (traced
+       Term.(const run $ kernel_name_arg $ bindings_arg $ seed_arg $ machine_arg))
+
+(* ---- profile ---- *)
+
+let sweep_conv =
+  let parse s =
+    match String.index_opt s '.' with
+    | Some i
+      when i + 1 < String.length s
+           && s.[i + 1] = '.'
+           && i > 0
+           && i + 2 < String.length s -> (
+        let lo = String.sub s 0 i
+        and hi = String.sub s (i + 2) (String.length s - i - 2) in
+        match (int_of_string_opt lo, int_of_string_opt hi) with
+        | Some lo, Some hi when lo >= 1 && hi >= lo -> Ok (lo, hi)
+        | _ -> Error (`Msg ("bad sweep range: " ^ s)))
+    | _ -> Error (`Msg ("sweeps look like 4..64, got " ^ s))
+  in
+  let print fmt (lo, hi) = Format.fprintf fmt "%d..%d" lo hi in
+  Arg.conv (parse, print)
+
+let sweep_arg =
+  Arg.(
+    value
+    & opt (some sweep_conv) None
+    & info [ "sweep" ] ~docv:"B1..B2"
+        ~doc:
+          "Profile the transformed kernel at every power-of-two block \
+           size in [B1, B2] and report the sweep (kernels with a KS \
+           block-size parameter only).")
+
+let block_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "block" ] ~docv:"B" ~doc:"Override the kernel's block size (KS).")
+
+let json_flag =
+  Arg.(
+    value & flag
+    & info [ "json" ] ~doc:"Emit the whole profile as JSON on stdout.")
+
+let sweep_blocks (lo, hi) =
+  let rec go acc b = if b > hi then List.rev acc else go (b :: acc) (b * 2) in
+  go [] lo
+
+(* Render helpers ---------------------------------------------------- *)
+
+let pct num den =
+  if den = 0 then "-" else Printf.sprintf "%.2f%%" (100.0 *. float_of_int num /. float_of_int den)
+
+let kind_str = function Ir_util.Read -> "read" | Ir_util.Write -> "write"
+
+let nest_str (site : Exec.ref_site) =
+  match site.Exec.ref_loops with [] -> "(top)" | l -> String.concat ">" l
+
+let level_table (kp : Blockability.kernel_profile) =
+  let tbl =
+    Table.create
+      ~title:
+        (Printf.sprintf "%s %s: per-level hierarchy stats" kp.kp_kernel
+           kp.kp_variant)
+      [
+        ("Level", Table.Left); ("Accesses", Table.Right); ("Misses", Table.Right);
+        ("Miss%", Table.Right); ("Evict", Table.Right); ("Cold", Table.Right);
+        ("Capacity", Table.Right); ("Conflict", Table.Right);
+      ]
+  in
+  List.iter
+    (fun (name, (s : Cache.stats)) ->
+      Table.add_row tbl
+        [
+          name; string_of_int s.accesses; string_of_int s.misses;
+          pct s.misses s.accesses; string_of_int s.evictions;
+          string_of_int s.cold_misses; string_of_int s.capacity_misses;
+          string_of_int s.conflict_misses;
+        ])
+    (kp.kp_levels @ [ ("TLB", kp.kp_tlb) ]);
+  tbl
+
+let ref_table (kp : Blockability.kernel_profile) =
+  let tbl =
+    Table.create
+      ~title:
+        (Printf.sprintf "%s %s: per-reference miss attribution" kp.kp_kernel
+           kp.kp_variant)
+      [
+        ("Id", Table.Right); ("Ref", Table.Left); ("Kind", Table.Left);
+        ("Nest", Table.Left); ("Accesses", Table.Right); ("L1miss", Table.Right);
+        ("L2miss", Table.Right); ("Mem", Table.Right); ("TLBmiss", Table.Right);
+        ("Cold", Table.Right); ("Cap", Table.Right); ("Conf", Table.Right);
+      ]
+  in
+  List.iter
+    (fun (r : Trace.ref_profile) ->
+      let c = r.counts in
+      if c.Trace.c_accesses > 0 then
+        Table.add_row tbl
+          [
+            string_of_int r.site.Exec.ref_id; r.site.Exec.ref_text;
+            kind_str r.site.Exec.ref_kind; nest_str r.site;
+            string_of_int c.Trace.c_accesses; string_of_int c.Trace.c_l1_misses;
+            string_of_int c.Trace.c_l2_misses; string_of_int c.Trace.c_mem;
+            string_of_int c.Trace.c_tlb_misses; string_of_int c.Trace.c_cold;
+            string_of_int c.Trace.c_capacity; string_of_int c.Trace.c_conflict;
+          ])
+    kp.kp_refs;
+  tbl
+
+let loop_table (kp : Blockability.kernel_profile) =
+  let tbl =
+    Table.create
+      ~title:
+        (Printf.sprintf "%s %s: per-loop-nest rollup" kp.kp_kernel kp.kp_variant)
+      [
+        ("Nest", Table.Left); ("Accesses", Table.Right); ("L1miss", Table.Right);
+        ("L1miss%", Table.Right); ("L2miss", Table.Right); ("TLBmiss", Table.Right);
+      ]
+  in
+  List.iter
+    (fun (nest, (c : Trace.ref_counts)) ->
+      if c.Trace.c_accesses > 0 then
+        Table.add_row tbl
+          [
+            nest; string_of_int c.Trace.c_accesses;
+            string_of_int c.Trace.c_l1_misses;
+            pct c.Trace.c_l1_misses c.Trace.c_accesses;
+            string_of_int c.Trace.c_l2_misses;
+            string_of_int c.Trace.c_tlb_misses;
+          ])
+    kp.kp_loops;
+  tbl
+
+(* Reuse-distance histogram, log2-bucketed with ASCII bars. *)
+let print_histogram (kp : Blockability.kernel_profile) =
+  Printf.printf
+    "reuse-distance histogram (%s %s; distances in L1 lines; cold = %d, \
+     footprint = %d lines):\n"
+    kp.kp_kernel kp.kp_variant kp.kp_cold kp.kp_footprint_lines;
+  let bucket_of d = if d <= 0 then 0 else
+      let rec go b n = if d < n then b else go (b + 1) (n * 2) in
+      go 1 2
+  in
+  let buckets = Hashtbl.create 16 in
+  List.iter
+    (fun (d, n) ->
+      let b = bucket_of d in
+      Hashtbl.replace buckets b ((try Hashtbl.find buckets b with Not_found -> 0) + n))
+    kp.kp_hist;
+  let keys = Hashtbl.fold (fun k _ acc -> k :: acc) buckets [] |> List.sort Int.compare in
+  let total = List.fold_left (fun acc (_, n) -> acc + n) 0 kp.kp_hist in
+  List.iter
+    (fun b ->
+      let n = Hashtbl.find buckets b in
+      let lo = if b = 0 then 0 else 1 lsl (b - 1) in
+      let hi = (1 lsl b) - 1 in
+      let label =
+        if b = 0 then "0" else if lo = hi then string_of_int lo
+        else Printf.sprintf "%d-%d" lo hi
+      in
+      let bar = String.make (max 1 (60 * n / max 1 total)) '#' in
+      Printf.printf "  %12s %9d %s\n" label n bar)
+    keys;
+  if keys = [] then print_string "  (no reuses recorded)\n"
+
+let print_validation (kp : Blockability.kernel_profile) =
+  let v = kp.kp_validation in
+  Printf.printf
+    "model validation (%s %s): predicted L1 misses %d (stack-distance), \
+     simulated %d, divergence %.2f%% (miss-ratio gap %.3f points)\n"
+    kp.kp_kernel kp.kp_variant v.Cost.v_predicted v.Cost.v_simulated
+    (100.0 *. v.Cost.v_divergence)
+    (100.0 *. v.Cost.v_ratio_gap)
+
+(* JSON emission ----------------------------------------------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let jstr s = Printf.sprintf "\"%s\"" (json_escape s)
+let jobj fields =
+  "{" ^ String.concat "," (List.map (fun (k, v) -> jstr k ^ ":" ^ v) fields) ^ "}"
+let jarr items = "[" ^ String.concat "," items ^ "]"
+
+let json_of_stats (s : Cache.stats) =
+  jobj
+    [
+      ("accesses", string_of_int s.accesses); ("hits", string_of_int s.hits);
+      ("misses", string_of_int s.misses);
+      ("evictions", string_of_int s.evictions);
+      ("cold_misses", string_of_int s.cold_misses);
+      ("capacity_misses", string_of_int s.capacity_misses);
+      ("conflict_misses", string_of_int s.conflict_misses);
+    ]
+
+let json_of_counts (c : Trace.ref_counts) =
+  [
+    ("accesses", string_of_int c.Trace.c_accesses);
+    ("l1_misses", string_of_int c.Trace.c_l1_misses);
+    ("l2_misses", string_of_int c.Trace.c_l2_misses);
+    ("mem", string_of_int c.Trace.c_mem);
+    ("tlb_misses", string_of_int c.Trace.c_tlb_misses);
+    ("cold", string_of_int c.Trace.c_cold);
+    ("capacity", string_of_int c.Trace.c_capacity);
+    ("conflict", string_of_int c.Trace.c_conflict);
+  ]
+
+let json_of_profile (kp : Blockability.kernel_profile) =
+  jobj
+    ([
+       ("variant", jstr kp.kp_variant);
+       ( "block",
+         match kp.kp_block with Some b -> string_of_int b | None -> "null" );
+       ( "levels",
+         jarr
+           (List.map
+              (fun (name, s) -> jobj [ ("name", jstr name); ("stats", json_of_stats s) ])
+              kp.kp_levels) );
+       ("tlb", json_of_stats kp.kp_tlb);
+       ("cycles", string_of_int kp.kp_cycles);
+       ( "refs",
+         jarr
+           (List.filter_map
+              (fun (r : Trace.ref_profile) ->
+                if r.counts.Trace.c_accesses = 0 then None
+                else
+                  Some
+                    (jobj
+                       ([
+                          ("id", string_of_int r.site.Exec.ref_id);
+                          ("ref", jstr r.site.Exec.ref_text);
+                          ("kind", jstr (kind_str r.site.Exec.ref_kind));
+                          ("nest", jstr (nest_str r.site));
+                        ]
+                       @ json_of_counts r.counts)))
+              kp.kp_refs) );
+       ( "loops",
+         jarr
+           (List.filter_map
+              (fun (nest, c) ->
+                if c.Trace.c_accesses = 0 then None
+                else Some (jobj (("nest", jstr nest) :: json_of_counts c)))
+              kp.kp_loops) );
+       ( "reuse",
+         jobj
+           [
+             ("cold", string_of_int kp.kp_cold);
+             ("footprint_lines", string_of_int kp.kp_footprint_lines);
+             ( "histogram",
+               jarr
+                 (List.map
+                    (fun (d, n) -> jarr [ string_of_int d; string_of_int n ])
+                    kp.kp_hist) );
+             ( "miss_curve",
+               jarr
+                 (List.map
+                    (fun (l, m) -> jarr [ string_of_int l; string_of_int m ])
+                    kp.kp_miss_curve) );
+           ] );
+       ( "validation",
+         let v = kp.kp_validation in
+         jobj
+           [
+             ("predicted_misses", string_of_int v.Cost.v_predicted);
+             ("simulated_misses", string_of_int v.Cost.v_simulated);
+             ("divergence", Printf.sprintf "%.6f" v.Cost.v_divergence);
+             ("miss_ratio_gap", Printf.sprintf "%.6f" v.Cost.v_ratio_gap);
+           ] );
+     ])
+
+let l1_misses (kp : Blockability.kernel_profile) =
+  (snd (List.hd kp.kp_levels)).Cache.misses
+
+let print_profile kp =
+  Table.print (level_table kp);
+  Table.print (ref_table kp);
+  Table.print (loop_table kp);
+  print_histogram kp;
+  print_validation kp;
+  Printf.printf "memory cycles (per-level model): %d\n\n" kp.kp_cycles
+
+let profile_cmd =
+  let run name bindings seed machine block sweep json () =
+    let e = resolve_kernel name in
+    let bindings = or_default bindings in
+    let fail m =
+      prerr_endline ("blockc profile: " ^ m);
+      exit 1
+    in
+    let point, transformed =
+      match Blockability.profile ?bindings ~seed ~machine ?block e with
+      | Ok r -> r
+      | Error m -> fail m
+    in
+    let sweep_results =
+      match sweep with
+      | None -> []
+      | Some range -> (
+          match
+            Blockability.profile_sweep ?bindings ~seed ~machine
+              ~blocks:(sweep_blocks range) e
+          with
+          | Ok r -> r
+          | Error m -> fail m)
+    in
+    if json then
+      print_endline
+        (jobj
+           ([
+              ("kernel", jstr e.Blockability.name);
+              ("machine", jstr machine.Arch.name);
+              ("point", json_of_profile point);
+              ("transformed", json_of_profile transformed);
+            ]
+           @
+           if sweep_results = [] then []
+           else
+             [
+               ( "sweep",
+                 jarr (List.map (fun (_, kp) -> json_of_profile kp) sweep_results)
+               );
+               ( "recommended_block",
+                 string_of_int
+                   (Blocker.choose_block_size ~machine
+                      ~sweep:
+                        (List.map (fun (b, kp) -> (b, l1_misses kp)) sweep_results)
+                      ()) );
+             ]))
+    else begin
+      Printf.printf "kernel: %s (%s)\nmachine: %s\n\n" e.Blockability.name
+        e.Blockability.paper_ref machine.Arch.name;
+      print_profile point;
+      print_profile transformed;
+      Printf.printf
+        "point -> transformed: L1 misses %d -> %d, memory cycles %d -> %d \
+         (speedup %.2f)\n"
+        (l1_misses point) (l1_misses transformed) point.kp_cycles
+        transformed.kp_cycles
+        (Cost.speedup ~baseline:point.kp_cycles ~optimized:transformed.kp_cycles);
+      if sweep_results <> [] then begin
+        let tbl =
+          Table.create ~title:"Block-size sweep (transformed variant)"
+            [
+              ("Block", Table.Right); ("L1miss", Table.Right);
+              ("L2miss", Table.Right); ("Cycles", Table.Right);
+              ("Predicted", Table.Right); ("Divergence", Table.Right);
+            ]
+        in
+        List.iter
+          (fun (b, (kp : Blockability.kernel_profile)) ->
+            let l2 =
+              match kp.kp_levels with
+              | _ :: (_, (s : Cache.stats)) :: _ -> s.misses
+              | _ -> 0
+            in
+            Table.add_row tbl
+              [
+                string_of_int b; string_of_int (l1_misses kp); string_of_int l2;
+                string_of_int kp.kp_cycles;
+                string_of_int kp.kp_validation.Cost.v_predicted;
+                Printf.sprintf "%.2f%%" (100.0 *. kp.kp_validation.Cost.v_divergence);
+              ])
+          sweep_results;
+        Table.print tbl;
+        let chosen =
+          Blocker.choose_block_size ~machine
+            ~sweep:(List.map (fun (b, kp) -> (b, l1_misses kp)) sweep_results)
+            ()
+        in
+        Printf.printf
+          "recommended block size: %d (sweep minimum; footprint heuristic \
+           says %d)\n"
+          chosen
+          (Arch.block_size machine ())
+      end
+    end
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Profile a kernel through the multi-level memory hierarchy \
+          (L1/L2/TLB): per-reference and per-loop-nest miss attribution, \
+          exact reuse-distance histograms, miss-vs-cache-size curves and \
+          the cost-model validation (stack-distance prediction vs \
+          simulation).  $(b,--sweep B1..B2) additionally profiles every \
+          power-of-two block size in the range and recommends one.")
+    (traced
+       Term.(
+         const run $ kernel_name_arg $ bindings_arg $ seed_arg $ machine_arg
+         $ block_arg $ sweep_arg $ json_flag))
 
 (* ---- sections ---- *)
 
@@ -399,23 +820,24 @@ let () =
   let explain_opt =
     Arg.(
       value
-      & opt (some entry_conv) None
+      & opt (some string) None
       & info [ "explain" ] ~docv:"KERNEL"
           ~doc:"Shorthand for the $(b,explain) subcommand.")
   in
   let default =
     Term.ret
       Term.(
-        const (fun e bindings seed machine fmt out ->
-            match e with
+        const (fun name bindings seed machine fmt out ->
+            match name with
             | None -> `Help (`Pager, None)
-            | Some e -> (
+            | Some name -> (
                 match setup_trace fmt out with
                 | Error m -> `Error (true, m)
-                | Ok () -> `Ok (explain_run e bindings seed machine)))
+                | Ok () ->
+                    `Ok (explain_run (resolve_kernel name) bindings seed machine)))
         $ explain_opt $ bindings_arg $ seed_arg $ machine_arg $ trace_arg
         $ trace_out_arg)
   in
   exit (Cmd.eval (Cmd.group ~default info
     [ list_cmd; show_cmd; derive_cmd; verify_cmd; simulate_cmd; explain_cmd;
-      sections_cmd; parse_cmd; lower_cmd ]))
+      profile_cmd; sections_cmd; parse_cmd; lower_cmd ]))

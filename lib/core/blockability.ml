@@ -227,6 +227,145 @@ type sim_result = {
   transformed_cycles : int;
 }
 
+(* ---- memory-hierarchy profiling --------------------------------- *)
+
+type kernel_profile = {
+  kp_kernel : string;
+  kp_variant : string;
+  kp_block : int option;
+  kp_levels : (string * Cache.stats) list;
+  kp_tlb : Cache.stats;
+  kp_cycles : int;
+  kp_refs : Trace.ref_profile list;
+  kp_loops : (string * Trace.ref_counts) list;
+  kp_hist : (int * int) list;
+  kp_cold : int;
+  kp_footprint_lines : int;
+  kp_miss_curve : (int * int) list;
+  kp_validation : Cost.validation;
+}
+
+let obs_emit_profile kp =
+  if Obs.enabled () then begin
+    let l1 = snd (List.hd kp.kp_levels) in
+    Obs.instant ~cat:"profile" "profile.summary"
+      ~args:
+        [
+          ("kernel", Obs.Str kp.kp_kernel);
+          ("variant", Obs.Str kp.kp_variant);
+          ("block", Obs.Int (Option.value kp.kp_block ~default:0));
+          ("l1_misses", Obs.Int l1.Cache.misses);
+          ("cycles", Obs.Int kp.kp_cycles);
+          ("predicted_misses", Obs.Int kp.kp_validation.Cost.v_predicted);
+          ("divergence", Obs.Float kp.kp_validation.Cost.v_divergence);
+        ];
+    List.iter
+      (fun (r : Trace.ref_profile) ->
+        if r.counts.Trace.c_accesses > 0 then
+          Obs.instant ~cat:"profile" "profile.ref"
+            ~args:
+              [
+                ("kernel", Obs.Str kp.kp_kernel);
+                ("variant", Obs.Str kp.kp_variant);
+                ("ref", Obs.Str r.site.Exec.ref_text);
+                ("ref_id", Obs.Int r.site.Exec.ref_id);
+                ( "nest",
+                  Obs.Str (String.concat ">" r.site.Exec.ref_loops) );
+                ("accesses", Obs.Int r.counts.Trace.c_accesses);
+                ("l1_misses", Obs.Int r.counts.Trace.c_l1_misses);
+                ("l2_misses", Obs.Int r.counts.Trace.c_l2_misses);
+                ("tlb_misses", Obs.Int r.counts.Trace.c_tlb_misses);
+              ])
+      kp.kp_refs
+  end
+
+let profile_block ~machine ~spec ~kernel_name ~variant ~block env ~arrays
+    stmts =
+  Obs.span ~cat:"profile" "profile.run"
+    ~args:[ ("kernel", Obs.Str kernel_name); ("variant", Obs.Str variant) ]
+  @@ fun () ->
+  let p = Trace.run_profile ?spec machine env ~arrays stmts in
+  let h = Trace.hier p in
+  let levels = Hier.level_stats h in
+  let l1_stats = snd (List.hd levels) in
+  let reuse = Option.get (Hier.reuse h) in
+  let kp =
+    {
+      kp_kernel = kernel_name;
+      kp_variant = variant;
+      kp_block = block;
+      kp_levels = levels;
+      kp_tlb = Hier.tlb_stats h;
+      kp_cycles = Hier.cycles h;
+      kp_refs = Trace.ref_profiles p;
+      kp_loops = Trace.loop_profiles p;
+      kp_hist = Reuse.histogram reuse;
+      kp_cold = Reuse.cold reuse;
+      kp_footprint_lines = Reuse.distinct_lines reuse;
+      kp_miss_curve =
+        Reuse.miss_curve reuse
+          ~max_lines:(max 1 (4 * machine.Arch.cache_bytes / machine.Arch.line_bytes));
+      kp_validation = Cost.validate reuse machine l1_stats;
+    }
+  in
+  obs_emit_profile kp;
+  kp
+
+let block_bindings entry = function
+  | None -> Ok entry.extra_bindings
+  | Some b ->
+      if List.mem_assoc "KS" entry.extra_bindings then
+        Ok (("KS", b) :: List.remove_assoc "KS" entry.extra_bindings)
+      else
+        Error
+          (Printf.sprintf
+             "%s has no block-size parameter (KS); --sweep/--block do not \
+              apply"
+             entry.name)
+
+let profile ?bindings ?(seed = 42) ?(machine = Arch.rs6000_540) ?spec ?block
+    entry =
+  let bindings = Option.value bindings ~default:entry.default_bindings in
+  match derive entry with
+  | Error e -> Error ("derivation failed: " ^ e)
+  | Ok { result; _ } -> (
+      match block_bindings entry block with
+      | Error e -> Error e
+      | Ok extra ->
+          let kernel = with_scratch entry in
+          let arrays = entry.kernel.Kernel_def.traced in
+          let env1 = Kernel_def.make_env kernel ~bindings ~seed in
+          let point =
+            profile_block ~machine ~spec ~kernel_name:entry.name
+              ~variant:"point" ~block:None env1 ~arrays
+              kernel.Kernel_def.block
+          in
+          let env2 =
+            Kernel_def.make_env kernel ~bindings:(extra @ bindings) ~seed
+          in
+          let transformed =
+            profile_block ~machine ~spec ~kernel_name:entry.name
+              ~variant:"transformed" ~block env2 ~arrays [ result ]
+          in
+          Ok (point, transformed))
+
+let profile_sweep ?bindings ?(seed = 42) ?(machine = Arch.rs6000_540) ?spec
+    ~blocks entry =
+  match blocks with
+  | [] -> Error "empty block-size sweep"
+  | blocks -> (
+      match block_bindings entry (Some (List.hd blocks)) with
+      | Error e -> Error e
+      | Ok _ ->
+          let rec go acc = function
+            | [] -> Ok (List.rev acc)
+            | b :: rest -> (
+                match profile ?bindings ~seed ~machine ?spec ~block:b entry with
+                | Error e -> Error e
+                | Ok (_, transformed) -> go ((b, transformed) :: acc) rest)
+          in
+          go [] blocks)
+
 let traced_run machine env ~arrays block =
   let t = Trace.create machine env ~arrays in
   Exec.run ~hook:(Trace.hook t) env block;

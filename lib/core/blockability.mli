@@ -61,3 +61,50 @@ val simulate :
   entry ->
   (sim_result, string) result
 (** Trace both versions through the cache simulator. *)
+
+(** One variant's memory-hierarchy profile: per-level and TLB stats, the
+    per-reference and per-loop-nest miss attribution, the exact LRU
+    reuse-distance histogram and the miss-vs-cache-size curve derived
+    from it, and the cost-model validation (stack-distance prediction vs
+    the simulated, set-associative L1). *)
+type kernel_profile = {
+  kp_kernel : string;
+  kp_variant : string;  (** ["point"] or ["transformed"] *)
+  kp_block : int option;  (** the KS binding used, when overridden *)
+  kp_levels : (string * Cache.stats) list;  (** innermost (L1) first *)
+  kp_tlb : Cache.stats;
+  kp_cycles : int;  (** {!Hier.cycles} under the per-level model *)
+  kp_refs : Trace.ref_profile list;
+  kp_loops : (string * Trace.ref_counts) list;
+  kp_hist : (int * int) list;  (** exact reuse distances (L1 lines) *)
+  kp_cold : int;
+  kp_footprint_lines : int;  (** distinct L1 lines touched *)
+  kp_miss_curve : (int * int) list;  (** [(lines, misses)] powers of two *)
+  kp_validation : Cost.validation;
+}
+
+val profile :
+  ?bindings:(string * int) list ->
+  ?seed:int ->
+  ?machine:Arch.t ->
+  ?spec:Hier.spec ->
+  ?block:int ->
+  entry ->
+  (kernel_profile * kernel_profile, string) result
+(** Profile point and transformed variants through the memory hierarchy
+    (default machine rs6000, hierarchy {!Hier.of_arch}).  [block]
+    overrides the kernel's KS binding; an [Error] names kernels without
+    one.  When tracing is on, summaries and per-reference attributions
+    also stream as ["profile"]-category events. *)
+
+val profile_sweep :
+  ?bindings:(string * int) list ->
+  ?seed:int ->
+  ?machine:Arch.t ->
+  ?spec:Hier.spec ->
+  blocks:int list ->
+  entry ->
+  ((int * kernel_profile) list, string) result
+(** The transformed variant profiled at each block size.  Feed the
+    [(block, L1 misses)] pairs to {!Blocker.choose_block_size} to turn
+    the sweep into a cited block-size decision. *)

@@ -1,5 +1,23 @@
 type per_array = { base : int; mutable acc : int; mutable hit : int }
 
+(* Flat simulated address space: each traced array gets a line-aligned
+   base, elements at column-major offsets. *)
+let layout ~line_bytes ~elt_bytes env ~arrays =
+  let bases = Hashtbl.create 8 in
+  let next = ref 0 in
+  let align n = (n + line_bytes - 1) / line_bytes * line_bytes in
+  List.iter
+    (fun name ->
+      Hashtbl.replace bases name !next;
+      let total =
+        List.fold_left
+          (fun acc (lo, hi) -> acc * (hi - lo + 1))
+          1 (Env.farray_dims env name)
+      in
+      next := align (!next + (total * elt_bytes)))
+    arrays;
+  bases
+
 type t = {
   cache : Cache.t;
   elt_bytes : int;
@@ -9,22 +27,13 @@ type t = {
 
 let create (m : Arch.t) env ~arrays =
   let bases = Hashtbl.create 8 in
-  let next = ref 0 in
-  let align n = (n + m.line_bytes - 1) / m.line_bytes * m.line_bytes in
-  List.iter
-    (fun name ->
-      Hashtbl.replace bases name { base = !next; acc = 0; hit = 0 };
-      let total =
-        List.fold_left
-          (fun acc (lo, hi) -> acc * (hi - lo + 1))
-          1 (Env.farray_dims env name)
-      in
-      next := align (!next + (total * m.elt_bytes)))
-    arrays;
+  Hashtbl.iter
+    (fun name base -> Hashtbl.replace bases name { base; acc = 0; hit = 0 })
+    (layout ~line_bytes:m.line_bytes ~elt_bytes:m.elt_bytes env ~arrays);
   { cache = Arch.fresh_cache m; elt_bytes = m.elt_bytes; bases; env }
 
 let hook t : Exec.hook =
- fun name idx _kind ->
+ fun ~ref_id:_ name idx _kind ->
   match Hashtbl.find_opt t.bases name with
   | None -> ()
   | Some p ->
@@ -35,10 +44,14 @@ let hook t : Exec.hook =
 
 let stats t = Cache.stats t.cache
 
+let no_class = { Cache.evictions = 0; cold_misses = 0; capacity_misses = 0; conflict_misses = 0; accesses = 0; hits = 0; misses = 0 }
+
 let stats_by_array t =
   Hashtbl.fold
     (fun name p acc ->
-      (name, { Cache.accesses = p.acc; hits = p.hit; misses = p.acc - p.hit })
+      ( name,
+        { no_class with Cache.accesses = p.acc; hits = p.hit; misses = p.acc - p.hit }
+      )
       :: acc)
     t.bases []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
@@ -47,3 +60,125 @@ let run m env ~arrays block =
   let t = create m env ~arrays in
   Exec.run ~hook:(hook t) env block;
   stats t
+
+(* ---- memory-hierarchy profiler ---------------------------------- *)
+
+type ref_counts = {
+  mutable c_accesses : int;
+  mutable c_l1_misses : int;
+  mutable c_l2_misses : int;
+  mutable c_mem : int;
+  mutable c_tlb_misses : int;
+  mutable c_cold : int;
+  mutable c_capacity : int;
+  mutable c_conflict : int;
+}
+
+let zero_counts () =
+  {
+    c_accesses = 0;
+    c_l1_misses = 0;
+    c_l2_misses = 0;
+    c_mem = 0;
+    c_tlb_misses = 0;
+    c_cold = 0;
+    c_capacity = 0;
+    c_conflict = 0;
+  }
+
+type ref_profile = { site : Exec.ref_site; counts : ref_counts }
+
+type profiler = {
+  p_hier : Hier.t;
+  p_elt : int;
+  p_bases : (string, int) Hashtbl.t;
+  p_env : Env.t;
+  p_refs : ref_counts array;  (* indexed by ref_id *)
+  p_sites : Exec.ref_site array;
+  p_other : ref_counts;  (* unattributed touches (no_ref) *)
+}
+
+let profiler ?spec (m : Arch.t) env ~arrays ~sites =
+  let spec = match spec with Some s -> s | None -> Hier.of_arch m in
+  let sites = Array.of_list sites in
+  {
+    p_hier = Hier.create spec;
+    p_elt = m.elt_bytes;
+    p_bases = layout ~line_bytes:m.line_bytes ~elt_bytes:m.elt_bytes env ~arrays;
+    p_env = env;
+    p_refs = Array.init (Array.length sites) (fun _ -> zero_counts ());
+    p_sites = sites;
+    p_other = zero_counts ();
+  }
+
+let profile_hook p : Exec.hook =
+ fun ~ref_id name idx _kind ->
+  match Hashtbl.find_opt p.p_bases name with
+  | None -> ()
+  | Some base ->
+      let off = Env.linear_index p.p_env name idx in
+      let r = Hier.access p.p_hier (base + (off * p.p_elt)) in
+      let c =
+        if ref_id >= 0 && ref_id < Array.length p.p_refs then p.p_refs.(ref_id)
+        else p.p_other
+      in
+      let n_levels = Hier.n_levels p.p_hier in
+      c.c_accesses <- c.c_accesses + 1;
+      if r.Hier.hit_level >= 1 then c.c_l1_misses <- c.c_l1_misses + 1;
+      if r.Hier.hit_level >= 2 && n_levels >= 2 then
+        c.c_l2_misses <- c.c_l2_misses + 1;
+      if r.Hier.hit_level >= n_levels then c.c_mem <- c.c_mem + 1;
+      if not r.Hier.tlb_hit then c.c_tlb_misses <- c.c_tlb_misses + 1;
+      (match r.Hier.klass with
+      | Cache.Hit -> ()
+      | Cache.Cold -> c.c_cold <- c.c_cold + 1
+      | Cache.Capacity -> c.c_capacity <- c.c_capacity + 1
+      | Cache.Conflict -> c.c_conflict <- c.c_conflict + 1)
+
+let hier p = p.p_hier
+
+let ref_profiles p =
+  Array.to_list
+    (Array.mapi (fun i c -> { site = p.p_sites.(i); counts = c }) p.p_refs)
+
+let unattributed p = p.p_other
+
+let nest_of (site : Exec.ref_site) =
+  match site.ref_loops with [] -> "(top)" | l -> String.concat ">" l
+
+let merge_into a b =
+  a.c_accesses <- a.c_accesses + b.c_accesses;
+  a.c_l1_misses <- a.c_l1_misses + b.c_l1_misses;
+  a.c_l2_misses <- a.c_l2_misses + b.c_l2_misses;
+  a.c_mem <- a.c_mem + b.c_mem;
+  a.c_tlb_misses <- a.c_tlb_misses + b.c_tlb_misses;
+  a.c_cold <- a.c_cold + b.c_cold;
+  a.c_capacity <- a.c_capacity + b.c_capacity;
+  a.c_conflict <- a.c_conflict + b.c_conflict
+
+let loop_profiles p =
+  (* Aggregate per loop nest, preserving first-appearance (textual)
+     order of the nests. *)
+  let tbl = Hashtbl.create 8 in
+  let order = ref [] in
+  Array.iteri
+    (fun i c ->
+      let nest = nest_of p.p_sites.(i) in
+      let agg =
+        match Hashtbl.find_opt tbl nest with
+        | Some agg -> agg
+        | None ->
+            let agg = zero_counts () in
+            Hashtbl.add tbl nest agg;
+            order := nest :: !order;
+            agg
+      in
+      merge_into agg c)
+    p.p_refs;
+  List.rev_map (fun nest -> (nest, Hashtbl.find tbl nest)) !order
+
+let run_profile ?spec (m : Arch.t) env ~arrays block =
+  let refs = Exec.refmap block in
+  let p = profiler ?spec m env ~arrays ~sites:(Exec.ref_sites refs) in
+  Exec.run ~refs ~hook:(profile_hook p) env block;
+  p

@@ -2,7 +2,16 @@
 
     Lays the environment's arrays out in a flat simulated address space
     (each array base aligned to a cache line) and converts every element
-    access into a byte-address cache access. *)
+    access into a byte-address cache access.
+
+    Two tiers:
+    - {!run}/{!hook}: the flat single-level simulation the paper's
+      tables use — cheap, no attribution;
+    - {!run_profile}/{!profile_hook}: the memory-hierarchy profiler —
+      every access walks a {!Hier} (L1/L2/TLB) and is attributed to its
+      static reference site ({!Exec.ref_site}) so misses can be reported
+      per reference and per loop nest, with exact L1 miss
+      classification and reuse-distance recording. *)
 
 type t
 
@@ -17,8 +26,67 @@ val stats : t -> Cache.stats
 val stats_by_array : t -> (string * Cache.stats) list
 (** Per-array breakdown of the same accesses, sorted by array name; the
     per-array [accesses]/[hits]/[misses] sum to {!stats} (every traced
-    access lands in exactly one array). *)
+    access lands in exactly one array; the classification fields are 0
+    here — per-array stats count element touches, not line fills). *)
 
 val run : Arch.t -> Env.t -> arrays:string list -> Stmt.t list ->
   Cache.stats
 (** Convenience: trace one execution of the block and return the stats. *)
+
+(** {1 Memory-hierarchy profiler} *)
+
+(** Mutable counters for one attribution bucket. *)
+type ref_counts = {
+  mutable c_accesses : int;
+  mutable c_l1_misses : int;  (** did not hit L1 *)
+  mutable c_l2_misses : int;  (** did not hit L1 or L2 *)
+  mutable c_mem : int;  (** missed every level *)
+  mutable c_tlb_misses : int;
+  mutable c_cold : int;  (** L1 miss classification... *)
+  mutable c_capacity : int;
+  mutable c_conflict : int;
+}
+
+type ref_profile = { site : Exec.ref_site; counts : ref_counts }
+
+type profiler
+
+val profiler :
+  ?spec:Hier.spec ->
+  Arch.t ->
+  Env.t ->
+  arrays:string list ->
+  sites:Exec.ref_site list ->
+  profiler
+(** A profiler over the given machine (hierarchy from [spec], default
+    {!Hier.of_arch}) and the block's reference sites. *)
+
+val profile_hook : profiler -> Exec.hook
+(** Feed an execution into the profiler.  Pass the matching
+    {!Exec.refmap} to {!Exec.run} or every access lands in the
+    {!unattributed} bucket. *)
+
+val run_profile :
+  ?spec:Hier.spec ->
+  Arch.t ->
+  Env.t ->
+  arrays:string list ->
+  Stmt.t list ->
+  profiler
+(** Build the refmap, profile one execution of the block, return the
+    loaded profiler. *)
+
+val hier : profiler -> Hier.t
+(** The simulated hierarchy: per-level stats, TLB stats, reuse engine,
+    cycle model. *)
+
+val ref_profiles : profiler -> ref_profile list
+(** One entry per static reference site, in [ref_id] (textual) order,
+    including sites never executed (all-zero counts). *)
+
+val unattributed : profiler -> ref_counts
+(** Touches that carried no [ref_id] (hook used without a refmap). *)
+
+val loop_profiles : profiler -> (string * ref_counts) list
+(** Aggregated by enclosing loop nest (["K>I>J"]; ["(top)"] outside any
+    loop), in first-appearance order. *)

@@ -1,3 +1,5 @@
+type klass = Hit | Cold | Capacity | Conflict
+
 type t = {
   line_bits : int;
   n_sets : int;
@@ -8,9 +10,23 @@ type t = {
   ages : int array;
   mutable n_accesses : int;
   mutable n_hits : int;
+  mutable n_evictions : int;
+  mutable n_cold : int;
+  mutable n_capacity : int;
+  mutable n_conflict : int;
+  seen : (int, unit) Hashtbl.t;  (* lines ever brought in: cold-miss detection *)
+  reuse : Reuse.t option;  (* Some = classify capacity vs conflict exactly *)
 }
 
-type stats = { accesses : int; hits : int; misses : int }
+type stats = {
+  accesses : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+  cold_misses : int;
+  capacity_misses : int;
+  conflict_misses : int;
+}
 
 let is_pow2 n = n > 0 && n land (n - 1) = 0
 
@@ -18,7 +34,7 @@ let log2 n =
   let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
   go 0 n
 
-let create ~size_bytes ~line_bytes ~assoc =
+let make ~size_bytes ~line_bytes ~assoc ~reuse =
   if not (is_pow2 size_bytes && is_pow2 line_bytes) then
     invalid_arg "Cache.create: sizes must be powers of two";
   if assoc < 1 || size_bytes mod (line_bytes * assoc) <> 0 then
@@ -32,11 +48,45 @@ let create ~size_bytes ~line_bytes ~assoc =
     ages = Array.make (n_sets * assoc) 0;
     n_accesses = 0;
     n_hits = 0;
+    n_evictions = 0;
+    n_cold = 0;
+    n_capacity = 0;
+    n_conflict = 0;
+    seen = Hashtbl.create 256;
+    reuse;
   }
 
-let access t addr =
+let create ~size_bytes ~line_bytes ~assoc =
+  make ~size_bytes ~line_bytes ~assoc ~reuse:None
+
+let create_classified ~size_bytes ~line_bytes ~assoc =
+  make ~size_bytes ~line_bytes ~assoc ~reuse:(Some (Reuse.create ()))
+
+let lines t = t.n_sets * t.assoc
+let reuse t = t.reuse
+
+let classify t line =
+  (* Exact miss taxonomy: cold = first touch ever; else capacity if even
+     a fully-associative LRU cache of the same total size would miss
+     (stack distance >= lines); else conflict (set mapping's fault). *)
+  match t.reuse with
+  | Some r ->
+      let d = Reuse.access r line in
+      fun ~hit ->
+        if hit then Hit
+        else if d < 0 then Cold
+        else if d >= lines t then Capacity
+        else Conflict
+  | None ->
+      fun ~hit ->
+        if hit then Hit
+        else if not (Hashtbl.mem t.seen line) then Cold
+        else Capacity (* capacity-or-conflict: unclassified caches lump *)
+
+let access_classify t addr =
   t.n_accesses <- t.n_accesses + 1;
   let line = addr lsr t.line_bits in
+  let finish = classify t line in
   let set = line mod t.n_sets in
   let base = set * t.assoc in
   let found = ref (-1) in
@@ -50,30 +100,66 @@ let access t addr =
       if t.ages.(base + w) < hit_age then t.ages.(base + w) <- t.ages.(base + w) + 1
     done;
     t.ages.(base + !found) <- 0;
-    true
+    finish ~hit:true
   end
   else begin
+    let k = finish ~hit:false in
+    (match k with
+    | Cold -> t.n_cold <- t.n_cold + 1
+    | Capacity -> t.n_capacity <- t.n_capacity + 1
+    | Conflict -> t.n_conflict <- t.n_conflict + 1
+    | Hit -> assert false);
+    Hashtbl.replace t.seen line ();
     (* Evict the oldest way. *)
     let victim = ref 0 in
     for w = 1 to t.assoc - 1 do
       if t.ages.(base + w) > t.ages.(base + !victim) then victim := w
     done;
+    if t.tags.(base + !victim) >= 0 then t.n_evictions <- t.n_evictions + 1;
     for w = 0 to t.assoc - 1 do
       t.ages.(base + w) <- t.ages.(base + w) + 1
     done;
     t.tags.(base + !victim) <- line;
     t.ages.(base + !victim) <- 0;
-    false
+    k
   end
 
+let access t addr = access_classify t addr = Hit
+
+let access_bytes t addr ~bytes =
+  (* One cache access per line the byte range [addr, addr+bytes) touches,
+     so an element straddling a line boundary costs (and warms) both
+     lines.  Returns true iff every touched line hit. *)
+  if bytes <= 0 then invalid_arg "Cache.access_bytes: bytes must be positive";
+  let first = addr lsr t.line_bits and last = (addr + bytes - 1) lsr t.line_bits in
+  let all_hit = ref true in
+  for line = first to last do
+    if not (access t (line lsl t.line_bits)) then all_hit := false
+  done;
+  !all_hit
+
 let stats t =
-  { accesses = t.n_accesses; hits = t.n_hits; misses = t.n_accesses - t.n_hits }
+  {
+    accesses = t.n_accesses;
+    hits = t.n_hits;
+    misses = t.n_accesses - t.n_hits;
+    evictions = t.n_evictions;
+    cold_misses = t.n_cold;
+    capacity_misses = t.n_capacity;
+    conflict_misses = t.n_conflict;
+  }
 
 let reset t =
   Array.fill t.tags 0 (Array.length t.tags) (-1);
   Array.fill t.ages 0 (Array.length t.ages) 0;
   t.n_accesses <- 0;
-  t.n_hits <- 0
+  t.n_hits <- 0;
+  t.n_evictions <- 0;
+  t.n_cold <- 0;
+  t.n_capacity <- 0;
+  t.n_conflict <- 0;
+  Hashtbl.reset t.seen;
+  Option.iter Reuse.reset t.reuse
 
 let miss_ratio s =
   if s.accesses = 0 then 0.0 else float_of_int s.misses /. float_of_int s.accesses

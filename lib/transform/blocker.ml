@@ -273,3 +273,42 @@ let block_trapezoid ~ctx ~factor (l : Stmt.loop) =
     (Printf.sprintf "each region register-blocked by %d" factor)
     blocked;
   Ok { result = blocked; steps = List.rev !steps }
+
+(* ------------------------------------------------------------------ *)
+(* Block-size choice                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let choose_block_size ~(machine : Arch.t) ?(sweep = []) () =
+  match sweep with
+  | [] ->
+      let b = Arch.block_size machine () in
+      Obs.decision ~transform:"block-size" ~target:machine.Arch.name
+        ~applied:true
+        ~reason:"heuristic: three working-set blocks in a third of the cache"
+        ~evidence:[ ("block", Obs.Int b) ]
+        ();
+      b
+  | sweep ->
+      (* Measured evidence beats the footprint heuristic: take the block
+         size with the fewest simulated L1 misses (ties to the larger
+         block — fewer strip loops for the same misses). *)
+      let best =
+        List.fold_left
+          (fun (bb, bm) (b, m) ->
+            if m < bm || (m = bm && b > bb) then (b, m) else (bb, bm))
+          (List.hd sweep) (List.tl sweep)
+      in
+      let heuristic = Arch.block_size machine () in
+      Obs.decision ~transform:"block-size" ~target:machine.Arch.name
+        ~applied:true
+        ~reason:
+          (Printf.sprintf "profile sweep over %d block sizes cites %d misses"
+             (List.length sweep) (snd best))
+        ~evidence:
+          (("block", Obs.Int (fst best))
+          :: ("heuristic_block", Obs.Int heuristic)
+          :: List.map
+               (fun (b, m) -> (Printf.sprintf "misses_b%d" b, Obs.Int m))
+               sweep)
+        ();
+      fst best

@@ -56,3 +56,12 @@ val block_trapezoid :
     that justify the rhomboidal form (e.g. [N2 >= factor - 1]); regions
     that cannot be unrolled are left split but unblocked (partial
     blocking). *)
+
+val choose_block_size : machine:Arch.t -> ?sweep:(int * int) list -> unit -> int
+(** The machine-dependent block-size choice the drivers delegate to.
+    Without [sweep] this is {!Arch.block_size}'s footprint heuristic.
+    With [sweep] — [(block, simulated L1 misses)] pairs from a
+    [blockc profile --sweep] run — the measured minimum wins (ties to
+    the larger block).  Either way the choice and its evidence are
+    recorded as an [Obs] decision, so [blockc explain]-style tooling can
+    cite why a block size was picked. *)

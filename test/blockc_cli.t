@@ -1,0 +1,32 @@
+Unknown kernels must fail with a clean non-zero exit and the catalogue
+on stderr, because scripts drive these subcommands.
+
+  $ blockc profile nosuch
+  blockc: unknown kernel 'nosuch'
+  known kernels: lu, lu_pivot, trisolve, cholesky, matmul, givens, aconv, conv, householder
+  [2]
+
+  $ blockc explain nosuch
+  blockc: unknown kernel 'nosuch'
+  known kernels: lu, lu_pivot, trisolve, cholesky, matmul, givens, aconv, conv, householder
+  [2]
+
+  $ blockc simulate nosuch
+  blockc: unknown kernel 'nosuch'
+  known kernels: lu, lu_pivot, trisolve, cholesky, matmul, givens, aconv, conv, householder
+  [2]
+
+  $ blockc --explain nosuch
+  blockc: unknown kernel 'nosuch'
+  known kernels: lu, lu_pivot, trisolve, cholesky, matmul, givens, aconv, conv, householder
+  [2]
+
+A known kernel profiles fine and the JSON carries the attribution and
+the reuse histogram.
+
+  $ blockc profile trisolve --json | tr ',' '\n' | grep -c '"ref":'
+  18
+
+  $ blockc profile trisolve --json | grep -o '"histogram"'
+  "histogram"
+  "histogram"

@@ -14,6 +14,7 @@ let () =
       Test_lang.suite;
       Test_support.suite;
       Test_trace.suite;
+      Test_profile.suite;
       Test_parallel.suite;
       Test_obs.suite;
     ]

@@ -46,6 +46,110 @@ let bad_geometry () =
     (Invalid_argument "Cache.create: sizes must be powers of two") (fun () ->
       ignore (Cache.create ~size_bytes:1000 ~line_bytes:32 ~assoc:1))
 
+(* ---- classification / eviction accounting ---- *)
+
+let eviction_count () =
+  (* direct-mapped, 2 lines of 32 bytes: 0 and 64 share set 0 *)
+  let c = Cache.create ~size_bytes:64 ~line_bytes:32 ~assoc:1 in
+  ignore (Cache.access c 0);
+  (* cold fill of an invalid way: no eviction *)
+  ignore (Cache.access c 64);
+  (* displaces 0 *)
+  ignore (Cache.access c 0);
+  (* displaces 64 *)
+  let s = Cache.stats c in
+  check_int "evictions" 2 s.evictions;
+  check_int "all cold on unclassified (first touches)" 2 s.cold_misses
+
+let conflict_classification () =
+  (* Same geometry, classified: 0 and 64 ping-pong in one set while the
+     other set sits empty — a fully-associative cache of 2 lines would
+     hold both, so the repeat misses are conflicts, not capacity. *)
+  let c = Cache.create_classified ~size_bytes:64 ~line_bytes:32 ~assoc:1 in
+  Alcotest.(check bool) "cold" true (Cache.access_classify c 0 = Cache.Cold);
+  Alcotest.(check bool) "cold" true (Cache.access_classify c 64 = Cache.Cold);
+  Alcotest.(check bool) "conflict" true
+    (Cache.access_classify c 0 = Cache.Conflict);
+  Alcotest.(check bool) "conflict" true
+    (Cache.access_classify c 64 = Cache.Conflict);
+  let s = Cache.stats c in
+  check_int "misses split" s.misses
+    (s.cold_misses + s.capacity_misses + s.conflict_misses);
+  check_int "no capacity misses" 0 s.capacity_misses
+
+let capacity_classification () =
+  (* Fully associative 2-line cache, 3-line working set: the repeat miss
+     has stack distance 2 >= capacity, so it is a capacity miss. *)
+  let c = Cache.create_classified ~size_bytes:64 ~line_bytes:32 ~assoc:2 in
+  ignore (Cache.access_classify c 0);
+  ignore (Cache.access_classify c 32);
+  ignore (Cache.access_classify c 64);
+  Alcotest.(check bool) "capacity" true
+    (Cache.access_classify c 0 = Cache.Capacity);
+  check_int "conflict-free when fully associative" 0
+    (Cache.stats c).conflict_misses
+
+let full_associativity_no_conflicts () =
+  (* With assoc = lines there is a single set; classification can never
+     report a conflict, and misses equal the stack-distance prediction. *)
+  let c = Cache.create_classified ~size_bytes:1024 ~line_bytes:32 ~assoc:32 in
+  let r = Reuse.create () in
+  List.iter
+    (fun a ->
+      ignore (Cache.access c a);
+      ignore (Reuse.access r (a / 32)))
+    [ 0; 32; 0; 4000; 512; 0; 32; 64; 96; 4000; 32 ];
+  let s = Cache.stats c in
+  check_int "no conflicts" 0 s.conflict_misses;
+  check_int "misses = stack-distance misses" (Reuse.misses_for_lines r 32)
+    s.misses
+
+let straddling_access () =
+  let c = Cache.create ~size_bytes:1024 ~line_bytes:32 ~assoc:2 in
+  check_bool "within one line: one access" true
+    (ignore (Cache.access_bytes c 0 ~bytes:8);
+     (Cache.stats c).accesses = 1);
+  (* 8 bytes starting at 28 overlap lines 0 and 1: two accesses *)
+  ignore (Cache.access_bytes c 28 ~bytes:8);
+  let s = Cache.stats c in
+  check_int "straddle costs two" 3 s.accesses;
+  check_int "line 0 hits, line 1 cold" 2 s.misses;
+  check_bool "whole straddle hits once resident" true
+    (Cache.access_bytes c 28 ~bytes:8)
+
+let write_allocate () =
+  (* The simulator is write-allocate (RS/6000 data cache): a write miss
+     fills the line, so the read-back hits.  Reads and writes probe the
+     same state — there is no distinction at the cache. *)
+  let c = Cache.create ~size_bytes:1024 ~line_bytes:32 ~assoc:2 in
+  check_bool "write misses" false (Cache.access c 100);
+  check_bool "read-back hits" true (Cache.access c 96);
+  check_bool "neighbour in the same line hits" true (Cache.access c 127);
+  check_int "one fill" 1 (Cache.stats c).misses
+
+(* ---- reuse-distance engine ---- *)
+
+let reuse_hand_computed () =
+  (* Trace A B C A B B A, one line each:
+       A:cold  B:cold  C:cold  A:d=2  B:d=2  B:d=0  A:d=1 *)
+  let r = Reuse.create () in
+  let dists = List.map (Reuse.access r) [ 0; 1; 2; 0; 1; 1; 0 ] in
+  Alcotest.(check (list int)) "distances" [ -1; -1; -1; 2; 2; 0; 1 ] dists;
+  check_int "cold" 3 (Reuse.cold r);
+  check_int "accesses" 7 (Reuse.accesses r);
+  check_int "footprint" 3 (Reuse.distinct_lines r);
+  check_int "max distance" 2 (Reuse.max_distance r);
+  Alcotest.(check (list (pair int int)))
+    "histogram" [ (0, 1); (1, 1); (2, 2) ] (Reuse.histogram r);
+  (* Mattson: misses for every size from the one histogram. *)
+  check_int "1-line cache" 6 (Reuse.misses_for_lines r 1);
+  check_int "2-line cache" 5 (Reuse.misses_for_lines r 2);
+  check_int "3-line cache" 3 (Reuse.misses_for_lines r 3);
+  check_int "huge cache: only cold" 3 (Reuse.misses_for_lines r 1024);
+  Alcotest.(check (list (pair int int)))
+    "miss curve" [ (1, 6); (2, 5); (4, 3) ]
+    (Reuse.miss_curve r ~max_lines:4)
+
 let gen_trace =
   QCheck2.Gen.(list_size (int_range 0 500) (int_range 0 4095))
 
@@ -58,6 +162,13 @@ let suite =
       case "spatial locality" spatial_locality;
       case "reset" reset_works;
       case "geometry validation" bad_geometry;
+      case "eviction accounting" eviction_count;
+      case "conflict classification" conflict_classification;
+      case "capacity classification" capacity_classification;
+      case "full associativity has no conflicts" full_associativity_no_conflicts;
+      case "line-straddling access" straddling_access;
+      case "write-allocate" write_allocate;
+      case "reuse distances (hand-computed)" reuse_hand_computed;
       qcase "stats are consistent" gen_trace (fun addrs ->
           let c = Cache.create ~size_bytes:1024 ~line_bytes:32 ~assoc:2 in
           List.iter (fun a -> ignore (Cache.access c a)) addrs;
@@ -76,4 +187,26 @@ let suite =
           let before = (Cache.stats c).misses in
           List.iter (fun a -> ignore (Cache.access c a)) addrs;
           (Cache.stats c).misses = before);
+      qcase "classified misses split exactly" gen_trace (fun addrs ->
+          let c =
+            Cache.create_classified ~size_bytes:1024 ~line_bytes:32 ~assoc:2
+          in
+          List.iter (fun a -> ignore (Cache.access c a)) addrs;
+          let s = Cache.stats c in
+          s.misses = s.cold_misses + s.capacity_misses + s.conflict_misses
+          && s.accesses = s.hits + s.misses);
+      qcase "fully-associative = stack-distance model" gen_trace (fun addrs ->
+          (* the divergence the validator measures is exactly the
+             conflict misses, so at full associativity it must be zero *)
+          let c =
+            Cache.create_classified ~size_bytes:1024 ~line_bytes:32 ~assoc:32
+          in
+          let r = Reuse.create () in
+          List.iter
+            (fun a ->
+              ignore (Cache.access c a);
+              ignore (Reuse.access r (a / 32)))
+            addrs;
+          let s = Cache.stats c in
+          s.conflict_misses = 0 && s.misses = Reuse.misses_for_lines r 32);
     ] )
