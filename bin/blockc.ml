@@ -1,31 +1,34 @@
 (* blockc — command-line driver for the blockability toolkit.
 
    Subcommands: list, show, derive, verify, simulate, explain, profile,
-   sections, parse, lower.  `blockc --explain KERNEL` is a shorthand for
-   the explain subcommand. *)
+   sections, parse, lower, fuzz.  `blockc --explain KERNEL` is a
+   shorthand for the explain subcommand.
+
+   Exit convention (uniform across subcommands, see EXIT STATUS in the
+   man pages): 0 = success; 1 = the tool ran but the answer is negative
+   (derivation refused, verification diverged, lowering failed, the
+   fuzzer found a counterexample); 2 = unusable input or invocation
+   (unknown kernel or pass name, parse errors, runtime environment
+   errors). *)
 
 open Cmdliner
 
-let entry_conv =
-  let parse s =
-    match Blockability.find s with
-    | Some e -> Ok e
-    | None ->
-        Error
-          (`Msg
-            (Printf.sprintf "unknown kernel %s (try: %s)" s
-               (String.concat ", " (Blockability.names ()))))
-  in
-  let print fmt (e : Blockability.entry) = Format.pp_print_string fmt e.name in
-  Arg.conv (parse, print)
+let exits =
+  Cmd.Exit.info 0 ~doc:"on success."
+  :: Cmd.Exit.info 1
+       ~doc:
+         "when the tool ran but the answer is negative: derivation refused, \
+          verification diverged, lowering failed, or the fuzzer found a \
+          counterexample."
+  :: Cmd.Exit.info 2
+       ~doc:
+         "on unusable input or invocation: unknown kernel or pass name, parse \
+          errors, or a runtime environment error."
+  :: Cmd.Exit.defaults
 
-let kernel_arg =
-  Arg.(required & pos 0 (some entry_conv) None & info [] ~docv:"KERNEL")
-
-(* The simulation-flavoured commands (profile / explain / simulate) are
-   what scripts drive, so an unknown kernel there must be a clean
-   non-zero exit with the catalogue on stderr — not a cmdliner usage
-   dump. *)
+(* Every kernel-taking command resolves the name itself: an unknown
+   kernel must be a clean exit 2 with the catalogue on stderr — not a
+   cmdliner usage dump. *)
 let kernel_name_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"KERNEL")
 
@@ -145,27 +148,28 @@ let list_cmd =
           e.kernel.Kernel_def.description)
       Blockability.entries
   in
-  Cmd.v (Cmd.info "list" ~doc:"List the paper's kernels.")
+  Cmd.v (Cmd.info "list" ~doc:"List the paper's kernels." ~exits)
     Term.(const run $ const ())
 
 (* ---- show ---- *)
 
 let show_cmd =
-  let run e =
+  let run name =
+    let e = resolve_kernel name in
     print_string
       (Fortran_pp.subroutine ~name:(String.uppercase_ascii e.Blockability.name)
          ~params:e.Blockability.kernel.Kernel_def.params
          e.Blockability.kernel.Kernel_def.block)
   in
   Cmd.v
-    (Cmd.info "show" ~doc:"Print a kernel's point algorithm.")
-    Term.(const run $ kernel_arg)
+    (Cmd.info "show" ~doc:"Print a kernel's point algorithm." ~exits)
+    Term.(const run $ kernel_name_arg)
 
 (* ---- derive ---- *)
 
 let derive_cmd =
-  let run e () =
-    match Blockability.derive e with
+  let run name () =
+    match Blockability.derive (resolve_kernel name) with
     | Error m ->
         prerr_endline ("derivation failed: " ^ m);
         exit 1
@@ -178,14 +182,17 @@ let derive_cmd =
   in
   Cmd.v
     (Cmd.info "derive"
-       ~doc:"Run the compiler driver on a kernel and print the result.")
-    (traced Term.(const run $ kernel_arg))
+       ~doc:"Run the compiler driver on a kernel and print the result." ~exits)
+    (traced Term.(const run $ kernel_name_arg))
 
 (* ---- verify ---- *)
 
 let verify_cmd =
-  let run e bindings seed () =
-    match Blockability.verify ?bindings:(or_default bindings) ~seed e with
+  let run name bindings seed () =
+    match
+      Blockability.verify ?bindings:(or_default bindings) ~seed
+        (resolve_kernel name)
+    with
     | Ok () -> print_endline "equivalent: transformed kernel matches the point kernel"
     | Error m ->
         prerr_endline m;
@@ -193,8 +200,9 @@ let verify_cmd =
   in
   Cmd.v
     (Cmd.info "verify"
-       ~doc:"Interpret point and transformed kernels and compare memory.")
-    (traced Term.(const run $ kernel_arg $ bindings_arg $ seed_arg))
+       ~doc:"Interpret point and transformed kernels and compare memory."
+       ~exits)
+    (traced Term.(const run $ kernel_name_arg $ bindings_arg $ seed_arg))
 
 (* ---- simulate ---- *)
 
@@ -232,7 +240,7 @@ let simulate_cmd =
   in
   Cmd.v
     (Cmd.info "simulate"
-       ~doc:"Trace both kernels through the cache simulator.")
+       ~doc:"Trace both kernels through the cache simulator." ~exits)
     (traced
        Term.(const run $ kernel_name_arg $ bindings_arg $ seed_arg $ machine_arg))
 
@@ -325,7 +333,8 @@ let explain_cmd =
        ~doc:
          "Replay the compiler driver with decision tracing on and print \
           why each transformation was applied or rejected, the final \
-          block structure, and a per-array cache report.")
+          block structure, and a per-array cache report."
+       ~exits)
     (traced
        Term.(const run $ kernel_name_arg $ bindings_arg $ seed_arg $ machine_arg))
 
@@ -724,7 +733,8 @@ let profile_cmd =
           exact reuse-distance histograms, miss-vs-cache-size curves and \
           the cost-model validation (stack-distance prediction vs \
           simulation).  $(b,--sweep B1..B2) additionally profiles every \
-          power-of-two block size in the range and recommends one.")
+          power-of-two block size in the range and recommends one."
+       ~exits)
     (traced
        Term.(
          const run $ kernel_name_arg $ bindings_arg $ seed_arg $ machine_arg
@@ -733,8 +743,8 @@ let profile_cmd =
 (* ---- sections ---- *)
 
 let sections_cmd =
-  let run e =
-    let block = e.Blockability.kernel.Kernel_def.block in
+  let run name =
+    let block = (resolve_kernel name).Blockability.kernel.Kernel_def.block in
     let loops = List.map snd (Stmt.find_loops block) in
     let ctx =
       List.fold_left Symbolic.assume_pos
@@ -757,8 +767,8 @@ let sections_cmd =
   in
   Cmd.v
     (Cmd.info "sections"
-       ~doc:"Print the array section of every reference in a kernel.")
-    Term.(const run $ kernel_arg)
+       ~doc:"Print the array section of every reference in a kernel." ~exits)
+    Term.(const run $ kernel_name_arg)
 
 (* ---- parse / lower ---- *)
 
@@ -777,13 +787,14 @@ let parse_cmd =
     | prog -> List.iter (fun s -> print_string (Ext.to_string s)) prog
     | exception Parser.Parse_error { line; message } ->
         Printf.eprintf "%s:%d: %s\n" path line message;
-        exit 1
+        exit 2
     | exception Lexer.Lex_error { line; message } ->
         Printf.eprintf "%s:%d: %s\n" path line message;
-        exit 1
+        exit 2
   in
   Cmd.v
-    (Cmd.info "parse" ~doc:"Parse a mini-Fortran file and echo the program.")
+    (Cmd.info "parse" ~doc:"Parse a mini-Fortran file and echo the program."
+       ~exits)
     Term.(const run $ file_arg)
 
 let lower_cmd =
@@ -794,10 +805,10 @@ let lower_cmd =
     match Parser.program (read_file path) with
     | exception Parser.Parse_error { line; message } ->
         Printf.eprintf "%s:%d: %s\n" path line message;
-        exit 1
+        exit 2
     | exception Lexer.Lex_error { line; message } ->
         Printf.eprintf "%s:%d: %s\n" path line message;
-        exit 1
+        exit 2
     | prog ->
         List.iter
           (fun s ->
@@ -810,12 +821,121 @@ let lower_cmd =
   in
   Cmd.v
     (Cmd.info "lower"
-       ~doc:"Lower BLOCK DO / IN DO extensions, choosing the block size.")
+       ~doc:"Lower BLOCK DO / IN DO extensions, choosing the block size."
+       ~exits)
     Term.(const run $ file_arg $ machine_arg $ block_arg)
+
+(* ---- fuzz ---- *)
+
+let json_of_fuzz (s : Fuzz.summary) =
+  jobj
+    [
+      ("iters", string_of_int s.iters);
+      ("seed", string_of_int s.seed);
+      ("programs", string_of_int s.programs);
+      ( "depth_counts",
+        jarr (Array.to_list (Array.map string_of_int s.depth_counts)) );
+      ( "coverage",
+        jobj
+          [
+            ("rect", string_of_int s.rect);
+            ("triangular", string_of_int s.triangular);
+            ("trapezoidal", string_of_int s.trapezoidal);
+            ("guarded", string_of_int s.guarded);
+          ] );
+      ( "oracle",
+        jobj
+          [
+            ("checked", string_of_int s.oracle_checked);
+            ("violations", string_of_int s.oracle_violations);
+          ] );
+      ("reparsed", string_of_int s.reparsed);
+      ( "passes",
+        jarr
+          (List.map
+             (fun (p : Fuzz.pass_stat) ->
+               jobj
+                 [
+                   ("name", jstr p.ps_name);
+                   ("applied", string_of_int p.ps_applied);
+                   ("rejected", string_of_int p.ps_rejected);
+                   ("diverged", string_of_int p.ps_diverged);
+                 ])
+             s.passes) );
+      ("failures", jarr (List.map jstr s.failures));
+      ("ok", if Fuzz.ok s then "true" else "false");
+    ]
+
+let print_fuzz (s : Fuzz.summary) =
+  Printf.printf
+    "fuzz: %d programs (seed %d, %d requested)\n\
+     nest depth 1/2/3: %d/%d/%d\n\
+     coverage: rectangular %d  triangular %d  trapezoidal %d  guarded %d\n\
+     oracle cross-checks: %d (violations %d)  reparse checks: %d\n"
+    s.programs s.seed s.iters s.depth_counts.(0) s.depth_counts.(1)
+    s.depth_counts.(2) s.rect s.triangular s.trapezoidal s.guarded
+    s.oracle_checked s.oracle_violations s.reparsed;
+  let tbl =
+    Table.create ~title:"Per-pass differential results"
+      [
+        ("Pass", Table.Left); ("Applied", Table.Right);
+        ("Rejected", Table.Right); ("Diverged", Table.Right);
+      ]
+  in
+  List.iter
+    (fun (p : Fuzz.pass_stat) ->
+      Table.add_row tbl
+        [
+          p.ps_name; string_of_int p.ps_applied; string_of_int p.ps_rejected;
+          string_of_int p.ps_diverged;
+        ])
+    s.passes;
+  Table.print tbl;
+  match s.failures with
+  | [] -> Printf.printf "result: OK — no divergences, no oracle violations\n"
+  | fs ->
+      Printf.printf "result: FAIL — %d counterexample(s); replay with --seed %d\n"
+        (List.length fs) s.seed;
+      List.iteri (fun i f -> Printf.printf "\n--- counterexample %d ---\n%s\n" (i + 1) f) fs
+
+let fuzz_cmd =
+  let iters_arg =
+    Arg.(
+      value & opt int 200
+      & info [ "iters" ] ~docv:"N" ~doc:"Number of programs to generate.")
+  in
+  let only_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "only" ] ~docv:"PASS"
+          ~doc:
+            "Run a single check: a transformation pass name, $(b,oracle), or \
+             $(b,reparse).")
+  in
+  let run iters seed only json () =
+    match Fuzz.run ?only ~iters ~seed () with
+    | Error m ->
+        Printf.eprintf "blockc fuzz: %s\n" m;
+        exit 2
+    | Ok s ->
+        if json then print_endline (json_of_fuzz s) else print_fuzz s;
+        if not (Fuzz.ok s) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential-test the transformation catalogue on random loop \
+          nests: every legal application must leave the interpreter's \
+          result bitwise unchanged, and the dependence analysis must stay \
+          conservative against a brute-force oracle.  A non-empty failure \
+          list exits 1 and prints shrunk, replayable counterexamples."
+       ~exits)
+    (traced Term.(const run $ iters_arg $ seed_arg $ only_arg $ json_flag))
 
 let () =
   let doc = "compiler blockability of numerical algorithms (Carr-Kennedy SC'92)" in
-  let info = Cmd.info "blockc" ~doc in
+  let info = Cmd.info "blockc" ~doc ~exits in
   (* `blockc --explain KERNEL` without a subcommand = `blockc explain`. *)
   let explain_opt =
     Arg.(
@@ -838,6 +958,17 @@ let () =
         $ explain_opt $ bindings_arg $ seed_arg $ machine_arg $ trace_arg
         $ trace_out_arg)
   in
-  exit (Cmd.eval (Cmd.group ~default info
-    [ list_cmd; show_cmd; derive_cmd; verify_cmd; simulate_cmd; explain_cmd;
-      profile_cmd; sections_cmd; parse_cmd; lower_cmd ]))
+  let group =
+    Cmd.group ~default info
+      [ list_cmd; show_cmd; derive_cmd; verify_cmd; simulate_cmd; explain_cmd;
+        profile_cmd; sections_cmd; parse_cmd; lower_cmd; fuzz_cmd ]
+  in
+  (* Typed runtime errors become one-line diagnostics, not backtraces. *)
+  match Cmd.eval group with
+  | exception Env.Error m ->
+      Printf.eprintf "blockc: environment error: %s\n" m;
+      exit 2
+  | exception Exec.Error m ->
+      Printf.eprintf "blockc: interpreter error: %s\n" m;
+      exit 2
+  | code -> exit code

@@ -208,9 +208,16 @@ let between ~ctx (src : Ir_util.access) (snk : Ir_util.access) =
     (not (String.equal src.array snk.array))
     || List.length src.subs <> List.length snk.subs
   then []
-  else if section_disjoint ~ctx src snk then []
   else
     let common = common_loops src snk in
+    (* Bounds facts of the common loops hold at both access instances —
+       every execution of either statement is inside all of them.  Facts
+       about deeper or sibling loops would not (a zero-trip inner loop
+       still lets the outer statements run), which is why they are
+       derived here per pair instead of trusted from the caller. *)
+    let ctx = Symbolic.with_loops ctx common in
+    if section_disjoint ~ctx src snk then []
+    else
     let indices = List.map (fun (l : Stmt.loop) -> l.index) common in
     let base = List.map (fun _ -> any_dir) indices in
     let results =

@@ -17,7 +17,7 @@ let assume_ge t a b = add_fact t (Affine.sub a b)
 let assume_le t a b = add_fact t (Affine.sub b a)
 let assume_pos t v = add_fact t (Affine.sub (Affine.var v) (Affine.const 1))
 
-let of_loop_context loops =
+let with_loops init loops =
   List.fold_left
     (fun ctx (l : Stmt.loop) ->
       match Affine.of_expr l.lo, Affine.of_expr l.hi with
@@ -52,7 +52,9 @@ let of_loop_context loops =
               match Affine.of_expr l.hi with
               | Some hi -> assume_le ctx (Affine.var l.index) hi
               | None -> ctx)))
-    empty loops
+    init loops
+
+let of_loop_context loops = with_loops empty loops
 
 (* Prove [e >= 0] by searching for a representation
    [e = c + sum(lambda_i * f_i)] with [c >= 0] and positive integer

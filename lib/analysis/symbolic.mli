@@ -25,7 +25,14 @@ val of_loop_context : Stmt.loop list -> t
     iteration: for each loop with affine bounds, [index >= lo],
     [index <= hi] and [hi >= lo].  (Used for reasoning *inside* a body;
     emptiness of outer loops makes the body unreachable, so the facts
-    hold at every execution point that matters.) *)
+    hold at every execution point that matters.  Only pass loops that
+    enclose every statement under analysis: a possibly-zero-trip inner
+    loop's [hi >= lo] does not hold at statements outside it.) *)
+
+val with_loops : t -> Stmt.loop list -> t
+(** [with_loops ctx loops] extends [ctx] with the same facts
+    {!of_loop_context} derives, for loops known to enclose the
+    execution point under analysis. *)
 
 val prove_nonneg : t -> Affine.t -> bool
 val prove_ge : t -> Affine.t -> Affine.t -> bool

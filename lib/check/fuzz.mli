@@ -1,0 +1,58 @@
+(** Differential fuzzing harness.
+
+    For every generated program ({!Gen_prog}), the harness
+
+    - applies each transformation pass at every applicable site, gated
+      by the same legality machinery the drivers use (dependence
+      vectors, SCC condensation, section analysis), and asserts that
+      interpreting the transformed block from identical initial
+      environments yields bitwise-equal REAL arrays over two randomized
+      data fills;
+    - cross-validates {!Dependence.all} conservativeness against the
+      brute-force {!Oracle} on the program's concrete bindings
+      (straight-line programs only — the oracle does not model IFs);
+    - checks the printed counterexample form re-parses
+      ({!Parser.stmts}) and that the re-parsed program is semantically
+      identical, so any printed counterexample can be replayed.
+
+    Failures shrink through {!QCheck2}'s integrated shrinking; the
+    reported counterexample is minimal w.r.t. the generator's ordering
+    and is printed as parseable mini-Fortran together with the run seed
+    and the diverging pass.
+
+    Coverage counters and pass decisions are recorded through {!Obs}
+    (category ["fuzz"]) like the other subsystems. *)
+
+val pass_names : string list
+(** Valid arguments for [~only]: one transformation pass name, or
+    ["oracle"] / ["reparse"] for the two non-transformation checks. *)
+
+type pass_stat = {
+  ps_name : string;
+  ps_applied : int;  (** sites where the pass applied and was checked *)
+  ps_rejected : int;  (** sites where it was structurally or legally refused *)
+  ps_diverged : int;  (** applied sites whose interpretation diverged *)
+}
+
+type summary = {
+  iters : int;  (** requested program count *)
+  seed : int;
+  programs : int;  (** programs actually executed (> iters while shrinking) *)
+  depth_counts : int array;  (** index d = programs of nest depth d+1 *)
+  rect : int;
+  triangular : int;
+  trapezoidal : int;
+  guarded : int;  (** programs containing an IF *)
+  oracle_checked : int;
+  oracle_violations : int;
+  reparsed : int;
+  passes : pass_stat list;
+  failures : string list;  (** rendered, shrunk counterexamples *)
+}
+
+val run : ?only:string -> iters:int -> seed:int -> unit -> (summary, string) result
+(** Run the fuzzer.  [Error] only for an unknown [~only] name; a found
+    counterexample is a [Ok] summary with non-empty [failures]. *)
+
+val ok : summary -> bool
+(** No divergences, no oracle violations, no failures. *)

@@ -1,3 +1,7 @@
+exception Error of string
+
+let error fmt = Printf.ksprintf (fun msg -> raise (Error msg)) fmt
+
 type ('a, 'elt) arr = { dims : (int * int) array; strides : int array; data : 'elt }
 
 type farr = (float, float array) arr
@@ -26,7 +30,7 @@ let total_and_strides dims =
   for k = 0 to n - 1 do
     strides.(k) <- !total;
     let lo, hi = dims.(k) in
-    if hi < lo then invalid_arg "Env: empty array dimension";
+    if hi < lo then error "empty array dimension";
     total := !total * (hi - lo + 1)
   done;
   (!total, strides)
@@ -44,7 +48,7 @@ let add_iarray env name dims =
 let set_fscalar env name x = Hashtbl.replace env.fscalars name x
 let set_iscalar env name x = Hashtbl.replace env.iscalars name x
 
-let missing what name = failwith (Printf.sprintf "Env: undefined %s %s" what name)
+let missing what name = error "undefined %s %s" what name
 
 let find_farr env name =
   match Hashtbl.find_opt env.farrays name with
@@ -60,16 +64,13 @@ let farray_dims env name = Array.to_list (find_farr env name).dims
 
 let offset (type elt) (a : ('a, elt) arr) name idx =
   let n = Array.length a.dims in
-  if List.length idx <> n then
-    failwith (Printf.sprintf "Env: %s expects %d subscripts" name n);
+  if List.length idx <> n then error "%s expects %d subscripts" name n;
   let off = ref 0 in
   List.iteri
     (fun k i ->
       let lo, hi = a.dims.(k) in
       if i < lo || i > hi then
-        failwith
-          (Printf.sprintf "Env: %s subscript %d = %d out of bounds [%d,%d]" name
-             (k + 1) i lo hi);
+        error "%s subscript %d = %d out of bounds [%d,%d]" name (k + 1) i lo hi;
       off := !off + ((i - lo) * a.strides.(k)))
     idx;
   !off

@@ -7,6 +7,13 @@
 
 type t
 
+exception Error of string
+(** Raised for every runtime misuse of the environment — undefined
+    names, subscript arity mismatches, out-of-bounds subscripts, empty
+    array dimensions.  The payload is a human-readable description
+    (without any ["Env:"] prefix); drivers catch it for one-line
+    diagnostics instead of a backtrace. *)
+
 val create : unit -> t
 
 val add_farray : t -> string -> (int * int) list -> unit

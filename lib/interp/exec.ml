@@ -133,9 +133,7 @@ type state = {
 let lookup_int st v =
   match Hashtbl.find_opt st.scope v with
   | Some n -> n
-  | None -> (
-      try Env.iscalar st.env v
-      with Failure msg -> err "%s" msg)
+  | None -> Env.iscalar st.env v
 
 let touch st node name idx kind =
   match st.hook with
@@ -164,7 +162,7 @@ let rec eval_i st (e : Expr.t) =
   | Expr.Idx (name, subs) ->
       let idx = List.map (eval_i st) subs in
       touch st (Obj.repr e) name idx Ir_util.Read;
-      (try Env.get_i st.env name idx with Failure msg -> err "%s" msg)
+      Env.get_i st.env name idx
 
 let intrinsic name args =
   match name, args with
@@ -177,12 +175,11 @@ let intrinsic name args =
 let rec eval_f st (fe : Stmt.fexpr) =
   match fe with
   | Stmt.Fconst x -> x
-  | Stmt.Fvar v -> (
-      try Env.fscalar st.env v with Failure msg -> err "%s" msg)
+  | Stmt.Fvar v -> Env.fscalar st.env v
   | Stmt.Ref (name, subs) ->
       let idx = List.map (eval_i st) subs in
       touch st (Obj.repr fe) name idx Ir_util.Read;
-      (try Env.get_f st.env name idx with Failure msg -> err "%s" msg)
+      Env.get_f st.env name idx
   | Stmt.Fbin (op, a, b) -> (
       let x = eval_f st a and y = eval_f st b in
       match op with
@@ -220,7 +217,7 @@ let rec exec st (s : Stmt.t) =
       let x = eval_f st rhs in
       let idx = List.map (eval_i st) subs in
       touch st (Obj.repr s) name idx Ir_util.Write;
-      (try Env.set_f st.env name idx x with Failure msg -> err "%s" msg)
+      Env.set_f st.env name idx x
   | Stmt.Iassign (name, [], rhs) ->
       if Hashtbl.mem st.scope name then err "assignment to loop index %s" name;
       let x = eval_i st rhs in
@@ -229,7 +226,7 @@ let rec exec st (s : Stmt.t) =
       let x = eval_i st rhs in
       let idx = List.map (eval_i st) subs in
       touch st (Obj.repr s) name idx Ir_util.Write;
-      (try Env.set_i st.env name idx x with Failure msg -> err "%s" msg)
+      Env.set_i st.env name idx x
   | Stmt.If (c, t, e) ->
       if eval_cond st c then exec_block st t else exec_block st e
   | Stmt.Loop l ->

@@ -48,8 +48,10 @@ val ref_sites : refmap -> ref_site list
 (** All sites in textual order ([ref_id] = position, starting at 0). *)
 
 val run : ?refs:refmap -> ?hook:hook -> Env.t -> Stmt.t list -> unit
-(** Execute the block, mutating [env].  Raises {!Error} on undefined
-    variables, bad subscripts, or an unknown intrinsic.  With [refs],
+(** Execute the block, mutating [env].  Raises {!Error} on interpreter
+    misuse (zero-step loops, loop-index assignment, unknown intrinsics,
+    division by zero) and lets {!Env.Error} propagate for environment
+    misuse (undefined names, bad subscripts).  With [refs],
     every hook call carries the touching site's [ref_id]; without it
     (the default) attribution is off and costs nothing. *)
 

@@ -23,3 +23,4 @@ let if_ c t = If (c, t, [])
 let if_else c t e = If (c, t, e)
 let feq a b = Fcmp (Eq, a, b)
 let fne a b = Fcmp (Ne, a, b)
+let fge a b = Fcmp (Ge, a, b)

@@ -48,3 +48,4 @@ val if_else : cond -> t list -> t list -> t
 
 val feq : fexpr -> fexpr -> cond
 val fne : fexpr -> fexpr -> cond
+val fge : fexpr -> fexpr -> cond

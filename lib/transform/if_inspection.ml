@@ -83,6 +83,12 @@ let apply ~names (l : Stmt.loop) =
       let inner_indices = Ir_util.index_vars computation in
       if List.exists (fun a -> List.mem a body_writes) guard_arrays then
         Error "the computation writes an array the guard reads"
+      else if
+        (* Scalars too: the inspector precomputes every guard value, so a
+           computation that writes any variable the guard reads (directly
+           or through a subscript) invalidates the recorded ranges. *)
+        List.exists (fun x -> List.mem x body_writes) (cond_vars guard)
+      then Error "the computation writes a variable the guard reads"
       else if List.exists (fun v -> List.mem v inner_indices) (cond_vars guard)
       then Error "the guard depends on an inner loop index"
       else begin

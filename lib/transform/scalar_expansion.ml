@@ -1,3 +1,52 @@
+exception Exposed
+
+(* A read of [scalar] is exposed when it may execute before every write
+   of [scalar] in the same iteration of the expanded loop: renaming it
+   would read an array element the loop has not defined yet.  Branch
+   joins keep "written" only when both sides write; inner loops may run
+   zero times, so their writes never count for what follows them. *)
+let exposed_read ~scalar body =
+  let rec reads_f (fe : Stmt.fexpr) =
+    match fe with
+    | Stmt.Fvar v -> String.equal v scalar
+    | Stmt.Fconst _ | Stmt.Of_int _ -> false
+    | Stmt.Ref (_, subs) -> List.exists reads_e subs
+    | Stmt.Fbin (_, a, b) -> reads_f a || reads_f b
+    | Stmt.Fneg a -> reads_f a
+    | Stmt.Fcall (_, args) -> List.exists reads_f args
+  and reads_e e = List.mem scalar (Expr.free_vars e) in
+  let rec reads_c (c : Stmt.cond) =
+    match c with
+    | Stmt.Fcmp (_, a, b) -> reads_f a || reads_f b
+    | Stmt.Icmp (_, a, b) -> reads_e a || reads_e b
+    | Stmt.Not a -> reads_c a
+    | Stmt.And (a, b) | Stmt.Or (a, b) -> reads_c a || reads_c b
+  in
+  let rec stmt written (s : Stmt.t) =
+    match s with
+    | Stmt.Assign (v, subs, rhs) ->
+        if (not written) && (reads_f rhs || List.exists reads_e subs) then
+          raise Exposed;
+        written || (String.equal v scalar && subs = [])
+    | Stmt.Iassign (_, subs, rhs) ->
+        if (not written) && (reads_e rhs || List.exists reads_e subs) then
+          raise Exposed;
+        written
+    | Stmt.If (c, t, e) ->
+        if (not written) && reads_c c then raise Exposed;
+        let wt = block written t and we = block written e in
+        wt && we
+    | Stmt.Loop il ->
+        if (not written) && (reads_e il.lo || reads_e il.hi || reads_e il.step)
+        then raise Exposed;
+        ignore (block written il.body);
+        written
+  and block written stmts = List.fold_left stmt written stmts in
+  try
+    ignore (block false body);
+    false
+  with Exposed -> true
+
 let apply ~scalar ~array_name (l : Stmt.loop) =
   let block = [ Stmt.Loop l ] in
   (* Expanding in place (array named like the scalar) is allowed: once
@@ -18,8 +67,11 @@ let apply ~scalar ~array_name (l : Stmt.loop) =
     in
     match accs with
     | [] -> Error (scalar ^ " does not occur in the loop")
-    | first :: _ when first.kind <> Ir_util.Write ->
-        Error (scalar ^ " may be live on entry: first access is a read")
+    | _ when exposed_read ~scalar l.body ->
+        Error
+          (scalar
+         ^ " may be live on entry: a read is not dominated by a write in the \
+            same iteration")
     | _ ->
         let idx = Expr.var l.index in
         let rec rewrite_f (fe : Stmt.fexpr) =

@@ -30,3 +30,38 @@ the reuse histogram.
   $ blockc profile trisolve --json | grep -o '"histogram"'
   "histogram"
   "histogram"
+
+The exit convention is uniform: every kernel-taking subcommand resolves
+the name the same way (exit 2 + catalogue), including show and derive.
+
+  $ blockc show nosuch
+  blockc: unknown kernel 'nosuch'
+  known kernels: lu, lu_pivot, trisolve, cholesky, matmul, givens, aconv, conv, householder
+  [2]
+
+  $ blockc derive nosuch
+  blockc: unknown kernel 'nosuch'
+  known kernels: lu, lu_pivot, trisolve, cholesky, matmul, givens, aconv, conv, householder
+  [2]
+
+Unparseable input is exit 2 as well (unusable input, not a negative
+analysis result).
+
+  $ printf 'DO I = 1, N\n' > bad.f
+  $ blockc parse bad.f
+  bad.f:2: expected END DO
+  [2]
+
+  $ blockc lower bad.f
+  bad.f:2: expected END DO
+  [2]
+
+The fuzzer validates --only before running (exit 2), and a clean
+fixed-seed run exits 0 with coverage counters.
+
+  $ blockc fuzz --only nosuchpass --iters 1 --seed 1
+  blockc fuzz: unknown pass 'nosuchpass' (expected one of: strip_mine, interchange, distribution, index_set_split, split_minmax, unroll_and_jam, scalar_replacement, scalar_expansion, if_inspection, oracle, reparse)
+  [2]
+
+  $ blockc fuzz --iters 20 --seed 42 --json | tr ',' '\n' | grep -o '"ok":true'
+  "ok":true

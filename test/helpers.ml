@@ -6,9 +6,21 @@ let check_string = Alcotest.(check string)
 
 let case name f = Alcotest.test_case name `Quick f
 
+(* Every QCheck property runs from an explicit seed embedded in the test
+   name, so a failure is replayable: rerun with QCHECK_SEED=<seed>. *)
+let qcheck_seed =
+  match Option.map int_of_string_opt (Sys.getenv_opt "QCHECK_SEED") with
+  | Some (Some s) -> s
+  | _ ->
+      Random.self_init ();
+      Random.int 1_000_000_000
+
 let qcase ?(count = 100) name gen prop =
   QCheck_alcotest.to_alcotest
-    (QCheck2.Test.make ~count ~name gen prop)
+    ~rand:(Random.State.make [| qcheck_seed |])
+    (QCheck2.Test.make ~count
+       ~name:(Printf.sprintf "%s [replay: QCHECK_SEED=%d]" name qcheck_seed)
+       gen prop)
 
 let ok_or_fail what = function
   | Ok v -> v

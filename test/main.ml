@@ -17,4 +17,5 @@ let () =
       Test_profile.suite;
       Test_parallel.suite;
       Test_obs.suite;
+      Test_fuzz.suite;
     ]

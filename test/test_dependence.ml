@@ -89,6 +89,37 @@ let lu_deps_shape () =
   check_bool "preventing edges cross statements" true
     (Ddg.preventing_edges g 0 1 <> [])
 
+(* Regression (found by `blockc fuzz`): a possibly-zero-trip inner loop
+   must not leak its bounds facts to statements outside it.  K runs
+   1..J-1, so "K nonempty" would imply J >= 2 — but the B statement
+   also executes at J = 1, where the flow dependence
+   B(I-J+1) -> B(I) at J = 1 is real.  A global loop-bounds context
+   refuted it; the analysis now derives bounds per access pair. *)
+let zero_trip_inner_loop_conservative () =
+  let block =
+    [
+      do_ "I" (i 1) (v "N")
+        [
+          do_ "J" (v "I") (v "N")
+            [
+              set1 "B" ((v "I" -! v "J") +! i 1) (a1 "B" (v "I") +. fc 1.0);
+              do_ "K" (i 1) (v "J" -! i 1) [ set1 "A" (i 1) (a1 "A" (i 1)) ];
+            ];
+        ];
+    ]
+  in
+  let deps = Dependence.all ~ctx:ctx0 block in
+  check_bool "flow B(I-J+1) -> B(I) kept" true
+    (List.exists
+       (fun (d : Dependence.t) ->
+         d.kind = Dependence.Flow
+         && String.equal d.source.array "B"
+         && d.source.kind = Ir_util.Write)
+       deps);
+  match Oracle.agrees ~bindings:[ ("N", 2) ] ~ctx:ctx0 block with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "oracle disagrees: %s" m
+
 (* Random-subscript oracle fuzz: two references with random affine
    subscripts inside a fixed depth-2 nest. *)
 let gen_sub =
@@ -126,6 +157,8 @@ let suite =
       case "disjoint writes" no_self_dep_for_disjoint_writes;
       case "GCD test" gcd_test;
       case "LU recurrence found" lu_deps_shape;
+      case "zero-trip inner loop stays conservative"
+        zero_trip_inner_loop_conservative;
       case "oracle: LU point"
         (oracle_agreement "lu" [ Stmt.Loop K_lu.point_loop ] [ ("N", 7) ]);
       case "oracle: aconv"

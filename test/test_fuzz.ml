@@ -1,0 +1,104 @@
+open Helpers
+
+(* The differential fuzzer itself (lib/check): fixed-seed smoke runs, so
+   the suite is deterministic.  `blockc fuzz` / @fuzz-smoke run it at
+   scale; here we pin the harness machinery. *)
+
+let smoke () =
+  let s = ok_or_fail "run" (Fuzz.run ~iters:50 ~seed:42 ()) in
+  check_bool "clean" true (Fuzz.ok s);
+  check_int "iters recorded" 50 s.iters;
+  check_int "seed recorded" 42 s.seed;
+  check_bool "every requested program ran" true (s.programs >= s.iters);
+  (* The generator must keep exercising the paper's shape vocabulary. *)
+  check_bool "triangular nests seen" true (s.triangular > 0);
+  check_bool "trapezoidal (MIN/MAX) nests seen" true (s.trapezoidal > 0);
+  check_bool "guarded nests seen" true (s.guarded > 0);
+  check_bool "oracle cross-checked" true (s.oracle_checked > 0);
+  check_int "every program reparsed" s.programs s.reparsed;
+  let stat name =
+    List.find (fun (p : Fuzz.pass_stat) -> String.equal p.ps_name name) s.passes
+  in
+  check_bool "strip-mine applied" true ((stat "strip_mine").ps_applied > 0);
+  check_bool "if-inspection applied" true ((stat "if_inspection").ps_applied > 0);
+  check_bool "scalar expansion applied" true
+    ((stat "scalar_expansion").ps_applied > 0)
+
+let only_filter () =
+  (match Fuzz.run ~only:"no_such_pass" ~iters:1 ~seed:1 () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown pass accepted");
+  let s = ok_or_fail "run" (Fuzz.run ~only:"strip_mine" ~iters:20 ~seed:7 ()) in
+  check_bool "clean" true (Fuzz.ok s);
+  List.iter
+    (fun (p : Fuzz.pass_stat) ->
+      if not (String.equal p.ps_name "strip_mine") then
+        check_int (p.ps_name ^ " skipped") 0 (p.ps_applied + p.ps_rejected))
+    s.passes
+
+let deterministic () =
+  let run () = ok_or_fail "run" (Fuzz.run ~iters:25 ~seed:11 ()) in
+  let a = run () and b = run () in
+  check_int "same program count" a.Fuzz.programs b.Fuzz.programs;
+  check_int "same guarded count" a.Fuzz.guarded b.Fuzz.guarded;
+  List.iter2
+    (fun (x : Fuzz.pass_stat) (y : Fuzz.pass_stat) ->
+      check_int (x.ps_name ^ " applied") x.ps_applied y.ps_applied;
+      check_int (x.ps_name ^ " rejected") x.ps_rejected y.ps_rejected)
+    a.Fuzz.passes b.Fuzz.passes
+
+let classify_shapes () =
+  let p block =
+    Gen_prog.classify { Gen_prog.block; bindings = [ ("N", 3) ]; fill_seed = 0 }
+  in
+  let open Builder in
+  let rect =
+    p [ do_ "I" (i 1) (v "N") [ do_ "J" (i 1) (v "N") [ set1 "A" (v "J") (fc 1.0) ] ] ]
+  in
+  check_bool "rect" true rect.rect;
+  check_int "depth" 2 rect.depth;
+  check_bool "rect not triangular" false rect.triangular;
+  let tri =
+    p [ do_ "I" (i 1) (v "N") [ do_ "J" (v "I") (v "N") [ set1 "A" (v "J") (fc 1.0) ] ] ]
+  in
+  check_bool "triangular" true tri.triangular;
+  let trap =
+    p
+      [
+        do_ "I" (i 1) (v "N")
+          [
+            do_ "J" (i 1) (Expr.min_ (v "I" +! i 2) (v "N"))
+              [ set1 "A" (v "J") (fc 1.0) ];
+          ];
+      ]
+  in
+  check_bool "trapezoidal" true trap.trapezoidal;
+  let guarded =
+    p
+      [
+        do_ "I" (i 1) (v "N")
+          [ if_ (fne (a1 "G" (v "I")) (fc 0.0)) [ set1 "A" (v "I") (fc 1.0) ] ];
+      ]
+  in
+  check_bool "guarded" true guarded.guarded;
+  check_bool "guarded not straightline" false guarded.straightline
+
+let suite =
+  ( "fuzz",
+    [
+      case "fixed-seed smoke run is clean" smoke;
+      case "--only filters and validates pass names" only_filter;
+      case "same seed, same trajectory" deterministic;
+      (* Textual fixpoint: reparsing the printed form may normalize the
+         expression trees, but printing again must be stable.  (Semantic
+         equality of the reparse is the harness's own job, at scale.) *)
+      qcase ~count:40 "generated programs print parseably" Gen_prog.gen
+        (fun p ->
+          match Parser.stmts (Gen_prog.print p) with
+          | parsed ->
+              String.equal
+                (Stmt.block_to_string parsed)
+                (Stmt.block_to_string p.block)
+          | exception _ -> false);
+      case "classification is structural" classify_shapes;
+    ] )

@@ -79,7 +79,7 @@ let lower_bounds () =
 let out_of_bounds () =
   let env = Env.create () in
   Env.add_farray env "A" [ (1, 3) ];
-  Alcotest.check_raises "oob read" (Exec.Error "Env: A subscript 1 = 4 out of bounds [1,3]")
+  Alcotest.check_raises "oob read" (Env.Error "A subscript 1 = 4 out of bounds [1,3]")
     (fun () -> Exec.run env [ setf "X" (a1 "A" (i 4)) ])
 
 let loop_semantics () =

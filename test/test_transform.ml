@@ -375,6 +375,48 @@ let scalar_expansion_cases () =
   check_bool "live-in refused" true
     (Result.is_error (Scalar_expansion.apply ~scalar:"C" ~array_name:"CX" bad))
 
+(* Regression (found by `blockc fuzz`): a write under an IF does not
+   dominate reads after the IF — when the guard is false, the read sees
+   the value from before the loop, which expansion would rename to an
+   uninitialized array element. *)
+let scalar_expansion_conditional_write () =
+  let guarded_write_then_read =
+    match
+      do_ "J" (i 1) (v "N")
+        [
+          if_
+            (fne (a1 "G" (i 1)) (fc 0.0))
+            [ setf "T" (a1 "A" (i 1)); set1 "A" (i 1) (fv "T" +. a1 "A" (i 1)) ];
+          if_ (fge (fv "T") (fc 0.25)) [ set1 "A" (i 1) (a1 "A" (i 2)) ];
+        ]
+    with
+    | Stmt.Loop l -> l
+    | _ -> assert false
+  in
+  check_bool "conditionally-defined scalar refused" true
+    (Result.is_error
+       (Scalar_expansion.apply ~scalar:"T" ~array_name:"TX"
+          guarded_write_then_read));
+  (* Reads inside the same branch as the write stay legal (the Givens
+     driver expands coefficient scalars written under the rotation
+     guard). *)
+  let write_and_read_same_branch =
+    match
+      do_ "J" (i 1) (v "N")
+        [
+          if_
+            (fne (a1 "G" (i 1)) (fc 0.0))
+            [ setf "T" (a1 "A" (i 1)); set1 "A" (i 1) (fv "T" +. a1 "A" (i 1)) ];
+        ]
+    with
+    | Stmt.Loop l -> l
+    | _ -> assert false
+  in
+  check_bool "same-branch use still expands" true
+    (Result.is_ok
+       (Scalar_expansion.apply ~scalar:"T" ~array_name:"TX"
+          write_and_read_same_branch))
+
 (* ---- distribution ---- *)
 
 let distribution_legal () =
@@ -435,6 +477,28 @@ let if_inspection_guard_safety () =
   in
   check_bool "refused" true (Result.is_error (If_inspection.apply ~names l))
 
+(* Regression (found by `blockc fuzz`): the interference check covered
+   arrays only.  A computation that writes a scalar the guard reads
+   invalidates the inspector's precomputed ranges just the same. *)
+let if_inspection_scalar_interference () =
+  let l =
+    match
+      do_ "I" (i 1) (v "N")
+        [
+          if_
+            (fge (fv "T") (fc 0.25))
+            [ setf "T" (a1 "A" (i 3)); set1 "A" (i 1) (fv "T" +. a1 "A" (i 1)) ];
+        ]
+    with
+    | Stmt.Loop l -> l
+    | _ -> assert false
+  in
+  let names =
+    If_inspection.default_names ~prefix:"I" ~used:[ "I"; "N"; "A"; "T" ]
+  in
+  check_bool "guard-read scalar written by computation refused" true
+    (Result.is_error (If_inspection.apply ~names l))
+
 let suite =
   ( "transform",
     [
@@ -454,7 +518,9 @@ let suite =
       case "scalar replacement on the LU update" scalar_replacement_dot;
       case "scalar replacement refuses aliases" scalar_replacement_unsafe;
       case "scalar expansion" scalar_expansion_cases;
+      case "scalar expansion: conditional write" scalar_expansion_conditional_write;
       case "distribution legality" distribution_legal;
       case "distribution recurrence" distribution_recurrence;
       case "IF-inspection guard safety" if_inspection_guard_safety;
+      case "IF-inspection scalar interference" if_inspection_scalar_interference;
     ] )
