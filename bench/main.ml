@@ -1,9 +1,10 @@
 (* Benchmark harness: regenerates every table and figure of the paper's
    evaluation.  See DESIGN.md's experiment index (T1-T5, F1-F11, X1, PAR).
 
-   Usage:  main.exe [t1|t2|t3|t4|t5|figures|cache|ablation|bechamel|par|obs|profile|all]
+   Usage:  main.exe [t1|t2|t3|t4|t5|figures|cache|ablation|bechamel|par|obs|profile|native|all]
                     [--quick] [--json PATH]
                     [--baseline PATH] [--check] [--tolerance F]
+                    [--trajectory OUT] [--trajectory-base PATH]
 
    Absolute 1992 seconds are not reproducible; the claim checked here is
    the *shape*: which variant wins and by roughly what factor.
@@ -11,6 +12,11 @@
    [--json PATH] additionally dumps every table produced by the run as
    machine-readable JSON (see Table.json_of_tables), so successive PRs
    leave a perf trajectory behind (BENCH_*.json).
+
+   [--trajectory OUT] writes the dated perf trajectory: the entries of
+   [--trajectory-base PATH] (the committed bench/BENCH_trajectory.json;
+   missing or empty means the trajectory is just starting) plus one new
+   entry holding this run's tables.  See EXPERIMENTS.md for the schema.
 
    [--baseline PATH] compares this run's tables against a previous
    [--json] dump through Bench_gate and prints the verdict; with
@@ -22,31 +28,37 @@
 let argv = List.tl (Array.to_list Sys.argv)
 let quick = List.mem "--quick" argv
 
-let json_path, baseline_path, check_mode, tolerance, slack, selected =
-  let rec go sel json base check tol slack = function
-    | [] -> (json, base, check, tol, slack, List.rev sel)
-    | "--quick" :: rest -> go sel json base check tol slack rest
-    | "--check" :: rest -> go sel json base true tol slack rest
-    | "--json" :: path :: rest -> go sel (Some path) base check tol slack rest
-    | "--baseline" :: path :: rest -> go sel json (Some path) check tol slack rest
+let json_path, baseline_path, check_mode, tolerance, slack, traj_out, traj_base, selected =
+  let rec go sel json base check tol slack tout tbase = function
+    | [] -> (json, base, check, tol, slack, tout, tbase, List.rev sel)
+    | "--quick" :: rest -> go sel json base check tol slack tout tbase rest
+    | "--check" :: rest -> go sel json base true tol slack tout tbase rest
+    | "--json" :: path :: rest -> go sel (Some path) base check tol slack tout tbase rest
+    | "--baseline" :: path :: rest -> go sel json (Some path) check tol slack tout tbase rest
+    | "--trajectory" :: path :: rest -> go sel json base check tol slack (Some path) tbase rest
+    | "--trajectory-base" :: path :: rest ->
+        go sel json base check tol slack tout (Some path) rest
     | "--tolerance" :: f :: rest -> (
         match float_of_string_opt f with
-        | Some t when t > 0.0 -> go sel json base check (Some t) slack rest
+        | Some t when t > 0.0 -> go sel json base check (Some t) slack tout tbase rest
         | _ ->
             Printf.eprintf "main.exe: --tolerance wants a positive float, got %s\n" f;
             exit 2)
     | "--slack" :: f :: rest -> (
         match float_of_string_opt f with
-        | Some s when s >= 0.0 -> go sel json base check tol (Some s) rest
+        | Some s when s >= 0.0 -> go sel json base check tol (Some s) tout tbase rest
         | _ ->
             Printf.eprintf "main.exe: --slack wants a non-negative float, got %s\n" f;
             exit 2)
-    | [ ("--json" | "--baseline" | "--tolerance" | "--slack") as flag ] ->
+    | [ ("--json" | "--baseline" | "--tolerance" | "--slack" | "--trajectory"
+        | "--trajectory-base") as flag ] ->
         Printf.eprintf "main.exe: %s requires an argument\n" flag;
         exit 2
-    | a :: rest -> go (a :: sel) json base check tol slack rest
+    | a :: rest -> go (a :: sel) json base check tol slack tout tbase rest
   in
-  let json, base, check, tol, slack, sel = go [] None None false None None argv in
+  let json, base, check, tol, slack, tout, tbase, sel =
+    go [] None None false None None None None argv
+  in
   (* Fail fast on an unwritable path rather than after the whole run. *)
   (match json with
   | Some path -> (
@@ -66,7 +78,8 @@ let json_path, baseline_path, check_mode, tolerance, slack, selected =
     prerr_endline "main.exe: --check requires --baseline PATH";
     exit 2
   end;
-  (json, base, check, tol, slack, match sel with [] -> [ "all" ] | l -> l)
+  (json, base, check, tol, slack, tout, tbase,
+   match sel with [] -> [ "all" ] | l -> l)
 
 let want what = List.mem what selected || List.mem "all" selected
 
@@ -723,6 +736,76 @@ let profile_suite () =
   output ~id:"profile-overhead" tbl
 
 (* ------------------------------------------------------------------ *)
+(* NATIVE: JIT-compiled kernels — the paper's speedups on real hardware *)
+(* ------------------------------------------------------------------ *)
+
+(* Every other table times hand-written OCaml ports; this one times the
+   IR itself, lowered by lib/codegen and verified bitwise against the
+   interpreter before the clock starts (native_compare refuses to time
+   a diverging plugin).  The Model column is the cache simulator's
+   memory-cycle ratio at the verification size — prediction next to
+   measurement, which is the paper's whole argument. *)
+let native_suite () =
+  banner "NATIVE  JIT-compiled point vs transformed kernels";
+  match Jit.available () with
+  | Error m -> Printf.printf "native suite skipped: %s\n" m
+  | Ok () ->
+      let tbl =
+        Table.create ~title:"Native (JIT) point vs transformed, bitwise-verified"
+          [
+            ("Kernel", Table.Left); ("Params", Table.Left);
+            ("Point", Table.Right); ("Xformed", Table.Right);
+            ("Speedup", Table.Right); ("Model", Table.Right);
+          ]
+      in
+      let reps = if quick then 2 else 3 in
+      let cases =
+        if quick then
+          [
+            ("lu", [ ("N", 256) ], Some 32);
+            ("lu_opt", [ ("N", 256) ], Some 32);
+            ("lu_opt", [ ("N", 512) ], Some 32);
+            ("matmul", [ ("N", 192); ("FREQ_PCT", 10) ], None);
+            ("givens", [ ("M", 192); ("N", 192) ], None);
+          ]
+        else
+          [
+            ("lu", [ ("N", 384) ], Some 32);
+            ("lu", [ ("N", 640) ], Some 32);
+            ("lu_opt", [ ("N", 384) ], Some 32);
+            ("lu_opt", [ ("N", 640) ], Some 32);
+            ("lu_opt", [ ("N", 1024) ], Some 32);
+            ("matmul", [ ("N", 320); ("FREQ_PCT", 10) ], None);
+            ("givens", [ ("M", 384); ("N", 384) ], None);
+            ("conv", [ ("N1", 1200); ("N2", 1200); ("N3", 1600) ], None);
+          ]
+      in
+      List.iter
+        (fun (name, bindings, block) ->
+          let entry = Option.get (Blockability.find name) in
+          match Blockability.native_compare ~bindings ~reps ?block entry with
+          | Error m -> Printf.printf "%s: %s\n" name m
+          | Ok r ->
+              Table.add_row tbl
+                [
+                  name;
+                  String.concat " "
+                    (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v)
+                       r.Blockability.nt_bindings);
+                  Table.cell_s r.Blockability.nt_point_s;
+                  Table.cell_s r.Blockability.nt_transformed_s;
+                  Table.cell_f r.Blockability.nt_speedup;
+                  (match r.Blockability.nt_model_speedup with
+                  | None -> "-"
+                  | Some m -> Printf.sprintf "%.2fx" m);
+                ])
+        cases;
+      output ~id:"native" tbl;
+      print_string
+        "every row is bitwise-verified against the interpreter before timing;\n\
+         paper (RS/6000-540): blocked LU 2.5-3.2x, Givens 2.04-5.49x\n"
+
+(* ------------------------------------------------------------------ *)
 (* the regression gate                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -767,6 +850,7 @@ let () =
   if want "par" then par ();
   if want "obs" then obs_suite ();
   if want "profile" then profile_suite ();
+  if want "native" then native_suite ();
   (match json_path with
   | None -> ()
   | Some path ->
@@ -775,5 +859,44 @@ let () =
       output_char oc '\n';
       close_out oc;
       Printf.printf "\nwrote %d table(s) to %s\n" (List.length !registry) path);
+  (match traj_out with
+  | None -> ()
+  | Some out ->
+      let entries =
+        match traj_base with
+        | None -> []
+        | Some path -> (
+            match Bench_gate.load_trajectory path with
+            | Ok [] ->
+                Printf.printf "\ntrajectory %s is empty: starting one\n" path;
+                []
+            | Ok entries -> entries
+            | Error m ->
+                Printf.eprintf "main.exe: %s\n" m;
+                exit 2)
+      in
+      let tables =
+        match Json_min.parse (Table.json_of_tables !registry) with
+        | Ok v -> v
+        | Error m ->
+            Printf.eprintf "main.exe: current run did not serialize: %s\n" m;
+            exit 2
+      in
+      let date =
+        let t = Unix.gmtime (Unix.time ()) in
+        Printf.sprintf "%04d-%02d-%02d" (t.Unix.tm_year + 1900)
+          (t.Unix.tm_mon + 1) t.Unix.tm_mday
+      in
+      let label =
+        String.concat " " selected ^ (if quick then " --quick" else "")
+      in
+      let doc = Bench_gate.append_trajectory_entry ~date ~label ~tables entries in
+      let oc = open_out out in
+      output_string oc doc;
+      close_out oc;
+      Printf.printf "trajectory: %d entr%s -> %s\n"
+        (List.length entries + 1)
+        (if entries = [] then "y" else "ies")
+        out);
   Option.iter run_gate baseline_path;
   Printf.printf "\ndone.\n"

@@ -1,8 +1,8 @@
 (* blockc — command-line driver for the blockability toolkit.
 
    Subcommands: list, show, derive, verify, simulate, explain, profile,
-   sections, parse, lower, fuzz.  `blockc --explain KERNEL` is a
-   shorthand for the explain subcommand.
+   sections, parse, lower, compile, fuzz.  `blockc --explain KERNEL` is
+   a shorthand for the explain subcommand.
 
    Exit convention (uniform across subcommands, see EXIT STATUS in the
    man pages): 0 = success; 1 = the tool ran but the answer is negative
@@ -825,6 +825,150 @@ let lower_cmd =
        ~exits)
     Term.(const run $ file_arg $ machine_arg $ block_arg)
 
+(* ---- compile ---- *)
+
+let json_of_native (r : Blockability.native_result) =
+  jobj
+    [
+      ("point_s", Printf.sprintf "%.6f" r.nt_point_s);
+      ("transformed_s", Printf.sprintf "%.6f" r.nt_transformed_s);
+      ("speedup", Printf.sprintf "%.4f" r.nt_speedup);
+      ("point_cached", string_of_bool r.nt_point_cached);
+      ("transformed_cached", string_of_bool r.nt_transformed_cached);
+      ( "model_speedup",
+        match r.nt_model_speedup with
+        | None -> "null"
+        | Some x -> Printf.sprintf "%.4f" x );
+      ( "bindings",
+        jobj (List.map (fun (k, v) -> (k, string_of_int v)) r.nt_bindings) );
+      ( "verify_bindings",
+        jobj
+          (List.map (fun (k, v) -> (k, string_of_int v)) r.nt_verify_bindings)
+      );
+    ]
+
+let print_native (r : Blockability.native_result) =
+  let show bs =
+    String.concat " " (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) bs)
+  in
+  Printf.printf "verified: both variants bitwise equal to the interpreter (%s)\n"
+    (show r.nt_verify_bindings);
+  Printf.printf "timed at: %s (best of reps)\n" (show r.nt_bindings);
+  let cached c = if c then "  [jit cache hit]" else "  [compiled]" in
+  Printf.printf "point:       %10.6f s%s\n" r.nt_point_s
+    (cached r.nt_point_cached);
+  Printf.printf "transformed: %10.6f s%s\n" r.nt_transformed_s
+    (cached r.nt_transformed_cached);
+  Printf.printf "speedup: %.2fx%s\n" r.nt_speedup
+    (match r.nt_model_speedup with
+    | None -> ""
+    | Some m -> Printf.sprintf "  (cache model predicts %.2fx)" m)
+
+let compile_cmd =
+  let emit_arg =
+    Arg.(
+      value
+      & opt (some (enum [ ("ocaml", ()) ])) None
+      & info [ "emit" ] ~docv:"LANG"
+          ~doc:
+            "Print the generated source ($(b,ocaml) is the only target) \
+             instead of compiling it.")
+  in
+  let variant_arg =
+    Arg.(
+      value
+      & opt (enum [ ("point", `Point); ("transformed", `Transformed) ]) `Point
+      & info [ "variant" ] ~docv:"V"
+          ~doc:
+            "Which variant to emit or compile when not using $(b,--run): \
+             $(b,point) or $(b,transformed).")
+  in
+  let run_flag =
+    Arg.(
+      value & flag
+      & info [ "run" ]
+          ~doc:
+            "Compile both variants, check each is bitwise equal to the \
+             interpreter, then time them and report the native speedup \
+             next to the cache model's prediction.")
+  in
+  let run name emit variant do_run bindings seed block json () =
+    let e = resolve_kernel name in
+    let jit_or_exit () =
+      match Jit.available () with
+      | Ok () -> ()
+      | Error m ->
+          Printf.eprintf "blockc compile: %s\n" m;
+          exit 2
+    in
+    if do_run then begin
+      jit_or_exit ();
+      match
+        Blockability.native_compare ?bindings:(or_default bindings) ~seed
+          ?block e
+      with
+      | Error m ->
+          prerr_endline ("blockc compile: " ^ m);
+          exit 1
+      | Ok r -> if json then print_endline (json_of_native r) else print_native r
+    end
+    else
+      let block_stmts, jname =
+        match variant with
+        | `Point ->
+            (e.Blockability.kernel.Kernel_def.block, e.Blockability.name ^ "_point")
+        | `Transformed -> (
+            match Blockability.derive e with
+            | Ok { Blocker.result; _ } ->
+                ([ result ], e.Blockability.name ^ "_transformed")
+            | Error m ->
+                Printf.eprintf "blockc compile: derivation failed: %s\n" m;
+                exit 1)
+      in
+      match
+        Jit.emit ~shapes:e.Blockability.kernel.Kernel_def.shapes ~name:jname
+          block_stmts
+      with
+      | Error m ->
+          prerr_endline ("blockc compile: " ^ m);
+          exit 1
+      | Ok src -> (
+          match emit with
+          | Some () -> print_string src
+          | None -> (
+              jit_or_exit ();
+              match Jit.compile ~name:jname src with
+              | Error m ->
+                  prerr_endline ("blockc compile: " ^ m);
+                  exit 1
+              | Ok l ->
+                  if json then
+                    print_endline
+                      (jobj
+                         [
+                           ("kernel", jstr e.Blockability.name);
+                           ("variant", jstr jname);
+                           ("key", jstr l.Jit.key);
+                           ("cmxs", jstr l.Jit.cmxs);
+                           ("cached", string_of_bool l.Jit.cached);
+                         ])
+                  else
+                    Printf.printf "compiled %s -> %s%s\n" jname l.Jit.cmxs
+                      (if l.Jit.cached then " (jit cache hit)" else "")))
+  in
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:
+         "Lower a kernel to native code through the JIT: emit OCaml source \
+          ($(b,--emit ocaml)), compile and cache the plugin, or with \
+          $(b,--run) verify both variants bitwise against the interpreter \
+          and time them."
+       ~exits)
+    (traced
+       Term.(
+         const run $ kernel_name_arg $ emit_arg $ variant_arg $ run_flag
+         $ bindings_arg $ seed_arg $ block_arg $ json_flag))
+
 (* ---- fuzz ---- *)
 
 let json_of_fuzz (s : Fuzz.summary) =
@@ -850,6 +994,12 @@ let json_of_fuzz (s : Fuzz.summary) =
             ("violations", string_of_int s.oracle_violations);
           ] );
       ("reparsed", string_of_int s.reparsed);
+      ( "native",
+        jobj
+          [
+            ("checked", string_of_int s.native_checked);
+            ("divergences", string_of_int s.native_divergences);
+          ] );
       ( "passes",
         jarr
           (List.map
@@ -875,6 +1025,9 @@ let print_fuzz (s : Fuzz.summary) =
     s.programs s.seed s.iters s.depth_counts.(0) s.depth_counts.(1)
     s.depth_counts.(2) s.rect s.triangular s.trapezoidal s.guarded
     s.oracle_checked s.oracle_violations s.reparsed;
+  if s.native_checked > 0 || s.native_divergences > 0 then
+    Printf.printf "native cross-checks: %d (divergences %d)\n"
+      s.native_checked s.native_divergences;
   let tbl =
     Table.create ~title:"Per-pass differential results"
       [
@@ -913,8 +1066,18 @@ let fuzz_cmd =
             "Run a single check: a transformation pass name, $(b,oracle), or \
              $(b,reparse).")
   in
-  let run iters seed only json () =
-    match Fuzz.run ?only ~iters ~seed () with
+  let native_flag =
+    Arg.(
+      value & flag
+      & info [ "native" ]
+          ~doc:
+            "Also JIT-compile every generated program to native code and \
+             check it bitwise against the interpreter (requires the \
+             $(b,ocamlopt) toolchain; budget ~100ms per program on a cold \
+             cache).")
+  in
+  let run iters seed only native json () =
+    match Fuzz.run ?only ~native ~iters ~seed () with
     | Error m ->
         Printf.eprintf "blockc fuzz: %s\n" m;
         exit 2
@@ -931,7 +1094,7 @@ let fuzz_cmd =
           conservative against a brute-force oracle.  A non-empty failure \
           list exits 1 and prints shrunk, replayable counterexamples."
        ~exits)
-    (traced Term.(const run $ iters_arg $ seed_arg $ only_arg $ json_flag))
+    (traced Term.(const run $ iters_arg $ seed_arg $ only_arg $ native_flag $ json_flag))
 
 let () =
   let doc = "compiler blockability of numerical algorithms (Carr-Kennedy SC'92)" in
@@ -961,7 +1124,8 @@ let () =
   let group =
     Cmd.group ~default info
       [ list_cmd; show_cmd; derive_cmd; verify_cmd; simulate_cmd; explain_cmd;
-        profile_cmd; sections_cmd; parse_cmd; lower_cmd; fuzz_cmd ]
+        profile_cmd; sections_cmd; parse_cmd; lower_cmd; compile_cmd;
+        fuzz_cmd ]
   in
   (* Typed runtime errors become one-line diagnostics, not backtraces. *)
   match Cmd.eval group with

@@ -17,42 +17,133 @@ let assume_ge t a b = add_fact t (Affine.sub a b)
 let assume_le t a b = add_fact t (Affine.sub b a)
 let assume_pos t v = add_fact t (Affine.sub (Affine.var v) (Affine.const 1))
 
+(* ---- One-sided affine bounds of loop-bound expressions ------------ *)
+
+(* [cases_of e] computes disjunctive one-sided bound information for an
+   arbitrary bound expression: a pair (lower, upper) of CASE LISTS.  The
+   execution satisfies at least one case on each side; within a case,
+   [e] is >= every affine form listed (lower side) resp. <= every one
+   (upper side).  MIN/MAX are where the two sides differ:
+
+     e <= MIN(a, b)  gives  e <= a AND e <= b        (conjunctive)
+     e >= MIN(a, b)  gives  e >= a  OR e >= b        (case split)
+
+   and dually for MAX.  [+], [-] and scaling by a constant compose
+   bounds pairwise; anything else (Idx, Div, variable products) yields
+   the single no-information case [[]]. *)
+
+let max_cases = 16
+
+let dedup_affs l =
+  List.fold_left
+    (fun acc a -> if List.exists (Affine.equal a) acc then acc else a :: acc)
+    [] l
+  |> List.rev
+
+let same_case c1 c2 =
+  List.length c1 = List.length c2
+  && List.for_all (fun a -> List.exists (Affine.equal a) c2) c1
+
+let dedup_cases cs =
+  List.fold_left
+    (fun acc c -> if List.exists (same_case c) acc then acc else c :: acc)
+    [] cs
+  |> List.rev
+
+(* Bounds valid in EVERY case: the sound conjunctive core. *)
+let intersect_cases = function
+  | [] -> []
+  | c :: rest ->
+      List.filter (fun a -> List.for_all (List.exists (Affine.equal a)) rest) c
+
+let trim cs =
+  let cs = dedup_cases cs in
+  if List.length cs <= max_cases then cs else [ intersect_cases cs ]
+
+(* Both case-sets hold: cross product, unioning the bound lists. *)
+let conj_merge cs1 cs2 =
+  List.concat_map
+    (fun c1 -> List.map (fun c2 -> dedup_affs (c1 @ c2)) cs2)
+    cs1
+
+(* Pairwise arithmetic on bounds, case-wise. *)
+let combine2 f cs1 cs2 =
+  List.concat_map
+    (fun c1 ->
+      List.map
+        (fun c2 ->
+          dedup_affs (List.concat_map (fun x -> List.map (f x) c2) c1))
+        cs2)
+    cs1
+
+let rec cases_of (e : Expr.t) : Affine.t list list * Affine.t list list =
+  match Affine.of_expr e with
+  | Some a -> ([ [ a ] ], [ [ a ] ])
+  | None -> (
+      match e with
+      | Expr.Min (a, b) ->
+          let la, ua = cases_of a and lb, ub = cases_of b in
+          (trim (la @ lb), trim (conj_merge ua ub))
+      | Expr.Max (a, b) ->
+          let la, ua = cases_of a and lb, ub = cases_of b in
+          (trim (conj_merge la lb), trim (ua @ ub))
+      | Expr.Bin (Expr.Add, a, b) ->
+          let la, ua = cases_of a and lb, ub = cases_of b in
+          (trim (combine2 Affine.add la lb), trim (combine2 Affine.add ua ub))
+      | Expr.Bin (Expr.Sub, a, b) ->
+          let la, ua = cases_of a and lb, ub = cases_of b in
+          (trim (combine2 Affine.sub la ub), trim (combine2 Affine.sub ua lb))
+      | Expr.Bin (Expr.Mul, Expr.Int c, a) | Expr.Bin (Expr.Mul, a, Expr.Int c)
+        ->
+          let la, ua = cases_of a in
+          let s = List.map (List.map (Affine.scale c)) in
+          if c >= 0 then (trim (s la), trim (s ua))
+          else (trim (s ua), trim (s la))
+      | _ -> ([ [] ], [ [] ]))
+
+let loop_facts ~lo_bounds ~hi_bounds ctx (l : Stmt.loop) =
+  let idx = Affine.var l.index in
+  let ctx = List.fold_left (fun c b -> assume_ge c idx b) ctx lo_bounds in
+  let ctx = List.fold_left (fun c b -> assume_le c idx b) ctx hi_bounds in
+  match (Affine.of_expr l.lo, Affine.of_expr l.hi) with
+  | Some lo, Some hi -> assume_ge ctx hi lo
+  | _ -> ctx
+
 let with_loops init loops =
   List.fold_left
     (fun ctx (l : Stmt.loop) ->
-      match Affine.of_expr l.lo, Affine.of_expr l.hi with
-      | Some lo, Some hi ->
-          let idx = Affine.var l.index in
-          let ctx = assume_ge ctx idx lo in
-          let ctx = assume_le ctx idx hi in
-          assume_ge ctx hi lo
-      | _ -> (
-          (* MIN/MAX bounds still give one-sided facts. *)
-          let ctx =
-            match l.lo with
-            | Expr.Max (a, b) -> (
-                match Affine.of_expr a, Affine.of_expr b with
-                | Some fa, Some fb ->
-                    let idx = Affine.var l.index in
-                    assume_ge (assume_ge ctx idx fa) idx fb
-                | _ -> ctx)
-            | _ -> (
-                match Affine.of_expr l.lo with
-                | Some lo -> assume_ge ctx (Affine.var l.index) lo
-                | None -> ctx)
-          in
-          match l.hi with
-          | Expr.Min (a, b) -> (
-              match Affine.of_expr a, Affine.of_expr b with
-              | Some fa, Some fb ->
-                  let idx = Affine.var l.index in
-                  assume_le (assume_le ctx idx fa) idx fb
-              | _ -> ctx)
-          | _ -> (
-              match Affine.of_expr l.hi with
-              | Some hi -> assume_le ctx (Affine.var l.index) hi
-              | None -> ctx)))
+      let lo_cases, _ = cases_of l.lo in
+      let _, hi_cases = cases_of l.hi in
+      loop_facts ~lo_bounds:(intersect_cases lo_cases)
+        ~hi_bounds:(intersect_cases hi_cases) ctx l)
     init loops
+
+let with_loops_cases init loops =
+  let step ctxs (l : Stmt.loop) =
+    let lo_cases, _ = cases_of l.lo in
+    let _, hi_cases = cases_of l.hi in
+    let expanded =
+      List.concat_map
+        (fun ctx ->
+          List.concat_map
+            (fun lc ->
+              List.map
+                (fun hc -> loop_facts ~lo_bounds:lc ~hi_bounds:hc ctx l)
+                hi_cases)
+            lo_cases)
+        ctxs
+    in
+    if List.length expanded > max_cases then
+      (* Too many alternatives: keep only the conjunctive core so the
+         case count stays bounded (dropping a case would be unsound). *)
+      List.map
+        (fun ctx ->
+          loop_facts ~lo_bounds:(intersect_cases lo_cases)
+            ~hi_bounds:(intersect_cases hi_cases) ctx l)
+        ctxs
+    else expanded
+  in
+  List.fold_left step [ init ] loops
 
 let of_loop_context loops = with_loops empty loops
 

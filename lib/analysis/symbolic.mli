@@ -32,7 +32,20 @@ val of_loop_context : Stmt.loop list -> t
 val with_loops : t -> Stmt.loop list -> t
 (** [with_loops ctx loops] extends [ctx] with the same facts
     {!of_loop_context} derives, for loops known to enclose the
-    execution point under analysis. *)
+    execution point under analysis.  Bounds are decomposed recursively:
+    a MIN in an upper bound (or a MAX in a lower bound) contributes
+    every affine arm, and [+]/[-]/scaling by a constant compose, so
+    e.g. [hi = MIN(N, K + KS) - 3] yields both [index <= N - 3] and
+    [index <= K + KS - 3]. *)
+
+val with_loops_cases : t -> Stmt.loop list -> t list
+(** Like {!with_loops}, but keeps the disjunctive structure of the
+    awkward sides: a MIN in a {e lower} bound (or a MAX in an upper
+    bound) means the index is >= one arm {e or} the other, so the
+    context forks.  Returns a nonempty list of contexts whose
+    disjunction covers every execution; a property holds iff it is
+    provable in EVERY case.  Falls back to the single conjunctive
+    context when the case count explodes. *)
 
 val prove_nonneg : t -> Affine.t -> bool
 val prove_ge : t -> Affine.t -> Affine.t -> bool

@@ -26,6 +26,8 @@ type summary = {
   oracle_checked : int;
   oracle_violations : int;
   reparsed : int;
+  native_checked : int;
+  native_divergences : int;
   passes : pass_stat list;
   failures : string list;
 }
@@ -48,6 +50,8 @@ type stats = {
   mutable st_oracle : int;
   mutable st_oracle_bad : int;
   mutable st_reparsed : int;
+  mutable st_native : int;
+  mutable st_native_bad : int;
   st_passes : (string, pstat) Hashtbl.t;
 }
 
@@ -62,6 +66,8 @@ let fresh_stats () =
     st_oracle = 0;
     st_oracle_bad = 0;
     st_reparsed = 0;
+    st_native = 0;
+    st_native_bad = 0;
     st_passes = Hashtbl.create 16;
   }
 
@@ -170,6 +176,16 @@ let site_ctx ctx block path =
       (Stmt.find_loops block)
   in
   Symbolic.with_loops ctx ancestors
+
+(* The disjunctive refinement of [site_ctx]: the case contexts of the
+   same ancestor loops (see [Symbolic.with_loops_cases]). *)
+let site_cases ctx block path =
+  let ancestors =
+    List.filter_map
+      (fun (q, l) -> if is_prefix q path then Some l else None)
+      (Stmt.find_loops block)
+  in
+  Symbolic.with_loops_cases ctx ancestors
 
 let used_names block =
   Ir_util.index_vars block
@@ -316,7 +332,11 @@ let scalar_replacement_pass : pass =
       if !has_loop then None
       else
         Some
-          (match Scalar_replacement.apply ~ctx:(site_ctx ctx p.block path) l with
+          (match
+             Scalar_replacement.apply
+               ~cases:(site_cases ctx p.block path)
+               ~ctx:(site_ctx ctx p.block path) l
+           with
           | Ok stmts ->
               Ok (variant (site_detail "innermost loop" l) (Stmt.replace_at block path stmts))
           | Error m -> Error m))
@@ -410,9 +430,33 @@ let reparse_check (p : Gen_prog.t) =
   | exception Lexer.Lex_error { line; message } ->
       Some (Printf.sprintf "printed form does not re-lex: line %d: %s" line message)
 
+(* Native cross-check: the JIT-compiled point program must be bitwise
+   equal to the interpreter on the same data fill.  Generated programs
+   have concrete array bounds, so the emitter's shape declarations are
+   integer literals and every in-bounds proof that fires is grounded. *)
+let native_shapes =
+  List.map
+    (fun (name, rank) ->
+      let dims = if rank = 1 then Gen_prog.dims1 else Gen_prog.dims2 in
+      (name, List.map (fun (lo, hi) -> (Expr.Int lo, Expr.Int hi)) dims))
+    Gen_prog.farrays
+
+let native_check (p : Gen_prog.t) =
+  let e_interp = make_env p None ~fill_seed:p.fill_seed in
+  let e_native = make_env p None ~fill_seed:p.fill_seed in
+  Exec.run e_interp p.block;
+  match
+    Jit.run_block ~shapes:native_shapes ~name:"fuzz_native" p.block e_native
+  with
+  | Error m -> Some ("native run failed: " ^ m)
+  | Ok () ->
+      Option.map
+        (fun m -> "native run diverges from the interpreter: " ^ m)
+        (Env.diff ~only:real_names e_interp e_native)
+
 (* ---- the property ------------------------------------------------- *)
 
-let property ?only stats (p : Gen_prog.t) =
+let property ?only ~native stats (p : Gen_prog.t) =
   stats.st_programs <- stats.st_programs + 1;
   let prof = Gen_prog.classify p in
   if prof.depth >= 1 && prof.depth <= 3 then
@@ -466,6 +510,17 @@ let property ?only stats (p : Gen_prog.t) =
     | None -> ()
     | Some m -> QCheck2.Test.fail_reportf "%s" m
   end;
+  if native then begin
+    stats.st_native <- stats.st_native + 1;
+    match native_check p with
+    | None -> ()
+    | Some m ->
+        stats.st_native_bad <- stats.st_native_bad + 1;
+        if Obs.enabled () then
+          Obs.instant ~cat:"fuzz" "fuzz.native_divergence"
+            ~args:[ ("msg", Obs.Str m) ];
+        QCheck2.Test.fail_reportf "%s" m
+  end;
   true
 
 (* ---- runner ------------------------------------------------------- *)
@@ -483,6 +538,8 @@ let summarize ~iters ~seed stats failures =
     oracle_checked = stats.st_oracle;
     oracle_violations = stats.st_oracle_bad;
     reparsed = stats.st_reparsed;
+    native_checked = stats.st_native;
+    native_divergences = stats.st_native_bad;
     passes =
       List.map
         (fun (name, _) ->
@@ -497,12 +554,16 @@ let summarize ~iters ~seed stats failures =
     failures;
   }
 
-let run ?only ~iters ~seed () =
+let run ?only ?(native = false) ~iters ~seed () =
   match only with
   | Some o when not (List.mem o pass_names) ->
       Error
         (Printf.sprintf "unknown pass '%s' (expected one of: %s)" o
            (String.concat ", " pass_names))
+  | _ when native && Result.is_error (Jit.available ()) ->
+      Error
+        (Printf.sprintf "native mode unavailable: %s"
+           (Result.get_error (Jit.available ())))
   | _ ->
       Obs.span ~cat:"fuzz" "fuzz.run"
         ~args:[ ("iters", Obs.Int iters); ("seed", Obs.Int seed) ]
@@ -512,7 +573,7 @@ let run ?only ~iters ~seed () =
             QCheck2.Test.make_cell ~count:iters
               ~name:(Printf.sprintf "differential fuzz (seed %d)" seed)
               ~print:Gen_prog.print Gen_prog.gen
-              (property ?only stats)
+              (property ?only ~native stats)
           in
           let rand = Random.State.make [| seed |] in
           let res = QCheck2.Test.check_cell ~rand cell in
@@ -549,4 +610,5 @@ let run ?only ~iters ~seed () =
           end;
           Ok (summarize ~iters ~seed stats failures))
 
-let ok s = s.failures = [] && s.oracle_violations = 0
+let ok s =
+  s.failures = [] && s.oracle_violations = 0 && s.native_divergences = 0

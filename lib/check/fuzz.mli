@@ -46,13 +46,31 @@ type summary = {
   oracle_checked : int;
   oracle_violations : int;
   reparsed : int;
+  native_checked : int;  (** programs also run through the native JIT *)
+  native_divergences : int;
+      (** native runs that were not bitwise equal to the interpreter *)
   passes : pass_stat list;
   failures : string list;  (** rendered, shrunk counterexamples *)
 }
 
-val run : ?only:string -> iters:int -> seed:int -> unit -> (summary, string) result
-(** Run the fuzzer.  [Error] only for an unknown [~only] name; a found
-    counterexample is a [Ok] summary with non-empty [failures]. *)
+val run :
+  ?only:string ->
+  ?native:bool ->
+  iters:int ->
+  seed:int ->
+  unit ->
+  (summary, string) result
+(** Run the fuzzer.  [Error] only for an unknown [~only] name, or when
+    [native] is requested on a host without the JIT toolchain; a found
+    counterexample is a [Ok] summary with non-empty [failures].
+
+    With [native] (default false), every generated program is
+    additionally compiled to native code ({!Jit.run_block}) and the
+    result checked bitwise against the interpreter — the same
+    differential contract the transformation passes satisfy, applied to
+    the code generator itself.  Expect roughly 100ms of [ocamlopt] per
+    distinct program on a cold cache. *)
 
 val ok : summary -> bool
-(** No divergences, no oracle violations, no failures. *)
+(** No divergences (interpreted or native), no oracle violations, no
+    failures. *)

@@ -1,0 +1,43 @@
+(** Lowering mini-Fortran IR to self-contained OCaml source.
+
+    The emitted module depends only on [Stdlib]: arrays are the flat
+    column-major buffers the interpreter's {!Env} already uses, scalars
+    become [ref]s initialized from the host environment and written back
+    on exit, and DO loops reproduce the interpreter's trip-count
+    semantics exactly (bounds and step evaluated once on entry,
+    [trips = max 0 ((hi - lo + step) / step)], zero step is an error).
+    Float comparisons compile to [Float.compare] and intrinsics to the
+    interpreter's definitions, so a compiled kernel produces bitwise the
+    same REAL results as {!Exec.run} on the same environment.
+
+    When [shapes] declares an array's per-dimension bounds as integer
+    expressions over the kernel's parameters, every subscript the
+    {!Symbolic} prover can show in bounds compiles to
+    [Array.unsafe_get]/[unsafe_set] on the flat offset.  The emitted
+    module re-checks at run time everything those proofs assumed: that
+    the declared shapes match the actual dims, and that the symbolic
+    parameters used by the proofs are positive.  Unproven subscripts
+    fall back to bounds-checked flat accesses, which cannot corrupt
+    memory (though the runtime error message is the flat OCaml one, not
+    the interpreter's per-dimension report).
+
+    The module communicates its entry point by raising
+    [Blockc_kernel run] at initialization time; {!Jit} catches the
+    exception during [Dynlink] loading and extracts the closure, so no
+    interface files are shared between host and plugin. *)
+
+type shapes = (string * (Expr.t * Expr.t) list) list
+(** Per-array inclusive [(lo, hi)] bounds for each dimension, as integer
+    expressions over the kernel's symbolic parameters. *)
+
+val source :
+  ?unsafe:bool ->
+  ?shapes:shapes ->
+  name:string ->
+  Stmt.t list ->
+  (string, string) result
+(** [source ~name block] renders the block as an OCaml compilation unit.
+    [unsafe] (default [true]) enables proven-in-bounds unchecked
+    accesses; with [false] every access is bounds-checked.  [Error]
+    reports constructs the emitter does not support (unknown intrinsics,
+    assignment to an enclosing loop index). *)

@@ -1,0 +1,211 @@
+(* ocamlopt -shared + Dynlink back end for emitted kernels. *)
+
+type fn =
+  (string -> int)
+  * (string -> float)
+  * (string -> float array)
+  * (string -> int array)
+  * (string -> int array)
+  * (string -> int array)
+  * (string -> float -> unit)
+  * (string -> int -> unit)
+  -> unit
+
+type loaded = { key : string; cmxs : string; cached : bool; fn : fn }
+
+(* ---- compiler discovery ------------------------------------------ *)
+
+let find_ocamlopt () =
+  match Sys.getenv_opt "BLOCKC_OCAMLOPT" with
+  | Some p -> if Sys.file_exists p then Some p else None
+  | None ->
+      let path = Option.value (Sys.getenv_opt "PATH") ~default:"" in
+      List.find_map
+        (fun dir ->
+          if dir = "" then None
+          else
+            let p = Filename.concat dir "ocamlopt" in
+            if Sys.file_exists p then Some p else None)
+        (String.split_on_char ':' path)
+
+let available () =
+  if not Dynlink.is_native then
+    Error "bytecode host: Dynlink cannot load native plugins"
+  else
+    match find_ocamlopt () with
+    | Some _ -> Ok ()
+    | None -> Error "ocamlopt not found on PATH (set BLOCKC_OCAMLOPT)"
+
+let cache_dir () =
+  let dir =
+    Option.value (Sys.getenv_opt "BLOCKC_JIT_CACHE")
+      ~default:(Filename.concat "_build" ".jitcache")
+  in
+  if Filename.is_relative dir then Filename.concat (Sys.getcwd ()) dir else dir
+
+let rec mkdirs p =
+  if not (Sys.file_exists p) then begin
+    let parent = Filename.dirname p in
+    if parent <> p then mkdirs parent;
+    try Sys.mkdir p 0o755 with Sys_error _ -> ()
+  end
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc
+
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  with Sys_error _ -> ""
+
+(* ---- emission ----------------------------------------------------- *)
+
+let emit ?unsafe ?shapes ~name blk =
+  Obs.span ~cat:"jit" "jit.emit" ~args:[ ("kernel", Obs.Str name) ]
+  @@ fun () -> Emit.source ?unsafe ?shapes ~name blk
+
+(* ---- loading ------------------------------------------------------ *)
+
+(* The plugin's initializer raises [Blockc_kernel run].  An exception
+   value is a block whose first field is the constructor slot — itself a
+   block whose first field is the constructor's name.  Validate the name
+   before trusting the payload. *)
+let extract (e : exn) : fn option =
+  let r = Obj.repr e in
+  if Obj.is_block r && Obj.size r = 2 && Obj.is_block (Obj.field r 0) then begin
+    let slot = Obj.field r 0 in
+    if
+      Obj.size slot >= 1
+      && Obj.is_block (Obj.field slot 0)
+      && Obj.tag (Obj.field slot 0) = Obj.string_tag
+    then begin
+      let name : string = Obj.obj (Obj.field slot 0) in
+      if name = "Blockc_kernel" || String.ends_with ~suffix:".Blockc_kernel" name
+      then Some (Obj.obj (Obj.field r 1) : fn)
+      else None
+    end
+    else None
+  end
+  else None
+
+let load ~name cmxs =
+  Obs.span ~cat:"jit" "jit.load"
+    ~args:[ ("kernel", Obs.Str name); ("cmxs", Obs.Str cmxs) ]
+  @@ fun () ->
+  match Dynlink.loadfile_private cmxs with
+  | () -> Error (name ^ ": plugin did not provide a kernel entry point")
+  | exception Dynlink.Error (Dynlink.Library's_module_initializers_failed e)
+    -> (
+      match extract e with
+      | Some fn -> Ok fn
+      | None -> Error (name ^ ": plugin failed to load: " ^ Printexc.to_string e))
+  | exception Dynlink.Error err ->
+      Error (name ^ ": dynlink: " ^ Dynlink.error_message err)
+
+(* ---- compilation -------------------------------------------------- *)
+
+let memo : (string, fn) Hashtbl.t = Hashtbl.create 16
+
+let first_lines ?(n = 4) s =
+  let lines = String.split_on_char '\n' (String.trim s) in
+  String.concat " | " (List.filteri (fun i _ -> i < n) lines)
+
+let compile ?ocamlopt ~name source =
+  if not Dynlink.is_native then
+    Error "bytecode host: Dynlink cannot load native plugins"
+  else
+    let compiler =
+      match ocamlopt with Some p -> Some p | None -> find_ocamlopt ()
+    in
+    match compiler with
+    | None -> Error "ocamlopt not found on PATH (set BLOCKC_OCAMLOPT)"
+    | Some compiler -> (
+        let key =
+          Digest.to_hex (Digest.string (Sys.ocaml_version ^ "\x00" ^ source))
+        in
+        match Hashtbl.find_opt memo key with
+        | Some fn ->
+            Ok
+              {
+                key;
+                cmxs = Filename.concat (cache_dir ()) ("bk_" ^ key ^ ".cmxs");
+                cached = true;
+                fn;
+              }
+        | None -> (
+            let dir = cache_dir () in
+            mkdirs dir;
+            let base = "bk_" ^ key in
+            let ml = Filename.concat dir (base ^ ".ml") in
+            let cmxs = Filename.concat dir (base ^ ".cmxs") in
+            let on_disk = Sys.file_exists cmxs in
+            let built =
+              if on_disk then Ok ()
+              else
+                Obs.span ~cat:"jit" "jit.compile"
+                  ~args:[ ("kernel", Obs.Str name); ("key", Obs.Str key) ]
+                @@ fun () ->
+                write_file ml source;
+                let tmp = Filename.concat dir (base ^ ".tmp.cmxs") in
+                let errf = Filename.concat dir (base ^ ".err") in
+                let cmd =
+                  Printf.sprintf "%s -shared -w -a -o %s %s 2> %s"
+                    (Filename.quote compiler) (Filename.quote tmp)
+                    (Filename.quote ml) (Filename.quote errf)
+                in
+                let rc = Sys.command cmd in
+                if rc <> 0 then
+                  Error
+                    (Printf.sprintf "%s: ocamlopt failed (exit %d): %s" name rc
+                       (first_lines (read_file errf)))
+                else begin
+                  (try Sys.rename tmp cmxs
+                   with Sys_error m -> failwith m);
+                  Ok ()
+                end
+            in
+            match built with
+            | Error _ as e -> e
+            | Ok () -> (
+                match load ~name cmxs with
+                | Error _ as e -> e
+                | Ok fn ->
+                    Hashtbl.replace memo key fn;
+                    Ok { key; cmxs; cached = on_disk; fn })))
+
+(* ---- execution ---------------------------------------------------- *)
+
+let flat_dims dims =
+  Array.of_list (List.concat_map (fun (lo, hi) -> [ lo; hi ]) dims)
+
+let run fn env =
+  Obs.span ~cat:"jit" "jit.run"
+  @@ fun () ->
+  let geti n = if Env.has_iscalar env n then Env.iscalar env n else 0 in
+  let getf n = if Env.has_fscalar env n then Env.fscalar env n else 0.0 in
+  let getfa = Env.farray_data env in
+  let getia = Env.iarray_data env in
+  let getfd n = flat_dims (Env.farray_dims env n) in
+  let getid n = flat_dims (Env.iarray_dims env n) in
+  let setf = Env.set_fscalar env in
+  let seti = Env.set_iscalar env in
+  match fn (geti, getf, getfa, getia, getfd, getid, setf, seti) with
+  | () -> Ok ()
+  | exception Env.Error m -> Error m
+  | exception Failure m -> Error m
+  | exception Division_by_zero -> Error "division by zero"
+  | exception Invalid_argument m -> Error ("out of bounds: " ^ m)
+
+let run_block ?unsafe ?shapes ~name blk env =
+  match emit ?unsafe ?shapes ~name blk with
+  | Error m -> Error m
+  | Ok source -> (
+      match compile ~name source with
+      | Error m -> Error m
+      | Ok { fn; _ } -> run fn env)

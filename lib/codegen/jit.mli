@@ -1,0 +1,64 @@
+(** Compiling emitted kernels to native code and running them in-process.
+
+    The pipeline is [ocamlopt -shared] on the {!Emit} output, then
+    [Dynlink.loadfile_private] on the resulting [.cmxs].  Because the
+    plugin is self-contained, no [.cmi] is shared with the host: the
+    plugin raises [Blockc_kernel run] from its initializer, the load
+    surfaces it as [Library's_module_initializers_failed], and the
+    closure is pulled out of the exception payload after checking the
+    constructor's name.
+
+    Compiled plugins are cached on disk under [_build/.jitcache]
+    (override with [BLOCKC_JIT_CACHE]), keyed by the digest of the
+    emitted source and the compiler version, plus an in-process memo so
+    a kernel is never loaded twice into one process.
+
+    Every stage records an Obs span ([jit.emit], [jit.compile],
+    [jit.load], [jit.run]) so [--trace] covers the native path. *)
+
+type fn
+(** A loaded kernel entry point. *)
+
+type loaded = {
+  key : string;  (** cache key (source digest) *)
+  cmxs : string;  (** path of the compiled plugin *)
+  cached : bool;  (** true when the compile step was skipped *)
+  fn : fn;
+}
+
+val available : unit -> (unit, string) result
+(** [Ok ()] when native dynlink works and [ocamlopt] was found (on
+    [PATH], or via [BLOCKC_OCAMLOPT]); otherwise a one-line reason —
+    callers fall back to the interpreter. *)
+
+val cache_dir : unit -> string
+
+val emit :
+  ?unsafe:bool ->
+  ?shapes:Emit.shapes ->
+  name:string ->
+  Stmt.t list ->
+  (string, string) result
+(** {!Emit.source} wrapped in a [jit.emit] span. *)
+
+val compile : ?ocamlopt:string -> name:string -> string -> (loaded, string) result
+(** Compile (or fetch from cache) and load emitted source.  [name] is
+    only for diagnostics and spans.  [ocamlopt] overrides compiler
+    discovery — pointing it at a non-compiler is how the fallback path
+    is tested. *)
+
+val run : fn -> Env.t -> (unit, string) result
+(** Execute a loaded kernel against an environment: parameters and
+    scalars are read from it, array buffers are shared with it (the
+    kernel writes results in place), and scalar results are written
+    back.  Runtime failures (zero step, negative SQRT, out-of-bounds
+    checked access) come back as [Error]. *)
+
+val run_block :
+  ?unsafe:bool ->
+  ?shapes:Emit.shapes ->
+  name:string ->
+  Stmt.t list ->
+  Env.t ->
+  (unit, string) result
+(** [emit] + [compile] + [run] in one step. *)

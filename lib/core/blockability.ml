@@ -113,6 +113,18 @@ let entries =
       blockable = true;
     };
     {
+      name = "lu_opt";
+      paper_ref = "§5.1, Table 3 (2+)";
+      kernel = K_lu.kernel;
+      derive =
+        (fun () ->
+          Blocker.block_lu_opt ~block_size_var:"KS" ~factor:4 K_lu.point_loop);
+      extra_bindings = [ ("KS", 8) ];
+      extra_setup = no_extra;
+      default_bindings = [ ("N", 24) ];
+      blockable = true;
+    };
+    {
       name = "lu_pivot";
       paper_ref = "§5.2, Figures 7-8";
       kernel = K_lu_pivot.kernel;
@@ -399,3 +411,118 @@ let simulate ?bindings ?(seed = 42) ~machine entry =
           point_cycles = Cost.memory_cycles machine point_stats;
           transformed_cycles = Cost.memory_cycles machine transformed_stats;
         }
+
+(* ---- native execution (lib/codegen) ----------------------------- *)
+
+type native_result = {
+  nt_point_s : float;
+  nt_transformed_s : float;
+  nt_speedup : float;
+  nt_point_cached : bool;
+  nt_transformed_cached : bool;
+  nt_model_speedup : float option;
+  nt_bindings : (string * int) list;
+  nt_verify_bindings : (string * int) list;
+}
+
+(* Native results must be bitwise equal to the interpreter on the same
+   initial environment; a diff here is a codegen bug, never tolerance. *)
+let native_verify kernel ~traced fn block ~bindings ~seed =
+  match Kernel_def.make_env kernel ~bindings ~seed with
+  | exception Invalid_argument m -> Some m
+  | env_i -> (
+      match Exec.run env_i block with
+      | exception Exec.Error m -> Some ("interpreter failed: " ^ m)
+      | exception Env.Error m -> Some ("interpreter failed: " ^ m)
+      | () -> (
+          let env_n = Kernel_def.make_env kernel ~bindings ~seed in
+          match Jit.run fn env_n with
+          | Error m -> Some ("native run failed: " ^ m)
+          | Ok () -> Env.diff ~only:traced env_i env_n))
+
+let native_time kernel fn ~bindings ~seed ~reps =
+  let best = ref infinity in
+  let failed = ref None in
+  for _ = 1 to max 1 reps do
+    if !failed = None then begin
+      let env = Kernel_def.make_env kernel ~bindings ~seed in
+      let t0 = Obs.now_ns () in
+      match Jit.run fn env with
+      | Error m -> failed := Some m
+      | Ok () ->
+          let dt = float_of_int (Obs.now_ns () - t0) /. 1e9 in
+          if dt < !best then best := dt
+    end
+  done;
+  match !failed with Some m -> Error m | None -> Ok !best
+
+let native_compare ?bindings ?verify_bindings ?(seed = 42) ?(reps = 3) ?block
+    entry =
+  let bindings = Option.value bindings ~default:entry.default_bindings in
+  let verify_bindings =
+    Option.value verify_bindings ~default:entry.default_bindings
+  in
+  match derive entry with
+  | Error e -> Error ("derivation failed: " ^ e)
+  | Ok { result; _ } -> (
+      match block_bindings entry block with
+      | Error e -> Error e
+      | Ok extra -> (
+          let kernel = with_scratch entry in
+          let shapes = entry.kernel.Kernel_def.shapes in
+          let traced = entry.kernel.Kernel_def.traced in
+          let jit variant blk =
+            match Jit.emit ~shapes ~name:(entry.name ^ "_" ^ variant) blk with
+            | Error m -> Error m
+            | Ok src -> Jit.compile ~name:(entry.name ^ "_" ^ variant) src
+          in
+          match (jit "point" kernel.Kernel_def.block, jit "transformed" [ result ]) with
+          | Error m, _ | _, Error m -> Error m
+          | Ok point, Ok transformed -> (
+              let bad =
+                match
+                  native_verify kernel ~traced point.Jit.fn
+                    kernel.Kernel_def.block ~bindings:verify_bindings ~seed
+                with
+                | Some m -> Some ("point: " ^ m)
+                | None -> (
+                    match
+                      native_verify kernel ~traced transformed.Jit.fn [ result ]
+                        ~bindings:(extra @ verify_bindings) ~seed
+                    with
+                    | Some m -> Some ("transformed: " ^ m)
+                    | None -> None)
+              in
+              match bad with
+              | Some m -> Error (entry.name ^ ": native diverges: " ^ m)
+              | None -> (
+                  match
+                    ( native_time kernel point.Jit.fn ~bindings ~seed ~reps,
+                      native_time kernel transformed.Jit.fn
+                        ~bindings:(extra @ bindings) ~seed ~reps )
+                  with
+                  | Error m, _ -> Error (entry.name ^ ": point: " ^ m)
+                  | _, Error m -> Error (entry.name ^ ": transformed: " ^ m)
+                  | Ok tp, Ok tt ->
+                      let model =
+                        match
+                          simulate ~bindings:verify_bindings ~seed
+                            ~machine:Arch.rs6000_540 entry
+                        with
+                        | Ok s when s.transformed_cycles > 0 ->
+                            Some
+                              (float_of_int s.point_cycles
+                              /. float_of_int s.transformed_cycles)
+                        | _ -> None
+                      in
+                      Ok
+                        {
+                          nt_point_s = tp;
+                          nt_transformed_s = tt;
+                          nt_speedup = (if tt > 0.0 then tp /. tt else 0.0);
+                          nt_point_cached = point.Jit.cached;
+                          nt_transformed_cached = transformed.Jit.cached;
+                          nt_model_speedup = model;
+                          nt_bindings = bindings;
+                          nt_verify_bindings = verify_bindings;
+                        }))))

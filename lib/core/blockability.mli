@@ -97,6 +97,40 @@ val profile :
     one.  When tracing is on, summaries and per-reference attributions
     also stream as ["profile"]-category events. *)
 
+(** Wall-clock comparison of the point and transformed variants compiled
+    to native code (see {!Jit}).  Times are best-of-[reps] for one full
+    kernel run; [cached] flags report whether the plugin came from the
+    on-disk JIT cache (first compiles cost ~100ms of [ocamlopt]). *)
+type native_result = {
+  nt_point_s : float;
+  nt_transformed_s : float;
+  nt_speedup : float;  (** point / transformed *)
+  nt_point_cached : bool;
+  nt_transformed_cached : bool;
+  nt_model_speedup : float option;
+      (** cache-model memory-cycle ratio at [verify_bindings] (the
+          rs6000 machine model), for comparison against the measured
+          wall-clock ratio *)
+  nt_bindings : (string * int) list;
+  nt_verify_bindings : (string * int) list;
+}
+
+val native_compare :
+  ?bindings:(string * int) list ->
+  ?verify_bindings:(string * int) list ->
+  ?seed:int ->
+  ?reps:int ->
+  ?block:int ->
+  entry ->
+  (native_result, string) result
+(** Derive, compile both variants natively, check each is bitwise equal
+    to the interpreter at [verify_bindings] (default: the entry's small
+    default problem), then time both at [bindings] (default likewise —
+    pass something larger for meaningful numbers).  [block] overrides
+    the KS binding as in {!profile}.  Any divergence from the
+    interpreter is an [Error]: the native path never trades correctness
+    for speed. *)
+
 val profile_sweep :
   ?bindings:(string * int) list ->
   ?seed:int ->

@@ -102,6 +102,8 @@ let iscalar env name =
   | None -> missing "INTEGER scalar" name
 
 let has_iscalar env name = Hashtbl.mem env.iscalars name
+let has_fscalar env name = Hashtbl.mem env.fscalars name
+let iarray_dims env name = Array.to_list (find_iarr env name).dims
 
 let linear_index env name idx =
   match Hashtbl.find_opt env.farrays name with
@@ -129,6 +131,7 @@ let fill_farray env name f =
   done
 
 let farray_data env name = (find_farr env name).data
+let iarray_data env name = (find_iarr env name).data
 
 let copy env =
   let dup = create () in

@@ -26,6 +26,7 @@ val set_fscalar : t -> string -> float -> unit
 val set_iscalar : t -> string -> int -> unit
 
 val farray_dims : t -> string -> (int * int) list
+val iarray_dims : t -> string -> (int * int) list
 
 val get_f : t -> string -> int list -> float
 val set_f : t -> string -> int list -> float -> unit
@@ -35,6 +36,7 @@ val set_i : t -> string -> int list -> int -> unit
 val fscalar : t -> string -> float
 val iscalar : t -> string -> int
 val has_iscalar : t -> string -> bool
+val has_fscalar : t -> string -> bool
 
 val linear_index : t -> string -> int list -> int
 (** Column-major element offset of an array element, for tracing. *)
@@ -44,6 +46,9 @@ val fill_farray : t -> string -> (int list -> float) -> unit
 
 val farray_data : t -> string -> float array
 (** The underlying column-major storage (shared, not a copy). *)
+
+val iarray_data : t -> string -> int array
+(** INTEGER-array counterpart of {!farray_data} (shared, not a copy). *)
 
 val copy : t -> t
 (** Deep copy: arrays and scalars are duplicated. *)

@@ -41,4 +41,5 @@ let kernel : Kernel_def.t =
           done
         done);
     traced = [ "A" ];
+    shapes = [ ("A", [ (i 1, v "N"); (i 1, v "N") ]) ];
   }

@@ -44,6 +44,12 @@ let make name description loop : Kernel_def.t =
     params = [ "N1"; "N2"; "N3" ];
     setup;
     traced = [ "F1"; "F2"; "F3" ];
+    shapes =
+      [
+        ("F1", [ (i 0, Expr.max_ (v "N1") (v "N3")) ]);
+        ("F2", [ (i 0 -! v "N2", Expr.max_ (v "N2") (v "N3")) ]);
+        ("F3", [ (i 0, v "N3") ]);
+      ];
   }
 
 let aconv = make "aconv" "adjoint convolution of two time series" aconv_loop

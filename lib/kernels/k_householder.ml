@@ -50,4 +50,6 @@ let kernel : Kernel_def.t =
     params = [ "M"; "N" ];
     setup;
     traced = [ "A" ];
+    shapes =
+      [ ("A", [ (i 1, v "M"); (i 1, v "N") ]); ("V", [ (i 1, v "M") ]) ];
   }

@@ -37,4 +37,5 @@ let kernel : Kernel_def.t =
         let n = List.assoc "N" bindings in
         fill_matrix env ~n ~seed);
     traced = [ "A" ];
+    shapes = [ ("A", [ (i 1, v "N"); (i 1, v "N") ]) ];
   }

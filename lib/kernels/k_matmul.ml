@@ -57,4 +57,7 @@ let kernel : Kernel_def.t =
         let freq_pct = List.assoc "FREQ_PCT" bindings in
         fill env ~n ~freq_pct ~seed);
     traced = [ "A"; "B"; "C" ];
+    shapes =
+      (let sq = [ (i 1, v "N"); (i 1, v "N") ] in
+       [ ("A", sq); ("B", sq); ("C", sq) ]);
   }

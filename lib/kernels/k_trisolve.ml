@@ -32,4 +32,10 @@ let kernel : Kernel_def.t =
             | _ -> assert false);
         Env.fill_farray env "B" (fun _ -> Lcg.float rng 1.0));
     traced = [ "A"; "B"; "X" ];
+    shapes =
+      [
+        ("A", [ (i 1, v "N"); (i 1, v "N") ]);
+        ("B", [ (i 1, v "N") ]);
+        ("X", [ (i 1, v "N") ]);
+      ];
   }

@@ -5,7 +5,31 @@ type t = {
   params : string list;
   setup : Env.t -> bindings:(string * int) list -> seed:int -> unit;
   traced : string list;
+  shapes : (string * (Expr.t * Expr.t) list) list;
 }
+
+(* [shapes] is metadata about what [setup] declares; a mismatch would
+   silently disable (or worse, mislead) the codegen bounds proofs, so
+   check them against the environment whenever one is built. *)
+let check_shapes k env ~bindings =
+  let lookup v =
+    match List.assoc_opt v bindings with
+    | Some n -> n
+    | None -> invalid_arg ("kernel " ^ k.name ^ ": shape uses unbound " ^ v)
+  in
+  let no_arr name _ =
+    invalid_arg ("kernel " ^ k.name ^ ": shape uses array " ^ name)
+  in
+  List.iter
+    (fun (arr, dims) ->
+      let declared = Env.farray_dims env arr in
+      let stated =
+        List.map (fun (lo, hi) -> (Expr.eval lookup no_arr lo, Expr.eval lookup no_arr hi)) dims
+      in
+      if declared <> stated then
+        invalid_arg ("kernel " ^ k.name ^ ": declared shape of " ^ arr
+                     ^ " does not match setup"))
+    k.shapes
 
 let make_env k ~bindings ~seed =
   let env = Env.create () in
@@ -18,6 +42,7 @@ let make_env k ~bindings ~seed =
   (* Bind any extra parameters the caller supplied too (block sizes). *)
   List.iter (fun (p, v) -> Env.set_iscalar env p v) bindings;
   k.setup env ~bindings ~seed;
+  check_shapes k env ~bindings;
   env
 
 let run k ~bindings ~seed =

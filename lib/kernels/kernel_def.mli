@@ -12,6 +12,12 @@ type t = {
   setup : Env.t -> bindings:(string * int) list -> seed:int -> unit;
       (** declare and initialize the arrays (and any scalars) *)
   traced : string list;  (** REAL arrays relevant to cache behaviour *)
+  shapes : (string * (Expr.t * Expr.t) list) list;
+      (** symbolic per-dimension [(lo, hi)] bounds of the arrays [setup]
+          declares, as expressions over [params] — what the native code
+          generator's in-bounds proofs reason from.  Checked against the
+          actual declarations whenever an environment is built, so the
+          metadata cannot drift from [setup]. *)
 }
 
 val make_env : t -> bindings:(string * int) list -> seed:int -> Env.t

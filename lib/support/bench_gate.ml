@@ -149,3 +149,29 @@ let report v =
     v.regressions;
   List.iter (fun w -> Printf.bprintf buf "  warning: %s\n" w) v.warnings;
   Buffer.contents buf
+
+(* ---- perf trajectory ----------------------------------------------- *)
+
+let load_trajectory path =
+  if not (Sys.file_exists path) then Ok []
+  else
+    let ic = open_in_bin path in
+    let text = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    if String.trim text = "" then Ok []
+    else
+      match Json_min.parse text with
+      | Ok (Json_min.Array entries) -> Ok entries
+      | Ok _ -> Error (path ^ ": trajectory must be a JSON array of run entries")
+      | Error m -> Error (path ^ ": " ^ m)
+
+let append_trajectory_entry ~date ~label ~tables entries =
+  let entry =
+    Json_min.Object
+      [
+        ("date", Json_min.String date);
+        ("label", Json_min.String label);
+        ("tables", tables);
+      ]
+  in
+  Json_min.to_string (Json_min.Array (entries @ [ entry ])) ^ "\n"

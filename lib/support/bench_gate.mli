@@ -52,3 +52,22 @@ val ok : verdict -> bool
 
 val report : verdict -> string
 (** Human-readable multi-line summary of the comparison. *)
+
+(** {1 Perf trajectory}
+
+    The trajectory file ([bench/BENCH_trajectory.json]) is a JSON array
+    of dated run entries, newest last — see EXPERIMENTS.md for the entry
+    schema.  It starts life empty, so the readers below treat "nothing
+    there yet" as a first-class state rather than a parse error. *)
+
+val load_trajectory : string -> (Json_min.t list, string) result
+(** Entries of a trajectory file.  A missing file, an empty file, or a
+    bare [[]] all load as [Ok []] — the trajectory simply has no entries
+    yet.  Malformed JSON or a non-array document is still an [Error]
+    naming the file. *)
+
+val append_trajectory_entry :
+  date:string -> label:string -> tables:Json_min.t -> Json_min.t list -> string
+(** The trajectory document with one more entry appended (rendered,
+    newline-terminated).  [tables] is a parsed [Table.json_of_tables]
+    dump of the run being recorded. *)

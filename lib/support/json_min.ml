@@ -178,3 +178,21 @@ let parse s =
   | exception Bad (at, msg) -> Error (Printf.sprintf "at byte %d: %s" at msg)
 
 let validate s = Result.map (fun _ -> ()) (parse s)
+
+let number_to_string f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else
+    let short = Printf.sprintf "%.12g" f in
+    if float_of_string short = f then short else Printf.sprintf "%.17g" f
+
+let rec to_string = function
+  | Null -> "null"
+  | Bool b -> if b then "true" else "false"
+  | Number f -> number_to_string f
+  | String s -> "\"" ^ s ^ "\""
+  | Array items -> "[" ^ String.concat "," (List.map to_string items) ^ "]"
+  | Object fields ->
+      "{"
+      ^ String.concat ","
+          (List.map (fun (k, v) -> "\"" ^ k ^ "\":" ^ to_string v) fields)
+      ^ "}"

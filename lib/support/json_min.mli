@@ -21,3 +21,9 @@ val parse : string -> (t, string) result
 val validate : string -> (unit, string) result
 (** [parse] with the value thrown away: the benchmark tests' no-op
     consumer. *)
+
+val to_string : t -> string
+(** Render a value back to JSON text.  Strings re-emit their raw
+    contents verbatim (escapes were never decoded), so
+    [parse s |> to_string] round-trips byte-exactly up to
+    whitespace; integral numbers print without a decimal point. *)

@@ -29,11 +29,13 @@ let grouped_accesses (l : Stmt.loop) =
 let invariant (l : Stmt.loop) subs =
   List.for_all (fun e -> not (Expr.mentions l.index e)) subs
 
-let safe ~ctx (l : Stmt.loop) (array, subs) =
+let safe ~ctxs (l : Stmt.loop) (array, subs) =
   (* Every other access to the same array must be provably disjoint from
-     this element over the loop's execution. *)
+     this element over the loop's execution — in every case of the
+     (possibly disjunctive) context. *)
   let within = [ l ] in
-  match Section.of_ref ~ctx ~within array subs with
+  let ctx0 = List.hd ctxs in
+  match Section.of_ref ~ctx:ctx0 ~within array subs with
   | None -> false
   | Some mine ->
       List.for_all
@@ -45,15 +47,20 @@ let safe ~ctx (l : Stmt.loop) (array, subs) =
             && List.for_all2 Expr.equal a.subs subs
           then true
           else
-            match Section.of_ref ~ctx ~within array a.subs with
-            | Some theirs -> Section.disjoint ctx mine theirs
+            match Section.of_ref ~ctx:ctx0 ~within array a.subs with
+            | Some theirs ->
+                List.for_all (fun ctx -> Section.disjoint ctx mine theirs) ctxs
             | None -> false)
         (Ir_util.accesses [ Stmt.Loop l ])
 
-let replaceable ~ctx l =
+let ctxs_of ~ctx = function Some (_ :: _ as cs) -> cs | _ -> [ ctx ]
+
+let replaceable ?cases ~ctx l =
+  let ctxs = ctxs_of ~ctx cases in
   grouped_accesses l
   |> List.filter_map (fun ((array, subs), _written) ->
-         if invariant l subs && safe ~ctx l (array, subs) then Some (array, subs)
+         if invariant l subs && safe ~ctxs l (array, subs) then
+           Some (array, subs)
          else None)
 
 let rec replace_in_fexpr array subs temp (fe : Stmt.fexpr) =
@@ -100,13 +107,14 @@ let rec replace_in_stmt array subs temp (s : Stmt.t) =
   | Stmt.Loop l ->
       Stmt.Loop { l with body = List.map (replace_in_stmt array subs temp) l.body }
 
-let apply ~ctx (l : Stmt.loop) =
+let apply ?cases ~ctx (l : Stmt.loop) =
   if not (is_innermost l) then Error "scalar replacement expects an innermost loop"
   else begin
+    let ctxs = ctxs_of ~ctx cases in
     let targets =
       grouped_accesses l
       |> List.filter (fun ((_, subs), _) -> invariant l subs)
-      |> List.filter (fun (key, _) -> safe ~ctx l key)
+      |> List.filter (fun (key, _) -> safe ~ctxs l key)
     in
     let used = ref (Ir_util.index_vars [ Stmt.Loop l ]
                     @ List.map (fun (n, _, _) -> n) (Ir_util.arrays_of [ Stmt.Loop l ])) in

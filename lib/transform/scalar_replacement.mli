@@ -13,12 +13,25 @@
     facts. *)
 
 val apply :
-  ctx:Symbolic.t -> Stmt.loop -> (Stmt.t list, string) result
+  ?cases:Symbolic.t list ->
+  ctx:Symbolic.t ->
+  Stmt.loop ->
+  (Stmt.t list, string) result
 (** [apply ~ctx l] for an innermost loop [l] (no nested loops).  Returns
     [loads @ [loop'] @ stores].  References that cannot be proven safe
     are simply left in place; the transformation fails only if [l] is
-    not innermost. *)
+    not innermost.
 
-val replaceable : ctx:Symbolic.t -> Stmt.loop -> (string * Expr.t list) list
+    [cases], when given and nonempty, is a disjunctive refinement of
+    [ctx] (see {!Symbolic.with_loops_cases}): safety must then be
+    provable under {e every} case.  This is what lets references under
+    loops with MIN/MAX bounds — the shapes unroll-and-jam leaves behind
+    — pass the disjointness test. *)
+
+val replaceable :
+  ?cases:Symbolic.t list ->
+  ctx:Symbolic.t ->
+  Stmt.loop ->
+  (string * Expr.t list) list
 (** The invariant references that pass the safety test (for
     diagnostics). *)

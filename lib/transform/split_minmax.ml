@@ -73,12 +73,18 @@ let split_inner_max (l : Stmt.loop) =
            (fun () -> { inner with lo = dep_arm }))
   | _ -> Error "inner lo bound is not a MAX"
 
-let rec has_minmax (e : Expr.t) =
+(* A MIN/MAX that never mentions the outer index is loop-invariant —
+   nothing to split, and no obstacle to unroll-and-jam.  Only splittable
+   forms (top-level, with an index-dependent arm) trigger a split; an
+   index-dependent MIN/MAX buried deeper is still an error. *)
+let rec minmax_on index (e : Expr.t) =
   match e with
-  | Expr.Min _ | Expr.Max _ -> true
+  | Expr.Min (a, b) | Expr.Max (a, b) ->
+      Expr.mentions index a || Expr.mentions index b
+      || minmax_on index a || minmax_on index b
   | Expr.Int _ | Expr.Var _ -> false
-  | Expr.Bin (_, a, b) -> has_minmax a || has_minmax b
-  | Expr.Idx (_, subs) -> List.exists has_minmax subs
+  | Expr.Bin (_, a, b) -> minmax_on index a || minmax_on index b
+  | Expr.Idx (_, subs) -> List.exists (minmax_on index) subs
 
 let remove_all l =
   let rec process (s : Stmt.t) budget =
@@ -91,16 +97,20 @@ let remove_all l =
           | Ok inner ->
               let next =
                 match inner.hi with
-                | Expr.Min _ -> Some (split_inner_min l)
+                | Expr.Min (p, q)
+                  when Expr.mentions l.index p || Expr.mentions l.index q ->
+                    Some (split_inner_min l)
                 | _ -> (
                     match inner.lo with
-                    | Expr.Max _ -> Some (split_inner_max l)
+                    | Expr.Max (p, q)
+                      when Expr.mentions l.index p || Expr.mentions l.index q ->
+                        Some (split_inner_max l)
                     | _ -> None)
               in
               (match next with
               | None ->
-                  if has_minmax inner.lo || has_minmax inner.hi then
-                    Error "inner bound has a nested MIN/MAX form"
+                  if minmax_on l.index inner.lo || minmax_on l.index inner.hi
+                  then Error "inner bound has a nested MIN/MAX form"
                   else Ok [ s ]
               | Some (Error _ as e) -> e
               | Some (Ok parts) ->

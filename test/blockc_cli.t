@@ -3,22 +3,22 @@ on stderr, because scripts drive these subcommands.
 
   $ blockc profile nosuch
   blockc: unknown kernel 'nosuch'
-  known kernels: lu, lu_pivot, trisolve, cholesky, matmul, givens, aconv, conv, householder
+  known kernels: lu, lu_opt, lu_pivot, trisolve, cholesky, matmul, givens, aconv, conv, householder
   [2]
 
   $ blockc explain nosuch
   blockc: unknown kernel 'nosuch'
-  known kernels: lu, lu_pivot, trisolve, cholesky, matmul, givens, aconv, conv, householder
+  known kernels: lu, lu_opt, lu_pivot, trisolve, cholesky, matmul, givens, aconv, conv, householder
   [2]
 
   $ blockc simulate nosuch
   blockc: unknown kernel 'nosuch'
-  known kernels: lu, lu_pivot, trisolve, cholesky, matmul, givens, aconv, conv, householder
+  known kernels: lu, lu_opt, lu_pivot, trisolve, cholesky, matmul, givens, aconv, conv, householder
   [2]
 
   $ blockc --explain nosuch
   blockc: unknown kernel 'nosuch'
-  known kernels: lu, lu_pivot, trisolve, cholesky, matmul, givens, aconv, conv, householder
+  known kernels: lu, lu_opt, lu_pivot, trisolve, cholesky, matmul, givens, aconv, conv, householder
   [2]
 
 A known kernel profiles fine and the JSON carries the attribution and
@@ -36,12 +36,12 @@ the name the same way (exit 2 + catalogue), including show and derive.
 
   $ blockc show nosuch
   blockc: unknown kernel 'nosuch'
-  known kernels: lu, lu_pivot, trisolve, cholesky, matmul, givens, aconv, conv, householder
+  known kernels: lu, lu_opt, lu_pivot, trisolve, cholesky, matmul, givens, aconv, conv, householder
   [2]
 
   $ blockc derive nosuch
   blockc: unknown kernel 'nosuch'
-  known kernels: lu, lu_pivot, trisolve, cholesky, matmul, givens, aconv, conv, householder
+  known kernels: lu, lu_opt, lu_pivot, trisolve, cholesky, matmul, givens, aconv, conv, householder
   [2]
 
 Unparseable input is exit 2 as well (unusable input, not a negative
@@ -65,3 +65,24 @@ fixed-seed run exits 0 with coverage counters.
 
   $ blockc fuzz --iters 20 --seed 42 --json | tr ',' '\n' | grep -o '"ok":true'
   "ok":true
+
+The native compile subcommand follows the same conventions: unknown
+kernels exit 2 with the catalogue, --emit ocaml prints the lowered
+source (pinned in codegen_emit.t), and a plain compile reports the
+plugin path under the JIT cache (key normalized here: it hashes the
+source and the OCaml version).
+
+  $ blockc compile nosuch
+  blockc: unknown kernel 'nosuch'
+  known kernels: lu, lu_opt, lu_pivot, trisolve, cholesky, matmul, givens, aconv, conv, householder
+  [2]
+
+  $ blockc compile lu --emit ocaml | head -n 1
+  (* lu_point — OCaml lowered from the mini-Fortran IR by blockc's codegen.
+
+  $ blockc compile lu | sed -e 's/bk_[0-9a-f]*/bk_KEY/' -e 's| (jit cache hit)||' -e 's|-> .*_build|-> _build|'
+  compiled lu_point -> _build/.jitcache/bk_KEY.cmxs
+
+  $ blockc compile lu --json | tr ',' '\n' | grep -o '"kernel":"lu"\|"cached":'
+  "kernel":"lu"
+  "cached":

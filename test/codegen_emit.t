@@ -1,0 +1,569 @@
+Golden emitted OCaml for three representative kernels, point and
+transformed.  These pin the lowering itself: flat column-major buffers,
+unsafe accesses exactly where the in-bounds proofs fire, the runtime
+re-checks guarding them, and the Env parameter-binding preamble.  Any
+intentional change to the emitter shows up here as a reviewable diff
+(promote with `dune promote`).
+
+LU, the paper's central example.  The point kernel's accesses are all
+proven in bounds, so every element access lowers to unsafe_get/set
+guarded by the N >= 1 and declared-shape re-checks up front.
+
+  $ blockc compile lu --emit ocaml
+  (* lu_point — OCaml lowered from the mini-Fortran IR by blockc's codegen.
+     Self-contained (Stdlib only).  The host obtains [run] through the
+     Blockc_kernel exception raised when the plugin is loaded. *)
+  
+  exception Blockc_kernel of
+    ((string -> int) * (string -> float) * (string -> float array)
+    * (string -> int array) * (string -> int array) * (string -> int array)
+    * (string -> float -> unit) * (string -> int -> unit) -> unit)
+  
+  let imin (a : int) (b : int) = if a <= b then a else b
+  let imax (a : int) (b : int) = if a >= b then a else b
+  
+  let fsqrt x =
+    if x < 0.0 then failwith (Printf.sprintf "SQRT of negative %g" x)
+    else sqrt x
+  
+  let fsign a b = if b >= 0.0 then Float.abs a else -.Float.abs a
+  
+  let run ((geti : string -> int), (getf : string -> float),
+           (getfa : string -> float array), (getia : string -> int array),
+           (getfd : string -> int array), (getid : string -> int array),
+           (setf : string -> float -> unit), (seti : string -> int -> unit)) =
+    ignore (geti, getf, getfa, getia, getfd, getid, setf, seti);
+    ignore (imin, imax, fsqrt, fsign);
+    let a_a = getfa "A" in
+    let d_a = getfd "A" in
+    let l0_a = d_a.(0) in
+    let l1_a = d_a.(2) in
+    let t1_a = 1 * (d_a.(1) - d_a.(0) + 1) in
+    let s_n = ref (geti "N") in
+    if !s_n < 1 then failwith "lu_point: unchecked accesses assume N >= 1";
+    if not (d_a.(0) = 1 && d_a.(1) = !s_n && d_a.(2) = 1 && d_a.(3) = !s_n) then failwith "lu_point: A dims differ from the declared shape";
+    let lo_k = 1 in
+    let hi_k = (!s_n - 1) in
+    for i_k = lo_k to hi_k do
+      let lo_i = (i_k + 1) in
+      let hi_i = !s_n in
+      for i_i = lo_i to hi_i do
+        Array.unsafe_set a_a ((i_i - l0_a) + ((i_k - l1_a) * t1_a)) ((Array.unsafe_get a_a ((i_i - l0_a) + ((i_k - l1_a) * t1_a))) /. (Array.unsafe_get a_a ((i_k - l0_a) + ((i_k - l1_a) * t1_a))));
+      done;
+      let lo_j = (i_k + 1) in
+      let hi_j = !s_n in
+      for i_j = lo_j to hi_j do
+        let lo_i = (i_k + 1) in
+        let hi_i = !s_n in
+        for i_i = lo_i to hi_i do
+          Array.unsafe_set a_a ((i_i - l0_a) + ((i_j - l1_a) * t1_a)) ((Array.unsafe_get a_a ((i_i - l0_a) + ((i_j - l1_a) * t1_a))) -. ((Array.unsafe_get a_a ((i_i - l0_a) + ((i_k - l1_a) * t1_a))) *. (Array.unsafe_get a_a ((i_k - l0_a) + ((i_j - l1_a) * t1_a)))));
+        done;
+      done;
+    done;
+    ()
+  
+  let () = raise (Blockc_kernel run)
+
+The derived blocked LU: MIN bounds lower to imin, and the strip loop's
+accesses keep their proofs.
+
+  $ blockc compile lu --variant transformed --emit ocaml
+  (* lu_transformed — OCaml lowered from the mini-Fortran IR by blockc's codegen.
+     Self-contained (Stdlib only).  The host obtains [run] through the
+     Blockc_kernel exception raised when the plugin is loaded. *)
+  
+  exception Blockc_kernel of
+    ((string -> int) * (string -> float) * (string -> float array)
+    * (string -> int array) * (string -> int array) * (string -> int array)
+    * (string -> float -> unit) * (string -> int -> unit) -> unit)
+  
+  let imin (a : int) (b : int) = if a <= b then a else b
+  let imax (a : int) (b : int) = if a >= b then a else b
+  
+  let fsqrt x =
+    if x < 0.0 then failwith (Printf.sprintf "SQRT of negative %g" x)
+    else sqrt x
+  
+  let fsign a b = if b >= 0.0 then Float.abs a else -.Float.abs a
+  
+  let run ((geti : string -> int), (getf : string -> float),
+           (getfa : string -> float array), (getia : string -> int array),
+           (getfd : string -> int array), (getid : string -> int array),
+           (setf : string -> float -> unit), (seti : string -> int -> unit)) =
+    ignore (geti, getf, getfa, getia, getfd, getid, setf, seti);
+    ignore (imin, imax, fsqrt, fsign);
+    let a_a = getfa "A" in
+    let d_a = getfd "A" in
+    let l0_a = d_a.(0) in
+    let l1_a = d_a.(2) in
+    let t1_a = 1 * (d_a.(1) - d_a.(0) + 1) in
+    let s_ks = ref (geti "KS") in
+    let s_n = ref (geti "N") in
+    if !s_ks < 1 then failwith "lu_transformed: unchecked accesses assume KS >= 1";
+    if !s_n < 1 then failwith "lu_transformed: unchecked accesses assume N >= 1";
+    if not (d_a.(0) = 1 && d_a.(1) = !s_n && d_a.(2) = 1 && d_a.(3) = !s_n) then failwith "lu_transformed: A dims differ from the declared shape";
+    let lo_k = 1 in
+    let hi_k = (!s_n - 1) in
+    let st_k = !s_ks in
+    if st_k = 0 then failwith "DO K: zero step";
+    let n_k = (hi_k - lo_k + st_k) / st_k in
+    let r_k = ref lo_k in
+    for _ = 1 to n_k do
+      let i_k = !r_k in
+      let lo_kk = i_k in
+      let hi_kk = (imin (i_k + (!s_ks - 1)) (!s_n - 1)) in
+      for i_kk = lo_kk to hi_kk do
+        let lo_i = (i_kk + 1) in
+        let hi_i = !s_n in
+        for i_i = lo_i to hi_i do
+          Array.unsafe_set a_a ((i_i - l0_a) + ((i_kk - l1_a) * t1_a)) ((Array.unsafe_get a_a ((i_i - l0_a) + ((i_kk - l1_a) * t1_a))) /. (Array.unsafe_get a_a ((i_kk - l0_a) + ((i_kk - l1_a) * t1_a))));
+        done;
+        let lo_j = (i_kk + 1) in
+        let hi_j = (imin !s_n ((i_k + !s_ks) + (-1))) in
+        for i_j = lo_j to hi_j do
+          let lo_i = (i_kk + 1) in
+          let hi_i = !s_n in
+          for i_i = lo_i to hi_i do
+            Array.unsafe_set a_a ((i_i - l0_a) + ((i_j - l1_a) * t1_a)) ((Array.unsafe_get a_a ((i_i - l0_a) + ((i_j - l1_a) * t1_a))) -. ((Array.unsafe_get a_a ((i_i - l0_a) + ((i_kk - l1_a) * t1_a))) *. (Array.unsafe_get a_a ((i_kk - l0_a) + ((i_j - l1_a) * t1_a)))));
+          done;
+        done;
+      done;
+      let lo_j = (i_k + !s_ks) in
+      let hi_j = !s_n in
+      for i_j = lo_j to hi_j do
+        let lo_i = (i_k + 1) in
+        let hi_i = !s_n in
+        for i_i = lo_i to hi_i do
+          let lo_kk = i_k in
+          let hi_kk = (imin (i_i - 1) (imin (i_k + (!s_ks - 1)) (!s_n - 1))) in
+          for i_kk = lo_kk to hi_kk do
+            Array.unsafe_set a_a ((i_i - l0_a) + ((i_j - l1_a) * t1_a)) ((Array.unsafe_get a_a ((i_i - l0_a) + ((i_j - l1_a) * t1_a))) -. ((Array.unsafe_get a_a ((i_i - l0_a) + ((i_kk - l1_a) * t1_a))) *. (Array.unsafe_get a_a ((i_kk - l0_a) + ((i_j - l1_a) * t1_a)))));
+          done;
+        done;
+      done;
+      r_k := i_k + st_k;
+    done;
+    ()
+  
+  let () = raise (Blockc_kernel run)
+
+Matmul point and its blocked form.
+
+  $ blockc compile matmul --emit ocaml
+  (* matmul_point — OCaml lowered from the mini-Fortran IR by blockc's codegen.
+     Self-contained (Stdlib only).  The host obtains [run] through the
+     Blockc_kernel exception raised when the plugin is loaded. *)
+  
+  exception Blockc_kernel of
+    ((string -> int) * (string -> float) * (string -> float array)
+    * (string -> int array) * (string -> int array) * (string -> int array)
+    * (string -> float -> unit) * (string -> int -> unit) -> unit)
+  
+  let imin (a : int) (b : int) = if a <= b then a else b
+  let imax (a : int) (b : int) = if a >= b then a else b
+  
+  let fsqrt x =
+    if x < 0.0 then failwith (Printf.sprintf "SQRT of negative %g" x)
+    else sqrt x
+  
+  let fsign a b = if b >= 0.0 then Float.abs a else -.Float.abs a
+  
+  let run ((geti : string -> int), (getf : string -> float),
+           (getfa : string -> float array), (getia : string -> int array),
+           (getfd : string -> int array), (getid : string -> int array),
+           (setf : string -> float -> unit), (seti : string -> int -> unit)) =
+    ignore (geti, getf, getfa, getia, getfd, getid, setf, seti);
+    ignore (imin, imax, fsqrt, fsign);
+    let a_a = getfa "A" in
+    let d_a = getfd "A" in
+    let l0_a = d_a.(0) in
+    let l1_a = d_a.(2) in
+    let t1_a = 1 * (d_a.(1) - d_a.(0) + 1) in
+    let a_b = getfa "B" in
+    let d_b = getfd "B" in
+    let l0_b = d_b.(0) in
+    let l1_b = d_b.(2) in
+    let t1_b = 1 * (d_b.(1) - d_b.(0) + 1) in
+    let a_c = getfa "C" in
+    let d_c = getfd "C" in
+    let l0_c = d_c.(0) in
+    let l1_c = d_c.(2) in
+    let t1_c = 1 * (d_c.(1) - d_c.(0) + 1) in
+    let s_n = ref (geti "N") in
+    if !s_n < 1 then failwith "matmul_point: unchecked accesses assume N >= 1";
+    if not (d_a.(0) = 1 && d_a.(1) = !s_n && d_a.(2) = 1 && d_a.(3) = !s_n) then failwith "matmul_point: A dims differ from the declared shape";
+    if not (d_b.(0) = 1 && d_b.(1) = !s_n && d_b.(2) = 1 && d_b.(3) = !s_n) then failwith "matmul_point: B dims differ from the declared shape";
+    if not (d_c.(0) = 1 && d_c.(1) = !s_n && d_c.(2) = 1 && d_c.(3) = !s_n) then failwith "matmul_point: C dims differ from the declared shape";
+    let lo_j = 1 in
+    let hi_j = !s_n in
+    for i_j = lo_j to hi_j do
+      let lo_k = 1 in
+      let hi_k = !s_n in
+      for i_k = lo_k to hi_k do
+        if (Float.compare (Array.unsafe_get a_b ((i_k - l0_b) + ((i_j - l1_b) * t1_b))) 0. <> 0) then begin
+          let lo_i = 1 in
+          let hi_i = !s_n in
+          for i_i = lo_i to hi_i do
+            Array.unsafe_set a_c ((i_i - l0_c) + ((i_j - l1_c) * t1_c)) ((Array.unsafe_get a_c ((i_i - l0_c) + ((i_j - l1_c) * t1_c))) +. ((Array.unsafe_get a_a ((i_i - l0_a) + ((i_k - l1_a) * t1_a))) *. (Array.unsafe_get a_b ((i_k - l0_b) + ((i_j - l1_b) * t1_b)))));
+          done;
+        end;
+      done;
+    done;
+    ()
+  
+  let () = raise (Blockc_kernel run)
+
+  $ blockc compile matmul --variant transformed --emit ocaml
+  (* matmul_transformed — OCaml lowered from the mini-Fortran IR by blockc's codegen.
+     Self-contained (Stdlib only).  The host obtains [run] through the
+     Blockc_kernel exception raised when the plugin is loaded. *)
+  
+  exception Blockc_kernel of
+    ((string -> int) * (string -> float) * (string -> float array)
+    * (string -> int array) * (string -> int array) * (string -> int array)
+    * (string -> float -> unit) * (string -> int -> unit) -> unit)
+  
+  let imin (a : int) (b : int) = if a <= b then a else b
+  let imax (a : int) (b : int) = if a >= b then a else b
+  
+  let fsqrt x =
+    if x < 0.0 then failwith (Printf.sprintf "SQRT of negative %g" x)
+    else sqrt x
+  
+  let fsign a b = if b >= 0.0 then Float.abs a else -.Float.abs a
+  
+  let run ((geti : string -> int), (getf : string -> float),
+           (getfa : string -> float array), (getia : string -> int array),
+           (getfd : string -> int array), (getid : string -> int array),
+           (setf : string -> float -> unit), (seti : string -> int -> unit)) =
+    ignore (geti, getf, getfa, getia, getfd, getid, setf, seti);
+    ignore (imin, imax, fsqrt, fsign);
+    let a_a = getfa "A" in
+    let d_a = getfd "A" in
+    let l0_a = d_a.(0) in
+    let l1_a = d_a.(2) in
+    let t1_a = 1 * (d_a.(1) - d_a.(0) + 1) in
+    let a_b = getfa "B" in
+    let d_b = getfd "B" in
+    let l0_b = d_b.(0) in
+    let l1_b = d_b.(2) in
+    let t1_b = 1 * (d_b.(1) - d_b.(0) + 1) in
+    let a_c = getfa "C" in
+    let d_c = getfd "C" in
+    let l0_c = d_c.(0) in
+    let l1_c = d_c.(2) in
+    let t1_c = 1 * (d_c.(1) - d_c.(0) + 1) in
+    let ia_klb = getia "KLB" in
+    let id_klb = getid "KLB" in
+    let il0_klb = id_klb.(0) in
+    let ia_kub = getia "KUB" in
+    let id_kub = getid "KUB" in
+    let il0_kub = id_kub.(0) in
+    let s_flag = ref (geti "FLAG") in
+    let s_kc = ref (geti "KC") in
+    let s_n = ref (geti "N") in
+    if !s_n < 1 then failwith "matmul_transformed: unchecked accesses assume N >= 1";
+    if not (d_a.(0) = 1 && d_a.(1) = !s_n && d_a.(2) = 1 && d_a.(3) = !s_n) then failwith "matmul_transformed: A dims differ from the declared shape";
+    if not (d_b.(0) = 1 && d_b.(1) = !s_n && d_b.(2) = 1 && d_b.(3) = !s_n) then failwith "matmul_transformed: B dims differ from the declared shape";
+    if not (d_c.(0) = 1 && d_c.(1) = !s_n && d_c.(2) = 1 && d_c.(3) = !s_n) then failwith "matmul_transformed: C dims differ from the declared shape";
+    let lo_j = 1 in
+    let hi_j = !s_n in
+    for i_j = lo_j to hi_j do
+      s_kc := 0;
+      s_flag := 0;
+      let lo_k = 1 in
+      let hi_k = !s_n in
+      for i_k = lo_k to hi_k do
+        if (Float.compare (Array.unsafe_get a_b ((i_k - l0_b) + ((i_j - l1_b) * t1_b))) 0. <> 0) then begin
+          if (!s_flag = 0) then begin
+            s_kc := (!s_kc + 1);
+            ia_klb.((!s_kc - il0_klb)) <- i_k;
+            s_flag := 1;
+          end;
+        end
+        else begin
+          if (!s_flag = 1) then begin
+            ia_kub.((!s_kc - il0_kub)) <- (i_k - 1);
+            s_flag := 0;
+          end;
+        end;
+      done;
+      if (!s_flag = 1) then begin
+        ia_kub.((!s_kc - il0_kub)) <- !s_n;
+        s_flag := 0;
+      end;
+      let lo_kn = 1 in
+      let hi_kn = !s_kc in
+      for i_kn = lo_kn to hi_kn do
+        let lo_k = ia_klb.((i_kn - il0_klb)) in
+        let hi_k = ia_kub.((i_kn - il0_kub)) in
+        for i_k = lo_k to hi_k do
+          let lo_i = 1 in
+          let hi_i = !s_n in
+          for i_i = lo_i to hi_i do
+            Array.unsafe_set a_c ((i_i - l0_c) + ((i_j - l1_c) * t1_c)) ((Array.unsafe_get a_c ((i_i - l0_c) + ((i_j - l1_c) * t1_c))) +. (a_a.(((i_i - l0_a) + ((i_k - l1_a) * t1_a))) *. a_b.(((i_k - l0_b) + ((i_j - l1_b) * t1_b)))));
+          done;
+        done;
+      done;
+    done;
+    seti "FLAG" !s_flag;
+    seti "KC" !s_kc;
+    ()
+  
+  let () = raise (Blockc_kernel run)
+
+Conv exercises non-unit lower bounds: the flat index subtracts the
+declared lower bound of each dimension.
+
+  $ blockc compile conv --emit ocaml
+  (* conv_point — OCaml lowered from the mini-Fortran IR by blockc's codegen.
+     Self-contained (Stdlib only).  The host obtains [run] through the
+     Blockc_kernel exception raised when the plugin is loaded. *)
+  
+  exception Blockc_kernel of
+    ((string -> int) * (string -> float) * (string -> float array)
+    * (string -> int array) * (string -> int array) * (string -> int array)
+    * (string -> float -> unit) * (string -> int -> unit) -> unit)
+  
+  let imin (a : int) (b : int) = if a <= b then a else b
+  let imax (a : int) (b : int) = if a >= b then a else b
+  
+  let fsqrt x =
+    if x < 0.0 then failwith (Printf.sprintf "SQRT of negative %g" x)
+    else sqrt x
+  
+  let fsign a b = if b >= 0.0 then Float.abs a else -.Float.abs a
+  
+  let run ((geti : string -> int), (getf : string -> float),
+           (getfa : string -> float array), (getia : string -> int array),
+           (getfd : string -> int array), (getid : string -> int array),
+           (setf : string -> float -> unit), (seti : string -> int -> unit)) =
+    ignore (geti, getf, getfa, getia, getfd, getid, setf, seti);
+    ignore (imin, imax, fsqrt, fsign);
+    let a_f1 = getfa "F1" in
+    let d_f1 = getfd "F1" in
+    let l0_f1 = d_f1.(0) in
+    let a_f2 = getfa "F2" in
+    let d_f2 = getfd "F2" in
+    let l0_f2 = d_f2.(0) in
+    let a_f3 = getfa "F3" in
+    let d_f3 = getfd "F3" in
+    let l0_f3 = d_f3.(0) in
+    let s_n1 = ref (geti "N1") in
+    let s_n2 = ref (geti "N2") in
+    let s_n3 = ref (geti "N3") in
+    let f_dt = ref (getf "DT") in
+    if !s_n1 < 1 then failwith "conv_point: unchecked accesses assume N1 >= 1";
+    if !s_n2 < 1 then failwith "conv_point: unchecked accesses assume N2 >= 1";
+    if !s_n3 < 1 then failwith "conv_point: unchecked accesses assume N3 >= 1";
+    if not (d_f1.(0) = 0 && d_f1.(1) = (imax !s_n1 !s_n3)) then failwith "conv_point: F1 dims differ from the declared shape";
+    if not (d_f2.(0) = (0 - !s_n2) && d_f2.(1) = (imax !s_n2 !s_n3)) then failwith "conv_point: F2 dims differ from the declared shape";
+    if not (d_f3.(0) = 0 && d_f3.(1) = !s_n3) then failwith "conv_point: F3 dims differ from the declared shape";
+    let lo_i = 0 in
+    let hi_i = !s_n3 in
+    for i_i = lo_i to hi_i do
+      let lo_k = (imax 0 (i_i - !s_n2)) in
+      let hi_k = (imin i_i !s_n1) in
+      for i_k = lo_k to hi_k do
+        Array.unsafe_set a_f3 (i_i - l0_f3) ((Array.unsafe_get a_f3 (i_i - l0_f3)) +. ((!f_dt *. (Array.unsafe_get a_f1 (i_k - l0_f1))) *. (Array.unsafe_get a_f2 ((i_i - i_k) - l0_f2))));
+      done;
+    done;
+    ()
+  
+  let () = raise (Blockc_kernel run)
+
+  $ blockc compile conv --variant transformed --emit ocaml
+  (* conv_transformed — OCaml lowered from the mini-Fortran IR by blockc's codegen.
+     Self-contained (Stdlib only).  The host obtains [run] through the
+     Blockc_kernel exception raised when the plugin is loaded. *)
+  
+  exception Blockc_kernel of
+    ((string -> int) * (string -> float) * (string -> float array)
+    * (string -> int array) * (string -> int array) * (string -> int array)
+    * (string -> float -> unit) * (string -> int -> unit) -> unit)
+  
+  let imin (a : int) (b : int) = if a <= b then a else b
+  let imax (a : int) (b : int) = if a >= b then a else b
+  
+  let fsqrt x =
+    if x < 0.0 then failwith (Printf.sprintf "SQRT of negative %g" x)
+    else sqrt x
+  
+  let fsign a b = if b >= 0.0 then Float.abs a else -.Float.abs a
+  
+  let run ((geti : string -> int), (getf : string -> float),
+           (getfa : string -> float array), (getia : string -> int array),
+           (getfd : string -> int array), (getid : string -> int array),
+           (setf : string -> float -> unit), (seti : string -> int -> unit)) =
+    ignore (geti, getf, getfa, getia, getfd, getid, setf, seti);
+    ignore (imin, imax, fsqrt, fsign);
+    let a_f1 = getfa "F1" in
+    let d_f1 = getfd "F1" in
+    let l0_f1 = d_f1.(0) in
+    let a_f2 = getfa "F2" in
+    let d_f2 = getfd "F2" in
+    let l0_f2 = d_f2.(0) in
+    let a_f3 = getfa "F3" in
+    let d_f3 = getfd "F3" in
+    let l0_f3 = d_f3.(0) in
+    let s_n1 = ref (geti "N1") in
+    let s_n2 = ref (geti "N2") in
+    let s_n3 = ref (geti "N3") in
+    let f_dt = ref (getf "DT") in
+    if !s_n1 < 1 then failwith "conv_transformed: unchecked accesses assume N1 >= 1";
+    if !s_n2 < 1 then failwith "conv_transformed: unchecked accesses assume N2 >= 1";
+    if !s_n3 < 1 then failwith "conv_transformed: unchecked accesses assume N3 >= 1";
+    if not (d_f1.(0) = 0 && d_f1.(1) = (imax !s_n1 !s_n3)) then failwith "conv_transformed: F1 dims differ from the declared shape";
+    if not (d_f2.(0) = (0 - !s_n2) && d_f2.(1) = (imax !s_n2 !s_n3)) then failwith "conv_transformed: F2 dims differ from the declared shape";
+    if not (d_f3.(0) = 0 && d_f3.(1) = !s_n3) then failwith "conv_transformed: F3 dims differ from the declared shape";
+    let lo_one_ = 1 in
+    let hi_one_ = 1 in
+    for i_one_ = lo_one_ to hi_one_ do
+      let lo_i = 0 in
+      let hi_i = ((imin (imin !s_n3 !s_n1) ((0 - ((-1) * !s_n2)) - 1)) - 3) in
+      let st_i = 4 in
+      if st_i = 0 then failwith "DO I: zero step";
+      let n_i = (hi_i - lo_i + st_i) / st_i in
+      let r_i = ref lo_i in
+      for _ = 1 to n_i do
+        let i_i = !r_i in
+        let lo_k = 0 in
+        let hi_k = i_i in
+        for i_k = lo_k to hi_k do
+          a_f3.((i_i - l0_f3)) <- (a_f3.((i_i - l0_f3)) +. ((!f_dt *. a_f1.((i_k - l0_f1))) *. a_f2.(((i_i - i_k) - l0_f2))));
+          a_f3.(((i_i + 1) - l0_f3)) <- (a_f3.(((i_i + 1) - l0_f3)) +. ((!f_dt *. a_f1.((i_k - l0_f1))) *. a_f2.((((i_i + 1) - i_k) - l0_f2))));
+          a_f3.(((i_i + 2) - l0_f3)) <- (a_f3.(((i_i + 2) - l0_f3)) +. ((!f_dt *. a_f1.((i_k - l0_f1))) *. a_f2.((((i_i + 2) - i_k) - l0_f2))));
+          a_f3.(((i_i + 3) - l0_f3)) <- (a_f3.(((i_i + 3) - l0_f3)) +. ((!f_dt *. a_f1.((i_k - l0_f1))) *. a_f2.((((i_i + 3) - i_k) - l0_f2))));
+        done;
+        let lo_ii = (i_i + 1) in
+        let hi_ii = (i_i + 3) in
+        for i_ii = lo_ii to hi_ii do
+          let lo_k = (imax 0 (i_i + 1)) in
+          let hi_k = i_ii in
+          for i_k = lo_k to hi_k do
+            a_f3.((i_ii - l0_f3)) <- (a_f3.((i_ii - l0_f3)) +. ((!f_dt *. a_f1.((i_k - l0_f1))) *. a_f2.(((i_ii - i_k) - l0_f2))));
+          done;
+        done;
+        r_i := i_i + st_i;
+      done;
+      let lo_i = (4 * (((imin (imin !s_n3 !s_n1) ((0 - ((-1) * !s_n2)) - 1)) + 1) / 4)) in
+      let hi_i = (imin (imin !s_n3 !s_n1) ((0 - ((-1) * !s_n2)) - 1)) in
+      for i_i = lo_i to hi_i do
+        let lo_k = 0 in
+        let hi_k = i_i in
+        for i_k = lo_k to hi_k do
+          Array.unsafe_set a_f3 (i_i - l0_f3) ((Array.unsafe_get a_f3 (i_i - l0_f3)) +. ((!f_dt *. (Array.unsafe_get a_f1 (i_k - l0_f1))) *. (Array.unsafe_get a_f2 ((i_i - i_k) - l0_f2))));
+        done;
+      done;
+      let lo_i = (imax 0 ((imin (imin !s_n3 !s_n1) ((0 - ((-1) * !s_n2)) - 1)) + 1)) in
+      let hi_i = ((imin !s_n3 !s_n1) - 3) in
+      let st_i = 4 in
+      if st_i = 0 then failwith "DO I: zero step";
+      let n_i = (hi_i - lo_i + st_i) / st_i in
+      let r_i = ref lo_i in
+      for _ = 1 to n_i do
+        let i_i = !r_i in
+        let lo_ii = i_i in
+        let hi_ii = (i_i + 2) in
+        for i_ii = lo_ii to hi_ii do
+          let lo_k = (i_ii + ((-1) * !s_n2)) in
+          let hi_k = (imin i_ii ((i_i + 2) + ((-1) * !s_n2))) in
+          for i_k = lo_k to hi_k do
+            a_f3.((i_ii - l0_f3)) <- (a_f3.((i_ii - l0_f3)) +. ((!f_dt *. a_f1.((i_k - l0_f1))) *. (Array.unsafe_get a_f2 ((i_ii - i_k) - l0_f2))));
+          done;
+        done;
+        let lo_k = ((i_i + 3) + ((-1) * !s_n2)) in
+        let hi_k = i_i in
+        for i_k = lo_k to hi_k do
+          a_f3.((i_i - l0_f3)) <- (a_f3.((i_i - l0_f3)) +. ((!f_dt *. a_f1.((i_k - l0_f1))) *. (Array.unsafe_get a_f2 ((i_i - i_k) - l0_f2))));
+          a_f3.(((i_i + 1) - l0_f3)) <- (a_f3.(((i_i + 1) - l0_f3)) +. ((!f_dt *. a_f1.((i_k - l0_f1))) *. (Array.unsafe_get a_f2 (((i_i + 1) - i_k) - l0_f2))));
+          a_f3.(((i_i + 2) - l0_f3)) <- (a_f3.(((i_i + 2) - l0_f3)) +. ((!f_dt *. a_f1.((i_k - l0_f1))) *. (Array.unsafe_get a_f2 (((i_i + 2) - i_k) - l0_f2))));
+          a_f3.(((i_i + 3) - l0_f3)) <- (a_f3.(((i_i + 3) - l0_f3)) +. ((!f_dt *. a_f1.((i_k - l0_f1))) *. (Array.unsafe_get a_f2 (((i_i + 3) - i_k) - l0_f2))));
+        done;
+        let lo_ii = (i_i + 1) in
+        let hi_ii = (i_i + 3) in
+        for i_ii = lo_ii to hi_ii do
+          let lo_k = (imax (i_ii + ((-1) * !s_n2)) (i_i + 1)) in
+          let hi_k = i_ii in
+          for i_k = lo_k to hi_k do
+            a_f3.((i_ii - l0_f3)) <- (a_f3.((i_ii - l0_f3)) +. ((!f_dt *. a_f1.((i_k - l0_f1))) *. (Array.unsafe_get a_f2 ((i_ii - i_k) - l0_f2))));
+          done;
+        done;
+        r_i := i_i + st_i;
+      done;
+      let lo_i = ((imax 0 ((imin (imin !s_n3 !s_n1) ((0 - ((-1) * !s_n2)) - 1)) + 1)) + (4 * ((((imin !s_n3 !s_n1) - (imax 0 ((imin (imin !s_n3 !s_n1) ((0 - ((-1) * !s_n2)) - 1)) + 1))) + 1) / 4))) in
+      let hi_i = (imin !s_n3 !s_n1) in
+      for i_i = lo_i to hi_i do
+        let lo_k = (i_i - !s_n2) in
+        let hi_k = i_i in
+        for i_k = lo_k to hi_k do
+          a_f3.((i_i - l0_f3)) <- (a_f3.((i_i - l0_f3)) +. ((!f_dt *. a_f1.((i_k - l0_f1))) *. (Array.unsafe_get a_f2 ((i_i - i_k) - l0_f2))));
+        done;
+      done;
+      let lo_i = (imax 0 ((imin !s_n3 !s_n1) + 1)) in
+      let hi_i = ((imin !s_n3 ((0 - ((-1) * !s_n2)) - 1)) - 3) in
+      let st_i = 4 in
+      if st_i = 0 then failwith "DO I: zero step";
+      let n_i = (hi_i - lo_i + st_i) / st_i in
+      let r_i = ref lo_i in
+      for _ = 1 to n_i do
+        let i_i = !r_i in
+        let lo_k = 0 in
+        let hi_k = !s_n1 in
+        for i_k = lo_k to hi_k do
+          a_f3.((i_i - l0_f3)) <- (a_f3.((i_i - l0_f3)) +. ((!f_dt *. (Array.unsafe_get a_f1 (i_k - l0_f1))) *. a_f2.(((i_i - i_k) - l0_f2))));
+          a_f3.(((i_i + 1) - l0_f3)) <- (a_f3.(((i_i + 1) - l0_f3)) +. ((!f_dt *. (Array.unsafe_get a_f1 (i_k - l0_f1))) *. a_f2.((((i_i + 1) - i_k) - l0_f2))));
+          a_f3.(((i_i + 2) - l0_f3)) <- (a_f3.(((i_i + 2) - l0_f3)) +. ((!f_dt *. (Array.unsafe_get a_f1 (i_k - l0_f1))) *. a_f2.((((i_i + 2) - i_k) - l0_f2))));
+          a_f3.(((i_i + 3) - l0_f3)) <- (a_f3.(((i_i + 3) - l0_f3)) +. ((!f_dt *. (Array.unsafe_get a_f1 (i_k - l0_f1))) *. a_f2.((((i_i + 3) - i_k) - l0_f2))));
+        done;
+        r_i := i_i + st_i;
+      done;
+      let lo_i = ((imax 0 ((imin !s_n3 !s_n1) + 1)) + (4 * ((((imin !s_n3 ((0 - ((-1) * !s_n2)) - 1)) - (imax 0 ((imin !s_n3 !s_n1) + 1))) + 1) / 4))) in
+      let hi_i = (imin !s_n3 ((0 - ((-1) * !s_n2)) - 1)) in
+      for i_i = lo_i to hi_i do
+        let lo_k = 0 in
+        let hi_k = !s_n1 in
+        for i_k = lo_k to hi_k do
+          a_f3.((i_i - l0_f3)) <- (a_f3.((i_i - l0_f3)) +. ((!f_dt *. (Array.unsafe_get a_f1 (i_k - l0_f1))) *. a_f2.(((i_i - i_k) - l0_f2))));
+        done;
+      done;
+      let lo_i = (imax (imax 0 ((imin !s_n3 !s_n1) + 1)) ((imin !s_n3 ((0 - ((-1) * !s_n2)) - 1)) + 1)) in
+      let hi_i = (!s_n3 - 3) in
+      let st_i = 4 in
+      if st_i = 0 then failwith "DO I: zero step";
+      let n_i = (hi_i - lo_i + st_i) / st_i in
+      let r_i = ref lo_i in
+      for _ = 1 to n_i do
+        let i_i = !r_i in
+        let lo_ii = i_i in
+        let hi_ii = (i_i + 2) in
+        for i_ii = lo_ii to hi_ii do
+          let lo_k = (i_ii + ((-1) * !s_n2)) in
+          let hi_k = (imin ((i_i + 2) + ((-1) * !s_n2)) !s_n1) in
+          for i_k = lo_k to hi_k do
+            Array.unsafe_set a_f3 (i_ii - l0_f3) ((Array.unsafe_get a_f3 (i_ii - l0_f3)) +. ((!f_dt *. a_f1.((i_k - l0_f1))) *. (Array.unsafe_get a_f2 ((i_ii - i_k) - l0_f2))));
+          done;
+        done;
+        let lo_k = ((i_i + 3) + ((-1) * !s_n2)) in
+        let hi_k = !s_n1 in
+        for i_k = lo_k to hi_k do
+          Array.unsafe_set a_f3 (i_i - l0_f3) ((Array.unsafe_get a_f3 (i_i - l0_f3)) +. ((!f_dt *. a_f1.((i_k - l0_f1))) *. a_f2.(((i_i - i_k) - l0_f2))));
+          Array.unsafe_set a_f3 ((i_i + 1) - l0_f3) ((Array.unsafe_get a_f3 ((i_i + 1) - l0_f3)) +. ((!f_dt *. a_f1.((i_k - l0_f1))) *. a_f2.((((i_i + 1) - i_k) - l0_f2))));
+          Array.unsafe_set a_f3 ((i_i + 2) - l0_f3) ((Array.unsafe_get a_f3 ((i_i + 2) - l0_f3)) +. ((!f_dt *. a_f1.((i_k - l0_f1))) *. a_f2.((((i_i + 2) - i_k) - l0_f2))));
+          Array.unsafe_set a_f3 ((i_i + 3) - l0_f3) ((Array.unsafe_get a_f3 ((i_i + 3) - l0_f3)) +. ((!f_dt *. a_f1.((i_k - l0_f1))) *. a_f2.((((i_i + 3) - i_k) - l0_f2))));
+        done;
+        r_i := i_i + st_i;
+      done;
+      let lo_i = ((imax (imax 0 ((imin !s_n3 !s_n1) + 1)) ((imin !s_n3 ((0 - ((-1) * !s_n2)) - 1)) + 1)) + (4 * (((!s_n3 - (imax (imax 0 ((imin !s_n3 !s_n1) + 1)) ((imin !s_n3 ((0 - ((-1) * !s_n2)) - 1)) + 1))) + 1) / 4))) in
+      let hi_i = !s_n3 in
+      for i_i = lo_i to hi_i do
+        let lo_k = (i_i - !s_n2) in
+        let hi_k = !s_n1 in
+        for i_k = lo_k to hi_k do
+          a_f3.((i_i - l0_f3)) <- (a_f3.((i_i - l0_f3)) +. ((!f_dt *. a_f1.((i_k - l0_f1))) *. a_f2.(((i_i - i_k) - l0_f2))));
+        done;
+      done;
+    done;
+    ()
+  
+  let () = raise (Blockc_kernel run)

@@ -18,4 +18,5 @@ let () =
       Test_parallel.suite;
       Test_obs.suite;
       Test_fuzz.suite;
+      Test_codegen.suite;
     ]

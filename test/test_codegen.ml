@@ -1,0 +1,176 @@
+(* The native code generator: emission, the JIT pipeline, and bitwise
+   agreement with the interpreter.  The golden emitted sources are
+   pinned in codegen_emit.t; these tests exercise behaviour. *)
+
+open Helpers
+module B = Builder
+
+let entry name = Option.get (Blockability.find name)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let require_native () =
+  match Jit.available () with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "native codegen unavailable: %s" m
+
+(* Fresh kernel-shaped environments for hand-rolled blocks. *)
+let simple_env ~n =
+  let env = Env.create () in
+  Env.add_farray env "A" [ (1, n); (1, n) ];
+  Env.set_iscalar env "N" n;
+  let rng = Lcg.create 7 in
+  Env.fill_farray env "A" (fun _ -> Lcg.float rng 1.0);
+  env
+
+let emit_ok ?unsafe ?shapes ~name block =
+  ok_or_fail "emit" (Emit.source ?unsafe ?shapes ~name block)
+
+let suite =
+  ( "codegen",
+    [
+      case "emission succeeds for every kernel (point + transformed)" (fun () ->
+          List.iter
+            (fun (e : Blockability.entry) ->
+              let shapes = e.kernel.Kernel_def.shapes in
+              ignore
+                (emit_ok ~shapes ~name:(e.name ^ "_point")
+                   e.kernel.Kernel_def.block);
+              match Blockability.derive e with
+              | Error _ -> () (* householder: expected negative result *)
+              | Ok { result; _ } ->
+                  ignore
+                    (emit_ok ~shapes ~name:(e.name ^ "_transformed") [ result ]))
+            Blockability.entries);
+      case "in-bounds proofs fire for lu (and are re-checked at run time)"
+        (fun () ->
+          let e = entry "lu" in
+          let src =
+            emit_ok ~shapes:e.kernel.Kernel_def.shapes ~name:"lu_point"
+              e.kernel.Kernel_def.block
+          in
+          let has needle = contains src needle in
+          check_bool "unsafe_get" true (has "Array.unsafe_get");
+          check_bool "unsafe_set" true (has "Array.unsafe_set");
+          check_bool "dims re-checked" true (has "declared shape");
+          check_bool "assumption re-checked" true (has "assume N >= 1"));
+      case "unsafe:false disables unchecked accesses" (fun () ->
+          let e = entry "lu" in
+          let src =
+            emit_ok ~unsafe:false ~shapes:e.kernel.Kernel_def.shapes
+              ~name:"lu_point" e.kernel.Kernel_def.block
+          in
+          check_bool "no unsafe accesses" false (contains src "unsafe_"));
+      case "unknown intrinsic is rejected" (fun () ->
+          let block = [ Stmt.Assign ("S", [], Stmt.Fcall ("TANH", [ B.fc 1.0 ])) ] in
+          match Emit.source ~name:"bad" block with
+          | Ok _ -> Alcotest.fail "expected an emission error"
+          | Error m ->
+              check_bool "names the intrinsic" true (contains m "TANH"));
+      case "assignment to a loop index is rejected" (fun () ->
+          let block =
+            [ B.do_ "I" (B.i 1) (B.v "N") [ Stmt.Iassign ("I", [], B.i 0) ] ]
+          in
+          match Emit.source ~name:"bad" block with
+          | Ok _ -> Alcotest.fail "expected an emission error"
+          | Error _ -> ());
+      case "native lu runs bitwise equal to the interpreter" (fun () ->
+          require_native ();
+          let e = entry "lu" in
+          let bindings = [ ("N", 20) ] in
+          let env_i = Kernel_def.make_env e.kernel ~bindings ~seed:11 in
+          Exec.run env_i e.kernel.Kernel_def.block;
+          let env_n = Kernel_def.make_env e.kernel ~bindings ~seed:11 in
+          ok_or_fail "native run"
+            (Jit.run_block ~shapes:e.kernel.Kernel_def.shapes ~name:"lu_point"
+               e.kernel.Kernel_def.block env_n);
+          match Env.diff ~only:[ "A" ] env_i env_n with
+          | None -> ()
+          | Some m -> Alcotest.fail m);
+      case "native conv handles non-unit lower bounds bitwise" (fun () ->
+          require_native ();
+          let e = entry "conv" in
+          let bindings = e.Blockability.default_bindings in
+          let env_i = Kernel_def.make_env e.kernel ~bindings ~seed:5 in
+          Exec.run env_i e.kernel.Kernel_def.block;
+          let env_n = Kernel_def.make_env e.kernel ~bindings ~seed:5 in
+          ok_or_fail "native run"
+            (Jit.run_block ~shapes:e.kernel.Kernel_def.shapes ~name:"conv_point"
+               e.kernel.Kernel_def.block env_n);
+          match Env.diff ~only:e.kernel.Kernel_def.traced env_i env_n with
+          | None -> ()
+          | Some m -> Alcotest.fail m);
+      case "scalar results are written back to the environment" (fun () ->
+          require_native ();
+          let block =
+            [
+              Stmt.Iassign ("T", [], Expr.(mul (var "N") (int 2)));
+              Stmt.Assign ("S", [], B.(fc 1.5 +. fc 2.0));
+            ]
+          in
+          let env = simple_env ~n:4 in
+          ok_or_fail "native run" (Jit.run_block ~name:"writeback" block env);
+          check_int "T" 8 (Env.iscalar env "T");
+          check_bool "S" true (Float.equal (Env.fscalar env "S") 3.5));
+      case "zero-step loop fails like the interpreter" (fun () ->
+          require_native ();
+          let block =
+            [
+              Stmt.Loop
+                {
+                  index = "I";
+                  lo = Expr.int 1;
+                  hi = Expr.var "N";
+                  step = Expr.int 0;
+                  body = [ Stmt.Assign ("S", [], B.fc 1.0) ];
+                };
+            ]
+          in
+          let env = simple_env ~n:4 in
+          match Jit.run_block ~name:"zerostep" block env with
+          | Ok () -> Alcotest.fail "expected a zero-step error"
+          | Error m ->
+              check_bool "message" true (contains m "zero step"));
+      case "second compile of the same source hits the cache" (fun () ->
+          require_native ();
+          let e = entry "lu" in
+          let src =
+            emit_ok ~shapes:e.kernel.Kernel_def.shapes ~name:"lu_point"
+              e.kernel.Kernel_def.block
+          in
+          let l1 = ok_or_fail "compile" (Jit.compile ~name:"lu_point" src) in
+          let l2 = ok_or_fail "compile" (Jit.compile ~name:"lu_point" src) in
+          check_bool "memoized" true l2.Jit.cached;
+          check_bool "same key" true (String.equal l1.Jit.key l2.Jit.key));
+      case "broken ocamlopt degrades to a clear error" (fun () ->
+          (* A unique name makes a unique source, so neither the memo
+             nor the on-disk cache can satisfy the request. *)
+          let block = [ Stmt.Assign ("S", [], B.fc 1.0) ] in
+          let src = emit_ok ~name:"fallback_probe_no_such_compiler" block in
+          (match Jit.compile ~ocamlopt:"/nonexistent/ocamlopt" ~name:"probe" src with
+          | Ok _ -> Alcotest.fail "expected a compile failure"
+          | Error m ->
+              check_bool "mentions ocamlopt" true (contains m "ocamlopt"));
+          (* The interpreter path is unaffected. *)
+          let env = simple_env ~n:2 in
+          Exec.run env block;
+          check_bool "interpreter still works" true
+            (Float.equal (Env.fscalar env "S") 1.0));
+      case "native_compare verifies and times the lu pair" (fun () ->
+          require_native ();
+          let r =
+            ok_or_fail "native_compare"
+              (Blockability.native_compare ~reps:1 (entry "lu"))
+          in
+          check_bool "point time measured" true (r.Blockability.nt_point_s >= 0.0);
+          check_bool "transformed time measured" true
+            (r.Blockability.nt_transformed_s >= 0.0));
+      case "native_compare reports the householder negative result" (fun () ->
+          match Blockability.native_compare (entry "householder") with
+          | Ok _ -> Alcotest.fail "householder must not block"
+          | Error m ->
+              check_bool "cites §5.3" true (contains m "5.3"));
+    ] )

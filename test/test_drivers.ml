@@ -198,6 +198,7 @@ let two_level_tiling () =
           Env.fill_farray env "A" (fun _ -> Lcg.float rng 1.0);
           Env.fill_farray env "B" (fun _ -> Lcg.float rng 1.0));
       traced = [ "C" ];
+      shapes = [];
     }
   in
   equivalent kernel [ Stmt.Loop tiled ] ~extra:[ ("JS", 3) ]

@@ -70,6 +70,56 @@ let of_loop_context_minmax () =
     (Symbolic.prove_le ctx (av "KK") (av "N" -- ac 1));
   check_bool "KK >= K" true (Symbolic.prove_ge ctx (av "KK") (av "K"))
 
+let composite_bounds () =
+  (* The shapes unroll-and-jam leaves behind: a MIN buried under
+     arithmetic in an upper bound still yields both one-sided facts. *)
+  let open Builder in
+  let l =
+    match
+      do_ "I" (v "K" +! i 1)
+        (Expr.min_ (v "N") (v "K" +! v "KS") -! i 3)
+        []
+    with
+    | Stmt.Loop l -> l
+    | _ -> assert false
+  in
+  let ctx = Symbolic.of_loop_context [ l ] in
+  check_bool "I <= N-3" true
+    (Symbolic.prove_le ctx (av "I") (av "N" -- ac 3));
+  check_bool "I <= K+KS-3" true
+    (Symbolic.prove_le ctx (av "I") (av "K" ++ av "KS" -- ac 3));
+  check_bool "I >= K+1" true
+    (Symbolic.prove_ge ctx (av "I") (av "K" ++ ac 1))
+
+let disjunctive_cases () =
+  (* lo = MAX(K+1, MIN(N, K+KS)+1): the MAX arms hold conjunctively but
+     the MIN forks — I >= N+1 or I >= K+KS+1.  In either case I > KK
+     for KK <= MIN(K+KS-1, N-1), which the single conjunctive context
+     cannot establish. *)
+  let open Builder in
+  let l =
+    match
+      do_ "I"
+        (Expr.max_ (v "K" +! i 1) (Expr.min_ (v "N") (v "K" +! v "KS") +! i 1))
+        (v "N") []
+    with
+    | Stmt.Loop l -> l
+    | _ -> assert false
+  in
+  let kk_hi_arms = [ av "K" ++ av "KS" -- ac 1; av "N" -- ac 1 ] in
+  let cases = Symbolic.with_loops_cases Symbolic.empty [ l ] in
+  check_bool "more than one case" true (List.length cases > 1);
+  let above_some_arm ctx =
+    List.exists (fun arm -> Symbolic.prove_gt ctx (av "I") arm) kk_hi_arms
+  in
+  check_bool "I above the strip in every case" true
+    (List.for_all above_some_arm cases);
+  let conj = Symbolic.with_loops Symbolic.empty [ l ] in
+  check_bool "conjunctive context cannot prove it" false
+    (above_some_arm conj);
+  check_bool "conjunctive core keeps the MAX arm" true
+    (Symbolic.prove_ge conj (av "I") (av "K" ++ ac 1))
+
 let gen_consts =
   QCheck2.Gen.(pair (int_range (-50) 50) (int_range (-50) 50))
 
@@ -81,6 +131,8 @@ let suite =
       case "compare" compare_cases;
       case "transitive chains" chained_facts;
       case "loop context with MIN bound" of_loop_context_minmax;
+      case "composite bounds decompose" composite_bounds;
+      case "disjunctive MIN/MAX cases" disjunctive_cases;
       qcase "constants decide exactly" gen_consts (fun (a, b) ->
           let ctx = Symbolic.empty in
           Symbolic.prove_ge ctx (ac a) (ac b) = (a >= b));

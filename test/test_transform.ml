@@ -52,6 +52,7 @@ let at_point_equiv (n, p) =
           Env.fill_farray env "A" (fun _ -> Lcg.float rng 1.0);
           Env.fill_farray env "B" (fun _ -> Lcg.float rng 1.0));
       traced = [ "A" ];
+      shapes = [];
     }
   in
   Kernel_def.equivalent kernel split ~bindings:[ ("N", n) ] ~seed:3 = Ok ()
@@ -81,6 +82,7 @@ let rect_interchange () =
           Env.fill_farray env "A" (fun _ -> Lcg.float rng 1.0);
           Env.fill_farray env "B" (fun _ -> Lcg.float rng 1.0));
       traced = [ "A" ];
+      shapes = [];
     }
   in
   (* interchange reorders the (associative-unsafe) accumulation of B(J)
@@ -131,6 +133,7 @@ let triangular_equiv (n, is) =
           let n = List.assoc "N" bindings in
           Env.add_farray env "C" [ (1, n); (1, n) ]);
       traced = [ "C" ];
+      shapes = [];
     }
   in
   Kernel_def.equivalent kernel [ Stmt.Loop swapped ] ~bindings:[ ("N", n) ] ~seed:1
@@ -157,6 +160,7 @@ let triangular_upper_equiv (n, _) =
           let n = List.assoc "N" bindings in
           Env.add_farray env "C" [ (1, n); (1, n) ]);
       traced = [ "C" ];
+      shapes = [];
     }
   in
   Kernel_def.equivalent kernel [ Stmt.Loop swapped ] ~bindings:[ ("N", n) ] ~seed:1
@@ -217,6 +221,7 @@ let uj_rect_equiv (n, factor) =
               let rng = Lcg.create seed in
               Env.fill_farray env "B" (fun _ -> Lcg.float rng 1.0));
           traced = [ "A" ];
+          shapes = [];
         }
       in
       Kernel_def.equivalent kernel block ~bindings:[ ("N", n) ] ~seed:7 = Ok ()
@@ -250,6 +255,7 @@ let uj_triangular_equiv (n, factor) =
               let rng = Lcg.create seed in
               Env.fill_farray env "F1" (fun _ -> Lcg.float rng 1.0));
           traced = [ "F3" ];
+          shapes = [];
         }
       in
       Kernel_def.equivalent kernel block
@@ -286,6 +292,7 @@ let uj_rhomboidal_equiv (n, factor) =
               let rng = Lcg.create seed in
               Env.fill_farray env "F1" (fun _ -> Lcg.float rng 1.0));
           traced = [ "F3" ];
+          shapes = [];
         }
       in
       Kernel_def.equivalent kernel block
