@@ -1,7 +1,7 @@
 (* Benchmark harness: regenerates every table and figure of the paper's
    evaluation.  See DESIGN.md's experiment index (T1-T5, F1-F11, X1, PAR).
 
-   Usage:  main.exe [t1|t2|t3|t4|t5|figures|cache|ablation|bechamel|par|obs|profile|native|all]
+   Usage:  main.exe [t1|t2|t3|t4|t5|figures|cache|ablation|bechamel|par|obs|profile|native|serve|all]
                     [--quick] [--json PATH]
                     [--baseline PATH] [--check] [--tolerance F]
                     [--trajectory OUT] [--trajectory-base PATH]
@@ -806,6 +806,132 @@ let native_suite () =
          paper (RS/6000-540): blocked LU 2.5-3.2x, Givens 2.04-5.49x\n"
 
 (* ------------------------------------------------------------------ *)
+(* SERVE: the batched compile/execute request service                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Measures the service's two claims end to end, through the same
+   [Serve.handle_line] the daemon runs: a warm-blueprint compile request
+   is a hash lookup (>= 10x under the cold ocamlopt run), and a batch
+   dispatch over the domain pool beats the same executions issued one
+   request at a time — with identical result digests, since every item
+   runs in its own environment. *)
+let serve_suite () =
+  banner "SERVE  blueprint-keyed compile/execute service";
+  match Jit.available () with
+  | Error m -> Printf.printf "serve suite skipped: %s\n" m
+  | Ok () ->
+      (* A fresh on-disk cache so each structure's first compile is a
+         real ocamlopt run; the kernels here are ones no other suite
+         compiles, so the in-process memo is cold too. *)
+      let tmp = Filename.temp_file "blockc-serve-bench" "" in
+      Sys.remove tmp;
+      Unix.mkdir tmp 0o700;
+      Unix.putenv "BLOCKC_JIT_CACHE" tmp;
+      let exec_pool = Pool.default () in
+      let request line =
+        let t0 = Unix.gettimeofday () in
+        let resp, _ = Serve.handle_line ~exec_pool line in
+        (resp, Unix.gettimeofday () -. t0)
+      in
+      let jfield name = function
+        | Json_min.Object kvs -> List.assoc_opt name kvs
+        | _ -> None
+      in
+      let jstr name j =
+        match jfield name j with Some (Json_min.String s) -> s | _ -> "?"
+      in
+      let parse resp =
+        match Json_min.parse resp with
+        | Ok v -> v
+        | Error m -> failwith ("serve response did not parse: " ^ m)
+      in
+      let tbl =
+        Table.create ~title:"serve: cold vs warm-blueprint compile requests"
+          [
+            ("Kernel", Table.Left); ("Cold", Table.Right);
+            ("Warm", Table.Right); ("Ratio", Table.Right);
+            ("Dispositions", Table.Left);
+          ]
+      in
+      List.iter
+        (fun kernel ->
+          let line =
+            Printf.sprintf
+              "{\"op\":\"compile\",\"kernel\":\"%s\",\"variant\":\"transformed\"}"
+              kernel
+          in
+          let r1, cold = request line in
+          let r2, warm = request line in
+          let d1 = jstr "disposition" (parse r1)
+          and d2 = jstr "disposition" (parse r2) in
+          Table.add_row tbl
+            [
+              kernel; Table.cell_s cold; Table.cell_s warm;
+              Printf.sprintf "%.0fx" (cold /. warm);
+              Printf.sprintf "%s -> %s" d1 d2;
+            ])
+        [ "cholesky"; "trisolve" ];
+      output ~id:"serve_compile" tbl;
+      let tbl =
+        Table.create
+          ~title:"serve: batched vs sequential execution of one blueprint"
+          [
+            ("Dispatch", Table.Left); ("Requests", Table.Right);
+            ("Total", Table.Right); ("Speedup", Table.Right);
+            ("Results", Table.Left);
+          ]
+      in
+      let sizes = List.init (if quick then 8 else 16) (fun i -> 48 + (8 * i)) in
+      let n = List.length sizes in
+      let digests_of j =
+        match jfield "digests" j with
+        | Some (Json_min.Array ds) ->
+            List.map (function Json_min.String s -> s | _ -> "?") ds
+        | _ -> []
+      in
+      let seq_digests = ref [] in
+      let seq_s =
+        time_once (fun () ->
+            seq_digests :=
+              List.map
+                (fun sz ->
+                  let line =
+                    Printf.sprintf
+                      "{\"op\":\"execute\",\"kernel\":\"cholesky\",\"bindings\":{\"N\":%d}}"
+                      sz
+                  in
+                  jstr "digest" (parse (fst (request line))))
+                sizes)
+      in
+      let batch_digests = ref [] in
+      let batch_s =
+        time_once (fun () ->
+            let line =
+              Printf.sprintf
+                "{\"op\":\"batch\",\"kernel\":\"cholesky\",\"sizes\":[%s]}"
+                (String.concat "," (List.map string_of_int sizes))
+            in
+            batch_digests := digests_of (parse (fst (request line))))
+      in
+      let bitwise =
+        if !seq_digests = !batch_digests && !batch_digests <> [] then
+          "bitwise equal"
+        else "DIGEST MISMATCH"
+      in
+      Table.add_row tbl
+        [ "sequential"; string_of_int n; Table.cell_s seq_s; "1.00x"; "-" ];
+      Table.add_row tbl
+        [
+          "batched"; "1"; Table.cell_s batch_s;
+          Printf.sprintf "%.2fx" (seq_s /. batch_s); bitwise;
+        ];
+      output ~id:"serve_batch" tbl;
+      Printf.printf
+        "warm compile is a blueprint-key hash lookup; the batch is one \
+         request fanned across %d domains\n"
+        (Pool.size exec_pool)
+
+(* ------------------------------------------------------------------ *)
 (* the regression gate                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -851,6 +977,7 @@ let () =
   if want "obs" then obs_suite ();
   if want "profile" then profile_suite ();
   if want "native" then native_suite ();
+  if want "serve" then serve_suite ();
   (match json_path with
   | None -> ()
   | Some path ->
@@ -897,6 +1024,16 @@ let () =
       Printf.printf "trajectory: %d entr%s -> %s\n"
         (List.length entries + 1)
         (if entries = [] then "y" else "ies")
-        out);
+        out;
+      (* Neighbour drift: each run vs the very next one, at a tighter
+         tolerance than the gate — surfaces a slope of small slowdowns
+         before the 1.5x baseline gate would trip.  Informational: the
+         trajectory build must not fail on it. *)
+      let all =
+        entries @ [ Bench_gate.trajectory_entry ~date ~label ~tables ]
+      in
+      match Bench_gate.drift all with
+      | Error m -> Printf.eprintf "main.exe: drift: %s\n" m
+      | Ok steps -> print_string (Bench_gate.drift_report steps));
   Option.iter run_gate baseline_path;
   Printf.printf "\ndone.\n"

@@ -937,24 +937,36 @@ let compile_cmd =
           | Some () -> print_string src
           | None -> (
               jit_or_exit ();
-              match Jit.compile ~name:jname src with
+              let bp =
+                Blueprint.of_block
+                  ~shapes:e.Blockability.kernel.Kernel_def.shapes block_stmts
+              in
+              match Jit.compile_blueprint ~name:jname bp with
               | Error m ->
                   prerr_endline ("blockc compile: " ^ m);
                   exit 1
               | Ok l ->
+                  let disposition = Jit.disposition_name l.Jit.disposition in
                   if json then
                     print_endline
                       (jobj
                          [
                            ("kernel", jstr e.Blockability.name);
                            ("variant", jstr jname);
+                           ("blueprint", jstr bp.Blueprint.key);
                            ("key", jstr l.Jit.key);
+                           ("disposition", jstr disposition);
+                           ( "compile_s",
+                             Printf.sprintf "%.6f" l.Jit.compile_s );
                            ("cmxs", jstr l.Jit.cmxs);
                            ("cached", string_of_bool l.Jit.cached);
                          ])
                   else
-                    Printf.printf "compiled %s -> %s%s\n" jname l.Jit.cmxs
-                      (if l.Jit.cached then " (jit cache hit)" else "")))
+                    Printf.printf
+                      "compiled %s -> %s (blueprint %s, %s, %.3fs)\n" jname
+                      l.Jit.cmxs
+                      (String.sub bp.Blueprint.key 0 12)
+                      disposition l.Jit.compile_s))
   in
   Cmd.v
     (Cmd.info "compile"
@@ -999,6 +1011,8 @@ let json_of_fuzz (s : Fuzz.summary) =
           [
             ("checked", string_of_int s.native_checked);
             ("divergences", string_of_int s.native_divergences);
+            ("blueprints", string_of_int s.native_blueprints);
+            ("blueprint_reuses", string_of_int s.native_blueprint_reuses);
           ] );
       ( "passes",
         jarr
@@ -1026,8 +1040,10 @@ let print_fuzz (s : Fuzz.summary) =
     s.depth_counts.(2) s.rect s.triangular s.trapezoidal s.guarded
     s.oracle_checked s.oracle_violations s.reparsed;
   if s.native_checked > 0 || s.native_divergences > 0 then
-    Printf.printf "native cross-checks: %d (divergences %d)\n"
-      s.native_checked s.native_divergences;
+    Printf.printf
+      "native cross-checks: %d (divergences %d, %d blueprints, %d reused)\n"
+      s.native_checked s.native_divergences s.native_blueprints
+      s.native_blueprint_reuses;
   let tbl =
     Table.create ~title:"Per-pass differential results"
       [
@@ -1096,6 +1112,46 @@ let fuzz_cmd =
        ~exits)
     (traced Term.(const run $ iters_arg $ seed_arg $ only_arg $ native_flag $ json_flag))
 
+(* ---- serve ---- *)
+
+let serve_cmd =
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Listen on a Unix-domain socket at $(docv) instead of serving \
+             stdin/stdout; connections are served until a client sends \
+             $(b,shutdown).")
+  in
+  let workers_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "workers" ] ~docv:"N"
+          ~doc:"Request-handling worker domains (default 2).")
+  in
+  let run socket workers () =
+    (match Jit.available () with
+    | Ok () -> ()
+    | Error m ->
+        Printf.eprintf "blockc serve: %s\n" m;
+        exit 2);
+    match socket with
+    | None -> Serve.run_stdio ~workers ()
+    | Some path -> Serve.run_socket ~workers path
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the batched compile/execute request server: newline-delimited \
+          JSON requests ($(b,ping), $(b,derive), $(b,compile), $(b,execute), \
+          $(b,batch), $(b,profile), $(b,status), $(b,shutdown)) over \
+          stdin/stdout or a Unix socket, distributed across a domain pool \
+          and sharing one blueprint-keyed JIT cache."
+       ~exits)
+    (traced Term.(const run $ socket_arg $ workers_arg))
+
 let () =
   let doc = "compiler blockability of numerical algorithms (Carr-Kennedy SC'92)" in
   let info = Cmd.info "blockc" ~doc ~exits in
@@ -1125,7 +1181,7 @@ let () =
     Cmd.group ~default info
       [ list_cmd; show_cmd; derive_cmd; verify_cmd; simulate_cmd; explain_cmd;
         profile_cmd; sections_cmd; parse_cmd; lower_cmd; compile_cmd;
-        fuzz_cmd ]
+        fuzz_cmd; serve_cmd ]
   in
   (* Typed runtime errors become one-line diagnostics, not backtraces. *)
   match Cmd.eval group with

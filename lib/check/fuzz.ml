@@ -28,6 +28,8 @@ type summary = {
   reparsed : int;
   native_checked : int;
   native_divergences : int;
+  native_blueprints : int;
+  native_blueprint_reuses : int;
   passes : pass_stat list;
   failures : string list;
 }
@@ -52,6 +54,8 @@ type stats = {
   mutable st_reparsed : int;
   mutable st_native : int;
   mutable st_native_bad : int;
+  st_bp_keys : (string, unit) Hashtbl.t;
+  mutable st_bp_reuse : int;
   st_passes : (string, pstat) Hashtbl.t;
 }
 
@@ -68,6 +72,8 @@ let fresh_stats () =
     st_reparsed = 0;
     st_native = 0;
     st_native_bad = 0;
+    st_bp_keys = Hashtbl.create 16;
+    st_bp_reuse = 0;
     st_passes = Hashtbl.create 16;
   }
 
@@ -441,18 +447,60 @@ let native_shapes =
       (name, List.map (fun (lo, hi) -> (Expr.Int lo, Expr.Int hi)) dims))
     Gen_prog.farrays
 
-let native_check (p : Gen_prog.t) =
+let native_check stats (p : Gen_prog.t) =
   let e_interp = make_env p None ~fill_seed:p.fill_seed in
   let e_native = make_env p None ~fill_seed:p.fill_seed in
   Exec.run e_interp p.block;
-  match
-    Jit.run_block ~shapes:native_shapes ~name:"fuzz_native" p.block e_native
-  with
-  | Error m -> Some ("native run failed: " ^ m)
-  | Ok () ->
-      Option.map
-        (fun m -> "native run diverges from the interpreter: " ^ m)
-        (Env.diff ~only:real_names e_interp e_native)
+  (* Explicitly through the blueprint layer: generated programs have
+     random concrete bounds, so hoisting makes structurally-equal
+     programs of different sizes share one compiled plugin — every
+     memo hit below is a reuse of a blueprint under fresh size
+     bindings, still checked bitwise against the interpreter. *)
+  let bp = Blueprint.of_block ~shapes:native_shapes p.block in
+  if Hashtbl.mem stats.st_bp_keys bp.Blueprint.key then
+    stats.st_bp_reuse <- stats.st_bp_reuse + 1
+  else Hashtbl.add stats.st_bp_keys bp.Blueprint.key ();
+  match Jit.compile_blueprint ~name:"fuzz_native" bp with
+  | Error m -> Some ("native compile failed: " ^ m)
+  | Ok l -> (
+      let diff_run e_interp e_native block =
+        Exec.run e_interp block;
+        match Jit.run ~bindings:bp.Blueprint.bindings l.Jit.fn e_native with
+        | Error m -> Some ("native run failed: " ^ m)
+        | Ok () ->
+            Option.map
+              (fun m -> "native run diverges from the interpreter: " ^ m)
+              (Env.diff ~only:real_names e_interp e_native)
+      in
+      match Jit.run ~bindings:bp.Blueprint.bindings l.Jit.fn e_native with
+      | Error m -> Some ("native run failed: " ^ m)
+      | Ok () -> (
+          match Env.diff ~only:real_names e_interp e_native with
+          | Some m ->
+              Some ("native run diverges from the interpreter: " ^ m)
+          | None ->
+              (* Rerun the same compiled plugin under rotated size
+                 bindings — each stays inside the generator's own range
+                 ([N], [M] in 1-7, [KS] in 1-4), so in-bounds holds —
+                 and check bitwise again: shape polymorphism exercised
+                 on every program, not only when two random programs
+                 happen to share a structure. *)
+              stats.st_bp_reuse <- stats.st_bp_reuse + 1;
+              let rotate hi v = (v mod hi) + 1 in
+              let p2 =
+                {
+                  p with
+                  Gen_prog.bindings =
+                    List.map
+                      (fun (k, v) ->
+                        (k, rotate (if String.equal k "KS" then 4 else 7) v))
+                      p.Gen_prog.bindings;
+                }
+              in
+              diff_run
+                (make_env p2 None ~fill_seed:p.fill_seed)
+                (make_env p2 None ~fill_seed:p.fill_seed)
+                p2.Gen_prog.block))
 
 (* ---- the property ------------------------------------------------- *)
 
@@ -512,7 +560,7 @@ let property ?only ~native stats (p : Gen_prog.t) =
   end;
   if native then begin
     stats.st_native <- stats.st_native + 1;
-    match native_check p with
+    match native_check stats p with
     | None -> ()
     | Some m ->
         stats.st_native_bad <- stats.st_native_bad + 1;
@@ -540,6 +588,8 @@ let summarize ~iters ~seed stats failures =
     reparsed = stats.st_reparsed;
     native_checked = stats.st_native;
     native_divergences = stats.st_native_bad;
+    native_blueprints = Hashtbl.length stats.st_bp_keys;
+    native_blueprint_reuses = stats.st_bp_reuse;
     passes =
       List.map
         (fun (name, _) ->

@@ -49,6 +49,13 @@ type summary = {
   native_checked : int;  (** programs also run through the native JIT *)
   native_divergences : int;
       (** native runs that were not bitwise equal to the interpreter *)
+  native_blueprints : int;
+      (** distinct blueprint keys among the native-checked programs *)
+  native_blueprint_reuses : int;
+      (** runs satisfied by an already-compiled blueprint under fresh
+          size bindings: every program is rerun (and re-checked
+          bitwise) at rotated sizes through its just-compiled plugin,
+          plus any structural collisions between random programs *)
   passes : pass_stat list;
   failures : string list;  (** rendered, shrunk counterexamples *)
 }
@@ -65,11 +72,15 @@ val run :
     counterexample is a [Ok] summary with non-empty [failures].
 
     With [native] (default false), every generated program is
-    additionally compiled to native code ({!Jit.run_block}) and the
-    result checked bitwise against the interpreter — the same
+    additionally normalized to a {!Blueprint}, compiled to native code
+    ({!Jit.compile_blueprint}) and run under its hoisted size bindings,
+    with the result checked bitwise against the interpreter — the same
     differential contract the transformation passes satisfy, applied to
-    the code generator itself.  Expect roughly 100ms of [ocamlopt] per
-    distinct program on a cold cache. *)
+    the code generator, the normalization, and the binding preamble at
+    once.  Structurally-equal programs of different sizes share one
+    compiled plugin (counted in [native_blueprint_reuses]), so expect
+    roughly 100ms of [ocamlopt] per distinct {e structure}, not per
+    program, on a cold cache. *)
 
 val ok : summary -> bool
 (** No divergences (interpreted or native), no oracle violations, no

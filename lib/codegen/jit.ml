@@ -11,7 +11,21 @@ type fn =
   * (string -> int -> unit)
   -> unit
 
-type loaded = { key : string; cmxs : string; cached : bool; fn : fn }
+type disposition = Memo | Disk | Compiled
+
+type loaded = {
+  key : string;
+  cmxs : string;
+  cached : bool;
+  disposition : disposition;
+  compile_s : float;
+  fn : fn;
+}
+
+let disposition_name = function
+  | Memo -> "memo"
+  | Disk -> "disk"
+  | Compiled -> "compiled"
 
 (* ---- compiler discovery ------------------------------------------ *)
 
@@ -94,29 +108,117 @@ let extract (e : exn) : fn option =
   end
   else None
 
+(* Dynlink keeps global state; serialize loads across domains. *)
+let dynlink_mu = Mutex.create ()
+
 let load ~name cmxs =
   Obs.span ~cat:"jit" "jit.load"
     ~args:[ ("kernel", Obs.Str name); ("cmxs", Obs.Str cmxs) ]
   @@ fun () ->
-  match Dynlink.loadfile_private cmxs with
-  | () -> Error (name ^ ": plugin did not provide a kernel entry point")
-  | exception Dynlink.Error (Dynlink.Library's_module_initializers_failed e)
-    -> (
-      match extract e with
-      | Some fn -> Ok fn
-      | None -> Error (name ^ ": plugin failed to load: " ^ Printexc.to_string e))
-  | exception Dynlink.Error err ->
-      Error (name ^ ": dynlink: " ^ Dynlink.error_message err)
+  Mutex.lock dynlink_mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock dynlink_mu)
+    (fun () ->
+      match Dynlink.loadfile_private cmxs with
+      | () -> Error (name ^ ": plugin did not provide a kernel entry point")
+      | exception Dynlink.Error (Dynlink.Library's_module_initializers_failed e)
+        -> (
+          match extract e with
+          | Some fn -> Ok fn
+          | None ->
+              Error (name ^ ": plugin failed to load: " ^ Printexc.to_string e))
+      | exception Dynlink.Error err ->
+          Error (name ^ ": dynlink: " ^ Dynlink.error_message err))
+
+(* ---- the in-process memo (bounded, shared, single-flight) --------- *)
+
+(* One lock guards the memo and the in-flight set.  Compilation and
+   loading happen outside the lock; a request whose key is already being
+   built waits on [built_cond] instead of racing a second ocamlopt —
+   the single-flight guarantee the serve daemon relies on. *)
+let mu = Mutex.create ()
+let built_cond = Condition.create ()
+
+type slot = { sfn : fn; mutable last_used : int }
+
+let memo : (string, slot) Hashtbl.t = Hashtbl.create 16
+let in_flight : (string, unit) Hashtbl.t = Hashtbl.create 4
+let clock = ref 0
+let invocations = ref 0
+let evictions = ref 0
+let dedup_hits = ref 0
+
+let memo_cap () =
+  match Option.bind (Sys.getenv_opt "BLOCKC_JIT_MEMO_CAP") int_of_string_opt with
+  | Some n when n >= 1 -> n
+  | _ -> 64
+
+let compiler_invocations () =
+  Mutex.lock mu;
+  let n = !invocations in
+  Mutex.unlock mu;
+  n
+
+let memo_evictions () =
+  Mutex.lock mu;
+  let n = !evictions in
+  Mutex.unlock mu;
+  n
+
+let memo_size () =
+  Mutex.lock mu;
+  let n = Hashtbl.length memo in
+  Mutex.unlock mu;
+  n
+
+let dedup_waits () =
+  Mutex.lock mu;
+  let n = !dedup_hits in
+  Mutex.unlock mu;
+  n
+
+let eviction_counter = lazy (Obs.Metrics.counter "jit.memo_evictions")
+let dedup_counter = lazy (Obs.Metrics.counter "jit.compile_dedup_hits")
+
+(* Caller holds [mu]. *)
+let memo_touch slot =
+  incr clock;
+  slot.last_used <- !clock
+
+(* Caller holds [mu].  Evict least-recently-used entries down to the
+   cap; the serve daemon compiles unboundedly many distinct blueprints
+   over its lifetime and must not hold every closure forever. *)
+let memo_insert key fn =
+  incr clock;
+  Hashtbl.replace memo key { sfn = fn; last_used = !clock };
+  let cap = memo_cap () in
+  while Hashtbl.length memo > cap do
+    let victim =
+      Hashtbl.fold
+        (fun k s acc ->
+          match acc with
+          | Some (_, best) when best.last_used <= s.last_used -> acc
+          | _ -> Some (k, s))
+        memo None
+    in
+    match victim with
+    | None -> assert false (* the table has more than [cap >= 1] entries *)
+    | Some (k, _) ->
+        Hashtbl.remove memo k;
+        incr evictions;
+        Obs.Metrics.incr (Lazy.force eviction_counter)
+  done
 
 (* ---- compilation -------------------------------------------------- *)
-
-let memo : (string, fn) Hashtbl.t = Hashtbl.create 16
 
 let first_lines ?(n = 4) s =
   let lines = String.split_on_char '\n' (String.trim s) in
   String.concat " | " (List.filteri (fun i _ -> i < n) lines)
 
-let compile ?ocamlopt ~name source =
+(* Build (or fetch) the plugin for [key].  [source] is only forced on a
+   memo miss, so the warm path is a hash lookup and nothing else. *)
+let compile_keyed ?ocamlopt ~name ~key (source : unit -> (string, string) result)
+    =
   if not Dynlink.is_native then
     Error "bytecode host: Dynlink cannot load native plugins"
   else
@@ -126,68 +228,149 @@ let compile ?ocamlopt ~name source =
     match compiler with
     | None -> Error "ocamlopt not found on PATH (set BLOCKC_OCAMLOPT)"
     | Some compiler -> (
-        let key =
-          Digest.to_hex (Digest.string (Sys.ocaml_version ^ "\x00" ^ source))
+        let cmxs_path () =
+          Filename.concat (cache_dir ()) ("bk_" ^ key ^ ".cmxs")
         in
-        match Hashtbl.find_opt memo key with
-        | Some fn ->
+        let rec claim waited =
+          match Hashtbl.find_opt memo key with
+          | Some slot ->
+              memo_touch slot;
+              `Memo slot.sfn
+          | None ->
+              if Hashtbl.mem in_flight key then begin
+                if not waited then begin
+                  incr dedup_hits;
+                  Obs.Metrics.incr (Lazy.force dedup_counter)
+                end;
+                Condition.wait built_cond mu;
+                claim true
+              end
+              else begin
+                Hashtbl.add in_flight key ();
+                `Ours
+              end
+        in
+        Mutex.lock mu;
+        let claimed = claim false in
+        Mutex.unlock mu;
+        match claimed with
+        | `Memo fn ->
             Ok
               {
                 key;
-                cmxs = Filename.concat (cache_dir ()) ("bk_" ^ key ^ ".cmxs");
+                cmxs = cmxs_path ();
                 cached = true;
+                disposition = Memo;
+                compile_s = 0.0;
                 fn;
               }
-        | None -> (
+        | `Ours -> (
+            let release () =
+              Mutex.lock mu;
+              Hashtbl.remove in_flight key;
+              Condition.broadcast built_cond;
+              Mutex.unlock mu
+            in
             let dir = cache_dir () in
             mkdirs dir;
             let base = "bk_" ^ key in
             let ml = Filename.concat dir (base ^ ".ml") in
             let cmxs = Filename.concat dir (base ^ ".cmxs") in
             let on_disk = Sys.file_exists cmxs in
+            let t0 = Unix.gettimeofday () in
             let built =
               if on_disk then Ok ()
               else
-                Obs.span ~cat:"jit" "jit.compile"
-                  ~args:[ ("kernel", Obs.Str name); ("key", Obs.Str key) ]
-                @@ fun () ->
-                write_file ml source;
-                let tmp = Filename.concat dir (base ^ ".tmp.cmxs") in
-                let errf = Filename.concat dir (base ^ ".err") in
-                let cmd =
-                  Printf.sprintf "%s -shared -w -a -o %s %s 2> %s"
-                    (Filename.quote compiler) (Filename.quote tmp)
-                    (Filename.quote ml) (Filename.quote errf)
-                in
-                let rc = Sys.command cmd in
-                if rc <> 0 then
-                  Error
-                    (Printf.sprintf "%s: ocamlopt failed (exit %d): %s" name rc
-                       (first_lines (read_file errf)))
-                else begin
-                  (try Sys.rename tmp cmxs
-                   with Sys_error m -> failwith m);
-                  Ok ()
-                end
+                match source () with
+                | Error _ as e -> e
+                | Ok source ->
+                    Obs.span ~cat:"jit" "jit.compile"
+                      ~args:[ ("kernel", Obs.Str name); ("key", Obs.Str key) ]
+                    @@ fun () ->
+                    write_file ml source;
+                    let tmp = Filename.concat dir (base ^ ".tmp.cmxs") in
+                    let errf = Filename.concat dir (base ^ ".err") in
+                    let cmd =
+                      Printf.sprintf "%s -shared -w -a -o %s %s 2> %s"
+                        (Filename.quote compiler) (Filename.quote tmp)
+                        (Filename.quote ml) (Filename.quote errf)
+                    in
+                    Mutex.lock mu;
+                    incr invocations;
+                    Mutex.unlock mu;
+                    let rc = Sys.command cmd in
+                    if rc <> 0 then
+                      Error
+                        (Printf.sprintf "%s: ocamlopt failed (exit %d): %s" name
+                           rc
+                           (first_lines (read_file errf)))
+                    else begin
+                      (try Sys.rename tmp cmxs with Sys_error m -> failwith m);
+                      Ok ()
+                    end
             in
+            let compile_s = Unix.gettimeofday () -. t0 in
             match built with
-            | Error _ as e -> e
+            | Error _ as e ->
+                release ();
+                e
             | Ok () -> (
                 match load ~name cmxs with
-                | Error _ as e -> e
+                | Error _ as e ->
+                    release ();
+                    e
                 | Ok fn ->
-                    Hashtbl.replace memo key fn;
-                    Ok { key; cmxs; cached = on_disk; fn })))
+                    Mutex.lock mu;
+                    memo_insert key fn;
+                    Hashtbl.remove in_flight key;
+                    Condition.broadcast built_cond;
+                    Mutex.unlock mu;
+                    Ok
+                      {
+                        key;
+                        cmxs;
+                        cached = on_disk;
+                        disposition = (if on_disk then Disk else Compiled);
+                        compile_s;
+                        fn;
+                      })))
+
+let compile ?ocamlopt ~name source =
+  let key =
+    Digest.to_hex (Digest.string (Sys.ocaml_version ^ "\x00" ^ source))
+  in
+  compile_keyed ?ocamlopt ~name ~key (fun () -> Ok source)
+
+(* The plugin's module name comes from its file name (the key), so the
+   emitted text must not vary with the caller's diagnostic name — one
+   blueprint, one source, one artifact. *)
+let compile_blueprint ?ocamlopt ~name (bp : Blueprint.t) =
+  let key =
+    Digest.to_hex
+      (Digest.string (Sys.ocaml_version ^ "\x00blueprint\x00" ^ bp.Blueprint.key))
+  in
+  let source () =
+    emit ~unsafe:bp.Blueprint.unsafe ~shapes:bp.Blueprint.shapes
+      ~name:("bp_" ^ String.sub bp.Blueprint.key 0 12)
+      bp.Blueprint.block
+  in
+  Obs.span ~cat:"jit" "jit.compile_blueprint"
+    ~args:[ ("kernel", Obs.Str name); ("blueprint", Obs.Str bp.Blueprint.key) ]
+  @@ fun () -> compile_keyed ?ocamlopt ~name ~key source
 
 (* ---- execution ---------------------------------------------------- *)
 
 let flat_dims dims =
   Array.of_list (List.concat_map (fun (lo, hi) -> [ lo; hi ]) dims)
 
-let run fn env =
+let run ?(bindings = []) fn env =
   Obs.span ~cat:"jit" "jit.run"
   @@ fun () ->
-  let geti n = if Env.has_iscalar env n then Env.iscalar env n else 0 in
+  let geti n =
+    match List.assoc_opt n bindings with
+    | Some v -> v
+    | None -> if Env.has_iscalar env n then Env.iscalar env n else 0
+  in
   let getf n = if Env.has_fscalar env n then Env.fscalar env n else 0.0 in
   let getfa = Env.farray_data env in
   let getia = Env.iarray_data env in
@@ -203,9 +386,7 @@ let run fn env =
   | exception Invalid_argument m -> Error ("out of bounds: " ^ m)
 
 let run_block ?unsafe ?shapes ~name blk env =
-  match emit ?unsafe ?shapes ~name blk with
+  let bp = Blueprint.of_block ?unsafe ?shapes blk in
+  match compile_blueprint ~name bp with
   | Error m -> Error m
-  | Ok source -> (
-      match compile ~name source with
-      | Error m -> Error m
-      | Ok { fn; _ } -> run fn env)
+  | Ok { fn; _ } -> run ~bindings:bp.Blueprint.bindings fn env

@@ -9,20 +9,41 @@
     constructor's name.
 
     Compiled plugins are cached on disk under [_build/.jitcache]
-    (override with [BLOCKC_JIT_CACHE]), keyed by the digest of the
-    emitted source and the compiler version, plus an in-process memo so
-    a kernel is never loaded twice into one process.
+    (override with [BLOCKC_JIT_CACHE]).  The cache key is the
+    {!Blueprint} digest xor the compiler version for the
+    {!compile_blueprint} path — so one loop structure is one artifact
+    no matter how many problem sizes it runs at — and the raw source
+    digest for the legacy {!compile} path.  An in-process memo avoids
+    even the [Dynlink] load on repeat requests; it is LRU-bounded
+    ([BLOCKC_JIT_MEMO_CAP], default 64) so a long-running daemon cannot
+    grow without limit, with evictions counted in
+    [Obs.Metrics "jit.memo_evictions"].  Concurrent compiles of the
+    same key are single-flighted: one request builds, the rest wait and
+    share the result ([jit.compile_dedup_hits]).
 
     Every stage records an Obs span ([jit.emit], [jit.compile],
-    [jit.load], [jit.run]) so [--trace] covers the native path. *)
+    [jit.compile_blueprint], [jit.load], [jit.run]) so [--trace] covers
+    the native path. *)
 
 type fn
 (** A loaded kernel entry point. *)
 
+(** How a compile request was satisfied: from the in-process memo, from
+    the on-disk artifact cache, or by actually running [ocamlopt]. *)
+type disposition = Memo | Disk | Compiled
+
+val disposition_name : disposition -> string
+(** ["memo"], ["disk"] or ["compiled"] — the spelling the CLI's
+    [--json] output and the serve protocol use. *)
+
 type loaded = {
-  key : string;  (** cache key (source digest) *)
+  key : string;  (** full cache key (blueprint or source digest) *)
   cmxs : string;  (** path of the compiled plugin *)
   cached : bool;  (** true when the compile step was skipped *)
+  disposition : disposition;
+  compile_s : float;
+      (** wall-clock seconds spent producing the artifact; 0 for memo
+          hits, the [ocamlopt] wall time for fresh compiles *)
   fn : fn;
 }
 
@@ -42,17 +63,27 @@ val emit :
 (** {!Emit.source} wrapped in a [jit.emit] span. *)
 
 val compile : ?ocamlopt:string -> name:string -> string -> (loaded, string) result
-(** Compile (or fetch from cache) and load emitted source.  [name] is
-    only for diagnostics and spans.  [ocamlopt] overrides compiler
-    discovery — pointing it at a non-compiler is how the fallback path
-    is tested. *)
+(** Compile (or fetch from cache) and load emitted source, keyed by the
+    source digest.  [name] is only for diagnostics and spans.
+    [ocamlopt] overrides compiler discovery — pointing it at a
+    non-compiler is how the fallback path is tested. *)
 
-val run : fn -> Env.t -> (unit, string) result
+val compile_blueprint :
+  ?ocamlopt:string -> name:string -> Blueprint.t -> (loaded, string) result
+(** Compile (or fetch) the plugin for a normalized blueprint, keyed by
+    [Blueprint.key] xor the compiler version.  Emission only happens on
+    a cache miss: the warm path is a hash lookup.  Run the result with
+    {!run}[ ~bindings:bp.Blueprint.bindings]. *)
+
+val run :
+  ?bindings:(string * int) list -> fn -> Env.t -> (unit, string) result
 (** Execute a loaded kernel against an environment: parameters and
     scalars are read from it, array buffers are shared with it (the
     kernel writes results in place), and scalar results are written
-    back.  Runtime failures (zero step, negative SQRT, out-of-bounds
-    checked access) come back as [Error]. *)
+    back.  [bindings] take precedence over the environment's integer
+    scalars — they close the parameters a {!Blueprint} hoisted.
+    Runtime failures (zero step, negative SQRT, out-of-bounds checked
+    access) come back as [Error]. *)
 
 val run_block :
   ?unsafe:bool ->
@@ -61,4 +92,25 @@ val run_block :
   Stmt.t list ->
   Env.t ->
   (unit, string) result
-(** [emit] + [compile] + [run] in one step. *)
+(** Blueprint-normalize, compile and run in one step: repeated calls
+    with blocks that share a loop structure share one compile. *)
+
+(** {1 Cache introspection}
+
+    Process-wide counters, exact regardless of whether [Obs.Metrics]
+    collection is enabled — the compile-count acceptance tests and the
+    serve daemon's status report read them. *)
+
+val compiler_invocations : unit -> int
+(** Number of actual [ocamlopt] runs so far in this process. *)
+
+val memo_size : unit -> int
+(** Entries currently held by the in-process memo. *)
+
+val memo_evictions : unit -> int
+(** LRU evictions so far (also mirrored to
+    [Obs.Metrics "jit.memo_evictions"] when metrics are on). *)
+
+val dedup_waits : unit -> int
+(** Requests that found their key already being compiled and waited for
+    the in-flight build instead of starting another. *)

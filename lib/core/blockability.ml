@@ -427,7 +427,7 @@ type native_result = {
 
 (* Native results must be bitwise equal to the interpreter on the same
    initial environment; a diff here is a codegen bug, never tolerance. *)
-let native_verify kernel ~traced fn block ~bindings ~seed =
+let native_verify kernel ~traced ~jit_bindings fn block ~bindings ~seed =
   match Kernel_def.make_env kernel ~bindings ~seed with
   | exception Invalid_argument m -> Some m
   | env_i -> (
@@ -436,18 +436,18 @@ let native_verify kernel ~traced fn block ~bindings ~seed =
       | exception Env.Error m -> Some ("interpreter failed: " ^ m)
       | () -> (
           let env_n = Kernel_def.make_env kernel ~bindings ~seed in
-          match Jit.run fn env_n with
+          match Jit.run ~bindings:jit_bindings fn env_n with
           | Error m -> Some ("native run failed: " ^ m)
           | Ok () -> Env.diff ~only:traced env_i env_n))
 
-let native_time kernel fn ~bindings ~seed ~reps =
+let native_time kernel ~jit_bindings fn ~bindings ~seed ~reps =
   let best = ref infinity in
   let failed = ref None in
   for _ = 1 to max 1 reps do
     if !failed = None then begin
       let env = Kernel_def.make_env kernel ~bindings ~seed in
       let t0 = Obs.now_ns () in
-      match Jit.run fn env with
+      match Jit.run ~bindings:jit_bindings fn env with
       | Error m -> failed := Some m
       | Ok () ->
           let dt = float_of_int (Obs.now_ns () - t0) /. 1e9 in
@@ -471,23 +471,29 @@ let native_compare ?bindings ?verify_bindings ?(seed = 42) ?(reps = 3) ?block
           let kernel = with_scratch entry in
           let shapes = entry.kernel.Kernel_def.shapes in
           let traced = entry.kernel.Kernel_def.traced in
+          (* Blueprint-keyed: all sizes of one structure share a single
+             compiled artifact, so comparing a kernel at several [N]s
+             costs one ocamlopt run per variant, process-wide. *)
           let jit variant blk =
-            match Jit.emit ~shapes ~name:(entry.name ^ "_" ^ variant) blk with
-            | Error m -> Error m
-            | Ok src -> Jit.compile ~name:(entry.name ^ "_" ^ variant) src
+            let bp = Blueprint.of_block ~shapes blk in
+            Result.map
+              (fun l -> (l, bp.Blueprint.bindings))
+              (Jit.compile_blueprint ~name:(entry.name ^ "_" ^ variant) bp)
           in
           match (jit "point" kernel.Kernel_def.block, jit "transformed" [ result ]) with
           | Error m, _ | _, Error m -> Error m
-          | Ok point, Ok transformed -> (
+          | Ok (point, point_bb), Ok (transformed, transformed_bb) -> (
               let bad =
                 match
-                  native_verify kernel ~traced point.Jit.fn
-                    kernel.Kernel_def.block ~bindings:verify_bindings ~seed
+                  native_verify kernel ~traced ~jit_bindings:point_bb
+                    point.Jit.fn kernel.Kernel_def.block
+                    ~bindings:verify_bindings ~seed
                 with
                 | Some m -> Some ("point: " ^ m)
                 | None -> (
                     match
-                      native_verify kernel ~traced transformed.Jit.fn [ result ]
+                      native_verify kernel ~traced ~jit_bindings:transformed_bb
+                        transformed.Jit.fn [ result ]
                         ~bindings:(extra @ verify_bindings) ~seed
                     with
                     | Some m -> Some ("transformed: " ^ m)
@@ -497,9 +503,11 @@ let native_compare ?bindings ?verify_bindings ?(seed = 42) ?(reps = 3) ?block
               | Some m -> Error (entry.name ^ ": native diverges: " ^ m)
               | None -> (
                   match
-                    ( native_time kernel point.Jit.fn ~bindings ~seed ~reps,
-                      native_time kernel transformed.Jit.fn
-                        ~bindings:(extra @ bindings) ~seed ~reps )
+                    ( native_time kernel ~jit_bindings:point_bb point.Jit.fn
+                        ~bindings ~seed ~reps,
+                      native_time kernel ~jit_bindings:transformed_bb
+                        transformed.Jit.fn ~bindings:(extra @ bindings) ~seed
+                        ~reps )
                   with
                   | Error m, _ -> Error (entry.name ^ ": point: " ^ m)
                   | _, Error m -> Error (entry.name ^ ": transformed: " ^ m)

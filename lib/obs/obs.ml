@@ -288,6 +288,7 @@ module Metrics = struct
   type counter = { cname : string; n : int Atomic.t }
   type histogram = { hname : string; hbuckets : int Atomic.t array }
   type timer = { tname : string; total : int Atomic.t; tcalls : int Atomic.t }
+  type gauge = { gname : string; gvalue : int Atomic.t; gpeak : int Atomic.t }
 
   (* 2^0 .. 2^30, plus an overflow bucket. *)
   let n_buckets = 32
@@ -296,6 +297,7 @@ module Metrics = struct
   let counters : counter list ref = ref []
   let histograms : histogram list ref = ref []
   let timers : timer list ref = ref []
+  let gauges : gauge list ref = ref []
 
   let counter name =
     Mutex.lock reg_mu;
@@ -376,6 +378,34 @@ module Metrics = struct
   let total_ns t = Atomic.get t.total
   let calls t = Atomic.get t.tcalls
 
+  let gauge name =
+    Mutex.lock reg_mu;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock reg_mu)
+      (fun () ->
+        match List.find_opt (fun g -> String.equal g.gname name) !gauges with
+        | Some g -> g
+        | None ->
+            let g =
+              { gname = name; gvalue = Atomic.make 0; gpeak = Atomic.make 0 }
+            in
+            gauges := g :: !gauges;
+            g)
+
+  let set_gauge g v =
+    if !on then begin
+      Atomic.set g.gvalue v;
+      (* lock-free watermark: lose the race, retry against the new peak *)
+      let rec bump () =
+        let p = Atomic.get g.gpeak in
+        if v > p && not (Atomic.compare_and_set g.gpeak p v) then bump ()
+      in
+      bump ()
+    end
+
+  let gauge_value g = Atomic.get g.gvalue
+  let gauge_peak g = Atomic.get g.gpeak
+
   let snapshot () =
     let cs = List.map (fun c -> (c.cname, Atomic.get c.n)) !counters in
     let ts =
@@ -391,7 +421,13 @@ module Metrics = struct
             (buckets h))
         !histograms
     in
-    List.sort (fun (a, _) (b, _) -> String.compare a b) (cs @ ts @ hs)
+    let gs =
+      List.concat_map
+        (fun g ->
+          [ (g.gname ^ ".value", gauge_value g); (g.gname ^ ".peak", gauge_peak g) ])
+        !gauges
+    in
+    List.sort (fun (a, _) (b, _) -> String.compare a b) (cs @ ts @ hs @ gs)
 
   let report () =
     let buf = Buffer.create 512 in
@@ -407,6 +443,12 @@ module Metrics = struct
              (if calls > 0 then Printf.sprintf " (%.0fns/call)" (float_of_int ns /. float_of_int calls)
               else "")))
       (List.sort (fun a b -> String.compare a.tname b.tname) !timers);
+    List.iter
+      (fun g ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %-32s %12d (peak %d)\n" g.gname (gauge_value g)
+             (gauge_peak g)))
+      (List.sort (fun a b -> String.compare a.gname b.gname) !gauges);
     List.iter
       (fun h ->
         match buckets h with
@@ -427,5 +469,10 @@ module Metrics = struct
       (fun () ->
         List.iter (fun c -> Atomic.set c.n 0) !counters;
         List.iter (fun t -> Atomic.set t.total 0; Atomic.set t.tcalls 0) !timers;
-        List.iter (fun h -> Array.iter (fun b -> Atomic.set b 0) h.hbuckets) !histograms)
+        List.iter (fun h -> Array.iter (fun b -> Atomic.set b 0) h.hbuckets) !histograms;
+        List.iter
+          (fun g ->
+            Atomic.set g.gvalue 0;
+            Atomic.set g.gpeak 0)
+          !gauges)
 end

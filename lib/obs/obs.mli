@@ -142,10 +142,23 @@ module Metrics : sig
   val total_ns : timer -> int
   val calls : timer -> int
 
+  type gauge
+
+  val gauge : string -> gauge
+  (** A sampled level (queue depth, memo size) with a high-water mark;
+      find-or-create by name like the other metric kinds. *)
+
+  val set_gauge : gauge -> int -> unit
+  (** Record the current level; the peak is updated lock-free. *)
+
+  val gauge_value : gauge -> int
+  val gauge_peak : gauge -> int
+
   val snapshot : unit -> (string * int) list
   (** Flat view of everything: ["name"] for counters,
       ["name.ns"]/["name.calls"] for timers, ["name.le_N"] for
-      histogram buckets.  Sorted by key. *)
+      histogram buckets, ["name.value"]/["name.peak"] for gauges.
+      Sorted by key. *)
 
   val report : unit -> string
   (** Human-readable multi-line rendering of [snapshot] plus derived

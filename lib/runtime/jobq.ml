@@ -1,0 +1,78 @@
+(* Closable multi-producer/multi-consumer queue: see jobq.mli. *)
+
+type 'a t = {
+  mu : Mutex.t;
+  nonempty : Condition.t;
+  items : (int * 'a) Queue.t;  (* enqueue timestamp (ns), payload *)
+  mutable closed : bool;
+  depth_gauge : Obs.Metrics.gauge;
+  wait_timer : Obs.Metrics.timer;
+}
+
+let create ?(name = "jobq") () =
+  {
+    mu = Mutex.create ();
+    nonempty = Condition.create ();
+    items = Queue.create ();
+    closed = false;
+    depth_gauge = Obs.Metrics.gauge (name ^ ".depth");
+    wait_timer = Obs.Metrics.timer (name ^ ".queue_wait");
+  }
+
+let push t x =
+  Mutex.lock t.mu;
+  if t.closed then begin
+    Mutex.unlock t.mu;
+    invalid_arg "Jobq.push: queue is closed"
+  end;
+  Queue.push (Obs.now_ns (), x) t.items;
+  Obs.Metrics.set_gauge t.depth_gauge (Queue.length t.items);
+  Condition.signal t.nonempty;
+  Mutex.unlock t.mu
+
+let close t =
+  Mutex.lock t.mu;
+  t.closed <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.mu
+
+let pop t =
+  Mutex.lock t.mu;
+  let rec take () =
+    match Queue.take_opt t.items with
+    | Some (enqueued_ns, x) ->
+        Obs.Metrics.set_gauge t.depth_gauge (Queue.length t.items);
+        Mutex.unlock t.mu;
+        let waited = Obs.now_ns () - enqueued_ns in
+        Obs.Metrics.record_ns t.wait_timer waited;
+        if Obs.enabled () then
+          Obs.instant ~cat:"runtime" "jobq.dequeue"
+            ~args:[ ("wait_ns", Obs.Int waited) ];
+        Some x
+    | None ->
+        if t.closed then begin
+          Mutex.unlock t.mu;
+          None
+        end
+        else begin
+          Condition.wait t.nonempty t.mu;
+          take ()
+        end
+  in
+  take ()
+
+let length t =
+  Mutex.lock t.mu;
+  let n = Queue.length t.items in
+  Mutex.unlock t.mu;
+  n
+
+let drain t f =
+  let rec go () =
+    match pop t with
+    | None -> ()
+    | Some x ->
+        f x;
+        go ()
+  in
+  go ()

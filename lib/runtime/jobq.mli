@@ -1,0 +1,39 @@
+(** A closable multi-producer/multi-consumer job queue for the domain
+    pool.
+
+    The serve daemon's shape: one reader pushes decoded requests, the
+    pool's lanes {!drain} them concurrently, and {!close} after the
+    last push lets every lane fall off the end once the backlog is
+    empty — no sentinel values, no busy-waiting (consumers park on a
+    condition variable).
+
+    Instrumented through {!Obs.Metrics} under the queue's name: a
+    [<name>.depth] gauge sampled at every push/pop (with its peak
+    high-water mark) and a [<name>.queue_wait] timer accumulating how
+    long each job sat queued before a lane picked it up; each dequeue
+    also emits a [jobq.dequeue] instant when tracing is on. *)
+
+type 'a t
+
+val create : ?name:string -> unit -> 'a t
+(** An open, empty queue.  [name] (default ["jobq"]) prefixes the
+    metrics this queue records. *)
+
+val push : 'a t -> 'a -> unit
+(** Enqueue a job and wake one waiting consumer.
+    @raise Invalid_argument on a closed queue. *)
+
+val close : 'a t -> unit
+(** No more pushes; waiting and future {!pop}s return [None] once the
+    backlog is drained.  Idempotent. *)
+
+val pop : 'a t -> 'a option
+(** Dequeue the oldest job, blocking while the queue is empty but not
+    yet closed.  [None] means closed-and-drained: the consumer is done. *)
+
+val length : 'a t -> int
+(** Jobs currently queued (racy under concurrency, exact when quiesced). *)
+
+val drain : 'a t -> ('a -> unit) -> unit
+(** [drain t f] pops and runs jobs until {!pop} returns [None] — the
+    body each pool lane runs. *)

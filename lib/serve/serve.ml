@@ -1,0 +1,536 @@
+(* NDJSON compile/execute server on the domain pool: see serve.mli. *)
+
+module J = Json_min
+
+(* ---- JSON construction helpers ---------------------------------- *)
+
+(* Json_min strings are raw (escapes are never decoded), so anything we
+   wrap in [J.String] must already be valid JSON string contents —
+   error messages carry quotes and newlines, escape them here. *)
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let jstr s = J.String (escape s)
+let jint n = J.Number (float_of_int n)
+
+let jbindings bs =
+  J.Object (List.map (fun (k, v) -> (escape k, jint v)) bs)
+
+let wrap ?id ok fields =
+  let fields = ("ok", J.Bool ok) :: fields in
+  J.Object (match id with None -> fields | Some id -> ("id", id) :: fields)
+
+let errorf ?id fmt =
+  Printf.ksprintf (fun m -> wrap ?id false [ ("error", jstr m) ]) fmt
+
+(* ---- request decoding ------------------------------------------- *)
+
+let field req name =
+  match req with J.Object kvs -> List.assoc_opt name kvs | _ -> None
+
+let str_field req name =
+  match field req name with Some (J.String s) -> Some s | _ -> None
+
+let as_int = function
+  | J.Number f when Float.is_integer f -> Some (int_of_float f)
+  | _ -> None
+
+let int_field req name = Option.bind (field req name) as_int
+let request_id req = field req "id"
+
+let bindings_of_json j =
+  match j with
+  | J.Object kvs ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | (k, v) :: rest -> (
+            match as_int v with
+            | Some n -> go ((k, n) :: acc) rest
+            | None -> Error ("binding " ^ k ^ " is not an integer"))
+      in
+      go [] kvs
+  | _ -> Error "bindings must be an object of integers"
+
+let bindings_field req =
+  match field req "bindings" with
+  | None -> Ok []
+  | Some j -> bindings_of_json j
+
+let seed_field req = Option.value (int_field req "seed") ~default:42
+
+(* ---- kernel / variant plumbing ---------------------------------- *)
+
+let kernel_of req =
+  match str_field req "kernel" with
+  | None -> Error "missing \"kernel\""
+  | Some name -> (
+      match Blockability.find name with
+      | Some e -> Ok e
+      | None ->
+          Error
+            ("unknown kernel \"" ^ name ^ "\" (known: "
+            ^ String.concat ", " (Blockability.names ())
+            ^ ")"))
+
+type variant = Point | Transformed
+
+let variant_name = function Point -> "point" | Transformed -> "transformed"
+
+let variant_of req =
+  match Option.value (str_field req "variant") ~default:"point" with
+  | "point" -> Ok Point
+  | "transformed" -> Ok Transformed
+  | v -> Error ("unknown variant \"" ^ v ^ "\" (point | transformed)")
+
+type compiled = {
+  c_entry : Blockability.entry;
+  c_variant : variant;
+  c_bp : Blueprint.t;
+  c_loaded : Jit.loaded;
+}
+
+(* Derivation is pure and the kernel registry is fixed, so the server
+   derives each kernel once; repeat compile/execute requests go
+   straight to the blueprint lookup.  Duplicate derivations during a
+   race are benign (deterministic result). *)
+let derived_mu = Mutex.create ()
+
+let derived : (string, (Stmt.t list, string) result) Hashtbl.t =
+  Hashtbl.create 8
+
+let derived_block entry =
+  let name = entry.Blockability.name in
+  Mutex.lock derived_mu;
+  match Hashtbl.find_opt derived name with
+  | Some r ->
+      Mutex.unlock derived_mu;
+      r
+  | None ->
+      Mutex.unlock derived_mu;
+      let r =
+        match Blockability.derive entry with
+        | Error e -> Error ("derivation failed: " ^ e)
+        | Ok { Blocker.result; _ } -> Ok [ result ]
+      in
+      Mutex.lock derived_mu;
+      Hashtbl.replace derived name r;
+      Mutex.unlock derived_mu;
+      r
+
+let compile_variant entry variant =
+  let block =
+    match variant with
+    | Point -> Ok entry.Blockability.kernel.Kernel_def.block
+    | Transformed -> derived_block entry
+  in
+  match block with
+  | Error _ as e -> e
+  | Ok block -> (
+      let bp =
+        Blueprint.of_block
+          ~shapes:entry.Blockability.kernel.Kernel_def.shapes block
+      in
+      let name =
+        entry.Blockability.name ^ "_" ^ variant_name variant
+      in
+      match Jit.compile_blueprint ~name bp with
+      | Error _ as e -> e
+      | Ok l ->
+          Ok { c_entry = entry; c_variant = variant; c_bp = bp; c_loaded = l })
+
+(* Environments mirror [Blockability.native_compare]: the kernel's own
+   setup, then the entry's scratch arrays ([extra_setup]); the
+   transformed variant additionally needs the entry's extra bindings
+   (block sizes), with caller-supplied values taking precedence. *)
+let env_for c ~bindings ~seed =
+  let entry = c.c_entry in
+  let bindings =
+    if bindings = [] then entry.Blockability.default_bindings else bindings
+  in
+  let bindings =
+    match c.c_variant with
+    | Point -> bindings
+    | Transformed -> entry.Blockability.extra_bindings @ bindings
+  in
+  let env =
+    Kernel_def.make_env entry.Blockability.kernel ~bindings ~seed
+  in
+  entry.Blockability.extra_setup env ~bindings;
+  env
+
+(* The bitwise-comparison handle: an MD5 of the kernel's traced REAL
+   arrays after the run.  Two runs agree on this digest iff they agree
+   bitwise on every result array. *)
+let digest_env entry env =
+  let arrays =
+    List.map
+      (fun a -> (a, Env.farray_data env a))
+      entry.Blockability.kernel.Kernel_def.traced
+  in
+  Digest.to_hex (Digest.string (Marshal.to_string arrays []))
+
+let run_one c ~bindings ~seed =
+  match env_for c ~bindings ~seed with
+  | exception Invalid_argument m -> Error m
+  | env -> (
+      let t0 = Unix.gettimeofday () in
+      match
+        Jit.run ~bindings:c.c_bp.Blueprint.bindings c.c_loaded.Jit.fn env
+      with
+      | Error m -> Error m
+      | Ok () ->
+          Ok (digest_env c.c_entry env, Unix.gettimeofday () -. t0))
+
+(* ---- per-op handlers -------------------------------------------- *)
+
+let compile_fields c =
+  [
+    ("kernel", jstr c.c_entry.Blockability.name);
+    ("variant", jstr (variant_name c.c_variant));
+    ("blueprint", jstr c.c_bp.Blueprint.key);
+    ("key", jstr c.c_loaded.Jit.key);
+    ( "disposition",
+      jstr (Jit.disposition_name c.c_loaded.Jit.disposition) );
+    ("compile_s", J.Number c.c_loaded.Jit.compile_s);
+    ("cached", J.Bool c.c_loaded.Jit.cached);
+    ("cmxs", jstr c.c_loaded.Jit.cmxs);
+    ("hoisted", jbindings c.c_bp.Blueprint.bindings);
+  ]
+
+let handle_kernels ?id () =
+  let one (e : Blockability.entry) =
+    J.Object
+      [
+        ("name", jstr e.Blockability.name);
+        ("paper_ref", jstr e.Blockability.paper_ref);
+        ( "params",
+          J.Array
+            (List.map jstr e.Blockability.kernel.Kernel_def.params) );
+        ("default_bindings", jbindings e.Blockability.default_bindings);
+        ("blockable", J.Bool e.Blockability.blockable);
+      ]
+  in
+  wrap ?id true
+    [ ("kernels", J.Array (List.map one Blockability.entries)) ]
+
+let handle_derive ?id req =
+  match kernel_of req with
+  | Error m -> errorf ?id "%s" m
+  | Ok entry -> (
+      let name = entry.Blockability.name in
+      match Blockability.derive entry with
+      | Error reason ->
+          (* The paper's negative results: rejection is the correct
+             outcome for a non-blockable kernel, not a server error. *)
+          wrap ?id true
+            [
+              ("kernel", jstr name);
+              ("blockable", J.Bool false);
+              ("reason", jstr reason);
+            ]
+      | Ok { Blocker.result; steps } ->
+          let step (s : Blocker.trace_step) =
+            J.Object
+              [
+                ("name", jstr s.Blocker.name);
+                ("detail", jstr s.Blocker.detail);
+              ]
+          in
+          wrap ?id true
+            [
+              ("kernel", jstr name);
+              ("blockable", J.Bool true);
+              ("steps", J.Array (List.map step steps));
+              ("result", jstr (Stmt.block_to_string [ result ]));
+            ])
+
+let handle_compile ?id req =
+  match kernel_of req with
+  | Error m -> errorf ?id "%s" m
+  | Ok entry -> (
+      match variant_of req with
+      | Error m -> errorf ?id "%s" m
+      | Ok variant -> (
+          match compile_variant entry variant with
+          | Error m -> errorf ?id "%s" m
+          | Ok c -> wrap ?id true (compile_fields c)))
+
+let handle_execute ?id req =
+  match (kernel_of req, variant_of req, bindings_field req) with
+  | Error m, _, _ | _, Error m, _ | _, _, Error m -> errorf ?id "%s" m
+  | Ok entry, Ok variant, Ok bindings -> (
+      match compile_variant entry variant with
+      | Error m -> errorf ?id "%s" m
+      | Ok c -> (
+          match run_one c ~bindings ~seed:(seed_field req) with
+          | Error m -> errorf ?id "%s" m
+          | Ok (digest, run_s) ->
+              wrap ?id true
+                [
+                  ("kernel", jstr entry.Blockability.name);
+                  ("variant", jstr (variant_name variant));
+                  ("digest", jstr digest);
+                  ("run_s", J.Number run_s);
+                  ( "disposition",
+                    jstr
+                      (Jit.disposition_name c.c_loaded.Jit.disposition)
+                  );
+                ]))
+
+let batch_items entry req =
+  match (field req "bindings_list", field req "sizes") with
+  | Some (J.Array items), None ->
+      let rec go acc i = function
+        | [] -> Ok (List.rev acc)
+        | j :: rest -> (
+            match bindings_of_json j with
+            | Ok bs -> go (bs :: acc) (i + 1) rest
+            | Error m -> Error (Printf.sprintf "item %d: %s" i m))
+      in
+      go [] 0 items
+  | None, Some (J.Array sizes) ->
+      (* Shorthand: bind every kernel parameter to the one integer. *)
+      let params = entry.Blockability.kernel.Kernel_def.params in
+      let rec go acc i = function
+        | [] -> Ok (List.rev acc)
+        | j :: rest -> (
+            match as_int j with
+            | Some n -> go (List.map (fun p -> (p, n)) params :: acc) (i + 1) rest
+            | None -> Error (Printf.sprintf "size %d is not an integer" i))
+      in
+      go [] 0 sizes
+  | _ ->
+      Error
+        "batch needs \"bindings_list\" (array of binding objects) or \
+         \"sizes\" (array of integers)"
+
+let batch_size_metric = lazy (Obs.Metrics.histogram "serve.batch_size")
+
+(* [Pool.run] regions on one pool must not overlap, and two request
+   lanes could otherwise dispatch batches concurrently onto the shared
+   default pool — serialize the fan-out, not the compile. *)
+let batch_mu = Mutex.create ()
+
+let handle_batch ~exec_pool ?id req =
+  match (kernel_of req, variant_of req) with
+  | Error m, _ | _, Error m -> errorf ?id "%s" m
+  | Ok entry, Ok variant -> (
+      match batch_items entry req with
+      | Error m -> errorf ?id "%s" m
+      | Ok [] -> errorf ?id "empty batch"
+      | Ok items -> (
+          match compile_variant entry variant with
+          | Error m -> errorf ?id "%s" m
+          | Ok c ->
+              let seed = seed_field req in
+              let items = Array.of_list items in
+              let n = Array.length items in
+              Obs.Metrics.observe (Lazy.force batch_size_metric) n;
+              let results = Array.make n (Error "not run") in
+              let t0 = Unix.gettimeofday () in
+              Obs.span ~cat:"serve" "serve.batch"
+                ~args:
+                  [
+                    ("kernel", Obs.Str entry.Blockability.name);
+                    ("n", Obs.Int n);
+                  ]
+                (fun () ->
+                  Mutex.lock batch_mu;
+                  Fun.protect
+                    ~finally:(fun () -> Mutex.unlock batch_mu)
+                    (fun () ->
+                      Parallel.for_ ~pool:exec_pool ~lo:0 ~hi:(n - 1)
+                        (fun clo chi ->
+                          for i = clo to chi do
+                            results.(i) <-
+                              (try
+                                 Result.map fst
+                                   (run_one c ~bindings:items.(i) ~seed)
+                               with e -> Error (Printexc.to_string e))
+                          done)));
+              let run_s = Unix.gettimeofday () -. t0 in
+              let bad = ref None in
+              Array.iteri
+                (fun i r ->
+                  match (r, !bad) with
+                  | Error m, None ->
+                      bad := Some (Printf.sprintf "item %d: %s" i m)
+                  | _ -> ())
+                results;
+              (match !bad with
+              | Some m -> errorf ?id "%s" m
+              | None ->
+                  let digests =
+                    Array.to_list results
+                    |> List.map (fun r -> jstr (Result.get_ok r))
+                  in
+                  wrap ?id true
+                    [
+                      ("kernel", jstr entry.Blockability.name);
+                      ("variant", jstr (variant_name variant));
+                      ("n", jint n);
+                      ( "disposition",
+                        jstr
+                          (Jit.disposition_name
+                             c.c_loaded.Jit.disposition) );
+                      ("digests", J.Array digests);
+                      ("run_s", J.Number run_s);
+                    ])))
+
+let handle_profile ?id req =
+  match (kernel_of req, bindings_field req) with
+  | Error m, _ | _, Error m -> errorf ?id "%s" m
+  | Ok entry, Ok bindings -> (
+      let bindings =
+        if bindings = [] then entry.Blockability.default_bindings
+        else bindings
+      in
+      match
+        Blockability.simulate ~bindings ~seed:(seed_field req)
+          ~machine:Arch.rs6000_540 entry
+      with
+      | Error m -> errorf ?id "%s" m
+      | Ok s ->
+          wrap ?id true
+            [
+              ("kernel", jstr entry.Blockability.name);
+              ( "point_misses",
+                jint s.Blockability.point_stats.Cache.misses );
+              ( "transformed_misses",
+                jint s.Blockability.transformed_stats.Cache.misses );
+              ("point_cycles", jint s.Blockability.point_cycles);
+              ( "transformed_cycles",
+                jint s.Blockability.transformed_cycles );
+            ])
+
+let handle_status ?id () =
+  wrap ?id true
+    [
+      ("compiler_invocations", jint (Jit.compiler_invocations ()));
+      ("memo_size", jint (Jit.memo_size ()));
+      ("memo_evictions", jint (Jit.memo_evictions ()));
+      ("dedup_waits", jint (Jit.dedup_waits ()));
+      ("cache_dir", jstr (Jit.cache_dir ()));
+    ]
+
+(* ---- dispatch ---------------------------------------------------- *)
+
+let handle_request ~exec_pool req =
+  let id = request_id req in
+  match str_field req "op" with
+  | None -> (errorf ?id "missing \"op\"", false)
+  | Some op ->
+      Obs.span ~cat:"serve" "serve.request"
+        ~args:[ ("op", Obs.Str op) ]
+        (fun () ->
+          match op with
+          | "ping" -> (wrap ?id true [ ("pong", J.Bool true) ], false)
+          | "shutdown" ->
+              (wrap ?id true [ ("stopping", J.Bool true) ], true)
+          | "kernels" -> (handle_kernels ?id (), false)
+          | "status" -> (handle_status ?id (), false)
+          | "derive" -> (handle_derive ?id req, false)
+          | "compile" -> (handle_compile ?id req, false)
+          | "execute" -> (handle_execute ?id req, false)
+          | "batch" -> (handle_batch ~exec_pool ?id req, false)
+          | "profile" -> (handle_profile ?id req, false)
+          | op -> (errorf ?id "unknown op \"%s\"" op, false))
+
+let handle_line ~exec_pool line =
+  match J.parse line with
+  | Error e -> (J.to_string (errorf "parse error: %s" e), false)
+  | Ok req -> (
+      match handle_request ~exec_pool req with
+      | resp, stop -> (J.to_string resp, stop)
+      | exception e ->
+          ( J.to_string
+              (errorf ?id:(request_id req) "internal error: %s"
+                 (Printexc.to_string e)),
+            false ))
+
+(* ---- server loops ------------------------------------------------ *)
+
+let is_shutdown line =
+  match J.parse line with
+  | Ok req -> str_field req "op" = Some "shutdown"
+  | Error _ -> false
+
+let run_channel ~qpool ~exec_pool ic oc =
+  let q = Jobq.create ~name:"serve" () in
+  let out_mu = Mutex.create () in
+  let stopping = Atomic.make false in
+  let respond s =
+    Mutex.lock out_mu;
+    output_string oc s;
+    output_char oc '\n';
+    flush oc;
+    Mutex.unlock out_mu
+  in
+  let reader =
+    Domain.spawn (fun () ->
+        let rec loop () =
+          match input_line ic with
+          | exception End_of_file -> Jobq.close q
+          | line ->
+              let line = String.trim line in
+              if line = "" then loop ()
+              else begin
+                Jobq.push q line;
+                (* Stop reading past a shutdown so the pipe's remaining
+                   bytes (if any) are left alone and the lanes drain
+                   out. *)
+                if is_shutdown line then Jobq.close q else loop ()
+              end
+        in
+        loop ())
+  in
+  Pool.run qpool (fun () ->
+      Jobq.drain q (fun line ->
+          let resp, stop = handle_line ~exec_pool line in
+          if stop then Atomic.set stopping true;
+          respond resp));
+  Domain.join reader;
+  Atomic.get stopping
+
+let run_stdio ?(workers = 2) () =
+  let qpool = Pool.create ~domains:(max 1 workers) in
+  let (_ : bool) =
+    run_channel ~qpool ~exec_pool:(Pool.default ()) stdin stdout
+  in
+  Pool.shutdown qpool
+
+let run_socket ?(workers = 2) path =
+  if Sys.file_exists path then Sys.remove path;
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let qpool = Pool.create ~domains:(max 1 workers) in
+  let exec_pool = Pool.default () in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      (try Sys.remove path with Sys_error _ -> ());
+      Pool.shutdown qpool)
+    (fun () ->
+      Unix.bind sock (Unix.ADDR_UNIX path);
+      Unix.listen sock 8;
+      let rec accept_loop () =
+        let fd, _ = Unix.accept sock in
+        let ic = Unix.in_channel_of_descr fd in
+        let oc = Unix.out_channel_of_descr fd in
+        let stopped = run_channel ~qpool ~exec_pool ic oc in
+        (try close_out oc with Sys_error _ -> ());
+        if not stopped then accept_loop ()
+      in
+      accept_loop ())

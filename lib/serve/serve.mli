@@ -1,0 +1,90 @@
+(** [blockc serve]: a batched compile/execute request server on the
+    domain pool.
+
+    The protocol is newline-delimited JSON: one request object per
+    line, one response object per line.  Responses carry the request's
+    ["id"] verbatim (any JSON value) and may arrive out of order —
+    requests are distributed over a {!Pool} of worker domains through a
+    {!Jobq}, so concurrent clients match responses by id, not by
+    position.  Every response has ["ok"]: [true] plus op-specific
+    fields, or [false] plus ["error"].
+
+    Requests select an operation with ["op"]:
+
+    - [ping] — liveness check; replies [{"ok":true,"pong":true}].
+    - [kernels] — catalogue of the registered kernels (name, paper
+      reference, parameters, default bindings, blockability).
+    - [derive {"kernel"}] — run the compiler driver; replies with the
+      decision [steps] and the transformed IR, or
+      [{"blockable":false,"reason":...}] for the paper's negative
+      results (that is a successful response, not an error).
+    - [compile {"kernel","variant"}] — blueprint-normalize and compile
+      the ["point"] (default) or ["transformed"] variant; replies with
+      the blueprint digest, the full cache key, the cache
+      ["disposition"] (["memo"] / ["disk"] / ["compiled"]), and the
+      compile wall time.  Repeat compiles of one loop structure are a
+      hash lookup ({!Jit.compile_blueprint}).
+    - [execute {"kernel","variant","bindings","seed"}] — compile (or
+      fetch) and run once at the given sizes; replies with an MD5
+      digest of the kernel's traced arrays after the run (the
+      bitwise-comparison handle) and the run wall time.
+    - [batch {"kernel","variant","seed","bindings_list"|"sizes"}] —
+      many executions of one blueprint as a single dispatch: compile
+      once, then fan the items out across the default pool's domains
+      ({!Parallel.for_}).  ["bindings_list"] is an array of binding
+      objects; ["sizes"] is shorthand binding every kernel parameter to
+      the given integer.  Replies with one digest per item, in request
+      order (results are deterministic: each item runs in its own
+      environment).
+    - [profile {"kernel","bindings","seed"}] — cache-simulate both
+      variants on the paper's RS/6000-540 model; replies with per-
+      variant miss and memory-cycle counts.
+    - [status] — process-wide JIT cache counters ([ocamlopt] runs, memo
+      size and evictions, single-flight dedup waits) and the cache
+      directory.
+    - [shutdown] — acknowledge and stop the server loop.
+
+    Example session (one request and response per line):
+
+    {v
+    > {"id":1,"op":"ping"}
+    < {"id":1,"ok":true,"pong":true}
+    > {"id":2,"op":"compile","kernel":"lu","variant":"transformed"}
+    < {"id":2,"ok":true,"kernel":"lu","variant":"transformed",
+       "blueprint":"9f...","key":"c1...","disposition":"compiled",
+       "compile_s":0.103,...}
+    > {"id":3,"op":"batch","kernel":"lu","variant":"transformed","sizes":[8,12,16]}
+    < {"id":3,"ok":true,"n":3,"disposition":"memo","digests":[...],...}
+    > {"id":4,"op":"shutdown"}
+    < {"id":4,"ok":true,"stopping":true}
+    v}
+
+    Observability: each request is a ["serve.request"] span, queue wait
+    is the [serve.queue_wait] timer / [serve.depth] gauge (from the
+    {!Jobq}), batch fan-out sizes land in the [serve.batch_size]
+    histogram, and compile dedup hits / memo evictions are counted by
+    {!Jit}. *)
+
+val handle_request : exec_pool:Pool.t -> Json_min.t -> Json_min.t * bool
+(** Process one decoded request; returns the response and whether it
+    was a [shutdown].  [exec_pool] runs batch fan-out.  Exposed for the
+    unit tests — the server loops call it through {!handle_line}. *)
+
+val handle_line : exec_pool:Pool.t -> string -> string * bool
+(** Parse one request line and render the response line (no trailing
+    newline).  Malformed JSON yields an ["ok":false] response, never an
+    exception. *)
+
+val run_channel : qpool:Pool.t -> exec_pool:Pool.t -> in_channel -> out_channel -> bool
+(** Serve one connection: a reader domain feeds a {!Jobq} drained by
+    [qpool]'s lanes, responses are written mutex-serialized.  Returns
+    when the input reaches EOF or a [shutdown] request was processed
+    (then [true]). *)
+
+val run_stdio : ?workers:int -> unit -> unit
+(** Serve stdin/stdout with [workers] (default 2) request lanes. *)
+
+val run_socket : ?workers:int -> string -> unit
+(** Bind a Unix-domain socket at the given path and serve connections
+    sequentially until a client sends [shutdown]; the socket file is
+    removed on exit. *)

@@ -165,13 +165,71 @@ let load_trajectory path =
       | Ok _ -> Error (path ^ ": trajectory must be a JSON array of run entries")
       | Error m -> Error (path ^ ": " ^ m)
 
+let trajectory_entry ~date ~label ~tables =
+  Json_min.Object
+    [
+      ("date", Json_min.String date);
+      ("label", Json_min.String label);
+      ("tables", tables);
+    ]
+
 let append_trajectory_entry ~date ~label ~tables entries =
-  let entry =
-    Json_min.Object
-      [
-        ("date", Json_min.String date);
-        ("label", Json_min.String label);
-        ("tables", tables);
-      ]
+  Json_min.to_string
+    (Json_min.Array (entries @ [ trajectory_entry ~date ~label ~tables ]))
+  ^ "\n"
+
+(* ---- drift: neighbour comparison along the trajectory --------------- *)
+
+type drift_step = { ds_from : string; ds_to : string; ds_verdict : verdict }
+
+let entry_name e =
+  let s name =
+    match field name e with Some (Json_min.String s) -> s | _ -> "?"
   in
-  Json_min.to_string (Json_min.Array (entries @ [ entry ])) ^ "\n"
+  s "date" ^ " [" ^ s "label" ^ "]"
+
+let drift ?(tolerance = 1.2) ?(slack_s = 0.002) entries =
+  let rec go acc = function
+    | a :: (b :: _ as rest) -> (
+        match (field "tables" a, field "tables" b) with
+        | Some baseline, Some current -> (
+            match compare ~tolerance ~slack_s ~baseline ~current () with
+            | Error e ->
+                Error
+                  (Printf.sprintf "%s -> %s: %s" (entry_name a) (entry_name b)
+                     e)
+            | Ok v ->
+                go
+                  ({ ds_from = entry_name a;
+                     ds_to = entry_name b;
+                     ds_verdict = v }
+                  :: acc)
+                  rest)
+        | _ ->
+            Error ("trajectory entry " ^ entry_name a ^ ": no \"tables\""))
+    | [] | [ _ ] -> Ok (List.rev acc)
+  in
+  go [] entries
+
+let drift_ok steps = List.for_all (fun s -> ok s.ds_verdict) steps
+
+let drift_report steps =
+  let buf = Buffer.create 256 in
+  let drifting =
+    List.filter (fun s -> not (ok s.ds_verdict)) steps
+  in
+  Printf.bprintf buf
+    "perf drift: %d adjacent step(s) along the trajectory, %d drifting\n"
+    (List.length steps) (List.length drifting);
+  List.iter
+    (fun s ->
+      List.iter
+        (fun r ->
+          Printf.bprintf buf
+            "  DRIFT %s -> %s: %s row %d (%s) column %S: %.4fs -> %.4fs \
+             (%.2fx)\n"
+            s.ds_from s.ds_to r.table r.row r.row_label r.header r.base_s
+            r.cur_s r.ratio)
+        s.ds_verdict.regressions)
+    drifting;
+  Buffer.contents buf

@@ -66,8 +66,44 @@ val load_trajectory : string -> (Json_min.t list, string) result
     yet.  Malformed JSON or a non-array document is still an [Error]
     naming the file. *)
 
+val trajectory_entry :
+  date:string -> label:string -> tables:Json_min.t -> Json_min.t
+(** One run entry of the trajectory array.  [tables] is a parsed
+    [Table.json_of_tables] dump of the run being recorded. *)
+
 val append_trajectory_entry :
   date:string -> label:string -> tables:Json_min.t -> Json_min.t list -> string
 (** The trajectory document with one more entry appended (rendered,
-    newline-terminated).  [tables] is a parsed [Table.json_of_tables]
-    dump of the run being recorded. *)
+    newline-terminated). *)
+
+(** {1 Drift}
+
+    The 1.5x regression gate compares against one committed baseline,
+    so a slope of small slowdowns — each inside tolerance — can
+    accumulate unnoticed until the gate finally trips.  [drift] walks
+    the trajectory's {e adjacent} entry pairs with a tighter tolerance
+    and surfaces the slope while it is still cheap to bisect. *)
+
+type drift_step = {
+  ds_from : string;  (** "date [label]" of the earlier entry *)
+  ds_to : string;
+  ds_verdict : verdict;  (** neighbour comparison at drift tolerance *)
+}
+
+val drift :
+  ?tolerance:float ->
+  ?slack_s:float ->
+  Json_min.t list ->
+  (drift_step list, string) result
+(** Compare each adjacent pair of trajectory entries ({!load_trajectory}
+    order, oldest first) with [tolerance] defaulting to 1.2 — stricter
+    than the gate's 1.5, because each step is one run against the very
+    next, not against a months-old baseline.  Fewer than two entries
+    yield [Ok []]. *)
+
+val drift_ok : drift_step list -> bool
+(** No step drifted beyond tolerance. *)
+
+val drift_report : drift_step list -> string
+(** Human-readable summary: step count plus one [DRIFT] line per
+    flagged cell. *)

@@ -69,8 +69,9 @@ fixed-seed run exits 0 with coverage counters.
 The native compile subcommand follows the same conventions: unknown
 kernels exit 2 with the catalogue, --emit ocaml prints the lowered
 source (pinned in codegen_emit.t), and a plain compile reports the
-plugin path under the JIT cache (key normalized here: it hashes the
-source and the OCaml version).
+plugin path under the JIT cache plus the blueprint digest, cache
+disposition and compile wall time (normalized here: the key hashes
+the blueprint and the OCaml version, and timing varies).
 
   $ blockc compile nosuch
   blockc: unknown kernel 'nosuch'
@@ -80,9 +81,12 @@ source and the OCaml version).
   $ blockc compile lu --emit ocaml | head -n 1
   (* lu_point — OCaml lowered from the mini-Fortran IR by blockc's codegen.
 
-  $ blockc compile lu | sed -e 's/bk_[0-9a-f]*/bk_KEY/' -e 's| (jit cache hit)||' -e 's|-> .*_build|-> _build|'
-  compiled lu_point -> _build/.jitcache/bk_KEY.cmxs
+  $ blockc compile lu | sed -e 's/bk_[0-9a-f]*/bk_KEY/' -e 's|-> .*_build|-> _build|' -e 's|(blueprint [0-9a-f]*, [a-z]*, [0-9.]*s)|(blueprint BP, DISPOSITION, TIME)|'
+  compiled lu_point -> _build/.jitcache/bk_KEY.cmxs (blueprint BP, DISPOSITION, TIME)
 
-  $ blockc compile lu --json | tr ',' '\n' | grep -o '"kernel":"lu"\|"cached":'
+  $ blockc compile lu --json | tr ',' '\n' | grep -o '"kernel":"lu"\|"blueprint":\|"disposition":\|"compile_s":\|"cached":'
   "kernel":"lu"
+  "blueprint":
+  "disposition":
+  "compile_s":
   "cached":

@@ -19,4 +19,5 @@ let () =
       Test_obs.suite;
       Test_fuzz.suite;
       Test_codegen.suite;
+      Test_serve.suite;
     ]

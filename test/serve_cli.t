@@ -1,0 +1,25 @@
+The serve daemon speaks newline-delimited JSON over stdio.  One worker
+keeps responses in request order (with more workers, clients match by
+id).  Only deterministic operations here; compile/execute/batch are
+covered by the unit tests and the CI smoke step.
+
+  $ printf '%s\n' \
+  >   '{"id":1,"op":"ping"}' \
+  >   '{"id":2,"op":"frobnicate"}' \
+  >   '{"id":3}' \
+  >   'not json' \
+  >   '{"id":4,"op":"derive","kernel":"householder"}' \
+  >   '{"id":5,"op":"shutdown"}' \
+  >   | blockc serve --workers 1 | sed -e 's|"reason":".*"|"reason":"..."|'
+  {"id":1,"ok":true,"pong":true}
+  {"id":2,"ok":false,"error":"unknown op \"frobnicate\""}
+  {"id":3,"ok":false,"error":"missing \"op\""}
+  {"ok":false,"error":"parse error: at byte 0: expected null"}
+  {"id":4,"ok":true,"kernel":"householder","blockable":false,"reason":"..."}
+  {"id":5,"ok":true,"stopping":true}
+
+A shutdown ends the loop even when more input follows, and the exit is
+clean.
+
+  $ printf '%s\n' '{"op":"shutdown"}' '{"op":"ping"}' | blockc serve --workers 1
+  {"ok":true,"stopping":true}

@@ -173,4 +173,142 @@ let suite =
           | Ok _ -> Alcotest.fail "householder must not block"
           | Error m ->
               check_bool "cites §5.3" true (contains m "5.3"));
+      case
+        "blueprint: one kernel at two sizes is one key, one ocamlopt run, \
+         bitwise"
+        (fun () ->
+          require_native ();
+          let e = entry "lu" in
+          let shapes = e.kernel.Kernel_def.shapes in
+          (* Concretize N so the two blocks really differ (the symbolic
+             registry IR is size-independent already); the blueprint
+             must hoist both back to one structure. *)
+          let concretize n =
+            let s = [ ("N", Expr.int n) ] in
+            ( Stmt.subst_block s e.kernel.Kernel_def.block,
+              List.map
+                (fun (a, dims) ->
+                  ( a,
+                    List.map
+                      (fun (lo, hi) -> (Expr.subst s lo, Expr.subst s hi))
+                      dims ))
+                shapes )
+          in
+          let block24, shapes24 = concretize 24
+          and block28, shapes28 = concretize 28 in
+          let bp24 = Blueprint.of_block ~shapes:shapes24 block24
+          and bp28 = Blueprint.of_block ~shapes:shapes28 block28 in
+          check_string "one blueprint key" bp24.Blueprint.key
+            bp28.Blueprint.key;
+          (* A private cache dir makes the first compile a real ocamlopt
+             run even if an earlier test run left artifacts on disk. *)
+          let saved = Jit.cache_dir () in
+          let tmp = Filename.temp_file "blockc-bp-test" "" in
+          Sys.remove tmp;
+          Unix.mkdir tmp 0o700;
+          Unix.putenv "BLOCKC_JIT_CACHE" tmp;
+          Fun.protect
+            ~finally:(fun () -> Unix.putenv "BLOCKC_JIT_CACHE" saved)
+            (fun () ->
+              let c0 = Jit.compiler_invocations () in
+              let l24 =
+                ok_or_fail "compile 24"
+                  (Jit.compile_blueprint ~name:"lu_n24" bp24)
+              in
+              let l28 =
+                ok_or_fail "compile 28"
+                  (Jit.compile_blueprint ~name:"lu_n28" bp28)
+              in
+              check_int "exactly one ocamlopt invocation" 1
+                (Jit.compiler_invocations () - c0);
+              check_bool "second compile is a memo hit" true
+                (l28.Jit.disposition = Jit.Memo);
+              check_string "one artifact" l24.Jit.cmxs l28.Jit.cmxs;
+              (* Bitwise vs the interpreter at both sizes. *)
+              List.iter
+                (fun (n, block, (bp : Blueprint.t), (l : Jit.loaded)) ->
+                  let bindings = [ ("N", n) ] in
+                  let env_i =
+                    Kernel_def.make_env e.kernel ~bindings ~seed:11
+                  in
+                  Exec.run env_i block;
+                  let env_n =
+                    Kernel_def.make_env e.kernel ~bindings ~seed:11
+                  in
+                  ok_or_fail "native run"
+                    (Jit.run ~bindings:bp.Blueprint.bindings l.Jit.fn env_n);
+                  match Env.diff ~only:[ "A" ] env_i env_n with
+                  | None -> ()
+                  | Some m -> Alcotest.failf "N=%d: %s" n m)
+                [ (24, block24, bp24, l24); (28, block28, bp28, l28) ]));
+      case "blueprint memo is LRU-bounded and counts evictions" (fun () ->
+          require_native ();
+          let saved_dir = Jit.cache_dir () in
+          let saved_cap =
+            Option.value
+              (Sys.getenv_opt "BLOCKC_JIT_MEMO_CAP")
+              ~default:"64"
+          in
+          let tmp = Filename.temp_file "blockc-lru-test" "" in
+          Sys.remove tmp;
+          Unix.mkdir tmp 0o700;
+          Unix.putenv "BLOCKC_JIT_CACHE" tmp;
+          Unix.putenv "BLOCKC_JIT_MEMO_CAP" "2";
+          Fun.protect
+            ~finally:(fun () ->
+              Unix.putenv "BLOCKC_JIT_CACHE" saved_dir;
+              Unix.putenv "BLOCKC_JIT_MEMO_CAP" saved_cap)
+            (fun () ->
+              let e0 = Jit.memo_evictions () in
+              (* Three distinct structures (float literals are never
+                 hoisted, so each is its own blueprint key). *)
+              List.iter
+                (fun c ->
+                  let bp =
+                    Blueprint.of_block
+                      [ Stmt.Assign ("S", [], B.fc c) ]
+                  in
+                  ignore
+                    (ok_or_fail "compile"
+                       (Jit.compile_blueprint ~name:"lru_probe" bp)))
+                [ 1.125; 2.125; 3.125 ];
+              check_bool "memo stayed within cap" true (Jit.memo_size () <= 2);
+              check_bool "evictions counted" true
+                (Jit.memo_evictions () - e0 >= 1)));
+      case "concurrent compiles of one blueprint are single-flighted"
+        (fun () ->
+          require_native ();
+          let saved = Jit.cache_dir () in
+          let tmp = Filename.temp_file "blockc-flight-test" "" in
+          Sys.remove tmp;
+          Unix.mkdir tmp 0o700;
+          Unix.putenv "BLOCKC_JIT_CACHE" tmp;
+          Fun.protect
+            ~finally:(fun () -> Unix.putenv "BLOCKC_JIT_CACHE" saved)
+            (fun () ->
+              let bp =
+                Blueprint.of_block [ Stmt.Assign ("S", [], B.fc 7.0625) ]
+              in
+              let c0 = Jit.compiler_invocations () in
+              let ds =
+                List.init 3 (fun _ ->
+                    Domain.spawn (fun () ->
+                        Jit.compile_blueprint ~name:"flight_probe" bp))
+              in
+              let keys =
+                List.map
+                  (fun d ->
+                    (ok_or_fail "compile" (Domain.join d)).Jit.key)
+                  ds
+              in
+              check_int "one ocamlopt for three requests" 1
+                (Jit.compiler_invocations () - c0);
+              List.iter (check_string "same key" (List.hd keys)) keys));
+      qcase ~count:60 "blueprint specialization is the exact inverse of \
+                       hoisting" Gen_prog.gen (fun p ->
+          let bp = Blueprint.of_block p.Gen_prog.block in
+          let back = Blueprint.specialize bp in
+          String.equal
+            (Stmt.block_to_string p.Gen_prog.block)
+            (Stmt.block_to_string back));
     ] )

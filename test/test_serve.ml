@@ -1,0 +1,133 @@
+(* The serve daemon's request handlers, driven directly (no process,
+   no socket): protocol shape, error paths, and batched-vs-sequential
+   bitwise agreement.  The cram test serve_cli.t covers the stdio
+   loop end to end. *)
+
+open Helpers
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let pool = lazy (Pool.create ~domains:1)
+
+let request line = fst (Serve.handle_line ~exec_pool:(Lazy.force pool) line)
+
+let parsed line =
+  ok_or_fail "response parses" (Json_min.parse (request line))
+
+let field name = function
+  | Json_min.Object kvs -> List.assoc_opt name kvs
+  | _ -> None
+
+let str name j =
+  match field name j with
+  | Some (Json_min.String s) -> s
+  | _ -> Alcotest.failf "response field %s is not a string" name
+
+let bool_field name j =
+  match field name j with
+  | Some (Json_min.Bool b) -> b
+  | _ -> Alcotest.failf "response field %s is not a bool" name
+
+let require_native () =
+  match Jit.available () with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "native codegen unavailable: %s" m
+
+let suite =
+  ( "serve",
+    [
+      case "ping echoes the id and pongs" (fun () ->
+          let r = parsed {|{"id":41,"op":"ping"}|} in
+          check_bool "ok" true (bool_field "ok" r);
+          check_bool "pong" true (bool_field "pong" r);
+          match field "id" r with
+          | Some (Json_min.Number n) ->
+              check_int "id" 41 (int_of_float n)
+          | _ -> Alcotest.fail "id not echoed");
+      case "malformed JSON is an error response, not a crash" (fun () ->
+          let r = parsed "{nope" in
+          check_bool "ok:false" false (bool_field "ok" r);
+          check_bool "names the parse error" true
+            (contains (str "error" r) "parse error"));
+      case "missing op and unknown kernel are reported" (fun () ->
+          let r = parsed {|{"id":1}|} in
+          check_bool "missing op" true (contains (str "error" r) "op");
+          let r = parsed {|{"op":"compile","kernel":"nope"}|} in
+          check_bool "unknown kernel" true
+            (contains (str "error" r) "unknown kernel");
+          check_bool "lists known kernels" true (contains (str "error" r) "lu"));
+      case "kernels op lists the registry with blockability" (fun () ->
+          let r = parsed {|{"op":"kernels"}|} in
+          match field "kernels" r with
+          | Some (Json_min.Array ks) ->
+              let find name =
+                List.find_opt
+                  (fun k ->
+                    match field "name" k with
+                    | Some (Json_min.String s) -> s = name
+                    | _ -> false)
+                  ks
+              in
+              check_bool "has lu" true (find "lu" <> None);
+              let hh = Option.get (find "householder") in
+              check_bool "householder marked non-blockable" false
+                (bool_field "blockable" hh)
+          | _ -> Alcotest.fail "no kernels array");
+      case "derive reports the householder rejection as a result" (fun () ->
+          let r = parsed {|{"op":"derive","kernel":"householder"}|} in
+          check_bool "ok" true (bool_field "ok" r);
+          check_bool "blockable:false" false (bool_field "blockable" r);
+          check_bool "carries the reason" true
+            (String.length (str "reason" r) > 0));
+      case "shutdown acknowledges and stops" (fun () ->
+          let resp, stop =
+            Serve.handle_line
+              ~exec_pool:(Lazy.force pool)
+              {|{"id":9,"op":"shutdown"}|}
+          in
+          check_bool "stop" true stop;
+          let r = ok_or_fail "parses" (Json_min.parse resp) in
+          check_bool "stopping" true (bool_field "stopping" r));
+      case "repeat compiles share one blueprint key and memoize" (fun () ->
+          require_native ();
+          let line = {|{"op":"compile","kernel":"trisolve","variant":"transformed"}|} in
+          let r1 = parsed line in
+          check_bool "ok" true (bool_field "ok" r1);
+          let r2 = parsed line in
+          check_string "one blueprint" (str "blueprint" r1)
+            (str "blueprint" r2);
+          check_string "memo on repeat" "memo" (str "disposition" r2));
+      case "batch digests match sequential executes bitwise" (fun () ->
+          require_native ();
+          let exec n =
+            str "digest"
+              (parsed
+                 (Printf.sprintf
+                    {|{"op":"execute","kernel":"trisolve","bindings":{"N":%d}}|}
+                    n))
+          in
+          let sequential = List.map exec [ 8; 12 ] in
+          let r =
+            parsed {|{"op":"batch","kernel":"trisolve","sizes":[8,12]}|}
+          in
+          check_bool "ok" true (bool_field "ok" r);
+          match field "digests" r with
+          | Some (Json_min.Array ds) ->
+              let batched =
+                List.map
+                  (function Json_min.String s -> s | _ -> "?")
+                  ds
+              in
+              List.iter2 (check_string "digest") sequential batched
+          | _ -> Alcotest.fail "no digests array");
+      case "empty and malformed batches are rejected" (fun () ->
+          let r = parsed {|{"op":"batch","kernel":"lu","sizes":[]}|} in
+          check_bool "empty rejected" false (bool_field "ok" r);
+          let r = parsed {|{"op":"batch","kernel":"lu"}|} in
+          check_bool "no items rejected" false (bool_field "ok" r);
+          check_bool "explains the two spellings" true
+            (contains (str "error" r) "bindings_list"));
+    ] )
