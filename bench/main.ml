@@ -667,6 +667,14 @@ let obs_suite () =
   in
   let t_off = time run in
   Table.add_row tbl [ "metrics off (null sink)"; Table.cell_s t_off; Table.cell_f 1.0 ];
+  (* serve-daemon default: no tracing sink, no metrics, but the flight
+     recorder ring captures every event — the "always on" cost. *)
+  Obs.set_sink (Obs.Recorder.sink ());
+  let t_rec = time run in
+  Obs.set_sink Obs.null;
+  Obs.Recorder.clear ();
+  Table.add_row tbl
+    [ "recorder only (ring sink)"; Table.cell_s t_rec; Table.cell_f (t_rec /. t_off) ];
   Obs.Metrics.set_enabled true;
   let t_on = time run in
   Obs.Metrics.set_enabled false;

@@ -1,8 +1,8 @@
 (* blockc — command-line driver for the blockability toolkit.
 
    Subcommands: list, show, derive, verify, simulate, explain, profile,
-   sections, parse, lower, compile, fuzz.  `blockc --explain KERNEL` is
-   a shorthand for the explain subcommand.
+   sections, parse, lower, compile, fuzz, serve, stats.  `blockc
+   --explain KERNEL` is a shorthand for the explain subcommand.
 
    Exit convention (uniform across subcommands, see EXIT STATUS in the
    man pages): 0 = success; 1 = the tool ran but the answer is negative
@@ -1152,6 +1152,198 @@ let serve_cmd =
        ~exits)
     (traced Term.(const run $ socket_arg $ workers_arg))
 
+(* ---- stats: scrape a serve daemon's telemetry over its socket ---- *)
+
+(* Json_min never decodes string escapes (its [String] payload is the
+   raw bytes between the quotes), so the exposition text shipped in the
+   ["metrics"] field arrives with its newlines as [\n].  Decode the
+   standard escapes here before printing. *)
+let json_unescape s =
+  let n = String.length s in
+  let b = Buffer.create n in
+  let i = ref 0 in
+  while !i < n do
+    (if s.[!i] = '\\' && !i + 1 < n then begin
+       (match s.[!i + 1] with
+       | 'n' -> Buffer.add_char b '\n'
+       | 't' -> Buffer.add_char b '\t'
+       | 'r' -> Buffer.add_char b '\r'
+       | 'b' -> Buffer.add_char b '\b'
+       | 'f' -> Buffer.add_char b '\012'
+       | '"' -> Buffer.add_char b '"'
+       | '\\' -> Buffer.add_char b '\\'
+       | '/' -> Buffer.add_char b '/'
+       | 'u' when !i + 5 < n -> (
+           match int_of_string_opt ("0x" ^ String.sub s (!i + 2) 4) with
+           | Some code when code < 0x80 ->
+               Buffer.add_char b (Char.chr code);
+               i := !i + 4
+           | _ -> Buffer.add_string b (String.sub s !i 2))
+       | c ->
+           Buffer.add_char b '\\';
+           Buffer.add_char b c);
+       i := !i + 2
+     end
+     else begin
+       Buffer.add_char b s.[!i];
+       incr i
+     end)
+  done;
+  Buffer.contents b
+
+let stats_exchange path line =
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect sock (Unix.ADDR_UNIX path) with
+  | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      Error
+        (Printf.sprintf "cannot connect to %s: %s" path (Unix.error_message e))
+  | () ->
+      Fun.protect
+        ~finally:(fun () ->
+          try Unix.close sock with Unix.Unix_error _ -> ())
+        (fun () ->
+          let oc = Unix.out_channel_of_descr sock in
+          output_string oc line;
+          output_char oc '\n';
+          flush oc;
+          let ic = Unix.in_channel_of_descr sock in
+          match input_line ic with
+          | resp -> Ok resp
+          | exception End_of_file ->
+              Error "connection closed before a response arrived")
+
+let jfield name = function
+  | Json_min.Object kvs -> List.assoc_opt name kvs
+  | _ -> None
+
+let render_metrics resp =
+  match jfield "metrics" resp with
+  | Some (Json_min.String s) -> Ok (json_unescape s)
+  | _ -> Error "response has no \"metrics\" field"
+
+(* One flight-recorder event per line: timestamp, kind, track, name and
+   the trace ids — the human-readable view of the [dump] op. *)
+let render_dump resp =
+  match jfield "events" resp with
+  | Some (Json_min.Array evs) ->
+      let b = Buffer.create 1024 in
+      (match (jfield "n" resp, jfield "capacity" resp) with
+      | Some (Json_min.Number n), Some (Json_min.Number cap) ->
+          Buffer.add_string b
+            (Printf.sprintf "# flight recorder: %d of %d slots\n"
+               (int_of_float n) (int_of_float cap))
+      | _ -> ());
+      List.iter
+        (fun ev ->
+          let str k =
+            match jfield k ev with Some (Json_min.String s) -> s | _ -> "?"
+          in
+          let num k =
+            match jfield k ev with
+            | Some (Json_min.Number x) -> int_of_float x
+            | _ -> 0
+          in
+          Buffer.add_string b
+            (Printf.sprintf "%s %-2s t%d %-11s %s" (str "ts") (str "kind")
+               (num "track") (str "cat") (str "name"));
+          (match jfield "trace" ev with
+          | Some (Json_min.String t) ->
+              Buffer.add_string b (Printf.sprintf " trace=%s" t)
+          | _ -> ());
+          (match jfield "args" ev with
+          | Some (Json_min.Object kvs) when kvs <> [] ->
+              Buffer.add_string b
+                (" " ^ Json_min.to_string (Json_min.Object kvs))
+          | _ -> ());
+          Buffer.add_char b '\n')
+        evs;
+      Ok (Buffer.contents b)
+  | _ -> Error "response has no \"events\" field"
+
+let stats_cmd =
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Unix-domain socket of the $(b,blockc serve --socket) daemon to \
+             scrape (required: the stdio daemon owns its only channel).")
+  in
+  let watch_arg =
+    Arg.(
+      value
+      & opt ~vopt:(Some 2.0) (some float) None
+      & info [ "watch" ] ~docv:"SECS"
+          ~doc:
+            "Re-scrape and re-print every $(docv) seconds (default 2.0) \
+             until interrupted, instead of printing once.")
+  in
+  let dump_arg =
+    Arg.(
+      value & flag
+      & info [ "dump" ]
+          ~doc:
+            "Flush the daemon's flight recorder (the $(b,dump) op) instead \
+             of the metrics exposition.")
+  in
+  let run socket watch dump () =
+    let path =
+      match socket with
+      | Some p -> p
+      | None ->
+          prerr_endline
+            "blockc stats: --socket PATH is required (point it at a `blockc \
+             serve --socket PATH` daemon)";
+          exit 2
+    in
+    let req = if dump then {|{"op":"dump"}|} else {|{"op":"metrics"}|} in
+    let render = if dump then render_dump else render_metrics in
+    let once () =
+      let result =
+        match stats_exchange path req with
+        | Error _ as e -> e
+        | Ok line -> (
+            match Json_min.parse line with
+            | Error m -> Error ("unparseable response: " ^ m)
+            | Ok resp -> (
+                match jfield "ok" resp with
+                | Some (Json_min.Bool true) -> render resp
+                | _ -> Error ("daemon refused the request: " ^ line)))
+      in
+      match result with
+      | Ok text ->
+          print_string text;
+          if text = "" || text.[String.length text - 1] <> '\n' then
+            print_newline ();
+          flush stdout
+      | Error m ->
+          Printf.eprintf "blockc stats: %s\n" m;
+          exit 2
+    in
+    match watch with
+    | None -> once ()
+    | Some secs ->
+        while true do
+          let t = Unix.localtime (Unix.gettimeofday ()) in
+          Printf.printf "--- %02d:%02d:%02d %s\n" t.Unix.tm_hour t.Unix.tm_min
+            t.Unix.tm_sec path;
+          once ();
+          Unix.sleepf (Float.max 0.1 secs)
+        done
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Scrape a running serve daemon's telemetry over its Unix socket: \
+          print the Prometheus text exposition (request counts, labelled \
+          error classes, p50/p90/p99 latency summaries per op), re-render \
+          periodically with $(b,--watch), or flush the in-memory flight \
+          recorder with $(b,--dump)."
+       ~exits)
+    (traced Term.(const run $ socket_arg $ watch_arg $ dump_arg))
+
 let () =
   let doc = "compiler blockability of numerical algorithms (Carr-Kennedy SC'92)" in
   let info = Cmd.info "blockc" ~doc ~exits in
@@ -1181,7 +1373,7 @@ let () =
     Cmd.group ~default info
       [ list_cmd; show_cmd; derive_cmd; verify_cmd; simulate_cmd; explain_cmd;
         profile_cmd; sections_cmd; parse_cmd; lower_cmd; compile_cmd;
-        fuzz_cmd; serve_cmd ]
+        fuzz_cmd; serve_cmd; stats_cmd ]
   in
   (* Typed runtime errors become one-line diagnostics, not backtraces. *)
   match Cmd.eval group with

@@ -8,6 +8,10 @@ type event = {
   kind : kind;
   ts : int;
   depth : int;
+  track : int;
+  trace : int;
+  span_id : int;
+  parent : int;
   args : (string * value) list;
 }
 
@@ -19,21 +23,79 @@ let null = { emit = (fun _ -> ()); flush_sink = (fun () -> ()) }
 (* Clock                                                               *)
 (* ------------------------------------------------------------------ *)
 
-(* [Sys.time] is process CPU time: coarse, but monotone, stdlib-only and
-   good enough to order a derivation trace.  Benchmarks install a real
-   monotonic clock via [set_clock]. *)
-let clock = ref (fun () -> int_of_float (Sys.time () *. 1e9))
+(* Wall clock at microsecond resolution.  [Sys.time] (the original
+   default) is process CPU time with centisecond-ish granularity:
+   sub-millisecond serve spans all collapsed to a zero-length interval.
+   Benchmarks still install a true monotonic clock via [set_clock];
+   wall time is good enough for traces and request latencies, and
+   per-domain clamping (below) keeps each track non-decreasing. *)
+let clock = ref (fun () -> int_of_float (Unix.gettimeofday () *. 1e9))
 let set_clock f = clock := f
 
-let last_ts = ref 0
+(* ------------------------------------------------------------------ *)
+(* Trace context and per-domain state                                  *)
+(* ------------------------------------------------------------------ *)
+
+type ctx = { trace_id : int; span_id : int; parent : int }
+
+(* Span depth, the active trace context and the monotonicity clamp are
+   all domain-local: two domains emitting spans concurrently must not
+   corrupt each other's nesting (the pre-context implementation kept
+   one global depth counter and raced). *)
+type dstate = {
+  mutable d_depth : int;
+  mutable d_ctx : ctx option;
+  mutable d_last_ts : int;
+}
+
+let dls : dstate Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { d_depth = 0; d_ctx = None; d_last_ts = 0 })
+
+let dstate () = Domain.DLS.get dls
 
 let now_ns () =
+  let s = dstate () in
   let t = !clock () in
-  if t < !last_ts then !last_ts
+  if t < s.d_last_ts then s.d_last_ts
   else begin
-    last_ts := t;
+    s.d_last_ts <- t;
     t
   end
+
+(* Process-unique span/trace ids: an atomic counter salted per process,
+   bit-mixed so ids from different processes or restarts don't visually
+   collide.  The multiplier and xorshift are invertible mod 2^63, so
+   distinct counter values always yield distinct ids. *)
+let id_counter = Atomic.make 1
+
+let id_salt =
+  int_of_float (Unix.gettimeofday () *. 1e6) lxor (Unix.getpid () * 0x9E3779B9)
+
+let gen_id () =
+  let x = Atomic.fetch_and_add id_counter 1 + id_salt in
+  let z = x * 0x2545F4914F6CDD1D in
+  let z = z lxor (z lsr 29) in
+  let z = (z * 0x27220A95) + 0x9E3779B9 in
+  let z = (z lxor (z lsr 32)) land max_int in
+  if z = 0 then 1 else z
+
+module Ctx = struct
+  type t = ctx = { trace_id : int; span_id : int; parent : int }
+
+  let current () = (dstate ()).d_ctx
+
+  let fresh () =
+    let id = gen_id () in
+    { trace_id = id; span_id = id; parent = 0 }
+
+  let with_ctx c f =
+    let s = dstate () in
+    let saved = s.d_ctx in
+    s.d_ctx <- c;
+    Fun.protect ~finally:(fun () -> s.d_ctx <- saved) f
+
+  let id_hex = Printf.sprintf "%012x"
+end
 
 (* ------------------------------------------------------------------ *)
 (* Global state                                                        *)
@@ -41,7 +103,6 @@ let now_ns () =
 
 let current = ref null
 let is_enabled = ref false
-let depth = ref 0
 let mu = Mutex.create ()
 
 let set_sink s =
@@ -67,18 +128,46 @@ let flush () =
 (* Emission API                                                        *)
 (* ------------------------------------------------------------------ *)
 
+let mk ~kind ~cat ~args name =
+  let s = dstate () in
+  let trace, span_id, parent =
+    match s.d_ctx with
+    | Some c -> (c.trace_id, c.span_id, c.parent)
+    | None -> (0, 0, 0)
+  in
+  {
+    name;
+    cat;
+    kind;
+    ts = now_ns ();
+    depth = s.d_depth;
+    track = (Domain.self () :> int);
+    trace;
+    span_id;
+    parent;
+    args;
+  }
+
 let instant ?(cat = "event") ?(args = []) name =
-  if !is_enabled then
-    emit { name; cat; kind = Instant; ts = now_ns (); depth = !depth; args }
+  if !is_enabled then emit (mk ~kind:Instant ~cat ~args name)
 
 let span ?(cat = "span") ?(args = []) name f =
   if not !is_enabled then f ()
   else begin
-    emit { name; cat; kind = Begin; ts = now_ns (); depth = !depth; args };
-    incr depth;
+    let s = dstate () in
+    let saved_ctx = s.d_ctx in
+    (* Fork a child span id under an active trace so the Begin/End pair
+       carries its own identity and its parent's. *)
+    (match saved_ctx with
+    | Some c ->
+        s.d_ctx <- Some { trace_id = c.trace_id; span_id = gen_id (); parent = c.span_id }
+    | None -> ());
+    emit (mk ~kind:Begin ~cat ~args name);
+    s.d_depth <- s.d_depth + 1;
     let finish () =
-      decr depth;
-      emit { name; cat; kind = End; ts = now_ns (); depth = !depth; args = [] }
+      s.d_depth <- s.d_depth - 1;
+      emit (mk ~kind:End ~cat ~args:[] name);
+      s.d_ctx <- saved_ctx
     in
     match f () with
     | v ->
@@ -92,16 +181,11 @@ let span ?(cat = "span") ?(args = []) name f =
 let decision ~transform ~target ~applied ~reason ?(evidence = []) () =
   if !is_enabled then
     emit
-      {
-        name = transform;
-        cat = "decision";
-        kind = Instant;
-        ts = now_ns ();
-        depth = !depth;
-        args =
-          ("target", Str target) :: ("applied", Bool applied)
-          :: ("reason", Str reason) :: evidence;
-      }
+      (mk ~kind:Instant ~cat:"decision"
+         ~args:
+           (("target", Str target) :: ("applied", Bool applied)
+           :: ("reason", Str reason) :: evidence)
+         transform)
 
 let decide ~transform ~target ?(evidence = []) (r : ('a, string) result) =
   if !is_enabled then
@@ -159,6 +243,14 @@ let json_of_args buf args =
 
 let kind_name = function Begin -> "begin" | End -> "end" | Instant -> "instant"
 
+(* Trace-context args shared by the jsonl and chrome renderings. *)
+let ctx_args ev =
+  if ev.trace = 0 then []
+  else
+    ("trace", Str (Ctx.id_hex ev.trace))
+    :: ("span", Str (Ctx.id_hex ev.span_id))
+    :: (if ev.parent = 0 then [] else [ ("parent", Str (Ctx.id_hex ev.parent)) ])
+
 let text oc =
   let emit ev =
     let indent = String.make (2 * ev.depth) ' ' in
@@ -180,7 +272,18 @@ let jsonl oc =
     Buffer.add_string buf (json_escape ev.cat);
     Buffer.add_string buf "\",\"kind\":\"";
     Buffer.add_string buf (kind_name ev.kind);
-    Buffer.add_string buf (Printf.sprintf "\",\"ts\":%d,\"depth\":%d,\"args\":" ev.ts ev.depth);
+    Buffer.add_string buf
+      (Printf.sprintf "\",\"ts\":%d,\"depth\":%d,\"track\":%d" ev.ts ev.depth
+         ev.track);
+    if ev.trace <> 0 then begin
+      Buffer.add_string buf
+        (Printf.sprintf ",\"trace\":\"%s\",\"span\":\"%s\"" (Ctx.id_hex ev.trace)
+           (Ctx.id_hex ev.span_id));
+      if ev.parent <> 0 then
+        Buffer.add_string buf
+          (Printf.sprintf ",\"parent\":\"%s\"" (Ctx.id_hex ev.parent))
+    end;
+    Buffer.add_string buf ",\"args\":";
     json_of_args buf ev.args;
     Buffer.add_char buf '}';
     output_string oc (Buffer.contents buf);
@@ -198,15 +301,18 @@ let chrome oc =
       (fun i ev ->
         if i > 0 then Buffer.add_char buf ',';
         let ph = match ev.kind with Begin -> "B" | End -> "E" | Instant -> "i" in
+        (* One Chrome "thread" track per emitting domain (+1 keeps the
+           main domain on the historical tid 1). *)
         Buffer.add_string buf
-          (Printf.sprintf "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%s\",\"ts\":%.3f,\"pid\":1,\"tid\":1"
+          (Printf.sprintf "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%s\",\"ts\":%.3f,\"pid\":1,\"tid\":%d"
              (json_escape ev.name) (json_escape ev.cat) ph
-             (float_of_int ev.ts /. 1e3));
+             (float_of_int ev.ts /. 1e3)
+             (ev.track + 1));
         (match ev.kind with
         | Instant -> Buffer.add_string buf ",\"s\":\"t\""
         | Begin | End -> ());
         Buffer.add_string buf ",\"args\":";
-        json_of_args buf ev.args;
+        json_of_args buf (ctx_args ev @ ev.args);
         Buffer.add_char buf '}')
       (List.rev !events);
     Buffer.add_string buf "]}";
@@ -277,6 +383,91 @@ let init_from_env () =
             | Error m -> Printf.eprintf "BLOCKABILITY_TRACE: %s\n%!" m))
 
 (* ------------------------------------------------------------------ *)
+(* Flight recorder                                                     *)
+(* ------------------------------------------------------------------ *)
+
+module Recorder = struct
+  (* A bounded ring of recent events, independent of the sink and of
+     [enabled ()]: [note] always lands in the ring, so the serve path
+     can afford to record every request and flush the recent history
+     when something goes wrong, without paying for full tracing.  The
+     ring is mutex-protected (writers are rare and the critical section
+     is a few stores); the disabled-instant fast path in [instant] is
+     untouched, so the zero-allocation guarantee of the null sink
+     still holds. *)
+  let mu = Mutex.create ()
+  let buf = ref (Array.make 256 None)
+  let head = ref 0
+  let count = ref 0
+  let capacity () = Array.length !buf
+
+  let locked f =
+    Mutex.lock mu;
+    Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
+  let set_capacity n =
+    locked (fun () ->
+        buf := Array.make (max 1 n) None;
+        head := 0;
+        count := 0)
+
+  let clear () =
+    locked (fun () ->
+        Array.fill !buf 0 (Array.length !buf) None;
+        head := 0;
+        count := 0)
+
+  let record ev =
+    locked (fun () ->
+        let b = !buf in
+        let cap = Array.length b in
+        b.(!head) <- Some ev;
+        head := (!head + 1) mod cap;
+        if !count < cap then incr count)
+
+  let note ?(cat = "recorder") ?(args = []) name =
+    record (mk ~kind:Instant ~cat ~args name)
+
+  let recent () =
+    locked (fun () ->
+        let b = !buf in
+        let cap = Array.length b in
+        let out = ref [] in
+        for i = !count downto 1 do
+          (* oldest slot is head - count (mod cap); walk forward *)
+          match b.((!head - i + (2 * cap)) mod cap) with
+          | Some ev -> out := ev :: !out
+          | None -> ()
+        done;
+        List.rev !out)
+
+  let sink () = { emit = record; flush_sink = (fun () -> ()) }
+
+  let to_lines () =
+    List.map
+      (fun ev ->
+        let b = Buffer.create 64 in
+        Buffer.add_string b
+          (Printf.sprintf "%12dns %-9s t%d %s %s" ev.ts ev.cat ev.track
+             (match ev.kind with Begin -> ">" | End -> "<" | Instant -> ".")
+             ev.name);
+        List.iter
+          (fun (k, v) ->
+            Buffer.add_string b (Printf.sprintf " %s=%s" k (string_of_value v)))
+          (ctx_args ev @ ev.args);
+        Buffer.contents b)
+      (recent ())
+
+  let dump () =
+    match to_lines () with
+    | [] -> ""
+    | lines ->
+        "flight recorder (oldest first):\n"
+        ^ String.concat "\n" (List.map (fun l -> "  " ^ l) lines)
+        ^ "\n"
+end
+
+(* ------------------------------------------------------------------ *)
 (* Metrics                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -286,18 +477,62 @@ module Metrics = struct
   let set_enabled b = on := b
 
   type counter = { cname : string; n : int Atomic.t }
-  type histogram = { hname : string; hbuckets : int Atomic.t array }
+
+  type histogram = {
+    hname : string;
+    hbuckets : int Atomic.t array;
+    hcount : int Atomic.t;
+    hsum : int Atomic.t;
+    hmax : int Atomic.t;
+  }
+
   type timer = { tname : string; total : int Atomic.t; tcalls : int Atomic.t }
   type gauge = { gname : string; gvalue : int Atomic.t; gpeak : int Atomic.t }
 
-  (* 2^0 .. 2^30, plus an overflow bucket. *)
-  let n_buckets = 32
+  (* Log-linear (HDR-style) buckets: values 0..15 are exact, then each
+     power-of-two octave is split into 16 linear sub-buckets, bounding
+     the quantile quantization error at ~6.25% while spanning the full
+     63-bit range in under a thousand buckets. *)
+  let sub_bits = 4
+  let sub_count = 1 lsl sub_bits
+  let max_group = 61
+  let n_buckets = sub_count + ((max_group - sub_bits + 1) * sub_count)
+
+  let msb v =
+    let rec go v i = if v <= 1 then i else go (v lsr 1) (i + 1) in
+    go v 0
+
+  let bucket_of v =
+    if v < 0 then 0
+    else if v < sub_count then v
+    else
+      let g = min max_group (msb v) in
+      let shift = g - sub_bits in
+      let sub = (v lsr shift) - sub_count in
+      sub_count + (shift * sub_count) + min (sub_count - 1) sub
+
+  (* Inclusive upper bound of bucket [i]. *)
+  let bound_of i =
+    if i < sub_count then i
+    else
+      let k = i - sub_count in
+      let shift = k / sub_count and sub = k mod sub_count in
+      ((sub + sub_count + 1) lsl shift) - 1
 
   let reg_mu = Mutex.create ()
   let counters : counter list ref = ref []
   let histograms : histogram list ref = ref []
   let timers : timer list ref = ref []
   let gauges : gauge list ref = ref []
+
+  let labelled name labels =
+    match labels with
+    | [] -> name
+    | _ ->
+        name ^ "{"
+        ^ String.concat ","
+            (List.map (fun (k, v) -> Printf.sprintf "%s=%S" k v) labels)
+        ^ "}"
 
   let counter name =
     Mutex.lock reg_mu;
@@ -324,24 +559,65 @@ module Metrics = struct
         | Some h -> h
         | None ->
             let h =
-              { hname = name; hbuckets = Array.init n_buckets (fun _ -> Atomic.make 0) }
+              {
+                hname = name;
+                hbuckets = Array.init n_buckets (fun _ -> Atomic.make 0);
+                hcount = Atomic.make 0;
+                hsum = Atomic.make 0;
+                hmax = Atomic.make 0;
+              }
             in
             histograms := h :: !histograms;
             h)
 
-  let bucket_of v =
-    let rec go i bound = if v <= bound || i = n_buckets - 1 then i else go (i + 1) (bound * 2) in
-    if v <= 1 then 0 else go 0 1
-
-  let observe h v = if !on then ignore (Atomic.fetch_and_add h.hbuckets.(bucket_of v) 1)
+  let observe h v =
+    if !on then begin
+      let v = max 0 v in
+      ignore (Atomic.fetch_and_add h.hbuckets.(bucket_of v) 1);
+      ignore (Atomic.fetch_and_add h.hcount 1);
+      ignore (Atomic.fetch_and_add h.hsum v);
+      let rec bump () =
+        let m = Atomic.get h.hmax in
+        if v > m && not (Atomic.compare_and_set h.hmax m v) then bump ()
+      in
+      bump ()
+    end
 
   let buckets h =
     let out = ref [] in
     for i = n_buckets - 1 downto 0 do
       let n = Atomic.get h.hbuckets.(i) in
-      if n > 0 then out := (1 lsl i, n) :: !out
+      if n > 0 then out := (bound_of i, n) :: !out
     done;
     !out
+
+  let hist_count h = Atomic.get h.hcount
+  let hist_sum h = Atomic.get h.hsum
+  let hist_max h = Atomic.get h.hmax
+
+  let percentile h q =
+    let total = hist_count h in
+    if total = 0 then 0
+    else begin
+      let q = Float.min 1.0 (Float.max 0.0 q) in
+      let rank = min total (max 1 (int_of_float (ceil (q *. float_of_int total)))) in
+      let res = ref (hist_max h) in
+      let cum = ref 0 in
+      (try
+         for i = 0 to n_buckets - 1 do
+           let n = Atomic.get h.hbuckets.(i) in
+           if n > 0 then begin
+             cum := !cum + n;
+             if !cum >= rank then begin
+               (* the bucket bound can overshoot the largest value seen *)
+               res := min (bound_of i) (hist_max h);
+               raise Exit
+             end
+           end
+         done
+       with Exit -> ());
+      !res
+    end
 
   let timer name =
     Mutex.lock reg_mu;
@@ -406,6 +682,8 @@ module Metrics = struct
   let gauge_value g = Atomic.get g.gvalue
   let gauge_peak g = Atomic.get g.gpeak
 
+  let quantiles = [ ("p50", 0.5); ("p90", 0.9); ("p99", 0.99) ]
+
   let snapshot () =
     let cs = List.map (fun c -> (c.cname, Atomic.get c.n)) !counters in
     let ts =
@@ -416,9 +694,17 @@ module Metrics = struct
     let hs =
       List.concat_map
         (fun h ->
-          List.map
-            (fun (bound, n) -> (Printf.sprintf "%s.le_%d" h.hname bound, n))
-            (buckets h))
+          if hist_count h = 0 then []
+          else
+            List.map
+              (fun (bound, n) -> (Printf.sprintf "%s.le_%d" h.hname bound, n))
+              (buckets h)
+            @ List.map (fun (k, q) -> (h.hname ^ "." ^ k, percentile h q)) quantiles
+            @ [
+                (h.hname ^ ".count", hist_count h);
+                (h.hname ^ ".sum", hist_sum h);
+                (h.hname ^ ".max", hist_max h);
+              ])
         !histograms
     in
     let gs =
@@ -428,6 +714,89 @@ module Metrics = struct
         !gauges
     in
     List.sort (fun (a, _) (b, _) -> String.compare a b) (cs @ ts @ hs @ gs)
+
+  (* ---- Prometheus text exposition ---- *)
+
+  (* A metric name may carry labels inline — ["serve.errors{class=\"parse\"}"]
+     (see [labelled]); the base name is sanitized into the Prometheus
+     grammar and the label block is kept verbatim, so every label set of
+     one base name lands in one metric family. *)
+  let split_labels name =
+    match String.index_opt name '{' with
+    | Some i -> (String.sub name 0 i, String.sub name i (String.length name - i))
+    | None -> (name, "")
+
+  let sanitize base =
+    String.map
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+        | _ -> '_')
+      base
+
+  let merge_label labels extra =
+    if labels = "" then "{" ^ extra ^ "}"
+    else String.sub labels 0 (String.length labels - 1) ^ "," ^ extra ^ "}"
+
+  let prometheus () =
+    let buf = Buffer.create 1024 in
+    let typed = Hashtbl.create 32 in
+    let typeline family kind =
+      if not (Hashtbl.mem typed family) then begin
+        Hashtbl.add typed family ();
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" family kind)
+      end
+    in
+    let family name suffix =
+      let base, labels = split_labels name in
+      ("blockc_" ^ sanitize base ^ suffix, labels)
+    in
+    let line fam labels v =
+      Buffer.add_string buf (Printf.sprintf "%s%s %d\n" fam labels v)
+    in
+    let by_name n a b = String.compare (n a) (n b) in
+    List.iter
+      (fun c ->
+        let fam, labels = family c.cname "_total" in
+        typeline fam "counter";
+        line fam labels (Atomic.get c.n))
+      (List.sort (by_name (fun c -> c.cname)) !counters);
+    List.iter
+      (fun t ->
+        let fam_ns, labels = family t.tname "_ns_total" in
+        typeline fam_ns "counter";
+        line fam_ns labels (total_ns t);
+        let fam_calls, _ = family t.tname "_calls_total" in
+        typeline fam_calls "counter";
+        line fam_calls labels (calls t))
+      (List.sort (by_name (fun t -> t.tname)) !timers);
+    List.iter
+      (fun g ->
+        let fam, labels = family g.gname "" in
+        typeline fam "gauge";
+        line fam labels (gauge_value g);
+        let fam_peak, _ = family g.gname "_peak" in
+        typeline fam_peak "gauge";
+        line fam_peak labels (gauge_peak g))
+      (List.sort (by_name (fun g -> g.gname)) !gauges);
+    List.iter
+      (fun h ->
+        if hist_count h > 0 then begin
+          let fam, labels = family h.hname "" in
+          typeline fam "summary";
+          List.iter
+            (fun (_, q) ->
+              let ql = merge_label labels (Printf.sprintf "quantile=\"%g\"" q) in
+              line fam ql (percentile h q))
+            quantiles;
+          line (fam ^ "_sum") labels (hist_sum h);
+          line (fam ^ "_count") labels (hist_count h);
+          let fam_max, _ = family h.hname "_max" in
+          typeline fam_max "gauge";
+          line fam_max labels (hist_max h)
+        end)
+      (List.sort (by_name (fun h -> h.hname)) !histograms);
+    Buffer.contents buf
 
   let report () =
     let buf = Buffer.create 512 in
@@ -451,14 +820,16 @@ module Metrics = struct
       (List.sort (fun a b -> String.compare a.gname b.gname) !gauges);
     List.iter
       (fun h ->
-        match buckets h with
-        | [] -> ()
-        | bs ->
-            Buffer.add_string buf (Printf.sprintf "  %s:\n" h.hname);
-            List.iter
-              (fun (bound, n) ->
-                Buffer.add_string buf (Printf.sprintf "    <= %-10d %12d\n" bound n))
-              bs)
+        if hist_count h > 0 then begin
+          Buffer.add_string buf
+            (Printf.sprintf "  %s: count %d  p50 %d  p90 %d  p99 %d  max %d\n"
+               h.hname (hist_count h) (percentile h 0.5) (percentile h 0.9)
+               (percentile h 0.99) (hist_max h));
+          List.iter
+            (fun (bound, n) ->
+              Buffer.add_string buf (Printf.sprintf "    <= %-10d %12d\n" bound n))
+            (buckets h)
+        end)
       (List.sort (fun a b -> String.compare a.hname b.hname) !histograms);
     Buffer.contents buf
 
@@ -469,7 +840,13 @@ module Metrics = struct
       (fun () ->
         List.iter (fun c -> Atomic.set c.n 0) !counters;
         List.iter (fun t -> Atomic.set t.total 0; Atomic.set t.tcalls 0) !timers;
-        List.iter (fun h -> Array.iter (fun b -> Atomic.set b 0) h.hbuckets) !histograms;
+        List.iter
+          (fun h ->
+            Array.iter (fun b -> Atomic.set b 0) h.hbuckets;
+            Atomic.set h.hcount 0;
+            Atomic.set h.hsum 0;
+            Atomic.set h.hmax 0)
+          !histograms;
         List.iter
           (fun g ->
             Atomic.set g.gvalue 0;

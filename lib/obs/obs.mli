@@ -1,23 +1,26 @@
-(** Observability: structured events, spans, decision tracing and
-    runtime metrics for the whole stack.
+(** Observability: structured events, spans, trace contexts, decision
+    tracing, a flight recorder and runtime metrics for the whole stack.
 
-    Zero-dependency by design (the runtime library sits below every
-    other subsystem and links this).  The disabled state is the default
-    and near-free: [enabled ()] is a single bool-ref read, so hot paths
-    guard with [if Obs.enabled () then ...] and allocate nothing when no
-    sink is installed.  Sinks are pluggable: null (default), a
-    human-readable text log, JSON-lines, the Chrome [trace_event]
-    format (load the file in [chrome://tracing] / Perfetto), an
-    in-memory collector (used by [blockc explain] and the tests), and a
-    [tee] combinator.
+    Depends only on the stdlib and [unix] (for the wall clock); the
+    runtime library sits below every other subsystem and links this.
+    The disabled state is the default and near-free: [enabled ()] is a
+    single bool-ref read, so hot paths guard with
+    [if Obs.enabled () then ...] and allocate nothing when no sink is
+    installed.  Sinks are pluggable: null (default), a human-readable
+    text log, JSON-lines, the Chrome [trace_event] format (load the
+    file in [chrome://tracing] / Perfetto), an in-memory collector
+    (used by [blockc explain] and the tests), the {!Recorder} ring, and
+    a [tee] combinator.
 
     Events carry a monotonic nanosecond timestamp, a category, the
-    current span-nesting depth, and a list of key/value arguments.
-    Decision events ([cat = "decision"]) are the transformation
-    engine's evidence log: every strip-mine / interchange /
-    distribution / index-set-split / IF-inspection / unroll-and-jam /
-    commutativity step records whether it was applied or rejected and
-    why. *)
+    emitting domain ([track]), the span-nesting depth {e of that
+    domain} (depth is domain-local state — concurrent domains cannot
+    corrupt each other's nesting), the active {!Ctx} trace/span ids,
+    and a list of key/value arguments.  Decision events
+    ([cat = "decision"]) are the transformation engine's evidence log:
+    every strip-mine / interchange / distribution / index-set-split /
+    IF-inspection / unroll-and-jam / commutativity step records whether
+    it was applied or rejected and why. *)
 
 type value = Str of string | Int of int | Float of float | Bool of bool
 
@@ -27,10 +30,42 @@ type event = {
   name : string;
   cat : string;
   kind : kind;
-  ts : int;  (** nanoseconds, non-decreasing *)
-  depth : int;  (** span nesting depth at emission *)
+  ts : int;  (** nanoseconds, non-decreasing per track *)
+  depth : int;  (** span nesting depth of the emitting domain *)
+  track : int;  (** emitting domain id *)
+  trace : int;  (** trace id of the active {!Ctx}; [0] = no trace *)
+  span_id : int;  (** span id of the active {!Ctx}; [0] = none *)
+  parent : int;  (** parent span id; [0] = trace root *)
   args : (string * value) list;
 }
+
+(** Trace context: the request-scoped identity that stitches spans
+    emitted on different domains into one trace.  A context is
+    domain-local and propagated {e explicitly} across hops: the serve
+    reader creates a {!fresh} root per request, {!Jobq.push} captures
+    the submitter's context into the queued item, the worker lane
+    restores it, and {!Parallel.for_} re-installs the caller's context
+    in every lane (each chunk span then forks a child id).  [Obs.span]
+    under an active context forks a child span id automatically, so
+    Begin/End events carry their own identity plus their parent's. *)
+module Ctx : sig
+  type t = { trace_id : int; span_id : int; parent : int }
+
+  val current : unit -> t option
+  (** The calling domain's active context, if any. *)
+
+  val fresh : unit -> t
+  (** A new root context (trace id = span id, no parent).  Ids are
+      process-unique. *)
+
+  val with_ctx : t option -> (unit -> 'a) -> 'a
+  (** [with_ctx c f] runs [f] with [c] installed as the calling
+      domain's context, restoring the previous one afterwards (also on
+      exception). *)
+
+  val id_hex : int -> string
+  (** Render an id the way the sinks and serve responses do. *)
+end
 
 type sink
 
@@ -41,11 +76,13 @@ val text : out_channel -> sink
 (** One indented human-readable line per event. *)
 
 val jsonl : out_channel -> sink
-(** One JSON object per line (parseable by [Json_min]). *)
+(** One JSON object per line (parseable by [Json_min]); carries
+    [track] and, under a trace, [trace]/[span]/[parent] hex ids. *)
 
 val chrome : out_channel -> sink
 (** Chrome [trace_event] format: buffers events, writes the complete
-    [{"traceEvents": [...]}] document on [flush]. *)
+    [{"traceEvents": [...]}] document on [flush].  Each domain is its
+    own [tid] track; trace/span ids ride in the event args. *)
 
 val memory : unit -> sink * (unit -> event list)
 (** An in-memory collector and the function that reads back the events
@@ -66,8 +103,11 @@ val enabled : unit -> bool
 val flush : unit -> unit
 
 val set_clock : (unit -> int) -> unit
-(** Replace the timestamp source (nanoseconds).  The default derives
-    from [Sys.time]; timestamps are clamped to be non-decreasing. *)
+(** Replace the timestamp source (nanoseconds).  The default is the
+    wall clock ([Unix.gettimeofday], microsecond resolution — real
+    time, unlike the CPU-time [Sys.time] it replaced, which collapsed
+    sub-millisecond spans to zero); timestamps are clamped to be
+    non-decreasing per domain. *)
 
 val now_ns : unit -> int
 
@@ -75,7 +115,8 @@ val instant : ?cat:string -> ?args:(string * value) list -> string -> unit
 
 val span : ?cat:string -> ?args:(string * value) list -> string -> (unit -> 'a) -> 'a
 (** [span name f] emits a [Begin]/[End] pair around [f ()] (also on
-    exception) and tracks nesting depth. *)
+    exception), tracks the domain-local nesting depth, and — under an
+    active {!Ctx} — forks a child span id for the pair's duration. *)
 
 val decision :
   transform:string ->
@@ -106,14 +147,57 @@ val init_from_env : unit -> unit
     Call once at program start; does nothing when the variable is
     unset. *)
 
-(** Runtime metrics: cheap process-global counters, log2-bucket
-    histograms and accumulating timers, safe to update from multiple
-    domains (atomics).  Disabled by default; every update is gated on
-    [enabled ()] so instrumented hot paths cost one bool-ref read and
-    allocate nothing when metrics are off. *)
+(** An always-available bounded ring of recent events — post-hoc
+    visibility into failures without paying for full tracing.
+    {!note} writes straight into the ring regardless of the installed
+    sink or [enabled ()] (the serve path notes every request and every
+    error); {!sink} additionally adapts the ring into a sink so
+    span/instant traffic can be mirrored into it ("recorder only"
+    mode).  The ring never touches the disabled-instant fast path, so
+    the null sink stays allocation-free. *)
+module Recorder : sig
+  val capacity : unit -> int
+
+  val set_capacity : int -> unit
+  (** Resize (min 1) and clear the ring.  Default capacity: 256. *)
+
+  val note : ?cat:string -> ?args:(string * value) list -> string -> unit
+  (** Record an instant directly into the ring (never dropped by the
+      enabled-gate; stamped with the caller's clock/ctx/track). *)
+
+  val record : event -> unit
+
+  val recent : unit -> event list
+  (** Ring contents, oldest first. *)
+
+  val clear : unit -> unit
+
+  val sink : unit -> sink
+  (** A sink writing every emitted event into the ring; installing it
+      turns [enabled ()] on without any output channel. *)
+
+  val to_lines : unit -> string list
+  (** Human-readable one-line renderings of {!recent}. *)
+
+  val dump : unit -> string
+  (** {!to_lines} under a header, or [""] when the ring is empty. *)
+end
+
+(** Runtime metrics: cheap process-global counters, log-linear
+    (HDR-style) histograms with derived quantiles, accumulating timers
+    and gauges, safe to update from multiple domains (atomics).
+    Disabled by default; every update is gated on [enabled ()] so
+    instrumented hot paths cost one bool-ref read and allocate nothing
+    when metrics are off. *)
 module Metrics : sig
   val enabled : unit -> bool
   val set_enabled : bool -> unit
+
+  val labelled : string -> (string * string) list -> string
+  (** [labelled "serve.errors" [("class", "parse")]] =
+      ["serve.errors{class=\"parse\"}"] — the naming convention that
+      {!prometheus} renders as one metric family per base name with the
+      label block attached to each sample. *)
 
   type counter
 
@@ -127,11 +211,22 @@ module Metrics : sig
   type histogram
 
   val histogram : string -> histogram
+
   val observe : histogram -> int -> unit
-  (** Bucket [v] by power of two ([v <= 1], [<= 2], [<= 4], ...). *)
+  (** Log-linear bucketing: values [0..15] exact, then 16 linear
+      sub-buckets per power-of-two octave (quantile quantization error
+      < 1/16).  Negative values clamp to 0. *)
 
   val buckets : histogram -> (int * int) list
   (** [(upper_bound, count)] for the non-empty buckets, ascending. *)
+
+  val percentile : histogram -> float -> int
+  (** [percentile h q] for [q] in [0..1]: an upper bound on the value
+      at that rank, clamped to the observed maximum; [0] when empty. *)
+
+  val hist_count : histogram -> int
+  val hist_sum : histogram -> int
+  val hist_max : histogram -> int
 
   type timer
 
@@ -156,13 +251,23 @@ module Metrics : sig
 
   val snapshot : unit -> (string * int) list
   (** Flat view of everything: ["name"] for counters,
-      ["name.ns"]/["name.calls"] for timers, ["name.le_N"] for
-      histogram buckets, ["name.value"]/["name.peak"] for gauges.
-      Sorted by key. *)
+      ["name.ns"]/["name.calls"] for timers, ["name.le_N"] buckets plus
+      ["name.p50"/".p90"/".p99"/".count"/".sum"/".max"] for non-empty
+      histograms, ["name.value"]/["name.peak"] for gauges.  Sorted by
+      key. *)
+
+  val prometheus : unit -> string
+  (** Prometheus text exposition of the full registry: counters as
+      [blockc_<name>_total], timers as [_ns_total]/[_calls_total]
+      counter pairs, gauges as gauges (plus [_peak]), histograms as
+      summaries with [quantile="0.5"/"0.9"/"0.99"] samples, [_sum],
+      [_count] and a [_max] gauge.  Inline label blocks (see
+      {!labelled}) are preserved, so every label set of one base name
+      shares a family and a single [# TYPE] line. *)
 
   val report : unit -> string
-  (** Human-readable multi-line rendering of [snapshot] plus derived
-      rates (mean ns/call for timers). *)
+  (** Human-readable multi-line rendering of the registry with derived
+      rates (mean ns/call for timers) and histogram quantiles. *)
 
   val reset : unit -> unit
   (** Zero all registered metrics (the registry itself persists). *)

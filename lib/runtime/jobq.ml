@@ -3,7 +3,8 @@
 type 'a t = {
   mu : Mutex.t;
   nonempty : Condition.t;
-  items : (int * 'a) Queue.t;  (* enqueue timestamp (ns), payload *)
+  (* enqueue timestamp (ns), submitter's trace context, payload *)
+  items : (int * Obs.Ctx.t option * 'a) Queue.t;
   mutable closed : bool;
   depth_gauge : Obs.Metrics.gauge;
   wait_timer : Obs.Metrics.timer;
@@ -25,7 +26,7 @@ let push t x =
     Mutex.unlock t.mu;
     invalid_arg "Jobq.push: queue is closed"
   end;
-  Queue.push (Obs.now_ns (), x) t.items;
+  Queue.push (Obs.now_ns (), Obs.Ctx.current (), x) t.items;
   Obs.Metrics.set_gauge t.depth_gauge (Queue.length t.items);
   Condition.signal t.nonempty;
   Mutex.unlock t.mu
@@ -36,19 +37,20 @@ let close t =
   Condition.broadcast t.nonempty;
   Mutex.unlock t.mu
 
-let pop t =
+let take t =
   Mutex.lock t.mu;
-  let rec take () =
+  let rec go () =
     match Queue.take_opt t.items with
-    | Some (enqueued_ns, x) ->
+    | Some (enqueued_ns, ctx, x) ->
         Obs.Metrics.set_gauge t.depth_gauge (Queue.length t.items);
         Mutex.unlock t.mu;
         let waited = Obs.now_ns () - enqueued_ns in
         Obs.Metrics.record_ns t.wait_timer waited;
         if Obs.enabled () then
-          Obs.instant ~cat:"runtime" "jobq.dequeue"
-            ~args:[ ("wait_ns", Obs.Int waited) ];
-        Some x
+          Obs.Ctx.with_ctx ctx (fun () ->
+              Obs.instant ~cat:"runtime" "jobq.dequeue"
+                ~args:[ ("wait_ns", Obs.Int waited) ]);
+        Some (ctx, x)
     | None ->
         if t.closed then begin
           Mutex.unlock t.mu;
@@ -56,10 +58,12 @@ let pop t =
         end
         else begin
           Condition.wait t.nonempty t.mu;
-          take ()
+          go ()
         end
   in
-  take ()
+  go ()
+
+let pop t = Option.map snd (take t)
 
 let length t =
   Mutex.lock t.mu;
@@ -69,10 +73,13 @@ let length t =
 
 let drain t f =
   let rec go () =
-    match pop t with
+    match take t with
     | None -> ()
-    | Some x ->
+    | Some (None, x) ->
         f x;
+        go ()
+    | Some ((Some _ as ctx), x) ->
+        Obs.Ctx.with_ctx ctx (fun () -> f x);
         go ()
   in
   go ()

@@ -7,11 +7,18 @@
     empty — no sentinel values, no busy-waiting (consumers park on a
     condition variable).
 
+    Trace propagation: {!push} captures the submitter's {!Obs.Ctx}
+    alongside the payload, and {!drain} restores it around the
+    consumer's callback — so a request's spans stay on one trace even
+    though the queue hop changes domains.  ({!pop} discards the
+    context; use {!drain} on worker lanes.)
+
     Instrumented through {!Obs.Metrics} under the queue's name: a
     [<name>.depth] gauge sampled at every push/pop (with its peak
     high-water mark) and a [<name>.queue_wait] timer accumulating how
     long each job sat queued before a lane picked it up; each dequeue
-    also emits a [jobq.dequeue] instant when tracing is on. *)
+    also emits a [jobq.dequeue] instant (on the job's trace) when
+    tracing is on. *)
 
 type 'a t
 
@@ -20,7 +27,8 @@ val create : ?name:string -> unit -> 'a t
     metrics this queue records. *)
 
 val push : 'a t -> 'a -> unit
-(** Enqueue a job and wake one waiting consumer.
+(** Enqueue a job (capturing the calling domain's trace context) and
+    wake one waiting consumer.
     @raise Invalid_argument on a closed queue. *)
 
 val close : 'a t -> unit
@@ -36,4 +44,5 @@ val length : 'a t -> int
 
 val drain : 'a t -> ('a -> unit) -> unit
 (** [drain t f] pops and runs jobs until {!pop} returns [None] — the
-    body each pool lane runs. *)
+    body each pool lane runs.  Each job runs under the trace context
+    captured at {!push} time. *)

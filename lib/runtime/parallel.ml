@@ -54,17 +54,32 @@ let for_ ?pool ?(chunking = Static) ?(align = 1) ~lo ~hi f =
           in
           Array.iter (fun (s, e) -> Obs.Metrics.observe h (e - s + 1)) cs
         end;
+        (* Capture the caller's trace context and re-install it in every
+           lane, so chunk spans executed on worker domains stay children
+           of the span that called [for_]. *)
+        let ctx = Obs.Ctx.current () in
+        let traced = Obs.enabled () in
         let next = Atomic.make 0 in
         Pool.run pool (fun () ->
-            let continue = ref true in
-            while !continue do
-              let i = Atomic.fetch_and_add next 1 in
-              if i >= n then continue := false
-              else
-                let s, e = cs.(i) in
-                if metrics then Obs.Metrics.time (Obs.Metrics.timer "par.chunk") (fun () -> f s e)
-                else f s e
-            done)
+            Obs.Ctx.with_ctx ctx (fun () ->
+                let continue = ref true in
+                while !continue do
+                  let i = Atomic.fetch_and_add next 1 in
+                  if i >= n then continue := false
+                  else
+                    let s, e = cs.(i) in
+                    let body () =
+                      if metrics then
+                        Obs.Metrics.time (Obs.Metrics.timer "par.chunk")
+                          (fun () -> f s e)
+                      else f s e
+                    in
+                    if traced then
+                      Obs.span ~cat:"runtime" "par.chunk"
+                        ~args:[ ("lo", Obs.Int s); ("hi", Obs.Int e) ]
+                        body
+                    else body ()
+                done))
       end
     end
   end

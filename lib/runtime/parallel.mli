@@ -40,4 +40,9 @@ val for_ :
     parallel on [pool] (default: {!Pool.default}).  [f] must treat its
     chunks as independent: no chunk may read state another chunk
     writes.  Empty ranges ([hi < lo]) are a no-op; a 1-lane pool or a
-    single-chunk decomposition runs [f lo hi] on the calling domain. *)
+    single-chunk decomposition runs [f lo hi] on the calling domain.
+
+    When tracing is on, the caller's {!Obs.Ctx} is re-installed in
+    every lane and each chunk runs inside a [par.chunk] child span —
+    the fan-out of one request stays one coherent trace across worker
+    domains. *)

@@ -36,6 +36,65 @@ let wrap ?id ok fields =
 let errorf ?id fmt =
   Printf.ksprintf (fun m -> wrap ?id false [ ("error", jstr m) ]) fmt
 
+(* ---- request telemetry ------------------------------------------- *)
+
+(* Per-request stage attribution, filled in by the handlers as the
+   request flows through compile and execute; mutated only by the
+   request's own lane (batch fan-out measures the whole parallel
+   region, not per-item, precisely to keep this single-writer). *)
+type timing = { mutable t_compile_ns : int; mutable t_exec_ns : int }
+
+let new_timing () = { t_compile_ns = 0; t_exec_ns = 0 }
+
+let ok_of resp =
+  match resp with
+  | J.Object kvs -> (
+      match List.assoc_opt "ok" kvs with Some (J.Bool b) -> b | _ -> true)
+  | _ -> true
+
+let error_text resp =
+  match resp with
+  | J.Object kvs -> (
+      match List.assoc_opt "error" kvs with
+      | Some (J.String s) -> Some s
+      | _ -> None)
+  | _ -> None
+
+(* Labelled error accounting: [serve.errors] total plus one
+   [serve.errors{class=...}] counter per failure class ("parse",
+   "missing_op", "unknown_op", "request", "internal"). *)
+let count_error cls =
+  Obs.Metrics.incr (Obs.Metrics.counter "serve.errors");
+  Obs.Metrics.incr
+    (Obs.Metrics.counter (Obs.Metrics.labelled "serve.errors" [ ("class", cls) ]))
+
+(* Request latency (queue wait + handling) in the overall and per-op
+   log-linear histograms; the metrics op renders their p50/p90/p99. *)
+let observe_request ~op ~ns =
+  Obs.Metrics.incr (Obs.Metrics.counter "serve.requests");
+  Obs.Metrics.observe (Obs.Metrics.histogram "serve.request.ns") ns;
+  Obs.Metrics.observe
+    (Obs.Metrics.histogram (Obs.Metrics.labelled "serve.request.ns" [ ("op", op) ]))
+    ns
+
+let with_telemetry ~trace_hex ~queue_ns ~tm ~total_ns resp =
+  match resp with
+  | J.Object kvs ->
+      J.Object
+        (kvs
+        @ [
+            ("trace_id", J.String trace_hex);
+            ( "server",
+              J.Object
+                [
+                  ("queue_ns", jint queue_ns);
+                  ("compile_ns", jint tm.t_compile_ns);
+                  ("exec_ns", jint tm.t_exec_ns);
+                  ("total_ns", jint total_ns);
+                ] );
+          ])
+  | other -> other
+
 (* ---- request decoding ------------------------------------------- *)
 
 let field req name =
@@ -130,7 +189,14 @@ let derived_block entry =
       Mutex.unlock derived_mu;
       r
 
-let compile_variant entry variant =
+let compile_variant ?tm entry variant =
+  let t0 = Obs.now_ns () in
+  Fun.protect
+    ~finally:(fun () ->
+      match tm with
+      | Some tm -> tm.t_compile_ns <- tm.t_compile_ns + (Obs.now_ns () - t0)
+      | None -> ())
+  @@ fun () ->
   let block =
     match variant with
     | Point -> Ok entry.Blockability.kernel.Kernel_def.block
@@ -182,17 +248,27 @@ let digest_env entry env =
   in
   Digest.to_hex (Digest.string (Marshal.to_string arrays []))
 
-let run_one c ~bindings ~seed =
+let run_one ?tm c ~bindings ~seed =
   match env_for c ~bindings ~seed with
   | exception Invalid_argument m -> Error m
   | env -> (
       let t0 = Unix.gettimeofday () in
+      let finish () =
+        let dt = Unix.gettimeofday () -. t0 in
+        (match tm with
+        | Some tm -> tm.t_exec_ns <- tm.t_exec_ns + int_of_float (dt *. 1e9)
+        | None -> ());
+        dt
+      in
       match
         Jit.run ~bindings:c.c_bp.Blueprint.bindings c.c_loaded.Jit.fn env
       with
-      | Error m -> Error m
+      | Error m ->
+          ignore (finish ());
+          Error m
       | Ok () ->
-          Ok (digest_env c.c_entry env, Unix.gettimeofday () -. t0))
+          let dt = finish () in
+          Ok (digest_env c.c_entry env, dt))
 
 (* ---- per-op handlers -------------------------------------------- *)
 
@@ -257,25 +333,25 @@ let handle_derive ?id req =
               ("result", jstr (Stmt.block_to_string [ result ]));
             ])
 
-let handle_compile ?id req =
+let handle_compile ~tm ?id req =
   match kernel_of req with
   | Error m -> errorf ?id "%s" m
   | Ok entry -> (
       match variant_of req with
       | Error m -> errorf ?id "%s" m
       | Ok variant -> (
-          match compile_variant entry variant with
+          match compile_variant ~tm entry variant with
           | Error m -> errorf ?id "%s" m
           | Ok c -> wrap ?id true (compile_fields c)))
 
-let handle_execute ?id req =
+let handle_execute ~tm ?id req =
   match (kernel_of req, variant_of req, bindings_field req) with
   | Error m, _, _ | _, Error m, _ | _, _, Error m -> errorf ?id "%s" m
   | Ok entry, Ok variant, Ok bindings -> (
-      match compile_variant entry variant with
+      match compile_variant ~tm entry variant with
       | Error m -> errorf ?id "%s" m
       | Ok c -> (
-          match run_one c ~bindings ~seed:(seed_field req) with
+          match run_one ~tm c ~bindings ~seed:(seed_field req) with
           | Error m -> errorf ?id "%s" m
           | Ok (digest, run_s) ->
               wrap ?id true
@@ -324,7 +400,7 @@ let batch_size_metric = lazy (Obs.Metrics.histogram "serve.batch_size")
    default pool — serialize the fan-out, not the compile. *)
 let batch_mu = Mutex.create ()
 
-let handle_batch ~exec_pool ?id req =
+let handle_batch ~exec_pool ~tm ?id req =
   match (kernel_of req, variant_of req) with
   | Error m, _ | _, Error m -> errorf ?id "%s" m
   | Ok entry, Ok variant -> (
@@ -332,7 +408,7 @@ let handle_batch ~exec_pool ?id req =
       | Error m -> errorf ?id "%s" m
       | Ok [] -> errorf ?id "empty batch"
       | Ok items -> (
-          match compile_variant entry variant with
+          match compile_variant ~tm entry variant with
           | Error m -> errorf ?id "%s" m
           | Ok c ->
               let seed = seed_field req in
@@ -362,6 +438,8 @@ let handle_batch ~exec_pool ?id req =
                                with e -> Error (Printexc.to_string e))
                           done)));
               let run_s = Unix.gettimeofday () -. t0 in
+              (* whole-fan-out wall time: per-item adds would race *)
+              tm.t_exec_ns <- tm.t_exec_ns + int_of_float (run_s *. 1e9);
               let bad = ref None in
               Array.iteri
                 (fun i r ->
@@ -426,39 +504,137 @@ let handle_status ?id () =
       ("cache_dir", jstr (Jit.cache_dir ()));
     ]
 
+let handle_metrics ?id () =
+  wrap ?id true
+    [
+      ("metrics", jstr (Obs.Metrics.prometheus ()));
+      ("metrics_enabled", J.Bool (Obs.Metrics.enabled ()));
+    ]
+
+let json_of_obs_value = function
+  | Obs.Str s -> jstr s
+  | Obs.Int n -> jint n
+  | Obs.Float f -> J.Number f
+  | Obs.Bool b -> J.Bool b
+
+let json_of_recorded (e : Obs.event) =
+  let base =
+    [
+      (* epoch nanoseconds exceed double precision: ship as a string *)
+      ("ts", jstr (string_of_int e.Obs.ts));
+      ("cat", jstr e.Obs.cat);
+      ("name", jstr e.Obs.name);
+      ( "kind",
+        jstr
+          (match e.Obs.kind with
+          | Obs.Begin -> "begin"
+          | Obs.End -> "end"
+          | Obs.Instant -> "instant") );
+      ("track", jint e.Obs.track);
+    ]
+  in
+  let ctx =
+    if e.Obs.trace = 0 then []
+    else
+      ("trace", jstr (Obs.Ctx.id_hex e.Obs.trace))
+      :: ("span", jstr (Obs.Ctx.id_hex e.Obs.span_id))
+      ::
+      (if e.Obs.parent = 0 then []
+       else [ ("parent", jstr (Obs.Ctx.id_hex e.Obs.parent)) ])
+  in
+  let args =
+    List.map (fun (k, v) -> (escape k, json_of_obs_value v)) e.Obs.args
+  in
+  J.Object (base @ ctx @ [ ("args", J.Object args) ])
+
+let handle_dump ?id () =
+  let events = Obs.Recorder.recent () in
+  wrap ?id true
+    [
+      ("capacity", jint (Obs.Recorder.capacity ()));
+      ("n", jint (List.length events));
+      ("events", J.Array (List.map json_of_recorded events));
+    ]
+
 (* ---- dispatch ---------------------------------------------------- *)
 
-let handle_request ~exec_pool req =
+let handle_request ?(queue_ns = 0) ~exec_pool req =
   let id = request_id req in
-  match str_field req "op" with
-  | None -> (errorf ?id "missing \"op\"", false)
-  | Some op ->
-      Obs.span ~cat:"serve" "serve.request"
-        ~args:[ ("op", Obs.Str op) ]
-        (fun () ->
-          match op with
-          | "ping" -> (wrap ?id true [ ("pong", J.Bool true) ], false)
-          | "shutdown" ->
-              (wrap ?id true [ ("stopping", J.Bool true) ], true)
-          | "kernels" -> (handle_kernels ?id (), false)
-          | "status" -> (handle_status ?id (), false)
-          | "derive" -> (handle_derive ?id req, false)
-          | "compile" -> (handle_compile ?id req, false)
-          | "execute" -> (handle_execute ?id req, false)
-          | "batch" -> (handle_batch ~exec_pool ?id req, false)
-          | "profile" -> (handle_profile ?id req, false)
-          | op -> (errorf ?id "unknown op \"%s\"" op, false))
+  (* Every request runs under a trace context: the one the reader
+     attached at enqueue time (restored by the Jobq hop), or a fresh
+     root when the handler is driven directly. *)
+  let ctx =
+    match Obs.Ctx.current () with
+    | Some _ as c -> c
+    | None -> Some (Obs.Ctx.fresh ())
+  in
+  Obs.Ctx.with_ctx ctx @@ fun () ->
+  let trace_hex =
+    match ctx with Some c -> Obs.Ctx.id_hex c.Obs.Ctx.trace_id | None -> ""
+  in
+  let tm = new_timing () in
+  let t0 = Obs.now_ns () in
+  let op_name, (resp, stop), bad_op =
+    match str_field req "op" with
+    | None -> ("(none)", (errorf ?id "missing \"op\"", false), Some "missing_op")
+    | Some op ->
+        let result =
+          Obs.span ~cat:"serve" "serve.request"
+            ~args:[ ("op", Obs.Str op) ]
+            (fun () ->
+              match op with
+              | "ping" -> ((wrap ?id true [ ("pong", J.Bool true) ], false), None)
+              | "shutdown" ->
+                  ((wrap ?id true [ ("stopping", J.Bool true) ], true), None)
+              | "kernels" -> ((handle_kernels ?id (), false), None)
+              | "status" -> ((handle_status ?id (), false), None)
+              | "metrics" -> ((handle_metrics ?id (), false), None)
+              | "dump" -> ((handle_dump ?id (), false), None)
+              | "derive" -> ((handle_derive ?id req, false), None)
+              | "compile" -> ((handle_compile ~tm ?id req, false), None)
+              | "execute" -> ((handle_execute ~tm ?id req, false), None)
+              | "batch" -> ((handle_batch ~exec_pool ~tm ?id req, false), None)
+              | "profile" -> ((handle_profile ?id req, false), None)
+              | op -> ((errorf ?id "unknown op \"%s\"" op, false), Some "unknown_op"))
+        in
+        let (resp, stop), cls = result in
+        (op, (resp, stop), cls)
+  in
+  let total_ns = queue_ns + (Obs.now_ns () - t0) in
+  let ok = ok_of resp in
+  observe_request ~op:op_name ~ns:total_ns;
+  if not ok then
+    count_error (Option.value bad_op ~default:"request");
+  Obs.Recorder.note ~cat:"serve" "serve.request"
+    ~args:
+      (("op", Obs.Str op_name) :: ("ok", Obs.Bool ok)
+       :: ("ns", Obs.Int total_ns)
+       ::
+       (match error_text resp with
+       | Some m when not ok -> [ ("error", Obs.Str m) ]
+       | _ -> []));
+  (with_telemetry ~trace_hex ~queue_ns ~tm ~total_ns resp, stop)
 
-let handle_line ~exec_pool line =
+let handle_line ?queue_ns ~exec_pool line =
   match J.parse line with
-  | Error e -> (J.to_string (errorf "parse error: %s" e), false)
+  | Error e ->
+      count_error "parse";
+      Obs.Recorder.note ~cat:"serve" "serve.parse_error"
+        ~args:[ ("error", Obs.Str e) ];
+      (J.to_string (errorf "parse error: %s" e), false)
   | Ok req -> (
-      match handle_request ~exec_pool req with
+      match handle_request ?queue_ns ~exec_pool req with
       | resp, stop -> (J.to_string resp, stop)
       | exception e ->
-          ( J.to_string
-              (errorf ?id:(request_id req) "internal error: %s"
-                 (Printexc.to_string e)),
+          let msg = Printexc.to_string e in
+          count_error "internal";
+          Obs.Recorder.note ~cat:"serve" "serve.internal_error"
+            ~args:[ ("error", Obs.Str msg) ];
+          (* a handler blew up: flush the flight recorder for post-hoc
+             context (the dump op only helps when the client asks) *)
+          prerr_string (Obs.Recorder.dump ());
+          Stdlib.flush stderr;
+          ( J.to_string (errorf ?id:(request_id req) "internal error: %s" msg),
             false ))
 
 (* ---- server loops ------------------------------------------------ *)
@@ -488,7 +664,14 @@ let run_channel ~qpool ~exec_pool ic oc =
               let line = String.trim line in
               if line = "" then loop ()
               else begin
-                Jobq.push q line;
+                (* Each request line gets a fresh root trace context;
+                   [Jobq.push] captures it, the worker lane restores it,
+                   so the queue hop stays on the request's trace.  The
+                   payload carries the enqueue stamp for the response's
+                   queue_ns. *)
+                Obs.Ctx.with_ctx
+                  (Some (Obs.Ctx.fresh ()))
+                  (fun () -> Jobq.push q (Obs.now_ns (), line));
                 (* Stop reading past a shutdown so the pipe's remaining
                    bytes (if any) are left alone and the lanes drain
                    out. *)
@@ -498,14 +681,25 @@ let run_channel ~qpool ~exec_pool ic oc =
         loop ())
   in
   Pool.run qpool (fun () ->
-      Jobq.drain q (fun line ->
-          let resp, stop = handle_line ~exec_pool line in
+      Jobq.drain q (fun (enqueued_ns, line) ->
+          let queue_ns = max 0 (Obs.now_ns () - enqueued_ns) in
+          let resp, stop = handle_line ~queue_ns ~exec_pool line in
           if stop then Atomic.set stopping true;
           respond resp));
   Domain.join reader;
   Atomic.get stopping
 
+(* The daemon always serves with metrics on (the metrics op is useless
+   otherwise) and keeps at least the flight recorder listening: when no
+   sink was installed by --trace / BLOCKABILITY_TRACE, spans are
+   mirrored into the bounded ring — "recorder only" mode — so a dump
+   after a failure has context without full-tracing cost. *)
+let enable_telemetry () =
+  Obs.Metrics.set_enabled true;
+  if not (Obs.enabled ()) then Obs.set_sink (Obs.Recorder.sink ())
+
 let run_stdio ?(workers = 2) () =
+  enable_telemetry ();
   let qpool = Pool.create ~domains:(max 1 workers) in
   let (_ : bool) =
     run_channel ~qpool ~exec_pool:(Pool.default ()) stdin stdout
@@ -513,6 +707,7 @@ let run_stdio ?(workers = 2) () =
   Pool.shutdown qpool
 
 let run_socket ?(workers = 2) path =
+  enable_telemetry ();
   if Sys.file_exists path then Sys.remove path;
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   let qpool = Pool.create ~domains:(max 1 workers) in

@@ -42,7 +42,26 @@
     - [status] — process-wide JIT cache counters ([ocamlopt] runs, memo
       size and evictions, single-flight dedup waits) and the cache
       directory.
+    - [metrics] — the full {!Obs.Metrics} registry as a Prometheus text
+      exposition (one JSON-escaped string field ["metrics"]): request
+      counts, labelled [serve.errors] classes, and p50/p90/p99/max
+      latency summaries overall and per op ([serve.request.ns{op=...}]).
+      [blockc stats --socket PATH] is the scraping client.
+    - [dump] — flush the {!Obs.Recorder} flight recorder: the bounded
+      ring of recent events (every request and error is noted there
+      even without tracing), as structured JSON, oldest first.
     - [shutdown] — acknowledge and stop the server loop.
+
+    {b Response telemetry.}  Every response object additionally carries
+    ["trace_id"] (the request's trace context in hex — the same id its
+    spans carry in any installed sink, so a Chrome trace of a [batch]
+    fan-out connects to the response that triggered it) and a
+    ["server"] timing breakdown: ["queue_ns"] (time queued between the
+    reader and a worker lane), ["compile_ns"] (blueprint normalize +
+    JIT, ~0 on memo hits), ["exec_ns"] (native run / batch fan-out
+    wall), and ["total_ns"] (queue + handling).  Responses to requests
+    that crashed the handler ([internal error]) carry no telemetry
+    fields; the flight recorder is dumped to stderr instead.
 
     Example session (one request and response per line):
 
@@ -59,18 +78,29 @@
     < {"id":4,"ok":true,"stopping":true}
     v}
 
-    Observability: each request is a ["serve.request"] span, queue wait
-    is the [serve.queue_wait] timer / [serve.depth] gauge (from the
-    {!Jobq}), batch fan-out sizes land in the [serve.batch_size]
-    histogram, and compile dedup hits / memo evictions are counted by
-    {!Jit}. *)
+    Observability: each request runs under its own {!Obs.Ctx} trace
+    (created by the reader, carried across the {!Jobq} hop, re-installed
+    in {!Parallel.for_} lanes) inside a ["serve.request"] span; queue
+    wait is the [serve.queue_wait] timer / [serve.depth] gauge (from
+    the {!Jobq}); request latency lands in the [serve.request.ns]
+    log-linear histograms (overall and per op); failures increment the
+    labelled [serve.errors] counters ([class="parse" | "missing_op" |
+    "unknown_op" | "request" | "internal"]); batch fan-out sizes land
+    in the [serve.batch_size] histogram; and compile dedup hits / memo
+    evictions are counted by {!Jit}.  {!run_stdio} / {!run_socket}
+    switch metrics on and install the {!Obs.Recorder} ring as the sink
+    when no other sink is active. *)
 
-val handle_request : exec_pool:Pool.t -> Json_min.t -> Json_min.t * bool
-(** Process one decoded request; returns the response and whether it
-    was a [shutdown].  [exec_pool] runs batch fan-out.  Exposed for the
-    unit tests — the server loops call it through {!handle_line}. *)
+val handle_request :
+  ?queue_ns:int -> exec_pool:Pool.t -> Json_min.t -> Json_min.t * bool
+(** Process one decoded request; returns the response (including the
+    telemetry fields) and whether it was a [shutdown].  [queue_ns]
+    (default 0) is the time the request sat queued, reported in the
+    response breakdown and included in the latency histograms.
+    [exec_pool] runs batch fan-out.  Exposed for the unit tests — the
+    server loops call it through {!handle_line}. *)
 
-val handle_line : exec_pool:Pool.t -> string -> string * bool
+val handle_line : ?queue_ns:int -> exec_pool:Pool.t -> string -> string * bool
 (** Parse one request line and render the response line (no trailing
     newline).  Malformed JSON yields an ["ok":false] response, never an
     exception. *)

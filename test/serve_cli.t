@@ -3,6 +3,10 @@ keeps responses in request order (with more workers, clients match by
 id).  Only deterministic operations here; compile/execute/batch are
 covered by the unit tests and the CI smoke step.
 
+Every response carries telemetry (a fresh trace_id and the server
+timing breakdown); the first sed strips those non-deterministic fields,
+and it must run before the greedy reason-normalizing one.
+
   $ printf '%s\n' \
   >   '{"id":1,"op":"ping"}' \
   >   '{"id":2,"op":"frobnicate"}' \
@@ -10,7 +14,9 @@ covered by the unit tests and the CI smoke step.
   >   'not json' \
   >   '{"id":4,"op":"derive","kernel":"householder"}' \
   >   '{"id":5,"op":"shutdown"}' \
-  >   | blockc serve --workers 1 | sed -e 's|"reason":".*"|"reason":"..."|'
+  >   | blockc serve --workers 1 \
+  >   | sed -e 's|,"trace_id":"[0-9a-f]*","server":{[^}]*}||' \
+  >         -e 's|"reason":".*"|"reason":"..."|'
   {"id":1,"ok":true,"pong":true}
   {"id":2,"ok":false,"error":"unknown op \"frobnicate\""}
   {"id":3,"ok":false,"error":"missing \"op\""}
@@ -18,8 +24,31 @@ covered by the unit tests and the CI smoke step.
   {"id":4,"ok":true,"kernel":"householder","blockable":false,"reason":"..."}
   {"id":5,"ok":true,"stopping":true}
 
+The telemetry fields themselves: every response line has a hex
+trace_id and all four server timings.
+
+  $ printf '%s\n' '{"id":1,"op":"ping"}' '{"id":2,"op":"shutdown"}' \
+  >   | blockc serve --workers 1 \
+  >   | grep -c '"trace_id":"[0-9a-f]*","server":{"queue_ns":[0-9]*,"compile_ns":[0-9]*,"exec_ns":[0-9]*,"total_ns":[0-9]*}'
+  2
+
+The metrics op returns the Prometheus exposition with per-op latency
+summaries (the daemon switches metrics on at startup); the dump op
+flushes the flight recorder.
+
+  $ printf '%s\n' '{"id":1,"op":"ping"}' '{"id":2,"op":"metrics"}' '{"id":3,"op":"shutdown"}' \
+  >   | blockc serve --workers 1 > serve_metrics.out
+  $ grep -c 'blockc_serve_requests_total' serve_metrics.out
+  1
+  $ grep -c 'blockc_serve_request_ns{op=\\"ping\\",quantile=\\"0.99\\"}' serve_metrics.out
+  1
+  $ printf '%s\n' '{"id":1,"op":"ping"}' '{"id":2,"op":"dump"}' '{"id":3,"op":"shutdown"}' \
+  >   | blockc serve --workers 1 | grep -c '"events":\[{'
+  1
+
 A shutdown ends the loop even when more input follows, and the exit is
 clean.
 
-  $ printf '%s\n' '{"op":"shutdown"}' '{"op":"ping"}' | blockc serve --workers 1
+  $ printf '%s\n' '{"op":"shutdown"}' '{"op":"ping"}' | blockc serve --workers 1 \
+  >   | sed -e 's|,"trace_id":"[0-9a-f]*","server":{[^}]*}||'
   {"ok":true,"stopping":true}

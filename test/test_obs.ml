@@ -135,6 +135,115 @@ let chrome_round_trip () =
   | Ok _ -> Alcotest.fail "chrome trace is not an object"
   | Error m -> Alcotest.failf "unparseable chrome trace: %s" m
 
+(* ---- multi-domain tracing ---- *)
+
+(* Regression: span depth used to be one process-global counter, so a
+   worker domain opening a span while the main domain was inside one
+   started at depth 1 (or worse, tore the counter).  Depth is now
+   domain-local state. *)
+let two_domain_depth_isolation () =
+  with_memory_sink @@ fun events ->
+  let worker_go = Atomic.make false and worker_done = Atomic.make false in
+  let d =
+    Domain.spawn (fun () ->
+        while not (Atomic.get worker_go) do
+          Domain.cpu_relax ()
+        done;
+        Obs.span "worker" (fun () -> Obs.instant "w.mid");
+        Atomic.set worker_done true)
+  in
+  Obs.span "main" (fun () ->
+      (* release the worker only once this domain is at depth 1 *)
+      Atomic.set worker_go true;
+      while not (Atomic.get worker_done) do
+        Domain.cpu_relax ()
+      done;
+      Obs.instant "m.mid");
+  Domain.join d;
+  let evs = events () in
+  let find name kind =
+    List.find (fun (e : Obs.event) -> e.name = name && e.kind = kind) evs
+  in
+  let wb = find "worker" Obs.Begin and mb = find "main" Obs.Begin in
+  check_int "worker span starts at its own depth 0" 0 wb.depth;
+  check_int "worker instant nests to 1" 1 (find "w.mid" Obs.Instant).depth;
+  check_int "main instant unaffected by the worker" 1
+    (find "m.mid" Obs.Instant).depth;
+  check_bool "domains emit on distinct tracks" true (wb.track <> mb.track)
+
+(* Regression: timestamps came from Sys.time (CPU time, ~1ms
+   granularity), so back-to-back events got identical stamps and
+   sub-millisecond spans rendered as zero-width.  The clock is now the
+   real wall clock at microsecond resolution. *)
+let wall_clock_advances () =
+  with_memory_sink @@ fun events ->
+  Obs.instant "t0";
+  (* a few hundred microseconds of real work between the two events *)
+  let s = String.make 100_000 'x' in
+  let acc = ref "" in
+  for _ = 1 to 20 do
+    acc := Digest.string s
+  done;
+  ignore !acc;
+  Obs.instant "t1";
+  match events () with
+  | [ a; b ] ->
+      check_bool
+        (Printf.sprintf "back-to-back events are %d ns apart" (b.ts - a.ts))
+        true
+        (b.ts - a.ts > 0)
+  | l -> Alcotest.failf "expected 2 events, got %d" (List.length l)
+
+let chrome_multi_domain () =
+  let path = Filename.temp_file "obs" ".json" in
+  let oc = open_out path in
+  Obs.set_sink (Obs.chrome oc);
+  let worker () =
+    for i = 1 to 10 do
+      Obs.span "w.span" (fun () -> Obs.instant ~args:[ ("i", Obs.Int i) ] "w.i")
+    done
+  in
+  let d1 = Domain.spawn worker and d2 = Domain.spawn worker in
+  worker ();
+  Domain.join d1;
+  Domain.join d2;
+  Obs.flush ();
+  Obs.set_sink Obs.null;
+  close_out oc;
+  let ic = open_in path in
+  let doc = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  match Json_min.parse doc with
+  | Error m -> Alcotest.failf "unparseable chrome trace: %s" m
+  | Ok (Json_min.Object kvs) -> (
+      match List.assoc_opt "traceEvents" kvs with
+      | Some (Json_min.Array evs) ->
+          check_int "all 90 events present" 90 (List.length evs);
+          let num k ev =
+            match ev with
+            | Json_min.Object fields -> (
+                match List.assoc_opt k fields with
+                | Some (Json_min.Number x) -> x
+                | _ -> Alcotest.failf "event without numeric %S" k)
+            | _ -> Alcotest.fail "trace event is not an object"
+          in
+          let tids = List.sort_uniq compare (List.map (num "tid") evs) in
+          check_bool "at least two domain tracks" true (List.length tids >= 2);
+          (* per-track timestamps are non-decreasing in emission order *)
+          let last = Hashtbl.create 4 in
+          List.iter
+            (fun ev ->
+              let tid = num "tid" ev and ts = num "ts" ev in
+              (match Hashtbl.find_opt last tid with
+              | Some prev ->
+                  check_bool "per-track ts non-decreasing" true (prev <= ts)
+              | None -> ());
+              Hashtbl.replace last tid ts)
+            evs
+      | _ -> Alcotest.fail "no traceEvents array")
+  | Ok _ -> Alcotest.fail "chrome trace is not an object"
+
 (* ---- decision tracing through the real drivers ---- *)
 
 let decisions events =
@@ -273,6 +382,114 @@ let pool_metrics_recorded () =
   check_bool "per-chunk timer ran" true
     (Obs.Metrics.calls (Obs.Metrics.timer "par.chunk") >= 2)
 
+let histogram_quantiles () =
+  Obs.Metrics.set_enabled true;
+  Fun.protect ~finally:(fun () ->
+      Obs.Metrics.set_enabled false;
+      Obs.Metrics.reset ())
+  @@ fun () ->
+  Obs.Metrics.reset ();
+  let h = Obs.Metrics.histogram "test.q" in
+  for i = 1 to 1000 do
+    Obs.Metrics.observe h (i * 1000)
+  done;
+  check_int "count" 1000 (Obs.Metrics.hist_count h);
+  check_int "sum" (1000 * 1001 / 2 * 1000) (Obs.Metrics.hist_sum h);
+  check_int "max exact" 1_000_000 (Obs.Metrics.hist_max h);
+  (* log-linear buckets: 16 sub-buckets per octave, so a quantile's
+     upper bound overshoots its true value by < 1/16 *)
+  let p50 = Obs.Metrics.percentile h 0.5 in
+  check_bool
+    (Printf.sprintf "p50 within a bucket of 500000 (%d)" p50)
+    true
+    (p50 >= 500_000 && p50 <= 540_000);
+  let p99 = Obs.Metrics.percentile h 0.99 in
+  check_bool
+    (Printf.sprintf "p99 within a bucket of 990000 (%d)" p99)
+    true
+    (p99 >= 990_000 && p99 <= 1_000_000);
+  check_int "p100 clamps to the observed max" 1_000_000
+    (Obs.Metrics.percentile h 1.0);
+  check_int "empty histogram quantile is 0" 0
+    (Obs.Metrics.percentile (Obs.Metrics.histogram "test.q.empty") 0.99)
+
+let recorder_ring () =
+  let old_cap = Obs.Recorder.capacity () in
+  Fun.protect ~finally:(fun () -> Obs.Recorder.set_capacity old_cap)
+  @@ fun () ->
+  Obs.Recorder.set_capacity 8;
+  (* notes land even with tracing fully disabled *)
+  check_bool "tracing is off" false (Obs.enabled ());
+  for i = 1 to 20 do
+    Obs.Recorder.note ~args:[ ("i", Obs.Int i) ] "r.note"
+  done;
+  let evs = Obs.Recorder.recent () in
+  check_int "ring bounded to capacity" 8 (List.length evs);
+  let seq =
+    List.map
+      (fun (e : Obs.event) ->
+        match List.assoc_opt "i" e.args with Some (Obs.Int i) -> i | _ -> -1)
+      evs
+  in
+  Alcotest.(check (list int))
+    "keeps the last 8, oldest first"
+    [ 13; 14; 15; 16; 17; 18; 19; 20 ]
+    seq;
+  check_bool "dump renders a header and lines" true
+    (String.length (Obs.Recorder.dump ()) > 0);
+  Obs.Recorder.clear ();
+  check_int "clear empties the ring" 0 (List.length (Obs.Recorder.recent ()));
+  check_bool "dump of an empty ring is empty" true (Obs.Recorder.dump () = "");
+  (* the ring as a sink: span traffic mirrors into it, and installing
+     it flips [enabled] on without any output channel *)
+  Obs.set_sink (Obs.Recorder.sink ());
+  Fun.protect
+    ~finally:(fun () -> Obs.set_sink Obs.null)
+    (fun () ->
+      check_bool "recorder sink enables tracing" true (Obs.enabled ());
+      Obs.span "r.span" (fun () -> ()));
+  let kinds = List.map (fun (e : Obs.event) -> e.kind) (Obs.Recorder.recent ()) in
+  check_bool "span Begin/End captured" true (kinds = [ Obs.Begin; Obs.End ]);
+  Obs.Recorder.clear ()
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let prometheus_exposition () =
+  Obs.Metrics.set_enabled true;
+  Fun.protect ~finally:(fun () ->
+      Obs.Metrics.set_enabled false;
+      Obs.Metrics.reset ())
+  @@ fun () ->
+  Obs.Metrics.reset ();
+  Obs.Metrics.incr
+    (Obs.Metrics.counter
+       (Obs.Metrics.labelled "test.errors" [ ("class", "parse") ]));
+  Obs.Metrics.incr (Obs.Metrics.counter "test.errors");
+  let h = Obs.Metrics.histogram "test.lat.ns" in
+  List.iter (Obs.Metrics.observe h) [ 10; 20; 30; 40 ];
+  let text = Obs.Metrics.prometheus () in
+  let has needle =
+    check_bool (Printf.sprintf "exposition has %S" needle) true
+      (contains text needle)
+  in
+  has "blockc_test_errors_total{class=\"parse\"} 1";
+  has "\nblockc_test_errors_total 1";
+  has "# TYPE blockc_test_lat_ns summary";
+  has "blockc_test_lat_ns{quantile=\"0.5\"}";
+  has "blockc_test_lat_ns{quantile=\"0.99\"}";
+  has "blockc_test_lat_ns_count 4";
+  has "blockc_test_lat_ns_sum 100";
+  has "# TYPE blockc_test_lat_ns_max gauge";
+  (* label sets of one base name share a single TYPE line *)
+  let type_lines = ref 0 in
+  String.split_on_char '\n' text
+  |> List.iter (fun l ->
+         if contains l "# TYPE blockc_test_errors_total" then incr type_lines);
+  check_int "one TYPE line for the labelled family" 1 !type_lines
+
 (* ---- per-array cache stats ---- *)
 
 let per_array_stats_sum () =
@@ -367,6 +584,12 @@ let suite =
         jsonl_round_trip;
       Alcotest.test_case "chrome sink emits a trace_event document" `Quick
         chrome_round_trip;
+      Alcotest.test_case "span depth is domain-local (2-domain regression)"
+        `Quick two_domain_depth_isolation;
+      Alcotest.test_case "wall clock gives non-zero event deltas" `Quick
+        wall_clock_advances;
+      Alcotest.test_case "chrome sink is coherent across domains" `Quick
+        chrome_multi_domain;
       Alcotest.test_case "LU derivation leaves a decision trail" `Quick
         lu_decision_trace;
       Alcotest.test_case "LU pivot records commutativity (§5.2)" `Quick
@@ -379,6 +602,11 @@ let suite =
         metrics_basics;
       Alcotest.test_case "pool and chunk metrics recorded" `Quick
         pool_metrics_recorded;
+      Alcotest.test_case "histogram quantiles (log-linear buckets)" `Quick
+        histogram_quantiles;
+      Alcotest.test_case "flight recorder ring semantics" `Quick recorder_ring;
+      Alcotest.test_case "prometheus text exposition" `Quick
+        prometheus_exposition;
       Alcotest.test_case "per-array cache stats sum to aggregate" `Quick
         per_array_stats_sum;
       Alcotest.test_case "bench gate passes/fails correctly" `Quick

@@ -130,4 +130,142 @@ let suite =
           check_bool "no items rejected" false (bool_field "ok" r);
           check_bool "explains the two spellings" true
             (contains (str "error" r) "bindings_list"));
+      case "every response carries trace and timing telemetry" (fun () ->
+          let r = parsed {|{"id":5,"op":"ping"}|} in
+          let trace = str "trace_id" r in
+          check_bool "trace_id is a non-empty hex string" true
+            (String.length trace > 0
+            && String.for_all
+                 (fun c -> (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))
+                 trace);
+          match field "server" r with
+          | Some (Json_min.Object timing) ->
+              List.iter
+                (fun k ->
+                  match List.assoc_opt k timing with
+                  | Some (Json_min.Number ns) ->
+                      check_bool (k ^ " non-negative") true (ns >= 0.0)
+                  | _ -> Alcotest.failf "server.%s missing" k)
+                [ "queue_ns"; "compile_ns"; "exec_ns"; "total_ns" ]
+          | _ -> Alcotest.fail "no server timing object");
+      case "failures increment the labelled error counters" (fun () ->
+          Obs.Metrics.set_enabled true;
+          Fun.protect ~finally:(fun () ->
+              Obs.Metrics.set_enabled false;
+              Obs.Metrics.reset ())
+          @@ fun () ->
+          Obs.Metrics.reset ();
+          let labelled cls =
+            Obs.Metrics.count
+              (Obs.Metrics.counter
+                 (Obs.Metrics.labelled "serve.errors" [ ("class", cls) ]))
+          in
+          ignore (request "{nope");
+          ignore (request {|{"id":1}|});
+          ignore (request {|{"op":"frobnicate"}|});
+          ignore (request {|{"op":"compile","kernel":"nope"}|});
+          check_int "parse error counted" 1 (labelled "parse");
+          check_int "missing op counted" 1 (labelled "missing_op");
+          check_int "unknown op counted" 1 (labelled "unknown_op");
+          check_int "bad request counted" 1 (labelled "request");
+          check_int "total across classes" 4
+            (Obs.Metrics.count (Obs.Metrics.counter "serve.errors")));
+      case "metrics op exposes per-op latency quantiles" (fun () ->
+          Obs.Metrics.set_enabled true;
+          Fun.protect ~finally:(fun () ->
+              Obs.Metrics.set_enabled false;
+              Obs.Metrics.reset ())
+          @@ fun () ->
+          Obs.Metrics.reset ();
+          ignore (request {|{"op":"ping"}|});
+          let r = parsed {|{"op":"metrics"}|} in
+          check_bool "ok" true (bool_field "ok" r);
+          check_bool "metrics_enabled" true (bool_field "metrics_enabled" r);
+          (* Json_min leaves escapes undecoded, so the exposition's
+             quotes arrive backslash-escaped *)
+          let text = str "metrics" r in
+          check_bool "request counter present" true
+            (contains text "blockc_serve_requests_total");
+          check_bool "overall latency summary present" true
+            (contains text "blockc_serve_request_ns{quantile=");
+          check_bool "per-op p99 present" true
+            (contains text
+               {|blockc_serve_request_ns{op=\"ping\",quantile=\"0.99\"}|}));
+      case "dump op flushes the flight recorder" (fun () ->
+          Obs.Recorder.clear ();
+          ignore (request {|{"id":7,"op":"ping"}|});
+          let r = parsed {|{"op":"dump"}|} in
+          check_bool "ok" true (bool_field "ok" r);
+          match (field "events" r, field "capacity" r) with
+          | Some (Json_min.Array evs), Some (Json_min.Number cap) ->
+              check_bool "ring noted the requests" true (List.length evs >= 1);
+              check_int "capacity reported" (Obs.Recorder.capacity ())
+                (int_of_float cap);
+              let ping =
+                List.find_opt
+                  (fun ev ->
+                    match field "args" ev with
+                    | Some args -> (
+                        match field "op" args with
+                        | Some (Json_min.String s) -> s = "ping"
+                        | _ -> false)
+                    | _ -> false)
+                  evs
+              in
+              check_bool "ping noted with its op" true (ping <> None);
+              check_bool "events carry a trace id" true
+                (String.length (str "trace" (Option.get ping)) > 0)
+          | _ -> Alcotest.fail "no events array / capacity");
+      case "batch fan-out is one connected trace" (fun () ->
+          require_native ();
+          let mem, events = Obs.memory () in
+          Obs.set_sink mem;
+          let p2 = Pool.create ~domains:2 in
+          Fun.protect ~finally:(fun () ->
+              Obs.set_sink Obs.null;
+              Pool.shutdown p2)
+          @@ fun () ->
+          let resp, _ =
+            Serve.handle_line ~exec_pool:p2
+              {|{"op":"batch","kernel":"trisolve","sizes":[8,10,12,14]}|}
+          in
+          let r = ok_or_fail "parses" (Json_min.parse resp) in
+          check_bool "ok" true (bool_field "ok" r);
+          let evs = events () in
+          (* exactly one trace id across every event of the request *)
+          let traces =
+            List.sort_uniq compare
+              (List.filter_map
+                 (fun (e : Obs.event) ->
+                   if e.trace <> 0 then Some e.trace else None)
+                 evs)
+          in
+          check_int "one distinct trace" 1 (List.length traces);
+          check_string "the response names that trace"
+            (Obs.Ctx.id_hex (List.hd traces))
+            (str "trace_id" r);
+          (* and the span tree is connected: request -> batch -> chunks *)
+          let find_begin name =
+            List.find
+              (fun (e : Obs.event) -> e.kind = Obs.Begin && e.name = name)
+              evs
+          in
+          let req = find_begin "serve.request" in
+          let batch = find_begin "serve.batch" in
+          check_int "batch is a child of the request" req.span_id batch.parent;
+          let chunks =
+            List.filter
+              (fun (e : Obs.event) ->
+                e.kind = Obs.Begin && e.name = "par.chunk")
+              evs
+          in
+          check_bool "fan-out produced chunk spans" true (chunks <> []);
+          List.iter
+            (fun (c : Obs.event) ->
+              check_int "chunk is a child of the batch" batch.span_id c.parent)
+            chunks;
+          (* which lanes claim chunks is scheduling-dependent, but every
+             chunk span must name the domain it actually ran on *)
+          check_bool "chunk spans carry their domain track" true
+            (List.for_all (fun (e : Obs.event) -> e.track >= 0) chunks));
     ] )
