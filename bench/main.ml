@@ -524,7 +524,7 @@ let par () =
        "PAR  (beyond the paper): domain-pool runtime, %d core%s visible" nd
        (if nd = 1 then "" else "s"));
   let lanes = List.sort_uniq compare [ 1; 2; 4; nd ] in
-  let pools = List.map (fun d -> (d, Pool.create ~domains:d)) lanes in
+  let pools = List.map (fun d -> (d, Pool.create ~domains:d ())) lanes in
   let tbl =
     Table.create
       ~title:"Parallel blocked kernels: serial vs domain-pool execution"
@@ -658,7 +658,7 @@ let obs_suite () =
   banner "OBS: observability overhead (untraced vs traced blocked LU)";
   let n = if quick then 200 else 400 in
   let a0 = Linalg.random_diag_dominant ~seed:2 n in
-  let pool = Pool.create ~domains:(min 4 (Domain.recommended_domain_count ())) in
+  let pool = Pool.create ~domains:(min 4 (Domain.recommended_domain_count ())) () in
   let run () = N_lu.blocked_par ~pool ~block:32 (Linalg.copy_mat a0) in
   let tbl =
     Table.create
@@ -690,9 +690,43 @@ let obs_suite () =
     [ "metrics + memory sink"; Table.cell_s t_trace; Table.cell_f (t_trace /. t_off) ];
   Pool.shutdown pool;
   output ~id:"obs-overhead" tbl;
+  (* PROF-CONT: overhead of the continuous span-stack sampler on the
+     same workload.  The sampled domains only pay for maintaining the
+     per-domain span stack (one cons per span); the ticker domain does
+     the folding.  The acceptance bar is < 5% at ~100 Hz. *)
+  let ptbl =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Parallel blocked LU at N=%d, span-stack sampler on/off" n)
+      [ ("Variant", Table.Left); ("Time", Table.Right); ("vs off", Table.Right) ]
+  in
+  let ppool = Pool.create ~domains:(min 4 (Domain.recommended_domain_count ())) () in
+  let prun () = N_lu.blocked_par ~pool:ppool ~block:32 (Linalg.copy_mat a0) in
+  let t_base = time prun in
+  Table.add_row ptbl
+    [ "sampler off"; Table.cell_s t_base; Table.cell_f 1.0 ];
+  let sampled hz label =
+    Obs.Sampler.start ~hz ();
+    let t = time prun in
+    Obs.Sampler.stop ();
+    (* On a 1-core box the busy bench thread starves the ticker thread
+       of its own domain (samples land only at yield points); worker
+       domains of a real pool are sampled at the full rate. *)
+    Printf.printf "  %s: %d samples, %d distinct stacks\n%!" label
+      (Obs.Sampler.samples ())
+      (List.length (Obs.Sampler.folded ()));
+    Obs.Sampler.reset ();
+    Table.add_row ptbl
+      [ label; Table.cell_s t; Table.cell_f (t /. t_base) ]
+  in
+  sampled 97. "sampler 97 Hz";
+  sampled 997. "sampler 997 Hz";
+  Pool.shutdown ppool;
+  output ~id:"prof-cont" ptbl;
   (* and what the metrics actually recorded, as a smoke test *)
   Obs.Metrics.set_enabled true;
-  let p2 = Pool.create ~domains:2 in
+  let p2 = Pool.create ~domains:2 () in
   N_lu.blocked_par ~pool:p2 ~block:32 (Linalg.copy_mat a0);
   Pool.shutdown p2;
   print_string (Obs.Metrics.report ());

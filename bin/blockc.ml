@@ -892,7 +892,39 @@ let compile_cmd =
              interpreter, then time them and report the native speedup \
              next to the cache model's prediction.")
   in
-  let run name emit variant do_run bindings seed block json () =
+  let flame_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flame" ] ~docv:"PATH"
+          ~doc:
+            "Run the span-stack sampler for the duration of the command \
+             (rate from $(b,BLOCKC_PROFILE_HZ), default 97 Hz) and write \
+             the folded-stack profile — flamegraph.pl / speedscope input \
+             — to $(docv) ($(b,-) for stdout).")
+  in
+  let run name emit variant do_run bindings seed block json flame () =
+    let finish_flame =
+      match flame with
+      | None -> fun () -> ()
+      | Some path ->
+          Obs.Sampler.start ();
+          fun () ->
+            Obs.Sampler.stop ();
+            let text = Obs.Sampler.folded_text () in
+            if path = "-" then print_string text
+            else begin
+              let oc = open_out path in
+              output_string oc text;
+              close_out oc;
+              Printf.eprintf
+                "blockc compile: wrote %d folded stack(s) (%d samples at \
+                 %g Hz) to %s\n"
+                (List.length (Obs.Sampler.folded ()))
+                (Obs.Sampler.samples ()) (Obs.Sampler.hz ()) path
+            end
+    in
+    Fun.protect ~finally:finish_flame @@ fun () ->
     let e = resolve_kernel name in
     let jit_or_exit () =
       match Jit.available () with
@@ -979,7 +1011,7 @@ let compile_cmd =
     (traced
        Term.(
          const run $ kernel_name_arg $ emit_arg $ variant_arg $ run_flag
-         $ bindings_arg $ seed_arg $ block_arg $ json_flag))
+         $ bindings_arg $ seed_arg $ block_arg $ json_flag $ flame_arg))
 
 (* ---- fuzz ---- *)
 
@@ -1222,6 +1254,11 @@ let render_metrics resp =
   | Some (Json_min.String s) -> Ok (json_unescape s)
   | _ -> Error "response has no \"metrics\" field"
 
+let render_flame resp =
+  match jfield "folded" resp with
+  | Some (Json_min.String s) -> Ok (json_unescape s)
+  | _ -> Error "response has no \"folded\" field"
+
 (* One flight-recorder event per line: timestamp, kind, track, name and
    the trace ids — the human-readable view of the [dump] op. *)
 let render_dump resp =
@@ -1288,7 +1325,17 @@ let stats_cmd =
             "Flush the daemon's flight recorder (the $(b,dump) op) instead \
              of the metrics exposition.")
   in
-  let run socket watch dump () =
+  let flame_arg =
+    Arg.(
+      value & flag
+      & info [ "flame" ]
+          ~doc:
+            "Fetch the daemon's folded-stack profile (the $(b,flame) op — \
+             starts the span-stack sampler on first use) instead of the \
+             metrics exposition; the output feeds flamegraph.pl or \
+             speedscope directly.")
+  in
+  let run socket watch dump flame () =
     let path =
       match socket with
       | Some p -> p
@@ -1298,39 +1345,61 @@ let stats_cmd =
              serve --socket PATH` daemon)";
           exit 2
     in
-    let req = if dump then {|{"op":"dump"}|} else {|{"op":"metrics"}|} in
-    let render = if dump then render_dump else render_metrics in
+    let req, render =
+      if dump then ({|{"op":"dump"}|}, render_dump)
+      else if flame then ({|{"op":"flame"}|}, render_flame)
+      else ({|{"op":"metrics"}|}, render_metrics)
+    in
     let once () =
-      let result =
-        match stats_exchange path req with
-        | Error _ as e -> e
-        | Ok line -> (
-            match Json_min.parse line with
-            | Error m -> Error ("unparseable response: " ^ m)
-            | Ok resp -> (
-                match jfield "ok" resp with
-                | Some (Json_min.Bool true) -> render resp
-                | _ -> Error ("daemon refused the request: " ^ line)))
-      in
-      match result with
-      | Ok text ->
-          print_string text;
-          if text = "" || text.[String.length text - 1] <> '\n' then
-            print_newline ();
-          flush stdout
-      | Error m ->
-          Printf.eprintf "blockc stats: %s\n" m;
-          exit 2
+      match stats_exchange path req with
+      | Error _ as e -> e
+      | Ok line -> (
+          match Json_min.parse line with
+          | Error m -> Error ("unparseable response: " ^ m)
+          | Ok resp -> (
+              match jfield "ok" resp with
+              | Some (Json_min.Bool true) -> render resp
+              | _ -> Error ("daemon refused the request: " ^ line)))
+    in
+    let print_text text =
+      print_string text;
+      if text = "" || text.[String.length text - 1] <> '\n' then
+        print_newline ();
+      flush stdout
     in
     match watch with
-    | None -> once ()
+    | None -> (
+        match once () with
+        | Ok text -> print_text text
+        | Error m ->
+            Printf.eprintf "blockc stats: %s\n" m;
+            exit 2)
     | Some secs ->
+        (* A watch must survive the daemon restarting or the socket
+           vanishing mid-flight: reconnect with doubling backoff and
+           one warning line per outage, not an exit. *)
+        let period = Float.max 0.1 secs in
+        let backoff = ref period in
+        let down = ref false in
         while true do
-          let t = Unix.localtime (Unix.gettimeofday ()) in
-          Printf.printf "--- %02d:%02d:%02d %s\n" t.Unix.tm_hour t.Unix.tm_min
-            t.Unix.tm_sec path;
-          once ();
-          Unix.sleepf (Float.max 0.1 secs)
+          (match once () with
+          | Ok text ->
+              if !down then
+                Printf.eprintf "blockc stats: reconnected to %s\n%!" path;
+              down := false;
+              backoff := period;
+              let t = Unix.localtime (Unix.gettimeofday ()) in
+              Printf.printf "--- %02d:%02d:%02d %s\n" t.Unix.tm_hour
+                t.Unix.tm_min t.Unix.tm_sec path;
+              print_text text
+          | Error m ->
+              if not !down then begin
+                Printf.eprintf
+                  "blockc stats: %s — retrying with backoff\n%!" m;
+                down := true
+              end;
+              backoff := Float.min 30.0 (!backoff *. 2.));
+          Unix.sleepf (if !down then !backoff else period)
         done
   in
   Cmd.v
@@ -1339,10 +1408,304 @@ let stats_cmd =
          "Scrape a running serve daemon's telemetry over its Unix socket: \
           print the Prometheus text exposition (request counts, labelled \
           error classes, p50/p90/p99 latency summaries per op), re-render \
-          periodically with $(b,--watch), or flush the in-memory flight \
-          recorder with $(b,--dump)."
+          periodically with $(b,--watch) (reconnecting with backoff if the \
+          daemon restarts), fetch the folded-stack profile with \
+          $(b,--flame), or flush the in-memory flight recorder with \
+          $(b,--dump)."
        ~exits)
-    (traced Term.(const run $ socket_arg $ watch_arg $ dump_arg))
+    (traced Term.(const run $ socket_arg $ watch_arg $ dump_arg $ flame_arg))
+
+(* ---- top: live dashboard over the metrics/status ops ------------- *)
+
+(* Parse a Prometheus text exposition into [(sample_name, value)] rows;
+   sample names keep their label block verbatim. *)
+let parse_prom text =
+  String.split_on_char '\n' text
+  |> List.filter_map (fun line ->
+         let line = String.trim line in
+         if line = "" || line.[0] = '#' then None
+         else
+           match String.rindex_opt line ' ' with
+           | None -> None
+           | Some i ->
+               let name = String.sub line 0 i in
+               let v = String.sub line (i + 1) (String.length line - i - 1) in
+               Option.map (fun f -> (name, f)) (float_of_string_opt v))
+
+let prom_value samples name = List.assoc_opt name samples
+
+(* Extract one label's value out of a sample name:
+   [label_value {|m{op="ping",quantile="0.5"}|} "op"] = [Some "ping"]. *)
+let label_value name key =
+  let pat = key ^ "=\"" in
+  let plen = String.length pat and n = String.length name in
+  let rec find i =
+    if i + plen > n then None
+    else if String.sub name i plen = pat then
+      let start = i + plen in
+      match String.index_from_opt name start '"' with
+      | Some stop -> Some (String.sub name start (stop - start))
+      | None -> None
+    else find (i + 1)
+  in
+  find 0
+
+let prom_base name =
+  match String.index_opt name '{' with
+  | Some i -> String.sub name 0 i
+  | None -> name
+
+let top_cmd =
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Unix-domain socket of the serve daemon to watch.")
+  in
+  let interval_arg =
+    Arg.(
+      value & opt float 2.0
+      & info [ "interval" ] ~docv:"SECS"
+          ~doc:"Seconds between refreshes (default 2.0).")
+  in
+  let iters_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "n"; "iterations" ] ~docv:"N"
+          ~doc:
+            "Stop after $(docv) refreshes instead of running until \
+             interrupted (0 = forever).")
+  in
+  let scrape path op =
+    match stats_exchange path (Printf.sprintf {|{"op":%S}|} op) with
+    | Error _ as e -> e
+    | Ok line -> (
+        match Json_min.parse line with
+        | Error m -> Error ("unparseable response: " ^ m)
+        | Ok resp -> (
+            match jfield "ok" resp with
+            | Some (Json_min.Bool true) -> Ok resp
+            | _ -> Error ("daemon refused op " ^ op ^ ": " ^ line)))
+  in
+  let jnum resp name =
+    match jfield name resp with
+    | Some (Json_min.Number f) -> Some f
+    | _ -> None
+  in
+  let jnum0 resp name = Option.value (jnum resp name) ~default:0.0 in
+  let fmt_rate = function
+    | None -> "-"
+    | Some r when Float.abs r >= 1e6 -> Printf.sprintf "%.2fM/s" (r /. 1e6)
+    | Some r when Float.abs r >= 1e3 -> Printf.sprintf "%.1fk/s" (r /. 1e3)
+    | Some r -> Printf.sprintf "%.1f/s" r
+  in
+  let fmt_ns f =
+    if f >= 1e9 then Printf.sprintf "%.2fs" (f /. 1e9)
+    else if f >= 1e6 then Printf.sprintf "%.1fms" (f /. 1e6)
+    else if f >= 1e3 then Printf.sprintf "%.1fus" (f /. 1e3)
+    else Printf.sprintf "%.0fns" f
+  in
+  let fmt_bytes b =
+    if b >= 1048576. then Printf.sprintf "%.1fMiB" (b /. 1048576.)
+    else if b >= 1024. then Printf.sprintf "%.1fKiB" (b /. 1024.)
+    else Printf.sprintf "%.0fB" b
+  in
+  let render ~path ~iter ~dt_s prev samples status =
+    let b = Buffer.create 2048 in
+    let rate name =
+      (* delta of a monotonically increasing sample over the interval *)
+      match (prev, prom_value samples name) with
+      | Some (ps, pdt), Some cur when pdt > 0.0 -> (
+          ignore pdt;
+          match prom_value ps name with
+          | Some old when dt_s > 0.0 -> Some ((cur -. old) /. dt_s)
+          | _ -> None)
+      | _ -> None
+    in
+    let t = Unix.localtime (Unix.gettimeofday ()) in
+    Buffer.add_string b
+      (Printf.sprintf "blockc top — %s — %02d:%02d:%02d  (refresh %d)\n" path
+         t.Unix.tm_hour t.Unix.tm_min t.Unix.tm_sec iter);
+    let requests =
+      Option.value (prom_value samples "blockc_serve_requests_total")
+        ~default:0.0
+    in
+    let errors =
+      Option.value (prom_value samples "blockc_serve_errors_total")
+        ~default:0.0
+    in
+    let depth =
+      Option.value (prom_value samples "blockc_serve_depth") ~default:0.0
+    in
+    let depth_peak =
+      Option.value (prom_value samples "blockc_serve_depth_peak") ~default:0.0
+    in
+    Buffer.add_string b
+      (Printf.sprintf
+         "requests %.0f  (%s)   errors %.0f   queue depth %.0f (peak %.0f)\n"
+         requests
+         (fmt_rate (rate "blockc_serve_requests_total"))
+         errors depth depth_peak);
+    (* per-op latency summary rows *)
+    let ops =
+      List.sort_uniq compare
+        (List.filter_map
+           (fun (name, _) ->
+             if
+               prom_base name = "blockc_serve_request_ns"
+               && label_value name "quantile" = Some "0.5"
+             then label_value name "op"
+             else None)
+           samples)
+    in
+    if ops <> [] then begin
+      Buffer.add_string b
+        (Printf.sprintf "  %-10s %10s %10s %10s\n" "op" "p50" "p99" "count");
+      List.iter
+        (fun op ->
+          let q v =
+            prom_value samples
+              (Printf.sprintf "blockc_serve_request_ns{op=\"%s\",quantile=\"%s\"}"
+                 op v)
+          in
+          let count =
+            prom_value samples
+              (Printf.sprintf "blockc_serve_request_ns_count{op=\"%s\"}" op)
+          in
+          Buffer.add_string b
+            (Printf.sprintf "  %-10s %10s %10s %10.0f\n" op
+               (match q "0.5" with Some f -> fmt_ns f | None -> "-")
+               (match q "0.99" with Some f -> fmt_ns f | None -> "-")
+               (Option.value count ~default:0.0)))
+        ops
+    end;
+    (* GC pressure, from the per-request histogram sums *)
+    Buffer.add_string b
+      (Printf.sprintf
+         "gc: minor %s  major %s  alloc %s words  promoted %s words\n"
+         (fmt_rate (rate "blockc_serve_gc_minor_gcs_sum"))
+         (fmt_rate (rate "blockc_serve_gc_major_gcs_sum"))
+         (fmt_rate (rate "blockc_serve_gc_allocated_words_sum"))
+         (fmt_rate (rate "blockc_serve_gc_promoted_words_sum")));
+    (* lane utilization: busy-ns deltas vs the wall interval *)
+    let lanes prefix =
+      List.filter_map
+        (fun (name, v) ->
+          if prom_base name = prefix then
+            Option.map (fun l -> (name, l, v)) (label_value name "lane")
+          else None)
+        samples
+      |> List.sort (fun (_, a, _) (_, b, _) -> compare a b)
+    in
+    let render_lanes title prefix =
+      match lanes prefix with
+      | [] -> ()
+      | ls ->
+          Buffer.add_string b (title ^ ":");
+          List.iter
+            (fun (name, lane, _) ->
+              let util =
+                match rate name with
+                | Some busy_per_s when dt_s > 0.0 ->
+                    Printf.sprintf "%3.0f%%" (busy_per_s /. 1e9 *. 100.)
+                | _ -> "   -"
+              in
+              Buffer.add_string b (Printf.sprintf "  [%s] %s" lane util))
+            ls;
+          Buffer.add_char b '\n'
+    in
+    render_lanes "serve lanes" "blockc_serve_lane_busy_ns";
+    render_lanes "pool lanes" "blockc_pool_lane_busy_ns";
+    (* JIT cache + sampler state, from the status op *)
+    (match status with
+    | None -> ()
+    | Some st ->
+        Buffer.add_string b
+          (Printf.sprintf
+             "jit: memo %.0f entries, %.0f hits, %.0f evictions | disk %.0f \
+              hits, %.0f artifacts, %s, oldest %.0fs | ocamlopt %.0f\n"
+             (jnum0 st "memo_size") (jnum0 st "memo_hits")
+             (jnum0 st "memo_evictions") (jnum0 st "disk_hits")
+             (jnum0 st "disk_entries")
+             (fmt_bytes (jnum0 st "disk_bytes"))
+             (jnum0 st "disk_oldest_age_s")
+             (jnum0 st "compiler_invocations"));
+        let running =
+          match jfield "sampler_running" st with
+          | Some (Json_min.Bool true) -> true
+          | _ -> false
+        in
+        Buffer.add_string b
+          (if running then
+             Printf.sprintf "sampler: %g Hz, %.0f samples\n"
+               (jnum0 st "sampler_hz") (jnum0 st "sampler_samples")
+           else "sampler: off (BLOCKC_PROFILE_HZ or the flame op starts it)\n"));
+    Buffer.contents b
+  in
+  let run socket interval iters () =
+    let path =
+      match socket with
+      | Some p -> p
+      | None ->
+          prerr_endline
+            "blockc top: --socket PATH is required (point it at a `blockc \
+             serve --socket PATH` daemon)";
+          exit 2
+    in
+    let interval = Float.max 0.1 interval in
+    let clear = Unix.isatty Unix.stdout in
+    let prev = ref None in
+    let iter = ref 0 in
+    let down = ref false in
+    let backoff = ref interval in
+    let continue () = iters <= 0 || !iter < iters in
+    while continue () do
+      let t_scrape = Unix.gettimeofday () in
+      (match scrape path "metrics" with
+      | Error m ->
+          if not !down then begin
+            Printf.eprintf "blockc top: %s — retrying with backoff\n%!" m;
+            down := true
+          end;
+          backoff := Float.min 30.0 (!backoff *. 2.)
+      | Ok metrics_resp ->
+          if !down then Printf.eprintf "blockc top: reconnected to %s\n%!" path;
+          down := false;
+          backoff := interval;
+          incr iter;
+          let samples =
+            match jfield "metrics" metrics_resp with
+            | Some (Json_min.String s) -> parse_prom (json_unescape s)
+            | _ -> []
+          in
+          let status = Result.to_option (scrape path "status") in
+          let dt_s =
+            match !prev with Some (_, t_old) -> t_scrape -. t_old | None -> 0.0
+          in
+          let text =
+            render ~path ~iter:!iter ~dt_s
+              (Option.map (fun (s, t) -> (s, t)) !prev)
+              samples status
+          in
+          if clear then print_string "\027[2J\027[H";
+          print_string text;
+          flush stdout;
+          prev := Some (samples, t_scrape));
+      if continue () then Unix.sleepf (if !down then !backoff else interval)
+    done
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live dashboard over a serve daemon's $(b,metrics) and $(b,status) \
+          ops: queries per second, per-op p50/p99 latency, queue depth, \
+          per-lane utilization (busy-ns deltas), GC allocation and \
+          collection rates, JIT cache state (memo/disk hits, artifact count \
+          and bytes, age) and the continuous-profiling sampler state, \
+          refreshed every $(b,--interval) seconds."
+       ~exits)
+    (traced Term.(const run $ socket_arg $ interval_arg $ iters_arg))
 
 let () =
   let doc = "compiler blockability of numerical algorithms (Carr-Kennedy SC'92)" in
@@ -1373,7 +1736,7 @@ let () =
     Cmd.group ~default info
       [ list_cmd; show_cmd; derive_cmd; verify_cmd; simulate_cmd; explain_cmd;
         profile_cmd; sections_cmd; parse_cmd; lower_cmd; compile_cmd;
-        fuzz_cmd; serve_cmd; stats_cmd ]
+        fuzz_cmd; serve_cmd; stats_cmd; top_cmd ]
   in
   (* Typed runtime errors become one-line diagnostics, not backtraces. *)
   match Cmd.eval group with

@@ -147,6 +147,8 @@ let clock = ref 0
 let invocations = ref 0
 let evictions = ref 0
 let dedup_hits = ref 0
+let memo_hit_count = ref 0
+let disk_hit_count = ref 0
 
 let memo_cap () =
   match Option.bind (Sys.getenv_opt "BLOCKC_JIT_MEMO_CAP") int_of_string_opt with
@@ -177,8 +179,64 @@ let dedup_waits () =
   Mutex.unlock mu;
   n
 
-let eviction_counter = lazy (Obs.Metrics.counter "jit.memo_evictions")
-let dedup_counter = lazy (Obs.Metrics.counter "jit.compile_dedup_hits")
+let memo_hits () =
+  Mutex.lock mu;
+  let n = !memo_hit_count in
+  Mutex.unlock mu;
+  n
+
+let disk_hits () =
+  Mutex.lock mu;
+  let n = !disk_hit_count in
+  Mutex.unlock mu;
+  n
+
+(* Scan the on-disk artifact cache.  The directory may not exist yet
+   (nothing compiled) or race with a concurrent compile renaming a tmp
+   file in — both are fine, the scan is advisory introspection. *)
+type disk_cache = { entries : int; bytes : int; oldest_age_s : float }
+
+let disk_stats () =
+  let dir = cache_dir () in
+  let names = try Sys.readdir dir with Sys_error _ -> [||] in
+  let now = Unix.gettimeofday () in
+  let entries = ref 0 and bytes = ref 0 and oldest = ref 0.0 in
+  Array.iter
+    (fun n ->
+      if String.length n > 4 && String.sub n 0 3 = "bk_"
+         && Filename.check_suffix n ".cmxs"
+      then
+        match Unix.stat (Filename.concat dir n) with
+        | st ->
+            incr entries;
+            bytes := !bytes + st.Unix.st_size;
+            oldest := Float.max !oldest (now -. st.Unix.st_mtime)
+        | exception Unix.Unix_error _ -> ())
+    names;
+  { entries = !entries; bytes = !bytes; oldest_age_s = !oldest }
+
+let eviction_counter =
+  lazy
+    (Obs.Metrics.counter ~help:"LRU evictions from the in-process JIT memo"
+       "jit.memo_evictions")
+
+let dedup_counter =
+  lazy
+    (Obs.Metrics.counter
+       ~help:"Compiles coalesced onto another request already building the \
+              same blueprint"
+       "jit.compile_dedup_hits")
+
+let memo_hit_counter =
+  lazy
+    (Obs.Metrics.counter ~help:"Kernel lookups satisfied by the in-process memo"
+       "jit.memo_hits")
+
+let disk_hit_counter =
+  lazy
+    (Obs.Metrics.counter
+       ~help:"Kernel lookups satisfied by an on-disk cmxs artifact"
+       "jit.disk_hits")
 
 (* Caller holds [mu]. *)
 let memo_touch slot =
@@ -235,6 +293,8 @@ let compile_keyed ?ocamlopt ~name ~key (source : unit -> (string, string) result
           match Hashtbl.find_opt memo key with
           | Some slot ->
               memo_touch slot;
+              incr memo_hit_count;
+              Obs.Metrics.incr (Lazy.force memo_hit_counter);
               `Memo slot.sfn
           | None ->
               if Hashtbl.mem in_flight key then begin
@@ -322,6 +382,10 @@ let compile_keyed ?ocamlopt ~name ~key (source : unit -> (string, string) result
                 | Ok fn ->
                     Mutex.lock mu;
                     memo_insert key fn;
+                    if on_disk then begin
+                      incr disk_hit_count;
+                      Obs.Metrics.incr (Lazy.force disk_hit_counter)
+                    end;
                     Hashtbl.remove in_flight key;
                     Condition.broadcast built_cond;
                     Mutex.unlock mu;

@@ -114,3 +114,21 @@ val memo_evictions : unit -> int
 val dedup_waits : unit -> int
 (** Requests that found their key already being compiled and waited for
     the in-flight build instead of starting another. *)
+
+val memo_hits : unit -> int
+(** Lookups satisfied by the in-process memo (no Dynlink, no ocamlopt).
+    Mirrored to [Obs.Metrics "jit.memo_hits"] when metrics are on. *)
+
+val disk_hits : unit -> int
+(** Lookups satisfied by an on-disk [.cmxs] artifact (Dynlink load, no
+    ocamlopt).  Mirrored to [Obs.Metrics "jit.disk_hits"]. *)
+
+type disk_cache = {
+  entries : int;  (** [bk_*.cmxs] artifacts in {!cache_dir} *)
+  bytes : int;  (** their total size *)
+  oldest_age_s : float;  (** age of the oldest artifact; 0 when empty *)
+}
+
+val disk_stats : unit -> disk_cache
+(** Scan the on-disk cache.  Advisory (races with concurrent compiles
+    are harmless); an absent cache directory reads as empty. *)

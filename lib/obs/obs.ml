@@ -41,15 +41,36 @@ type ctx = { trace_id : int; span_id : int; parent : int }
 (* Span depth, the active trace context and the monotonicity clamp are
    all domain-local: two domains emitting spans concurrently must not
    corrupt each other's nesting (the pre-context implementation kept
-   one global depth counter and raced). *)
+   one global depth counter and raced).
+
+   [d_stack] is the live span-name stack (innermost first), maintained
+   only while the {!Sampler} is running: the field always holds an
+   immutable list, so the sampler domain can read it without a lock —
+   a racy read sees either the pre- or post-push stack, never a torn
+   value, which is exactly the semantics a statistical profiler wants. *)
 type dstate = {
   mutable d_depth : int;
   mutable d_ctx : ctx option;
   mutable d_last_ts : int;
+  mutable d_stack : string list;
 }
 
+(* Cross-domain registry of every domain's [dstate]: DLS is only
+   reachable from its own domain, so the sampler needs this side table.
+   Registered once per domain at DLS init; entries for terminated
+   domains linger harmlessly (their stacks drained to [] when the last
+   span closed, so they just sample as idle). *)
+let registry_mu = Mutex.create ()
+let registry : (int * dstate) list ref = ref []
+
 let dls : dstate Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> { d_depth = 0; d_ctx = None; d_last_ts = 0 })
+  Domain.DLS.new_key (fun () ->
+      let s = { d_depth = 0; d_ctx = None; d_last_ts = 0; d_stack = [] } in
+      let id = (Domain.self () :> int) in
+      Mutex.lock registry_mu;
+      registry := (id, s) :: !registry;
+      Mutex.unlock registry_mu;
+      s)
 
 let dstate () = Domain.DLS.get dls
 
@@ -151,23 +172,38 @@ let mk ~kind ~cat ~args name =
 let instant ?(cat = "event") ?(args = []) name =
   if !is_enabled then emit (mk ~kind:Instant ~cat ~args name)
 
+(* Set by [Sampler.start]/[Sampler.stop]: when true, [span] pushes the
+   span name onto the domain's live stack (one cons + two stores on the
+   hot path) so the ticker domain can attribute samples.  Kept separate
+   from [is_enabled] — sampling does not require a sink. *)
+let stack_on = ref false
+
 let span ?(cat = "span") ?(args = []) name f =
-  if not !is_enabled then f ()
+  let emit_on = !is_enabled and stacking = !stack_on in
+  if not (emit_on || stacking) then f ()
   else begin
     let s = dstate () in
     let saved_ctx = s.d_ctx in
-    (* Fork a child span id under an active trace so the Begin/End pair
-       carries its own identity and its parent's. *)
-    (match saved_ctx with
-    | Some c ->
-        s.d_ctx <- Some { trace_id = c.trace_id; span_id = gen_id (); parent = c.span_id }
-    | None -> ());
-    emit (mk ~kind:Begin ~cat ~args name);
-    s.d_depth <- s.d_depth + 1;
+    let saved_stack = s.d_stack in
+    if stacking then s.d_stack <- name :: saved_stack;
+    if emit_on then begin
+      (* Fork a child span id under an active trace so the Begin/End
+         pair carries its own identity and its parent's. *)
+      (match saved_ctx with
+      | Some c ->
+          s.d_ctx <-
+            Some { trace_id = c.trace_id; span_id = gen_id (); parent = c.span_id }
+      | None -> ());
+      emit (mk ~kind:Begin ~cat ~args name);
+      s.d_depth <- s.d_depth + 1
+    end;
     let finish () =
-      s.d_depth <- s.d_depth - 1;
-      emit (mk ~kind:End ~cat ~args:[] name);
-      s.d_ctx <- saved_ctx
+      if emit_on then begin
+        s.d_depth <- s.d_depth - 1;
+        emit (mk ~kind:End ~cat ~args:[] name);
+        s.d_ctx <- saved_ctx
+      end;
+      if stacking then s.d_stack <- saved_stack
     in
     match f () with
     | v ->
@@ -177,6 +213,8 @@ let span ?(cat = "span") ?(args = []) name f =
         finish ();
         raise e
   end
+
+let span_stack () = (dstate ()).d_stack
 
 let decision ~transform ~target ~applied ~reason ?(evidence = []) () =
   if !is_enabled then
@@ -394,54 +432,86 @@ module Recorder = struct
      ring is mutex-protected (writers are rare and the critical section
      is a few stores); the disabled-instant fast path in [instant] is
      untouched, so the zero-allocation guarantee of the null sink
-     still holds. *)
-  let mu = Mutex.create ()
-  let buf = ref (Array.make 256 None)
-  let head = ref 0
-  let count = ref 0
-  let capacity () = Array.length !buf
+     still holds.
 
-  let locked f =
-    Mutex.lock mu;
-    Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+     Rings are first-class ([create]); the module-level functions
+     operate on one process-global ring whose initial capacity honours
+     [BLOCKC_RECORDER_CAP] (default 256). *)
+  type ring = {
+    rmu : Mutex.t;
+    mutable rbuf : event option array;
+    mutable rhead : int;
+    mutable rcount : int;
+  }
 
-  let set_capacity n =
-    locked (fun () ->
-        buf := Array.make (max 1 n) None;
-        head := 0;
-        count := 0)
+  let default_capacity () =
+    match
+      Option.bind (Sys.getenv_opt "BLOCKC_RECORDER_CAP") int_of_string_opt
+    with
+    | Some n when n >= 1 -> n
+    | _ -> 256
+
+  let create ?capacity () =
+    let cap =
+      match capacity with Some c -> max 1 c | None -> default_capacity ()
+    in
+    { rmu = Mutex.create (); rbuf = Array.make cap None; rhead = 0; rcount = 0 }
+
+  let global = create ()
+
+  let locked_in r f =
+    Mutex.lock r.rmu;
+    Fun.protect ~finally:(fun () -> Mutex.unlock r.rmu) f
+
+  let locked f = locked_in global f
+
+  let ring_capacity r = locked_in r (fun () -> Array.length r.rbuf)
+  let capacity () = ring_capacity global
+
+  let resize r n =
+    locked_in r (fun () ->
+        r.rbuf <- Array.make (max 1 n) None;
+        r.rhead <- 0;
+        r.rcount <- 0)
+
+  let set_capacity n = resize global n
 
   let clear () =
     locked (fun () ->
-        Array.fill !buf 0 (Array.length !buf) None;
-        head := 0;
-        count := 0)
+        Array.fill global.rbuf 0 (Array.length global.rbuf) None;
+        global.rhead <- 0;
+        global.rcount <- 0)
 
-  let record ev =
-    locked (fun () ->
-        let b = !buf in
+  let record_to r ev =
+    locked_in r (fun () ->
+        let b = r.rbuf in
         let cap = Array.length b in
-        b.(!head) <- Some ev;
-        head := (!head + 1) mod cap;
-        if !count < cap then incr count)
+        b.(r.rhead) <- Some ev;
+        r.rhead <- (r.rhead + 1) mod cap;
+        if r.rcount < cap then r.rcount <- r.rcount + 1)
+
+  let record ev = record_to global ev
 
   let note ?(cat = "recorder") ?(args = []) name =
     record (mk ~kind:Instant ~cat ~args name)
 
-  let recent () =
-    locked (fun () ->
-        let b = !buf in
+  let recent_of r =
+    locked_in r (fun () ->
+        let b = r.rbuf in
         let cap = Array.length b in
         let out = ref [] in
-        for i = !count downto 1 do
+        for i = r.rcount downto 1 do
           (* oldest slot is head - count (mod cap); walk forward *)
-          match b.((!head - i + (2 * cap)) mod cap) with
+          match b.((r.rhead - i + (2 * cap)) mod cap) with
           | Some ev -> out := ev :: !out
           | None -> ()
         done;
         List.rev !out)
 
-  let sink () = { emit = record; flush_sink = (fun () -> ()) }
+  let recent () = recent_of global
+
+  let sink_of r = { emit = record_to r; flush_sink = (fun () -> ()) }
+  let sink () = sink_of global
 
   let to_lines () =
     List.map
@@ -525,6 +595,24 @@ module Metrics = struct
   let timers : timer list ref = ref []
   let gauges : gauge list ref = ref []
 
+  (* Per-metric doc strings, keyed by the label-free base name so every
+     label set of one family shares one HELP line (first registration
+     wins).  Written under [reg_mu]; read by [prometheus] which also
+     holds the registry lists stable. *)
+  let helps : (string, string) Hashtbl.t = Hashtbl.create 32
+
+  let base_of name =
+    match String.index_opt name '{' with
+    | Some i -> String.sub name 0 i
+    | None -> name
+
+  let register_help name help =
+    match help with
+    | None -> ()
+    | Some h ->
+        let base = base_of name in
+        if not (Hashtbl.mem helps base) then Hashtbl.add helps base h
+
   let labelled name labels =
     match labels with
     | [] -> name
@@ -534,11 +622,12 @@ module Metrics = struct
             (List.map (fun (k, v) -> Printf.sprintf "%s=%S" k v) labels)
         ^ "}"
 
-  let counter name =
+  let counter ?help name =
     Mutex.lock reg_mu;
     Fun.protect
       ~finally:(fun () -> Mutex.unlock reg_mu)
       (fun () ->
+        register_help name help;
         match List.find_opt (fun c -> String.equal c.cname name) !counters with
         | Some c -> c
         | None ->
@@ -550,11 +639,12 @@ module Metrics = struct
   let incr c = add c 1
   let count c = Atomic.get c.n
 
-  let histogram name =
+  let histogram ?help name =
     Mutex.lock reg_mu;
     Fun.protect
       ~finally:(fun () -> Mutex.unlock reg_mu)
       (fun () ->
+        register_help name help;
         match List.find_opt (fun h -> String.equal h.hname name) !histograms with
         | Some h -> h
         | None ->
@@ -619,11 +709,12 @@ module Metrics = struct
       !res
     end
 
-  let timer name =
+  let timer ?help name =
     Mutex.lock reg_mu;
     Fun.protect
       ~finally:(fun () -> Mutex.unlock reg_mu)
       (fun () ->
+        register_help name help;
         match List.find_opt (fun t -> String.equal t.tname name) !timers with
         | Some t -> t
         | None ->
@@ -654,11 +745,12 @@ module Metrics = struct
   let total_ns t = Atomic.get t.total
   let calls t = Atomic.get t.tcalls
 
-  let gauge name =
+  let gauge ?help name =
     Mutex.lock reg_mu;
     Fun.protect
       ~finally:(fun () -> Mutex.unlock reg_mu)
       (fun () ->
+        register_help name help;
         match List.find_opt (fun g -> String.equal g.gname name) !gauges with
         | Some g -> g
         | None ->
@@ -741,9 +833,20 @@ module Metrics = struct
   let prometheus () =
     let buf = Buffer.create 1024 in
     let typed = Hashtbl.create 32 in
-    let typeline family kind =
+    (* HELP precedes TYPE for a family, once, sourced from the doc
+       string given at registration (keyed by the label-free base name,
+       so suffix families like _peak share the base's text). *)
+    let single_line s =
+      String.map (fun c -> if c = '\n' || c = '\r' then ' ' else c) s
+    in
+    let typeline ?base family kind =
       if not (Hashtbl.mem typed family) then begin
         Hashtbl.add typed family ();
+        (match Option.bind base (Hashtbl.find_opt helps) with
+        | Some h ->
+            Buffer.add_string buf
+              (Printf.sprintf "# HELP %s %s\n" family (single_line h))
+        | None -> ());
         Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" family kind)
       end
     in
@@ -758,32 +861,32 @@ module Metrics = struct
     List.iter
       (fun c ->
         let fam, labels = family c.cname "_total" in
-        typeline fam "counter";
+        typeline ~base:(base_of c.cname) fam "counter";
         line fam labels (Atomic.get c.n))
       (List.sort (by_name (fun c -> c.cname)) !counters);
     List.iter
       (fun t ->
         let fam_ns, labels = family t.tname "_ns_total" in
-        typeline fam_ns "counter";
+        typeline ~base:(base_of t.tname) fam_ns "counter";
         line fam_ns labels (total_ns t);
         let fam_calls, _ = family t.tname "_calls_total" in
-        typeline fam_calls "counter";
+        typeline ~base:(base_of t.tname) fam_calls "counter";
         line fam_calls labels (calls t))
       (List.sort (by_name (fun t -> t.tname)) !timers);
     List.iter
       (fun g ->
         let fam, labels = family g.gname "" in
-        typeline fam "gauge";
+        typeline ~base:(base_of g.gname) fam "gauge";
         line fam labels (gauge_value g);
         let fam_peak, _ = family g.gname "_peak" in
-        typeline fam_peak "gauge";
+        typeline ~base:(base_of g.gname) fam_peak "gauge";
         line fam_peak labels (gauge_peak g))
       (List.sort (by_name (fun g -> g.gname)) !gauges);
     List.iter
       (fun h ->
         if hist_count h > 0 then begin
           let fam, labels = family h.hname "" in
-          typeline fam "summary";
+          typeline ~base:(base_of h.hname) fam "summary";
           List.iter
             (fun (_, q) ->
               let ql = merge_label labels (Printf.sprintf "quantile=\"%g\"" q) in
@@ -792,7 +895,7 @@ module Metrics = struct
           line (fam ^ "_sum") labels (hist_sum h);
           line (fam ^ "_count") labels (hist_count h);
           let fam_max, _ = family h.hname "_max" in
-          typeline fam_max "gauge";
+          typeline ~base:(base_of h.hname) fam_max "gauge";
           line fam_max labels (hist_max h)
         end)
       (List.sort (by_name (fun h -> h.hname)) !histograms);
@@ -852,4 +955,138 @@ module Metrics = struct
             Atomic.set g.gvalue 0;
             Atomic.set g.gpeak 0)
           !gauges)
+end
+
+module Sampler = struct
+  (* Continuous profiler: a ticker systhread wakes up at a fixed rate
+     and snapshots every registered domain's current span stack (see
+     [registry] / [stack_on] above), folding each observation into a
+     [stack -> count] table in flamegraph "folded" form —
+     outermost;...;leaf.  The sampled domains pay only the cost of
+     maintaining [d_stack] (a cons per span when sampling is on); the
+     reads are racy by design, which is safe in OCaml's memory model:
+     [d_stack] holds an immutable list, so a torn read is impossible
+     and a stale one merely attributes the tick to a neighbouring
+     span — noise that statistical profiles tolerate.  Stacks are
+     keyed outermost-first, joined with ';', matching flamegraph.pl
+     and speedscope input.
+
+     The ticker is a [Thread], NOT a [Domain], deliberately: in OCaml 5
+     every additional domain — even one asleep in [Unix.sleepf] —
+     participates in each stop-the-world minor collection via its
+     backup thread, and on small machines that handshake dominates
+     allocation-heavy workloads (measured 15x on a 1-core container;
+     a systhread ticker measures within noise of no sampler at all).
+     The thread shares its host domain's runtime lock, so on a fully
+     busy host domain ticks land at yield points (at worst the ~50ms
+     preemption tick) — an effective rate floor that statistical
+     profiles tolerate; other domains are sampled at the full rate
+     regardless, through the registry side table. *)
+
+  let default_hz = 97.
+
+  let env_hz () =
+    match
+      Option.bind (Sys.getenv_opt "BLOCKC_PROFILE_HZ") float_of_string_opt
+    with
+    | Some hz when hz > 0. -> Some hz
+    | _ -> None
+
+  let mu = Mutex.create ()
+  let counts : (string, int ref) Hashtbl.t = Hashtbl.create 64
+  let ticks = ref 0
+  let cur_hz = ref default_hz
+  let stop_flag = Atomic.make false
+  let ticker : Thread.t option ref = ref None
+
+  let tick () =
+    Mutex.lock registry_mu;
+    let doms = !registry in
+    Mutex.unlock registry_mu;
+    Mutex.lock mu;
+    incr ticks;
+    List.iter
+      (fun (_, s) ->
+        let key =
+          match s.d_stack with
+          | [] -> "(idle)"
+          | st -> String.concat ";" (List.rev st)
+        in
+        match Hashtbl.find_opt counts key with
+        | Some r -> incr r
+        | None -> Hashtbl.add counts key (ref 1))
+      doms;
+    Mutex.unlock mu
+
+  let running () = !ticker <> None
+  let hz () = !cur_hz
+
+  let samples () =
+    Mutex.lock mu;
+    let n = Hashtbl.fold (fun _ r acc -> acc + !r) counts 0 in
+    Mutex.unlock mu;
+    n
+
+  let reset () =
+    Mutex.lock mu;
+    Hashtbl.reset counts;
+    ticks := 0;
+    Mutex.unlock mu
+
+  let start ?hz () =
+    if not (running ()) then begin
+      let rate =
+        match hz with
+        | Some h when h > 0. -> h
+        | _ -> ( match env_hz () with Some h -> h | None -> default_hz)
+      in
+      cur_hz := rate;
+      stack_on := true;
+      Atomic.set stop_flag false;
+      (* make sure the calling domain is in the registry even if it has
+         never emitted a span yet — otherwise an idle process samples
+         nothing at all *)
+      ignore (dstate ());
+      let period = 1. /. rate in
+      ticker :=
+        Some
+          (Thread.create
+             (fun () ->
+               while not (Atomic.get stop_flag) do
+                 tick ();
+                 Unix.sleepf period
+               done)
+             ())
+    end
+
+  let stop () =
+    match !ticker with
+    | None -> ()
+    | Some t ->
+        Atomic.set stop_flag true;
+        Thread.join t;
+        ticker := None;
+        stack_on := false
+
+  (* Idempotent start for the serve path: first caller wins the rate. *)
+  let ensure ?hz () = if not (running ()) then start ?hz ()
+
+  let init_from_env () =
+    match env_hz () with Some hz -> ensure ~hz () | None -> ()
+
+  let folded () =
+    Mutex.lock mu;
+    let rows = Hashtbl.fold (fun k r acc -> (k, !r) :: acc) counts [] in
+    Mutex.unlock mu;
+    List.sort
+      (fun (a, na) (b, nb) ->
+        match compare nb na with 0 -> String.compare a b | c -> c)
+      rows
+
+  let folded_text () =
+    let buf = Buffer.create 256 in
+    List.iter
+      (fun (k, n) -> Buffer.add_string buf (Printf.sprintf "%s %d\n" k n))
+      (folded ());
+    Buffer.contents buf
 end

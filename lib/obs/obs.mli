@@ -116,7 +116,14 @@ val instant : ?cat:string -> ?args:(string * value) list -> string -> unit
 val span : ?cat:string -> ?args:(string * value) list -> string -> (unit -> 'a) -> 'a
 (** [span name f] emits a [Begin]/[End] pair around [f ()] (also on
     exception), tracks the domain-local nesting depth, and — under an
-    active {!Ctx} — forks a child span id for the pair's duration. *)
+    active {!Ctx} — forks a child span id for the pair's duration.
+    While the {!Sampler} is running it additionally maintains the
+    calling domain's live span-name stack (one cons per span). *)
+
+val span_stack : unit -> string list
+(** The calling domain's live span-name stack, innermost first.  Empty
+    unless the {!Sampler} is (or was) running — the stack is only
+    maintained while sampling to keep the common case free. *)
 
 val decision :
   transform:string ->
@@ -156,10 +163,26 @@ val init_from_env : unit -> unit
     mode).  The ring never touches the disabled-instant fast path, so
     the null sink stays allocation-free. *)
 module Recorder : sig
+  type ring
+  (** A standalone ring, independent of the process-global one the
+      module-level functions use. *)
+
+  val create : ?capacity:int -> unit -> ring
+  (** [create ()] takes its capacity (min 1) from [BLOCKC_RECORDER_CAP]
+      when set to a positive integer, defaulting to 256; [~capacity]
+      overrides both.  The process-global ring is created this way at
+      module initialisation, so the env var sizes it at startup. *)
+
+  val ring_capacity : ring -> int
+  val record_to : ring -> event -> unit
+  val recent_of : ring -> event list
+  val sink_of : ring -> sink
+
   val capacity : unit -> int
 
   val set_capacity : int -> unit
-  (** Resize (min 1) and clear the ring.  Default capacity: 256. *)
+  (** Resize (min 1) and clear the global ring.  Default capacity: 256,
+      or [BLOCKC_RECORDER_CAP] at startup. *)
 
   val note : ?cat:string -> ?args:(string * value) list -> string -> unit
   (** Record an instant directly into the ring (never dropped by the
@@ -201,8 +224,11 @@ module Metrics : sig
 
   type counter
 
-  val counter : string -> counter
-  (** Find-or-create by name (names are a global registry). *)
+  val counter : ?help:string -> string -> counter
+  (** Find-or-create by name (names are a global registry).  [?help]
+      registers a doc string for the metric's {!prometheus} [# HELP]
+      line, keyed by the label-free base name; the first registration
+      wins. *)
 
   val add : counter -> int -> unit
   val incr : counter -> unit
@@ -210,7 +236,7 @@ module Metrics : sig
 
   type histogram
 
-  val histogram : string -> histogram
+  val histogram : ?help:string -> string -> histogram
 
   val observe : histogram -> int -> unit
   (** Log-linear bucketing: values [0..15] exact, then 16 linear
@@ -230,7 +256,7 @@ module Metrics : sig
 
   type timer
 
-  val timer : string -> timer
+  val timer : ?help:string -> string -> timer
 
   val record_ns : timer -> int -> unit
   val time : timer -> (unit -> 'a) -> 'a
@@ -239,7 +265,7 @@ module Metrics : sig
 
   type gauge
 
-  val gauge : string -> gauge
+  val gauge : ?help:string -> string -> gauge
   (** A sampled level (queue depth, memo size) with a high-water mark;
       find-or-create by name like the other metric kinds. *)
 
@@ -263,7 +289,9 @@ module Metrics : sig
       summaries with [quantile="0.5"/"0.9"/"0.99"] samples, [_sum],
       [_count] and a [_max] gauge.  Inline label blocks (see
       {!labelled}) are preserved, so every label set of one base name
-      shares a family and a single [# TYPE] line. *)
+      shares a family and a single [# TYPE] line.  Families whose base
+      name was registered with [?help] get a [# HELP] line before
+      their [# TYPE]. *)
 
   val report : unit -> string
   (** Human-readable multi-line rendering of the registry with derived
@@ -271,4 +299,62 @@ module Metrics : sig
 
   val reset : unit -> unit
   (** Zero all registered metrics (the registry itself persists). *)
+end
+
+(** Continuous profiler: a ticker thread samples every registered
+    domain's live span stack at a fixed rate and folds the
+    observations into flamegraph-compatible [stack count] rows
+    (outermost-first, [';']-joined — feed {!folded_text} straight to
+    [flamegraph.pl] or speedscope).  Domains with an empty stack sample
+    as [(idle)].  Sampled domains pay one cons per span while the
+    sampler runs and nothing when it does not; the sampler reads the
+    stacks racily (safe: the field holds an immutable list).
+
+    The ticker is a systhread, not a domain: an extra domain — even a
+    sleeping one — joins every stop-the-world minor collection in
+    OCaml 5, which is ruinous on small machines, while a thread
+    measures within noise.  The flip side: on a fully busy host domain
+    the ticks land at thread yield points, so that one domain's
+    effective self-sample rate can drop to the runtime's preemption
+    tick (~20 Hz); other domains are always sampled at the full
+    rate. *)
+module Sampler : sig
+  val default_hz : float
+  (** 97 — prime, so the ticker does not alias with millisecond-period
+      work. *)
+
+  val start : ?hz:float -> unit -> unit
+  (** Spawn the ticker thread (no-op when running).  Rate precedence:
+      [?hz] (if positive), else [BLOCKC_PROFILE_HZ], else
+      {!default_hz}.  Registers the calling domain for sampling as a
+      side effect. *)
+
+  val stop : unit -> unit
+  (** Stop and join the ticker (no-op when not running).  Accumulated
+      samples survive; span-stack maintenance turns off. *)
+
+  val ensure : ?hz:float -> unit -> unit
+  (** Idempotent {!start} — the first caller wins the rate. *)
+
+  val init_from_env : unit -> unit
+  (** Start sampling iff [BLOCKC_PROFILE_HZ] is set to a positive
+      number. *)
+
+  val running : unit -> bool
+
+  val hz : unit -> float
+  (** The configured rate of the current (or last) run. *)
+
+  val samples : unit -> int
+  (** Total per-domain observations folded so far. *)
+
+  val reset : unit -> unit
+  (** Drop accumulated samples (the ticker keeps running). *)
+
+  val folded : unit -> (string * int) list
+  (** [(stack, count)] rows, most-sampled first (ties by name). *)
+
+  val folded_text : unit -> string
+  (** One ["stack count\n"] line per row — the flamegraph "folded"
+      format. *)
 end

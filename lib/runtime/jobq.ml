@@ -16,8 +16,14 @@ let create ?(name = "jobq") () =
     nonempty = Condition.create ();
     items = Queue.create ();
     closed = false;
-    depth_gauge = Obs.Metrics.gauge (name ^ ".depth");
-    wait_timer = Obs.Metrics.timer (name ^ ".queue_wait");
+    depth_gauge =
+      Obs.Metrics.gauge
+        ~help:"Items currently enqueued (set on every push and take)"
+        (name ^ ".depth");
+    wait_timer =
+      Obs.Metrics.timer
+        ~help:"Time items spent queued before a consumer took them"
+        (name ^ ".queue_wait");
   }
 
 let push t x =

@@ -62,6 +62,11 @@ let for_ ?pool ?(chunking = Static) ?(align = 1) ~lo ~hi f =
         let next = Atomic.make 0 in
         Pool.run pool (fun () ->
             Obs.Ctx.with_ctx ctx (fun () ->
+                (* Per-lane busy time: accumulate chunk wall-time locally
+                   and fold it into a cumulative per-domain gauge once at
+                   lane exit, so scrapers can diff utilization without
+                   the lane contending on the registry per chunk. *)
+                let lane_busy = ref 0 in
                 let continue = ref true in
                 while !continue do
                   let i = Atomic.fetch_and_add next 1 in
@@ -69,9 +74,20 @@ let for_ ?pool ?(chunking = Static) ?(align = 1) ~lo ~hi f =
                   else
                     let s, e = cs.(i) in
                     let body () =
-                      if metrics then
-                        Obs.Metrics.time (Obs.Metrics.timer "par.chunk")
-                          (fun () -> f s e)
+                      if metrics then begin
+                        let t0 = Obs.now_ns () in
+                        let finish () =
+                          let dt = Obs.now_ns () - t0 in
+                          Obs.Metrics.record_ns
+                            (Obs.Metrics.timer "par.chunk") dt;
+                          lane_busy := !lane_busy + dt
+                        in
+                        match f s e with
+                        | () -> finish ()
+                        | exception ex ->
+                            finish ();
+                            raise ex
+                      end
                       else f s e
                     in
                     if traced then
@@ -79,7 +95,22 @@ let for_ ?pool ?(chunking = Static) ?(align = 1) ~lo ~hi f =
                         ~args:[ ("lo", Obs.Int s); ("hi", Obs.Int e) ]
                         body
                     else body ()
-                done))
+                done;
+                if metrics && !lane_busy > 0 then begin
+                  let g =
+                    Obs.Metrics.gauge
+                      ~help:
+                        "Cumulative busy nanoseconds of one domain inside \
+                         Parallel.for_ chunks"
+                      (Obs.Metrics.labelled "par.lane_busy_ns"
+                         [
+                           ("domain",
+                            string_of_int (Domain.self () :> int));
+                         ])
+                  in
+                  Obs.Metrics.set_gauge g
+                    (Obs.Metrics.gauge_value g + !lane_busy)
+                end))
       end
     end
   end

@@ -1,4 +1,5 @@
 type t = {
+  name : string;
   lanes : int;
   mu : Mutex.t;
   work_cv : Condition.t;
@@ -10,11 +11,16 @@ type t = {
   mutable stopping : bool;
   mutable in_region : bool; (* reentrancy guard, caller lane only *)
   mutable exn : exn option; (* first failure observed in the region *)
+  busy_ns : int array; (* cumulative per-lane busy ns; slot i written only
+                          by lane i (caller = 0), read after the region *)
+  mutable lane_gauges : Obs.Metrics.gauge array option; (* lazy, per lane *)
 }
 
-let create ~domains =
+let create ?(name = "pool") ~domains () =
+  let lanes = max 1 domains in
   {
-    lanes = max 1 domains;
+    name;
+    lanes;
     mu = Mutex.create ();
     work_cv = Condition.create ();
     done_cv = Condition.create ();
@@ -25,15 +31,41 @@ let create ~domains =
     stopping = false;
     in_region = false;
     exn = None;
+    busy_ns = Array.make lanes 0;
+    lane_gauges = None;
   }
 
 let size t = t.lanes
+let name t = t.name
+let lane_busy_ns t = Array.copy t.busy_ns
+
+let lane_gauge_of t i =
+  let gs =
+    match t.lane_gauges with
+    | Some gs -> gs
+    | None ->
+        let gs =
+          Array.init t.lanes (fun i ->
+              Obs.Metrics.gauge
+                ~help:
+                  "Cumulative busy nanoseconds of one pool lane (lane 0 = \
+                   the calling domain)"
+                (Obs.Metrics.labelled "pool.lane_busy_ns"
+                   [ ("pool", t.name); ("lane", string_of_int i) ]))
+        in
+        t.lane_gauges <- Some gs;
+        gs
+  in
+  gs.(i)
 
 let record_exn t e =
   (* called with t.mu held *)
   if t.exn = None then t.exn <- Some e
 
-let worker t ~epoch0 =
+let worker t ~epoch0 ~lane =
+  (* touch the domain-local Obs state so this lane is in the sampler's
+     registry from birth, not from its first span *)
+  ignore (Obs.now_ns ());
   let seen = ref epoch0 in
   let rec loop () =
     Mutex.lock t.mu;
@@ -48,9 +80,11 @@ let worker t ~epoch0 =
       let metrics = Obs.Metrics.enabled () in
       let t0 = if metrics then Obs.now_ns () else 0 in
       let failure = try f (); None with e -> Some e in
-      if metrics then
-        Obs.Metrics.record_ns (Obs.Metrics.timer "pool.lane_busy")
-          (Obs.now_ns () - t0);
+      if metrics then begin
+        let dt = Obs.now_ns () - t0 in
+        Obs.Metrics.record_ns (Obs.Metrics.timer "pool.lane_busy") dt;
+        t.busy_ns.(lane) <- t.busy_ns.(lane) + dt
+      end;
       Mutex.lock t.mu;
       (match failure with Some e -> record_exn t e | None -> ());
       t.active <- t.active - 1;
@@ -81,7 +115,8 @@ let ensure_started t =
     let t0 = if Obs.Metrics.enabled () then Obs.now_ns () else 0 in
     let epoch0 = t.epoch in
     for _ = 1 to missing do
-      t.workers <- Domain.spawn (fun () -> worker t ~epoch0) :: t.workers
+      let lane = List.length t.workers + 1 in
+      t.workers <- Domain.spawn (fun () -> worker t ~epoch0 ~lane) :: t.workers
     done;
     if Obs.Metrics.enabled () then begin
       Obs.Metrics.add (Obs.Metrics.counter "pool.domains_spawned") missing;
@@ -106,9 +141,11 @@ let run t f =
     Mutex.unlock t.mu;
     let t1 = if metrics then Obs.now_ns () else 0 in
     let failure = try f (); None with e -> Some e in
-    if metrics then
-      Obs.Metrics.record_ns (Obs.Metrics.timer "pool.lane_busy")
-        (Obs.now_ns () - t1);
+    if metrics then begin
+      let dt = Obs.now_ns () - t1 in
+      Obs.Metrics.record_ns (Obs.Metrics.timer "pool.lane_busy") dt;
+      t.busy_ns.(0) <- t.busy_ns.(0) + dt
+    end;
     Mutex.lock t.mu;
     (match failure with Some e -> record_exn t e | None -> ());
     while t.active > 0 do
@@ -122,7 +159,12 @@ let run t f =
     if metrics then begin
       Obs.Metrics.incr (Obs.Metrics.counter "pool.regions");
       Obs.Metrics.record_ns (Obs.Metrics.timer "pool.region")
-        (Obs.now_ns () - t0)
+        (Obs.now_ns () - t0);
+      (* Publish the cumulative per-lane busy time after every region;
+         scrapers derive utilization from successive deltas. *)
+      for i = 0 to t.lanes - 1 do
+        Obs.Metrics.set_gauge (lane_gauge_of t i) t.busy_ns.(i)
+      done
     end;
     match e with Some e -> raise e | None -> ()
   end
@@ -141,6 +183,6 @@ let default () =
             | _ -> Domain.recommended_domain_count ())
         | None -> Domain.recommended_domain_count ()
       in
-      let p = create ~domains in
+      let p = create ~name:"default" ~domains () in
       default_pool := Some p;
       p

@@ -12,12 +12,22 @@
 
 type t
 
-val create : domains:int -> t
-(** [create ~domains] makes a pool of [max 1 domains] lanes.  No domain
-    is spawned until the first {!run}. *)
+val create : ?name:string -> domains:int -> unit -> t
+(** [create ~domains ()] makes a pool of [max 1 domains] lanes.  No domain
+    is spawned until the first {!run}.  [?name] (default ["pool"])
+    labels the pool's metrics — [pool.lane_busy_ns{pool="<name>",...}]. *)
 
 val size : t -> int
 (** Number of lanes (including the caller's). *)
+
+val name : t -> string
+
+val lane_busy_ns : t -> int array
+(** Cumulative busy nanoseconds per lane (index 0 = the calling
+    domain's lane), accumulated only while metrics are enabled.  Also
+    published after every region as the
+    [pool.lane_busy_ns{pool,lane}] gauges, from which scrapers derive
+    utilization by delta. *)
 
 val default : unit -> t
 (** The shared process-wide pool.  Its size is

@@ -41,10 +41,63 @@ let errorf ?id fmt =
 (* Per-request stage attribution, filled in by the handlers as the
    request flows through compile and execute; mutated only by the
    request's own lane (batch fan-out measures the whole parallel
-   region, not per-item, precisely to keep this single-writer). *)
-type timing = { mutable t_compile_ns : int; mutable t_exec_ns : int }
+   region, not per-item, precisely to keep this single-writer).  The
+   GC fields are [Gc.counters]/[Gc.quick_stat] deltas captured around the whole op
+   dispatch on the worker lane. *)
+type timing = {
+  mutable t_compile_ns : int;
+  mutable t_exec_ns : int;
+  mutable t_minor_gcs : int;
+  mutable t_major_gcs : int;
+  mutable t_promoted_words : int;
+  mutable t_allocated_words : int;
+}
 
-let new_timing () = { t_compile_ns = 0; t_exec_ns = 0 }
+let new_timing () =
+  {
+    t_compile_ns = 0;
+    t_exec_ns = 0;
+    t_minor_gcs = 0;
+    t_major_gcs = 0;
+    t_promoted_words = 0;
+    t_allocated_words = 0;
+  }
+
+(* One GC observation point.  Word counts come from [Gc.counters] (the
+   only variant that is exact in native code — [quick_stat]'s word
+   fields are refreshed only at minor collections, so a request that
+   triggers no collection would read an allocation delta of zero);
+   collection counts come from [quick_stat]. *)
+type gc_probe = {
+  p_minor_gcs : int;
+  p_major_gcs : int;
+  p_minor_w : float;
+  p_promoted_w : float;
+  p_major_w : float;
+}
+
+let gc_probe () =
+  let g = Gc.quick_stat () in
+  let minor_w, promoted_w, major_w = Gc.counters () in
+  {
+    p_minor_gcs = g.Gc.minor_collections;
+    p_major_gcs = g.Gc.major_collections;
+    p_minor_w = minor_w;
+    p_promoted_w = promoted_w;
+    p_major_w = major_w;
+  }
+
+(* Allocation since process start, in words: everything allocated lands
+   in the minor heap or directly in the major heap, and promotion would
+   otherwise be double-counted. *)
+let allocated_words p = p.p_minor_w +. p.p_major_w -. p.p_promoted_w
+
+let record_gc_delta tm p0 p1 =
+  tm.t_minor_gcs <- p1.p_minor_gcs - p0.p_minor_gcs;
+  tm.t_major_gcs <- p1.p_major_gcs - p0.p_major_gcs;
+  tm.t_promoted_words <- int_of_float (p1.p_promoted_w -. p0.p_promoted_w);
+  tm.t_allocated_words <-
+    int_of_float (allocated_words p1 -. allocated_words p0)
 
 let ok_of resp =
   match resp with
@@ -71,11 +124,75 @@ let count_error cls =
 (* Request latency (queue wait + handling) in the overall and per-op
    log-linear histograms; the metrics op renders their p50/p90/p99. *)
 let observe_request ~op ~ns =
-  Obs.Metrics.incr (Obs.Metrics.counter "serve.requests");
-  Obs.Metrics.observe (Obs.Metrics.histogram "serve.request.ns") ns;
+  Obs.Metrics.incr
+    (Obs.Metrics.counter ~help:"Requests handled (any op, any outcome)"
+       "serve.requests");
+  Obs.Metrics.observe
+    (Obs.Metrics.histogram
+       ~help:"Request latency: queue wait plus handling, nanoseconds"
+       "serve.request.ns")
+    ns;
   Obs.Metrics.observe
     (Obs.Metrics.histogram (Obs.Metrics.labelled "serve.request.ns" [ ("op", op) ]))
     ns
+
+(* Per-request GC cost distributions, fed from the [timing] deltas.
+   Registered eagerly at module init: a [lazy] here would be forced
+   concurrently from worker domains, and [Lazy.force] is not
+   domain-safe (a racing force raises [CamlinternalLazy.Undefined]). *)
+let gc_minor_hist =
+  Obs.Metrics.histogram ~help:"Minor collections triggered per request"
+    "serve.gc.minor_gcs"
+
+let gc_major_hist =
+  Obs.Metrics.histogram ~help:"Major collections triggered per request"
+    "serve.gc.major_gcs"
+
+let gc_promoted_hist =
+  Obs.Metrics.histogram ~help:"Words promoted to the major heap per request"
+    "serve.gc.promoted_words"
+
+let gc_alloc_hist =
+  Obs.Metrics.histogram ~help:"Words allocated per request"
+    "serve.gc.allocated_words"
+
+let observe_gc tm =
+  Obs.Metrics.observe gc_minor_hist tm.t_minor_gcs;
+  Obs.Metrics.observe gc_major_hist tm.t_major_gcs;
+  Obs.Metrics.observe gc_promoted_hist tm.t_promoted_words;
+  Obs.Metrics.observe gc_alloc_hist tm.t_allocated_words
+
+(* Structured slow/alloc-heavy request log: requests breaching either
+   threshold land in the flight recorder (and a counter), so a [dump]
+   after a latency incident names the offending ops without tracing. *)
+let slow_request_ns =
+  Option.bind (Sys.getenv_opt "BLOCKC_SLOW_REQUEST_NS") int_of_string_opt
+
+let alloc_heavy_words =
+  Option.bind (Sys.getenv_opt "BLOCKC_ALLOC_HEAVY_WORDS") int_of_string_opt
+
+let note_heavy ~op ~total_ns tm =
+  let breach lim v = match lim with Some t -> t >= 0 && v >= t | None -> false in
+  let slow = breach slow_request_ns total_ns in
+  let heavy = breach alloc_heavy_words tm.t_allocated_words in
+  if slow || heavy then begin
+    Obs.Metrics.incr
+      (Obs.Metrics.counter
+         ~help:"Requests breaching BLOCKC_SLOW_REQUEST_NS or \
+                BLOCKC_ALLOC_HEAVY_WORDS"
+         "serve.slow_requests");
+    Obs.Recorder.note ~cat:"serve" "serve.slow_request"
+      ~args:
+        [
+          ("op", Obs.Str op);
+          ("ns", Obs.Int total_ns);
+          ("allocated_words", Obs.Int tm.t_allocated_words);
+          ("minor_gcs", Obs.Int tm.t_minor_gcs);
+          ("major_gcs", Obs.Int tm.t_major_gcs);
+          ("slow", Obs.Bool slow);
+          ("alloc_heavy", Obs.Bool heavy);
+        ]
+  end
 
 let with_telemetry ~trace_hex ~queue_ns ~tm ~total_ns resp =
   match resp with
@@ -85,12 +202,18 @@ let with_telemetry ~trace_hex ~queue_ns ~tm ~total_ns resp =
         @ [
             ("trace_id", J.String trace_hex);
             ( "server",
+              (* GC fields stay flat inside this object (no nesting):
+                 clients strip or match the whole block with {[^}]*}. *)
               J.Object
                 [
                   ("queue_ns", jint queue_ns);
                   ("compile_ns", jint tm.t_compile_ns);
                   ("exec_ns", jint tm.t_exec_ns);
                   ("total_ns", jint total_ns);
+                  ("minor_gcs", jint tm.t_minor_gcs);
+                  ("major_gcs", jint tm.t_major_gcs);
+                  ("promoted_words", jint tm.t_promoted_words);
+                  ("allocated_words", jint tm.t_allocated_words);
                 ] );
           ])
   | other -> other
@@ -393,7 +516,7 @@ let batch_items entry req =
         "batch needs \"bindings_list\" (array of binding objects) or \
          \"sizes\" (array of integers)"
 
-let batch_size_metric = lazy (Obs.Metrics.histogram "serve.batch_size")
+let batch_size_metric = Obs.Metrics.histogram "serve.batch_size"
 
 (* [Pool.run] regions on one pool must not overlap, and two request
    lanes could otherwise dispatch batches concurrently onto the shared
@@ -414,7 +537,7 @@ let handle_batch ~exec_pool ~tm ?id req =
               let seed = seed_field req in
               let items = Array.of_list items in
               let n = Array.length items in
-              Obs.Metrics.observe (Lazy.force batch_size_metric) n;
+              Obs.Metrics.observe batch_size_metric n;
               let results = Array.make n (Error "not run") in
               let t0 = Unix.gettimeofday () in
               Obs.span ~cat:"serve" "serve.batch"
@@ -431,10 +554,20 @@ let handle_batch ~exec_pool ~tm ?id req =
                       Parallel.for_ ~pool:exec_pool ~lo:0 ~hi:(n - 1)
                         (fun clo chi ->
                           for i = clo to chi do
+                            (* Per-item timing + GC delta, measured on
+                               the executing lane (quick_stat counters
+                               are domain-local; slot i has a single
+                               writer). *)
                             results.(i) <-
                               (try
-                                 Result.map fst
-                                   (run_one c ~bindings:items.(i) ~seed)
+                                 let g0 = gc_probe () in
+                                 match run_one c ~bindings:items.(i) ~seed with
+                                 | Error _ as e -> e
+                                 | Ok (digest, dt) ->
+                                     let g1 = gc_probe () in
+                                     let itm = new_timing () in
+                                     record_gc_delta itm g0 g1;
+                                     Ok (digest, dt, itm)
                                with e -> Error (Printexc.to_string e))
                           done)));
               let run_s = Unix.gettimeofday () -. t0 in
@@ -451,9 +584,20 @@ let handle_batch ~exec_pool ~tm ?id req =
               (match !bad with
               | Some m -> errorf ?id "%s" m
               | None ->
-                  let digests =
-                    Array.to_list results
-                    |> List.map (fun r -> jstr (Result.get_ok r))
+                  let oks =
+                    Array.to_list results |> List.map Result.get_ok
+                  in
+                  let digests = List.map (fun (d, _, _) -> jstr d) oks in
+                  let item_json (digest, dt, itm) =
+                    J.Object
+                      [
+                        ("digest", jstr digest);
+                        ("ns", jint (int_of_float (dt *. 1e9)));
+                        ("minor_gcs", jint itm.t_minor_gcs);
+                        ("major_gcs", jint itm.t_major_gcs);
+                        ("promoted_words", jint itm.t_promoted_words);
+                        ("allocated_words", jint itm.t_allocated_words);
+                      ]
                   in
                   wrap ?id true
                     [
@@ -465,6 +609,7 @@ let handle_batch ~exec_pool ~tm ?id req =
                           (Jit.disposition_name
                              c.c_loaded.Jit.disposition) );
                       ("digests", J.Array digests);
+                      ("items", J.Array (List.map item_json oks));
                       ("run_s", J.Number run_s);
                     ])))
 
@@ -495,14 +640,48 @@ let handle_profile ?id req =
             ])
 
 let handle_status ?id () =
+  let d = Jit.disk_stats () in
   wrap ?id true
     [
       ("compiler_invocations", jint (Jit.compiler_invocations ()));
       ("memo_size", jint (Jit.memo_size ()));
       ("memo_evictions", jint (Jit.memo_evictions ()));
+      ("memo_hits", jint (Jit.memo_hits ()));
+      ("disk_hits", jint (Jit.disk_hits ()));
       ("dedup_waits", jint (Jit.dedup_waits ()));
       ("cache_dir", jstr (Jit.cache_dir ()));
+      ("disk_entries", jint d.Jit.entries);
+      ("disk_bytes", jint d.Jit.bytes);
+      ("disk_oldest_age_s", J.Number d.Jit.oldest_age_s);
+      ("sampler_running", J.Bool (Obs.Sampler.running ()));
+      ("sampler_hz", J.Number (Obs.Sampler.hz ()));
+      ("sampler_samples", jint (Obs.Sampler.samples ()));
     ]
+
+(* The flame op: first call (or a ["hz"] field) starts the sampler if
+   it is not already running — profiling on demand, no restart — and
+   every call returns the folded-stack accumulation so far.  A
+   ["reset":true] drops the accumulation after rendering, giving
+   interval profiles. *)
+let handle_flame ?id req =
+  let hz =
+    match field req "hz" with
+    | Some (J.Number f) when f > 0. -> Some f
+    | _ -> None
+  in
+  Obs.Sampler.ensure ?hz ();
+  let resp =
+    wrap ?id true
+      [
+        ("hz", J.Number (Obs.Sampler.hz ()));
+        ("samples", jint (Obs.Sampler.samples ()));
+        ("folded", jstr (Obs.Sampler.folded_text ()));
+      ]
+  in
+  (match field req "reset" with
+  | Some (J.Bool true) -> Obs.Sampler.reset ()
+  | _ -> ());
+  resp
 
 let handle_metrics ?id () =
   wrap ?id true
@@ -574,6 +753,7 @@ let handle_request ?(queue_ns = 0) ~exec_pool req =
   in
   let tm = new_timing () in
   let t0 = Obs.now_ns () in
+  let g0 = gc_probe () in
   let op_name, (resp, stop), bad_op =
     match str_field req "op" with
     | None -> ("(none)", (errorf ?id "missing \"op\"", false), Some "missing_op")
@@ -589,6 +769,7 @@ let handle_request ?(queue_ns = 0) ~exec_pool req =
               | "kernels" -> ((handle_kernels ?id (), false), None)
               | "status" -> ((handle_status ?id (), false), None)
               | "metrics" -> ((handle_metrics ?id (), false), None)
+              | "flame" -> ((handle_flame ?id req, false), None)
               | "dump" -> ((handle_dump ?id (), false), None)
               | "derive" -> ((handle_derive ?id req, false), None)
               | "compile" -> ((handle_compile ~tm ?id req, false), None)
@@ -600,9 +781,12 @@ let handle_request ?(queue_ns = 0) ~exec_pool req =
         let (resp, stop), cls = result in
         (op, (resp, stop), cls)
   in
+  record_gc_delta tm g0 (gc_probe ());
   let total_ns = queue_ns + (Obs.now_ns () - t0) in
   let ok = ok_of resp in
   observe_request ~op:op_name ~ns:total_ns;
+  observe_gc tm;
+  note_heavy ~op:op_name ~total_ns tm;
   if not ok then
     count_error (Option.value bad_op ~default:"request");
   Obs.Recorder.note ~cat:"serve" "serve.request"
@@ -680,10 +864,25 @@ let run_channel ~qpool ~exec_pool ic oc =
         in
         loop ())
   in
+  (* Lane utilization: each lane of this connection accumulates its
+     request-handling wall time into a cumulative per-lane gauge, so a
+     scraper can diff successive values against wall clock.  Lane ids
+     come from a dispenser — Pool lanes have no public index here. *)
+  let lane_ids = Atomic.make 0 in
   Pool.run qpool (fun () ->
+      let lane = Atomic.fetch_and_add lane_ids 1 in
+      let busy_gauge =
+        Obs.Metrics.gauge
+          ~help:"Cumulative busy nanoseconds of one serve request lane"
+          (Obs.Metrics.labelled "serve.lane_busy_ns"
+             [ ("lane", string_of_int lane) ])
+      in
       Jobq.drain q (fun (enqueued_ns, line) ->
           let queue_ns = max 0 (Obs.now_ns () - enqueued_ns) in
+          let t0 = Obs.now_ns () in
           let resp, stop = handle_line ~queue_ns ~exec_pool line in
+          Obs.Metrics.set_gauge busy_gauge
+            (Obs.Metrics.gauge_value busy_gauge + (Obs.now_ns () - t0));
           if stop then Atomic.set stopping true;
           respond resp));
   Domain.join reader;
@@ -696,11 +895,15 @@ let run_channel ~qpool ~exec_pool ic oc =
    after a failure has context without full-tracing cost. *)
 let enable_telemetry () =
   Obs.Metrics.set_enabled true;
-  if not (Obs.enabled ()) then Obs.set_sink (Obs.Recorder.sink ())
+  if not (Obs.enabled ()) then Obs.set_sink (Obs.Recorder.sink ());
+  (* Continuous profiling opt-in: BLOCKC_PROFILE_HZ starts the span-
+     stack sampler at daemon startup (the flame op can also start it
+     on demand later). *)
+  Obs.Sampler.init_from_env ()
 
 let run_stdio ?(workers = 2) () =
   enable_telemetry ();
-  let qpool = Pool.create ~domains:(max 1 workers) in
+  let qpool = Pool.create ~name:"serve" ~domains:(max 1 workers) () in
   let (_ : bool) =
     run_channel ~qpool ~exec_pool:(Pool.default ()) stdin stdout
   in
@@ -710,7 +913,7 @@ let run_socket ?(workers = 2) path =
   enable_telemetry ();
   if Sys.file_exists path then Sys.remove path;
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  let qpool = Pool.create ~domains:(max 1 workers) in
+  let qpool = Pool.create ~name:"serve" ~domains:(max 1 workers) () in
   let exec_pool = Pool.default () in
   Fun.protect
     ~finally:(fun () ->

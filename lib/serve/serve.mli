@@ -35,13 +35,25 @@
       objects; ["sizes"] is shorthand binding every kernel parameter to
       the given integer.  Replies with one digest per item, in request
       order (results are deterministic: each item runs in its own
-      environment).
+      environment), plus an ["items"] array giving each item's wall
+      time (["ns"]) and GC deltas (["minor_gcs"], ["major_gcs"],
+      ["promoted_words"], ["allocated_words"]) measured on the
+      executing lane.
     - [profile {"kernel","bindings","seed"}] — cache-simulate both
       variants on the paper's RS/6000-540 model; replies with per-
       variant miss and memory-cycle counts.
     - [status] — process-wide JIT cache counters ([ocamlopt] runs, memo
-      size and evictions, single-flight dedup waits) and the cache
-      directory.
+      size, hits and evictions, disk hits, single-flight dedup waits),
+      the cache directory plus its on-disk shape (["disk_entries"],
+      ["disk_bytes"], ["disk_oldest_age_s"]), and the
+      {!Obs.Sampler} state (["sampler_running"], ["sampler_hz"],
+      ["sampler_samples"]).
+    - [flame {"hz"?,"reset"?}] — continuous-profiling readout: starts
+      the {!Obs.Sampler} on first use (at ["hz"], else
+      [BLOCKC_PROFILE_HZ], else the default rate) and replies with the
+      accumulated folded-stack profile (["folded"], flamegraph.pl
+      input) and the sample count; ["reset":true] drops the
+      accumulation after rendering, for interval profiles.
     - [metrics] — the full {!Obs.Metrics} registry as a Prometheus text
       exposition (one JSON-escaped string field ["metrics"]): request
       counts, labelled [serve.errors] classes, and p50/p90/p99/max
@@ -59,7 +71,16 @@
     ["server"] timing breakdown: ["queue_ns"] (time queued between the
     reader and a worker lane), ["compile_ns"] (blueprint normalize +
     JIT, ~0 on memo hits), ["exec_ns"] (native run / batch fan-out
-    wall), and ["total_ns"] (queue + handling).  Responses to requests
+    wall), ["total_ns"] (queue + handling), and the request's GC
+    deltas captured around handling on the worker lane:
+    ["minor_gcs"], ["major_gcs"], ["promoted_words"],
+    ["allocated_words"] (collection counts from [Gc.quick_stat], word
+    counts from [Gc.counters] — the variant that stays exact in native
+    code between minor collections — also exported
+    as the [serve.gc.*] histograms; requests breaching
+    [BLOCKC_SLOW_REQUEST_NS] or [BLOCKC_ALLOC_HEAVY_WORDS] are
+    additionally noted in the flight recorder as
+    [serve.slow_request]).  Responses to requests
     that crashed the handler ([internal error]) carry no telemetry
     fields; the flight recorder is dumped to stderr instead.
 

@@ -25,12 +25,22 @@ and it must run before the greedy reason-normalizing one.
   {"id":5,"ok":true,"stopping":true}
 
 The telemetry fields themselves: every response line has a hex
-trace_id and all four server timings.
+trace_id, all four server timings, and the request's GC deltas
+(collection deltas can only grow, but the word deltas may go negative
+when a collection runs mid-request, hence the optional minus signs).
 
   $ printf '%s\n' '{"id":1,"op":"ping"}' '{"id":2,"op":"shutdown"}' \
   >   | blockc serve --workers 1 \
-  >   | grep -c '"trace_id":"[0-9a-f]*","server":{"queue_ns":[0-9]*,"compile_ns":[0-9]*,"exec_ns":[0-9]*,"total_ns":[0-9]*}'
+  >   | grep -c '"trace_id":"[0-9a-f]*","server":{"queue_ns":[0-9]*,"compile_ns":[0-9]*,"exec_ns":[0-9]*,"total_ns":[0-9]*,"minor_gcs":[0-9]*,"major_gcs":[0-9]*,"promoted_words":[0-9]*,"allocated_words":-\?[0-9]*}'
   2
+
+The flight recorder ring is sized by BLOCKC_RECORDER_CAP at startup;
+the dump op reports the capacity in effect.
+
+  $ printf '%s\n' '{"id":1,"op":"dump"}' '{"id":2,"op":"shutdown"}' \
+  >   | BLOCKC_RECORDER_CAP=8 blockc serve --workers 1 \
+  >   | grep -c '"capacity":8'
+  1
 
 The metrics op returns the Prometheus exposition with per-op latency
 summaries (the daemon switches metrics on at startup); the dump op

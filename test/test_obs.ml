@@ -364,7 +364,7 @@ let pool_metrics_recorded () =
       Obs.Metrics.reset ())
   @@ fun () ->
   Obs.Metrics.reset ();
-  let pool = Pool.create ~domains:2 in
+  let pool = Pool.create ~domains:2 () in
   let acc = Atomic.make 0 in
   Parallel.for_ ~pool ~lo:1 ~hi:1000 (fun s e ->
       for i = s to e do
@@ -490,6 +490,150 @@ let prometheus_exposition () =
          if contains l "# TYPE blockc_test_errors_total" then incr type_lines);
   check_int "one TYPE line for the labelled family" 1 !type_lines
 
+let prometheus_help_lines () =
+  Obs.Metrics.set_enabled true;
+  Fun.protect ~finally:(fun () ->
+      Obs.Metrics.set_enabled false;
+      Obs.Metrics.reset ())
+  @@ fun () ->
+  Obs.Metrics.reset ();
+  Obs.Metrics.incr (Obs.Metrics.counter ~help:"Documented counter." "helpt");
+  (* same family, different label set, different help text: first wins *)
+  Obs.Metrics.incr
+    (Obs.Metrics.counter ~help:"loser"
+       (Obs.Metrics.labelled "helpt" [ ("k", "v") ]));
+  Obs.Metrics.set_gauge
+    (Obs.Metrics.gauge ~help:"A documented\nlevel." "helpt.depth")
+    3;
+  let text = Obs.Metrics.prometheus () in
+  let has needle =
+    check_bool (Printf.sprintf "exposition has %S" needle) true
+      (contains text needle)
+  in
+  has "# HELP blockc_helpt_total Documented counter.\n\
+       # TYPE blockc_helpt_total counter";
+  (* newlines in the doc string are flattened to keep the exposition
+     parseable, and the _peak suffix family shares the base's text *)
+  has "# HELP blockc_helpt_depth A documented level.\n\
+       # TYPE blockc_helpt_depth gauge";
+  has "# HELP blockc_helpt_depth_peak A documented level.\n\
+       # TYPE blockc_helpt_depth_peak gauge";
+  check_bool "first help registration wins" false (contains text "loser");
+  check_bool "undocumented families stay bare" false
+    (contains text "# HELP blockc_test_")
+
+(* ---- flight recorder: private rings and env-sized capacity ---- *)
+
+let mk_ev i =
+  {
+    Obs.name = Printf.sprintf "p.%d" i;
+    cat = "privring";
+    kind = Obs.Instant;
+    ts = i;
+    depth = 0;
+    track = 0;
+    trace = 0;
+    span_id = 0;
+    parent = 0;
+    args = [];
+  }
+
+let recorder_private_rings () =
+  let r = Obs.Recorder.create ~capacity:4 () in
+  check_int "capacity honoured" 4 (Obs.Recorder.ring_capacity r);
+  check_int "fresh ring is empty" 0 (List.length (Obs.Recorder.recent_of r));
+  for i = 1 to 10 do
+    Obs.Recorder.record_to r (mk_ev i)
+  done;
+  let names =
+    List.map (fun (e : Obs.event) -> e.name) (Obs.Recorder.recent_of r)
+  in
+  Alcotest.(check (list string))
+    "keeps the last 4, oldest first"
+    [ "p.7"; "p.8"; "p.9"; "p.10" ]
+    names;
+  check_bool "global ring untouched by a private ring" true
+    (not
+       (List.exists
+          (fun (e : Obs.event) -> e.cat = "privring")
+          (Obs.Recorder.recent ())));
+  (* the sink adapter targets this ring only *)
+  Obs.set_sink (Obs.Recorder.sink_of r);
+  Fun.protect
+    ~finally:(fun () -> Obs.set_sink Obs.null)
+    (fun () -> Obs.span "p.span" (fun () -> ()));
+  check_bool "sink_of mirrors span traffic into the private ring" true
+    (List.exists
+       (fun (e : Obs.event) -> e.name = "p.span")
+       (Obs.Recorder.recent_of r))
+
+let recorder_env_capacity () =
+  Unix.putenv "BLOCKC_RECORDER_CAP" "7";
+  Fun.protect ~finally:(fun () -> Unix.putenv "BLOCKC_RECORDER_CAP" "")
+  @@ fun () ->
+  check_int "BLOCKC_RECORDER_CAP sizes fresh rings" 7
+    (Obs.Recorder.ring_capacity (Obs.Recorder.create ()));
+  Unix.putenv "BLOCKC_RECORDER_CAP" "0";
+  check_int "non-positive value falls back to the default" 256
+    (Obs.Recorder.ring_capacity (Obs.Recorder.create ()));
+  Unix.putenv "BLOCKC_RECORDER_CAP" "nope";
+  check_int "garbage falls back to the default" 256
+    (Obs.Recorder.ring_capacity (Obs.Recorder.create ()));
+  check_int "explicit capacity overrides the env" 3
+    (Obs.Recorder.ring_capacity (Obs.Recorder.create ~capacity:3 ()))
+
+(* ---- continuous profiler (span-stack sampler) ---- *)
+
+let span_stack_gated () =
+  if Obs.Sampler.running () then Obs.Sampler.stop ();
+  Obs.span "sg.off" (fun () ->
+      check_bool "no stack maintained while the sampler is off" true
+        (Obs.span_stack () = []));
+  Obs.Sampler.start ~hz:50. ();
+  Fun.protect ~finally:(fun () ->
+      Obs.Sampler.stop ();
+      Obs.Sampler.reset ())
+  @@ fun () ->
+  Obs.span "sg.outer" (fun () ->
+      Obs.span "sg.inner" (fun () ->
+          Alcotest.(check (list string))
+            "stack is innermost-first while sampling"
+            [ "sg.inner"; "sg.outer" ] (Obs.span_stack ())));
+  check_bool "stack unwinds after the spans close" true (Obs.span_stack () = [])
+
+let sampler_folds_spans () =
+  if Obs.Sampler.running () then Obs.Sampler.stop ();
+  Obs.Sampler.reset ();
+  Obs.Sampler.start ~hz:500. ();
+  Fun.protect ~finally:(fun () ->
+      Obs.Sampler.stop ();
+      Obs.Sampler.reset ())
+  @@ fun () ->
+  check_bool "sampler reports running" true (Obs.Sampler.running ());
+  check_bool "rate taken from start" true (Obs.Sampler.hz () = 500.);
+  let hit () =
+    List.exists
+      (fun (stack, _) -> stack = "samp.outer;samp.inner")
+      (Obs.Sampler.folded ())
+  in
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while (not (hit ())) && Unix.gettimeofday () < deadline do
+    Obs.span "samp.outer" (fun () ->
+        Obs.span "samp.inner" (fun () -> Unix.sleepf 0.01))
+  done;
+  check_bool "sampler caught the nested stack, outermost first" true (hit ());
+  check_bool "samples counted" true (Obs.Sampler.samples () > 0);
+  check_bool "folded rows carry positive counts" true
+    (List.for_all (fun (_, n) -> n > 0) (Obs.Sampler.folded ()));
+  check_bool "folded text renders the stack row" true
+    (contains (Obs.Sampler.folded_text ()) "samp.outer;samp.inner ");
+  (* stop first so no tick races the reset check *)
+  Obs.Sampler.stop ();
+  check_bool "stopped" false (Obs.Sampler.running ());
+  Obs.Sampler.reset ();
+  check_int "reset drops accumulated samples" 0 (Obs.Sampler.samples ());
+  check_bool "reset drops folded rows" true (Obs.Sampler.folded () = [])
+
 (* ---- per-array cache stats ---- *)
 
 let per_array_stats_sum () =
@@ -607,6 +751,16 @@ let suite =
       Alcotest.test_case "flight recorder ring semantics" `Quick recorder_ring;
       Alcotest.test_case "prometheus text exposition" `Quick
         prometheus_exposition;
+      Alcotest.test_case "prometheus HELP lines from ?help docs" `Quick
+        prometheus_help_lines;
+      Alcotest.test_case "private recorder rings are independent" `Quick
+        recorder_private_rings;
+      Alcotest.test_case "BLOCKC_RECORDER_CAP sizes fresh rings" `Quick
+        recorder_env_capacity;
+      Alcotest.test_case "span stack gated on the sampler" `Quick
+        span_stack_gated;
+      Alcotest.test_case "sampler folds live span stacks" `Quick
+        sampler_folds_spans;
       Alcotest.test_case "per-array cache stats sum to aggregate" `Quick
         per_array_stats_sum;
       Alcotest.test_case "bench gate passes/fails correctly" `Quick

@@ -18,7 +18,7 @@ open Linalg
 let domain_counts = [ 1; 2; 4 ]
 
 let with_pool d f =
-  let p = Pool.create ~domains:d in
+  let p = Pool.create ~domains:d () in
   Fun.protect ~finally:(fun () -> Pool.shutdown p) (fun () -> f p)
 
 let lu_tol n = 1e-11 *. float_of_int n
@@ -178,8 +178,96 @@ let default_pool_respects_env () =
      the default pool exists and has at least one lane without forking,
      but the parse itself is testable via a fresh non-default pool. *)
   check_bool "default pool has >= 1 lane" true (Pool.size (Pool.default ()) >= 1);
-  check_int "explicit size respected" 3 (Pool.size (Pool.create ~domains:3));
-  check_int "non-positive clamped" 1 (Pool.size (Pool.create ~domains:0))
+  check_int "explicit size respected" 3 (Pool.size (Pool.create ~domains:3 ()));
+  check_int "non-positive clamped" 1 (Pool.size (Pool.create ~domains:0 ()))
+
+(* Jobq observability wiring: the [<name>.depth] gauge must agree with
+   [Queue.length] at every quiescent point (pushes and takes both set
+   it under the queue mutex), and [<name>.queue_wait] must record one
+   non-negative sample per consumed item even when producers and
+   consumers sit on different domains. *)
+let jobq_metrics_wiring () =
+  Obs.Metrics.set_enabled true;
+  Fun.protect ~finally:(fun () ->
+      Obs.Metrics.set_enabled false;
+      Obs.Metrics.reset ())
+  @@ fun () ->
+  Obs.Metrics.reset ();
+  let q = Jobq.create ~name:"testq" () in
+  let depth = Obs.Metrics.gauge "testq.depth" in
+  let wait = Obs.Metrics.timer "testq.queue_wait" in
+  for i = 1 to 5 do
+    Jobq.push q i;
+    check_bool "depth gauge matches length after push" true
+      (Obs.Metrics.gauge_value depth = Jobq.length q)
+  done;
+  check_bool "peak saw the high-water mark" true
+    (Obs.Metrics.gauge_peak depth = 5);
+  for _ = 1 to 2 do
+    ignore (Jobq.pop q);
+    check_bool "depth gauge matches length after take" true
+      (Obs.Metrics.gauge_value depth = Jobq.length q)
+  done;
+  (* concurrent push/drain: 2 producer and 2 consumer domains *)
+  let total = 400 in
+  let consumed = Atomic.make 0 in
+  let producers =
+    List.init 2 (fun p ->
+        Domain.spawn (fun () ->
+            for i = 1 to total / 2 do
+              Jobq.push q ((p * total) + i)
+            done))
+  in
+  let consumers =
+    List.init 2 (fun _ ->
+        Domain.spawn (fun () -> Jobq.drain q (fun _ -> Atomic.incr consumed)))
+  in
+  List.iter Domain.join producers;
+  Jobq.close q;
+  List.iter Domain.join consumers;
+  check_bool "every item consumed" true (Atomic.get consumed = total + 3);
+  check_bool "queue empty after the drain" true (Jobq.length q = 0);
+  check_bool "depth gauge settles at 0 with the queue" true
+    (Obs.Metrics.gauge_value depth = 0);
+  check_bool "one queue_wait sample per consumed item" true
+    (Obs.Metrics.calls wait = total + 5);
+  check_bool "waits are non-negative across domains" true
+    (Obs.Metrics.total_ns wait >= 0)
+
+let pool_lane_busy_accounting () =
+  Obs.Metrics.set_enabled true;
+  Fun.protect ~finally:(fun () ->
+      Obs.Metrics.set_enabled false;
+      Obs.Metrics.reset ())
+  @@ fun () ->
+  Obs.Metrics.reset ();
+  let pool = Pool.create ~name:"busytest" ~domains:3 () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool)
+  @@ fun () ->
+  check_bool "one busy slot per lane (slot 0 = caller)" true
+    (Array.length (Pool.lane_busy_ns pool) = 3);
+  check_bool "fresh pool lanes idle" true
+    (Array.for_all (fun ns -> ns = 0) (Pool.lane_busy_ns pool));
+  let acc = Atomic.make 0 in
+  Parallel.for_ ~pool ~lo:0 ~hi:50_000 (fun s e ->
+      for _ = s to e do
+        Atomic.incr acc
+      done);
+  check_bool "work all done" true (Atomic.get acc = 50_001);
+  let busy = Pool.lane_busy_ns pool in
+  check_bool "some lane accumulated busy time" true
+    (Array.exists (fun ns -> ns > 0) busy);
+  check_bool "busy counters never go negative" true
+    (Array.for_all (fun ns -> ns >= 0) busy);
+  check_bool "named pool keeps its name" true (Pool.name pool = "busytest");
+  (* the cumulative per-lane gauges are published after every region *)
+  let g0 =
+    Obs.Metrics.gauge
+      (Obs.Metrics.labelled "pool.lane_busy_ns"
+         [ ("pool", "busytest"); ("lane", "0") ])
+  in
+  check_bool "caller-lane gauge mirrors the busy counter" true
+    (Obs.Metrics.gauge_value g0 = busy.(0))
 
 let suite =
   ( "parallel",
@@ -194,4 +282,6 @@ let suite =
         gen_chunk_cfg chunks_partition;
       case "pool survives exceptions" pool_reusable_after_exception;
       case "pool sizing" default_pool_respects_env;
+      case "jobq depth gauge and wait timer wiring" jobq_metrics_wiring;
+      case "pool per-lane busy accounting" pool_lane_busy_accounting;
     ] )

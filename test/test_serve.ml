@@ -10,7 +10,7 @@ let contains hay needle =
   let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
   nn = 0 || go 0
 
-let pool = lazy (Pool.create ~domains:1)
+let pool = lazy (Pool.create ~domains:1 ())
 
 let request line = fst (Serve.handle_line ~exec_pool:(Lazy.force pool) line)
 
@@ -123,6 +123,34 @@ let suite =
               in
               List.iter2 (check_string "digest") sequential batched
           | _ -> Alcotest.fail "no digests array");
+      case "batch items carry per-item timing and GC deltas" (fun () ->
+          require_native ();
+          let r =
+            parsed {|{"op":"batch","kernel":"trisolve","sizes":[8,12,16]}|}
+          in
+          check_bool "ok" true (bool_field "ok" r);
+          match (field "items" r, field "digests" r) with
+          | Some (Json_min.Array items), Some (Json_min.Array ds) ->
+              check_int "one item per request entry" 3 (List.length items);
+              List.iter2
+                (fun itm d ->
+                  check_bool "item digest matches the digests array" true
+                    (field "digest" itm = Some d);
+                  List.iter
+                    (fun k ->
+                      match field k itm with
+                      | Some (Json_min.Number n) ->
+                          check_bool (k ^ " non-negative") true (n >= 0.0)
+                      | _ -> Alcotest.failf "item field %s missing" k)
+                    [
+                      "ns";
+                      "minor_gcs";
+                      "major_gcs";
+                      "promoted_words";
+                      "allocated_words";
+                    ])
+                items ds
+          | _ -> Alcotest.fail "no items / digests arrays");
       case "empty and malformed batches are rejected" (fun () ->
           let r = parsed {|{"op":"batch","kernel":"lu","sizes":[]}|} in
           check_bool "empty rejected" false (bool_field "ok" r);
@@ -146,8 +174,93 @@ let suite =
                   | Some (Json_min.Number ns) ->
                       check_bool (k ^ " non-negative") true (ns >= 0.0)
                   | _ -> Alcotest.failf "server.%s missing" k)
-                [ "queue_ns"; "compile_ns"; "exec_ns"; "total_ns" ]
+                [
+                  "queue_ns";
+                  "compile_ns";
+                  "exec_ns";
+                  "total_ns";
+                  "minor_gcs";
+                  "major_gcs";
+                  "promoted_words";
+                  "allocated_words";
+                ]
           | _ -> Alcotest.fail "no server timing object");
+      case "requests that allocate report GC deltas" (fun () ->
+          (* derive walks the whole transformation pipeline: plenty of
+             minor-heap traffic, so allocated_words must come out > 0 *)
+          let r = parsed {|{"op":"derive","kernel":"lu"}|} in
+          check_bool "ok" true (bool_field "ok" r);
+          match field "server" r with
+          | Some (Json_min.Object timing) -> (
+              match List.assoc_opt "allocated_words" timing with
+              | Some (Json_min.Number w) ->
+                  check_bool "allocated_words positive" true (w > 0.0)
+              | _ -> Alcotest.fail "server.allocated_words missing")
+          | _ -> Alcotest.fail "no server timing object");
+      case "status reports JIT cache shape and sampler state" (fun () ->
+          let r = parsed {|{"op":"status"}|} in
+          check_bool "ok" true (bool_field "ok" r);
+          let num k =
+            match field k r with
+            | Some (Json_min.Number n) -> n
+            | _ -> Alcotest.failf "status field %s is not a number" k
+          in
+          List.iter
+            (fun k -> check_bool (k ^ " non-negative") true (num k >= 0.0))
+            [
+              "compiler_invocations";
+              "memo_size";
+              "memo_hits";
+              "memo_evictions";
+              "disk_hits";
+              "disk_entries";
+              "disk_bytes";
+              "disk_oldest_age_s";
+              "dedup_waits";
+              "sampler_hz";
+              "sampler_samples";
+            ];
+          (match field "sampler_running" r with
+          | Some (Json_min.Bool _) -> ()
+          | _ -> Alcotest.fail "sampler_running is not a bool");
+          check_bool "cache dir named" true (String.length (str "cache_dir" r) > 0));
+      case "flame op starts the sampler and renders folded stacks" (fun () ->
+          if Obs.Sampler.running () then Obs.Sampler.stop ();
+          Obs.Sampler.reset ();
+          Fun.protect ~finally:(fun () ->
+              Obs.Sampler.stop ();
+              Obs.Sampler.reset ())
+          @@ fun () ->
+          let r = parsed {|{"op":"flame","hz":250}|} in
+          check_bool "ok" true (bool_field "ok" r);
+          check_bool "sampler left running" true (Obs.Sampler.running ());
+          (match field "hz" r with
+          | Some (Json_min.Number hz) ->
+              check_bool "requested rate honoured" true (hz = 250.0)
+          | _ -> Alcotest.fail "no hz field");
+          (match field "samples" r with
+          | Some (Json_min.Number n) -> check_bool "samples count" true (n >= 0.0)
+          | _ -> Alcotest.fail "no samples field");
+          (match field "folded" r with
+          | Some (Json_min.String _) -> ()
+          | _ -> Alcotest.fail "no folded field");
+          (* give the ticker a good pile, then a reset readout drops it:
+             after stopping, the survivor count must be far below what
+             the pile had grown to *)
+          Unix.sleepf 0.1;
+          let before = Obs.Sampler.samples () in
+          check_bool "ticker accumulated samples" true (before > 0);
+          let r2 = parsed {|{"op":"flame","reset":true}|} in
+          check_bool "reset readout ok" true (bool_field "ok" r2);
+          (* a repeat flame with no hz keeps the running rate (ensure) *)
+          let r3 = parsed {|{"op":"flame"}|} in
+          (match field "hz" r3 with
+          | Some (Json_min.Number hz) ->
+              check_bool "rate sticky while running" true (hz = 250.0)
+          | _ -> Alcotest.fail "no hz field on repeat");
+          Obs.Sampler.stop ();
+          check_bool "reset dropped the accumulation" true
+            (Obs.Sampler.samples () < before));
       case "failures increment the labelled error counters" (fun () ->
           Obs.Metrics.set_enabled true;
           Fun.protect ~finally:(fun () ->
@@ -220,7 +333,7 @@ let suite =
           require_native ();
           let mem, events = Obs.memory () in
           Obs.set_sink mem;
-          let p2 = Pool.create ~domains:2 in
+          let p2 = Pool.create ~domains:2 () in
           Fun.protect ~finally:(fun () ->
               Obs.set_sink Obs.null;
               Pool.shutdown p2)
