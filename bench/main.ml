@@ -1,7 +1,7 @@
 (* Benchmark harness: regenerates every table and figure of the paper's
    evaluation.  See DESIGN.md's experiment index (T1-T5, F1-F11, X1, PAR).
 
-   Usage:  main.exe [t1|t2|t3|t4|t5|figures|cache|ablation|bechamel|par|obs|profile|native|serve|all]
+   Usage:  main.exe [t1|t2|t3|t4|t5|figures|cache|ablation|bechamel|par|obs|profile|native|native-c|serve|all]
                     [--quick] [--json PATH]
                     [--baseline PATH] [--check] [--tolerance F]
                     [--trajectory OUT] [--trajectory-base PATH]
@@ -848,6 +848,80 @@ let native_suite () =
          paper (RS/6000-540): blocked LU 2.5-3.2x, Givens 2.04-5.49x\n"
 
 (* ------------------------------------------------------------------ *)
+(* NATIVE-C: the same measurement through the C backend               *)
+(* ------------------------------------------------------------------ *)
+
+(* The paper's blocking argument is about memory traffic, so the
+   point-vs-blocked ratio should survive a change of scalar code
+   generator.  This table runs native_compare once per backend on the
+   same kernels: each row is bitwise-verified against the interpreter
+   (so the two backends are transitively bitwise-equal), and the
+   Speedup column should roughly agree down the pairs — a divergence
+   would mean the ratio was an artifact of one compiler, not of the
+   blocking. *)
+let native_c_suite () =
+  banner "NATIVE-C  point vs transformed, per code-generation backend";
+  match (Jit.available (), Cc.available ()) with
+  | Error m, _ -> Printf.printf "native-c suite skipped: %s\n" m
+  | _, Error m -> Printf.printf "native-c suite skipped: %s\n" m
+  | Ok (), Ok () ->
+      let tbl =
+        Table.create ~title:"Native point vs transformed, per backend"
+          [
+            ("Kernel", Table.Left); ("Params", Table.Left);
+            ("Backend", Table.Left); ("Point", Table.Right);
+            ("Xformed", Table.Right); ("Speedup", Table.Right);
+          ]
+      in
+      let reps = if quick then 2 else 3 in
+      let cases =
+        if quick then
+          [
+            ("lu", [ ("N", 256) ], Some 32);
+            ("lu_opt", [ ("N", 256) ], Some 32);
+            ("givens", [ ("M", 192); ("N", 192) ], None);
+          ]
+        else
+          [
+            ("lu", [ ("N", 384) ], Some 32);
+            ("lu_opt", [ ("N", 384) ], Some 32);
+            ("lu_opt", [ ("N", 640) ], Some 32);
+            ("givens", [ ("M", 384); ("N", 384) ], None);
+          ]
+      in
+      List.iter
+        (fun (name, bindings, block) ->
+          let entry = Option.get (Blockability.find name) in
+          List.iter
+            (fun backend ->
+              match
+                Blockability.native_compare ~backend ~bindings ~reps ?block
+                  entry
+              with
+              | Error m ->
+                  let module B = (val backend : Backend.S) in
+                  Printf.printf "%s (%s): %s\n" name B.tag m
+              | Ok r ->
+                  Table.add_row tbl
+                    [
+                      name;
+                      String.concat " "
+                        (List.map
+                           (fun (k, v) -> Printf.sprintf "%s=%d" k v)
+                           r.Blockability.nt_bindings);
+                      r.Blockability.nt_backend;
+                      Table.cell_s r.Blockability.nt_point_s;
+                      Table.cell_s r.Blockability.nt_transformed_s;
+                      Table.cell_f r.Blockability.nt_speedup;
+                    ])
+            Backend.all)
+        cases;
+      output ~id:"native-c" tbl;
+      print_string
+        "same IR, same buffers, two code generators; the point-vs-blocked\n\
+         ratio should survive the backend swap\n"
+
+(* ------------------------------------------------------------------ *)
 (* SERVE: the batched compile/execute request service                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -1019,6 +1093,7 @@ let () =
   if want "obs" then obs_suite ();
   if want "profile" then profile_suite ();
   if want "native" then native_suite ();
+  if want "native-c" then native_c_suite ();
   if want "serve" then serve_suite ();
   (match json_path with
   | None -> ()

@@ -830,6 +830,7 @@ let lower_cmd =
 let json_of_native (r : Blockability.native_result) =
   jobj
     [
+      ("backend", jstr r.nt_backend);
       ("point_s", Printf.sprintf "%.6f" r.nt_point_s);
       ("transformed_s", Printf.sprintf "%.6f" r.nt_transformed_s);
       ("speedup", Printf.sprintf "%.4f" r.nt_speedup);
@@ -851,8 +852,10 @@ let print_native (r : Blockability.native_result) =
   let show bs =
     String.concat " " (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) bs)
   in
-  Printf.printf "verified: both variants bitwise equal to the interpreter (%s)\n"
-    (show r.nt_verify_bindings);
+  Printf.printf
+    "verified: both variants bitwise equal to the interpreter (%s) [%s \
+     backend]\n"
+    (show r.nt_verify_bindings) r.nt_backend;
   Printf.printf "timed at: %s (best of reps)\n" (show r.nt_bindings);
   let cached c = if c then "  [jit cache hit]" else "  [compiled]" in
   Printf.printf "point:       %10.6f s%s\n" r.nt_point_s
@@ -864,15 +867,33 @@ let print_native (r : Blockability.native_result) =
     | None -> ""
     | Some m -> Printf.sprintf "  (cache model predicts %.2fx)" m)
 
+let backend_arg =
+  Arg.(
+    value
+    & opt (enum [ ("ocaml", "ocaml"); ("c", "c") ]) "ocaml"
+    & info [ "backend" ] ~docv:"B"
+        ~doc:
+          "Native substrate: $(b,ocaml) (emitted OCaml, ocamlopt, Dynlink) \
+           or $(b,c) (emitted C99, system cc, dlopen).  Both share the \
+           blueprint cache and must agree bitwise with the interpreter.")
+
+let resolve_backend tag =
+  match Backend.of_tag tag with
+  | Some b -> b
+  | None ->
+      Printf.eprintf "blockc: unknown backend '%s' (expected one of: %s)\n" tag
+        (String.concat ", " Backend.names);
+      exit 2
+
 let compile_cmd =
   let emit_arg =
     Arg.(
       value
-      & opt (some (enum [ ("ocaml", ()) ])) None
+      & opt (some (enum [ ("ocaml", `Ocaml); ("c", `C) ])) None
       & info [ "emit" ] ~docv:"LANG"
           ~doc:
-            "Print the generated source ($(b,ocaml) is the only target) \
-             instead of compiling it.")
+            "Print the generated source ($(b,ocaml) or $(b,c)) instead of \
+             compiling it.")
   in
   let variant_arg =
     Arg.(
@@ -903,7 +924,7 @@ let compile_cmd =
              the folded-stack profile — flamegraph.pl / speedscope input \
              — to $(docv) ($(b,-) for stdout).")
   in
-  let run name emit variant do_run bindings seed block json flame () =
+  let run name emit variant do_run backend bindings seed block json flame () =
     let finish_flame =
       match flame with
       | None -> fun () -> ()
@@ -926,18 +947,20 @@ let compile_cmd =
     in
     Fun.protect ~finally:finish_flame @@ fun () ->
     let e = resolve_kernel name in
-    let jit_or_exit () =
-      match Jit.available () with
+    let backend = resolve_backend backend in
+    let module B = (val backend : Backend.S) in
+    let backend_or_exit () =
+      match B.available () with
       | Ok () -> ()
       | Error m ->
           Printf.eprintf "blockc compile: %s\n" m;
           exit 2
     in
     if do_run then begin
-      jit_or_exit ();
+      backend_or_exit ();
       match
-        Blockability.native_compare ?bindings:(or_default bindings) ~seed
-          ?block e
+        Blockability.native_compare ~backend ?bindings:(or_default bindings)
+          ~seed ?block e
       with
       | Error m ->
           prerr_endline ("blockc compile: " ^ m);
@@ -957,61 +980,65 @@ let compile_cmd =
                 Printf.eprintf "blockc compile: derivation failed: %s\n" m;
                 exit 1)
       in
-      match
-        Jit.emit ~shapes:e.Blockability.kernel.Kernel_def.shapes ~name:jname
-          block_stmts
-      with
-      | Error m ->
-          prerr_endline ("blockc compile: " ^ m);
-          exit 1
-      | Ok src -> (
-          match emit with
-          | Some () -> print_string src
-          | None -> (
-              jit_or_exit ();
-              let bp =
-                Blueprint.of_block
-                  ~shapes:e.Blockability.kernel.Kernel_def.shapes block_stmts
+      let shapes = e.Blockability.kernel.Kernel_def.shapes in
+      match emit with
+      | Some `Ocaml -> (
+          match Jit.emit ~shapes ~name:jname block_stmts with
+          | Error m ->
+              prerr_endline ("blockc compile: " ^ m);
+              exit 1
+          | Ok src -> print_string src)
+      | Some `C -> (
+          match Emit_c.source ~shapes ~name:jname block_stmts with
+          | Error m ->
+              prerr_endline ("blockc compile: " ^ m);
+              exit 1
+          | Ok src -> print_string src)
+      | None -> (
+          backend_or_exit ();
+          let bp = Blueprint.of_block ~shapes block_stmts in
+          match B.compile_blueprint ~name:jname bp with
+          | Error m ->
+              prerr_endline ("blockc compile: " ^ m);
+              exit 1
+          | Ok c ->
+              let disposition =
+                Jit.disposition_name c.Backend.bk_disposition
               in
-              match Jit.compile_blueprint ~name:jname bp with
-              | Error m ->
-                  prerr_endline ("blockc compile: " ^ m);
-                  exit 1
-              | Ok l ->
-                  let disposition = Jit.disposition_name l.Jit.disposition in
-                  if json then
-                    print_endline
-                      (jobj
-                         [
-                           ("kernel", jstr e.Blockability.name);
-                           ("variant", jstr jname);
-                           ("blueprint", jstr bp.Blueprint.key);
-                           ("key", jstr l.Jit.key);
-                           ("disposition", jstr disposition);
-                           ( "compile_s",
-                             Printf.sprintf "%.6f" l.Jit.compile_s );
-                           ("cmxs", jstr l.Jit.cmxs);
-                           ("cached", string_of_bool l.Jit.cached);
-                         ])
-                  else
-                    Printf.printf
-                      "compiled %s -> %s (blueprint %s, %s, %.3fs)\n" jname
-                      l.Jit.cmxs
-                      (String.sub bp.Blueprint.key 0 12)
-                      disposition l.Jit.compile_s))
+              if json then
+                print_endline
+                  (jobj
+                     [
+                       ("kernel", jstr e.Blockability.name);
+                       ("variant", jstr jname);
+                       ("backend", jstr c.Backend.bk_tag);
+                       ("blueprint", jstr bp.Blueprint.key);
+                       ("key", jstr c.Backend.bk_key);
+                       ("disposition", jstr disposition);
+                       ("compile_s", Printf.sprintf "%.6f" c.Backend.bk_compile_s);
+                       ("artifact", jstr c.Backend.bk_artifact);
+                       ("cmxs", jstr c.Backend.bk_artifact);
+                       ("cached", string_of_bool c.Backend.bk_cached);
+                     ])
+              else
+                Printf.printf "compiled %s -> %s (blueprint %s, %s, %.3fs)\n"
+                  jname c.Backend.bk_artifact
+                  (String.sub bp.Blueprint.key 0 12)
+                  disposition c.Backend.bk_compile_s)
   in
   Cmd.v
     (Cmd.info "compile"
        ~doc:
-         "Lower a kernel to native code through the JIT: emit OCaml source \
-          ($(b,--emit ocaml)), compile and cache the plugin, or with \
-          $(b,--run) verify both variants bitwise against the interpreter \
-          and time them."
+         "Lower a kernel to native code: emit source ($(b,--emit ocaml) or \
+          $(b,--emit c)), compile and cache the artifact on the selected \
+          $(b,--backend), or with $(b,--run) verify both variants bitwise \
+          against the interpreter and time them."
        ~exits)
     (traced
        Term.(
          const run $ kernel_name_arg $ emit_arg $ variant_arg $ run_flag
-         $ bindings_arg $ seed_arg $ block_arg $ json_flag $ flame_arg))
+         $ backend_arg $ bindings_arg $ seed_arg $ block_arg $ json_flag
+         $ flame_arg))
 
 (* ---- fuzz ---- *)
 
@@ -1042,6 +1069,7 @@ let json_of_fuzz (s : Fuzz.summary) =
         jobj
           [
             ("checked", string_of_int s.native_checked);
+            ("c_checked", string_of_int s.native_c_checked);
             ("divergences", string_of_int s.native_divergences);
             ("blueprints", string_of_int s.native_blueprints);
             ("blueprint_reuses", string_of_int s.native_blueprint_reuses);
@@ -1073,9 +1101,13 @@ let print_fuzz (s : Fuzz.summary) =
     s.oracle_checked s.oracle_violations s.reparsed;
   if s.native_checked > 0 || s.native_divergences > 0 then
     Printf.printf
-      "native cross-checks: %d (divergences %d, %d blueprints, %d reused)\n"
-      s.native_checked s.native_divergences s.native_blueprints
-      s.native_blueprint_reuses;
+      "native cross-checks: %d%s (divergences %d, %d blueprints, %d reused)\n"
+      s.native_checked
+      (if s.native_c_checked > 0 then
+         Printf.sprintf " [three-way, %d through the C backend]"
+           s.native_c_checked
+       else "")
+      s.native_divergences s.native_blueprints s.native_blueprint_reuses;
   let tbl =
     Table.create ~title:"Per-pass differential results"
       [
@@ -1124,8 +1156,9 @@ let fuzz_cmd =
              $(b,ocamlopt) toolchain; budget ~100ms per program on a cold \
              cache).")
   in
-  let run iters seed only native json () =
-    match Fuzz.run ?only ~native ~iters ~seed () with
+  let run iters seed only native backend json () =
+    ignore (resolve_backend backend);
+    match Fuzz.run ?only ~native ~backend ~iters ~seed () with
     | Error m ->
         Printf.eprintf "blockc fuzz: %s\n" m;
         exit 2
@@ -1139,10 +1172,16 @@ let fuzz_cmd =
          "Differential-test the transformation catalogue on random loop \
           nests: every legal application must leave the interpreter's \
           result bitwise unchanged, and the dependence analysis must stay \
-          conservative against a brute-force oracle.  A non-empty failure \
-          list exits 1 and prints shrunk, replayable counterexamples."
+          conservative against a brute-force oracle.  With $(b,--native \
+          --backend c), every program additionally runs through both the \
+          OCaml plugin and the dlopen'd C object — a three-way bitwise \
+          differential against the interpreter.  A non-empty failure list \
+          exits 1 and prints shrunk, replayable counterexamples."
        ~exits)
-    (traced Term.(const run $ iters_arg $ seed_arg $ only_arg $ native_flag $ json_flag))
+    (traced
+       Term.(
+         const run $ iters_arg $ seed_arg $ only_arg $ native_flag
+         $ backend_arg $ json_flag))
 
 (* ---- serve ---- *)
 
@@ -1171,7 +1210,12 @@ let serve_cmd =
         exit 2);
     match socket with
     | None -> Serve.run_stdio ~workers ()
-    | Some path -> Serve.run_socket ~workers path
+    | Some path -> (
+        (* a live daemon on the path is refused with Failure *)
+        try Serve.run_socket ~workers path
+        with Failure m ->
+          Printf.eprintf "blockc serve: %s\n" m;
+          exit 2)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -1185,43 +1229,6 @@ let serve_cmd =
     (traced Term.(const run $ socket_arg $ workers_arg))
 
 (* ---- stats: scrape a serve daemon's telemetry over its socket ---- *)
-
-(* Json_min never decodes string escapes (its [String] payload is the
-   raw bytes between the quotes), so the exposition text shipped in the
-   ["metrics"] field arrives with its newlines as [\n].  Decode the
-   standard escapes here before printing. *)
-let json_unescape s =
-  let n = String.length s in
-  let b = Buffer.create n in
-  let i = ref 0 in
-  while !i < n do
-    (if s.[!i] = '\\' && !i + 1 < n then begin
-       (match s.[!i + 1] with
-       | 'n' -> Buffer.add_char b '\n'
-       | 't' -> Buffer.add_char b '\t'
-       | 'r' -> Buffer.add_char b '\r'
-       | 'b' -> Buffer.add_char b '\b'
-       | 'f' -> Buffer.add_char b '\012'
-       | '"' -> Buffer.add_char b '"'
-       | '\\' -> Buffer.add_char b '\\'
-       | '/' -> Buffer.add_char b '/'
-       | 'u' when !i + 5 < n -> (
-           match int_of_string_opt ("0x" ^ String.sub s (!i + 2) 4) with
-           | Some code when code < 0x80 ->
-               Buffer.add_char b (Char.chr code);
-               i := !i + 4
-           | _ -> Buffer.add_string b (String.sub s !i 2))
-       | c ->
-           Buffer.add_char b '\\';
-           Buffer.add_char b c);
-       i := !i + 2
-     end
-     else begin
-       Buffer.add_char b s.[!i];
-       incr i
-     end)
-  done;
-  Buffer.contents b
 
 let stats_exchange path line =
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
@@ -1251,12 +1258,12 @@ let jfield name = function
 
 let render_metrics resp =
   match jfield "metrics" resp with
-  | Some (Json_min.String s) -> Ok (json_unescape s)
+  | Some (Json_min.String s) -> Ok s
   | _ -> Error "response has no \"metrics\" field"
 
 let render_flame resp =
   match jfield "folded" resp with
-  | Some (Json_min.String s) -> Ok (json_unescape s)
+  | Some (Json_min.String s) -> Ok s
   | _ -> Error "response has no \"folded\" field"
 
 (* One flight-recorder event per line: timestamp, kind, track, name and
@@ -1676,7 +1683,7 @@ let top_cmd =
           incr iter;
           let samples =
             match jfield "metrics" metrics_resp with
-            | Some (Json_min.String s) -> parse_prom (json_unescape s)
+            | Some (Json_min.String s) -> parse_prom s
             | _ -> []
           in
           let status = Result.to_option (scrape path "status") in

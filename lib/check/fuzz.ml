@@ -27,6 +27,7 @@ type summary = {
   oracle_violations : int;
   reparsed : int;
   native_checked : int;
+  native_c_checked : int;
   native_divergences : int;
   native_blueprints : int;
   native_blueprint_reuses : int;
@@ -53,6 +54,7 @@ type stats = {
   mutable st_oracle_bad : int;
   mutable st_reparsed : int;
   mutable st_native : int;
+  mutable st_native_c : int;
   mutable st_native_bad : int;
   st_bp_keys : (string, unit) Hashtbl.t;
   mutable st_bp_reuse : int;
@@ -71,6 +73,7 @@ let fresh_stats () =
     st_oracle_bad = 0;
     st_reparsed = 0;
     st_native = 0;
+    st_native_c = 0;
     st_native_bad = 0;
     st_bp_keys = Hashtbl.create 16;
     st_bp_reuse = 0;
@@ -447,10 +450,7 @@ let native_shapes =
       (name, List.map (fun (lo, hi) -> (Expr.Int lo, Expr.Int hi)) dims))
     Gen_prog.farrays
 
-let native_check stats (p : Gen_prog.t) =
-  let e_interp = make_env p None ~fill_seed:p.fill_seed in
-  let e_native = make_env p None ~fill_seed:p.fill_seed in
-  Exec.run e_interp p.block;
+let native_check ~backends stats (p : Gen_prog.t) =
   (* Explicitly through the blueprint layer: generated programs have
      random concrete bounds, so hoisting makes structurally-equal
      programs of different sizes share one compiled plugin — every
@@ -460,51 +460,76 @@ let native_check stats (p : Gen_prog.t) =
   if Hashtbl.mem stats.st_bp_keys bp.Blueprint.key then
     stats.st_bp_reuse <- stats.st_bp_reuse + 1
   else Hashtbl.add stats.st_bp_keys bp.Blueprint.key ();
-  match Jit.compile_blueprint ~name:"fuzz_native" bp with
-  | Error m -> Some ("native compile failed: " ^ m)
-  | Ok l -> (
-      let diff_run e_interp e_native block =
-        Exec.run e_interp block;
-        match Jit.run ~bindings:bp.Blueprint.bindings l.Jit.fn e_native with
-        | Error m -> Some ("native run failed: " ^ m)
-        | Ok () ->
-            Option.map
-              (fun m -> "native run diverges from the interpreter: " ^ m)
-              (Env.diff ~only:real_names e_interp e_native)
+  let rec compile acc = function
+    | [] -> Ok (List.rev acc)
+    | b :: rest -> (
+        let module B = (val b : Backend.S) in
+        match B.compile_blueprint ~name:"fuzz_native" bp with
+        | Error m ->
+            Error (Printf.sprintf "native compile failed (%s): %s" B.tag m)
+        | Ok c -> compile (c :: acc) rest)
+  in
+  match compile [] backends with
+  | Error m -> Some m
+  | Ok compiled -> (
+      if
+        List.exists
+          (fun (c : Backend.compiled) ->
+            not (String.equal c.Backend.bk_tag "ocaml"))
+          compiled
+      then stats.st_native_c <- stats.st_native_c + 1;
+      (* One interpreter reference per size; every backend is diffed
+         against it on the same fill.  interp = ocaml and interp = c
+         together imply ocaml = c — the three-way differential. *)
+      let diff_run (ps : Gen_prog.t) =
+        let e_interp = make_env ps None ~fill_seed:p.fill_seed in
+        Exec.run e_interp ps.Gen_prog.block;
+        List.fold_left
+          (fun acc (c : Backend.compiled) ->
+            match acc with
+            | Some _ -> acc
+            | None -> (
+                let e_native = make_env ps None ~fill_seed:p.fill_seed in
+                match c.Backend.bk_run ~bindings:bp.Blueprint.bindings e_native with
+                | Error m ->
+                    Some
+                      (Printf.sprintf "native run failed (%s): %s"
+                         c.Backend.bk_tag m)
+                | Ok () ->
+                    Option.map
+                      (fun m ->
+                        Printf.sprintf
+                          "native run (%s) diverges from the interpreter: %s"
+                          c.Backend.bk_tag m)
+                      (Env.diff ~only:real_names e_interp e_native)))
+          None compiled
       in
-      match Jit.run ~bindings:bp.Blueprint.bindings l.Jit.fn e_native with
-      | Error m -> Some ("native run failed: " ^ m)
-      | Ok () -> (
-          match Env.diff ~only:real_names e_interp e_native with
-          | Some m ->
-              Some ("native run diverges from the interpreter: " ^ m)
-          | None ->
-              (* Rerun the same compiled plugin under rotated size
-                 bindings — each stays inside the generator's own range
-                 ([N], [M] in 1-7, [KS] in 1-4), so in-bounds holds —
-                 and check bitwise again: shape polymorphism exercised
-                 on every program, not only when two random programs
-                 happen to share a structure. *)
-              stats.st_bp_reuse <- stats.st_bp_reuse + 1;
-              let rotate hi v = (v mod hi) + 1 in
-              let p2 =
-                {
-                  p with
-                  Gen_prog.bindings =
-                    List.map
-                      (fun (k, v) ->
-                        (k, rotate (if String.equal k "KS" then 4 else 7) v))
-                      p.Gen_prog.bindings;
-                }
-              in
-              diff_run
-                (make_env p2 None ~fill_seed:p.fill_seed)
-                (make_env p2 None ~fill_seed:p.fill_seed)
-                p2.Gen_prog.block))
+      match diff_run p with
+      | Some m -> Some m
+      | None ->
+          (* Rerun the same compiled artifacts under rotated size
+             bindings — each stays inside the generator's own range
+             ([N], [M] in 1-7, [KS] in 1-4), so in-bounds holds —
+             and check bitwise again: shape polymorphism exercised
+             on every program, not only when two random programs
+             happen to share a structure. *)
+          stats.st_bp_reuse <- stats.st_bp_reuse + 1;
+          let rotate hi v = (v mod hi) + 1 in
+          let p2 =
+            {
+              p with
+              Gen_prog.bindings =
+                List.map
+                  (fun (k, v) ->
+                    (k, rotate (if String.equal k "KS" then 4 else 7) v))
+                  p.Gen_prog.bindings;
+            }
+          in
+          diff_run p2)
 
 (* ---- the property ------------------------------------------------- *)
 
-let property ?only ~native stats (p : Gen_prog.t) =
+let property ?only ~backends stats (p : Gen_prog.t) =
   stats.st_programs <- stats.st_programs + 1;
   let prof = Gen_prog.classify p in
   if prof.depth >= 1 && prof.depth <= 3 then
@@ -558,9 +583,9 @@ let property ?only ~native stats (p : Gen_prog.t) =
     | None -> ()
     | Some m -> QCheck2.Test.fail_reportf "%s" m
   end;
-  if native then begin
+  if backends <> [] then begin
     stats.st_native <- stats.st_native + 1;
-    match native_check stats p with
+    match native_check ~backends stats p with
     | None -> ()
     | Some m ->
         stats.st_native_bad <- stats.st_native_bad + 1;
@@ -587,6 +612,7 @@ let summarize ~iters ~seed stats failures =
     oracle_violations = stats.st_oracle_bad;
     reparsed = stats.st_reparsed;
     native_checked = stats.st_native;
+    native_c_checked = stats.st_native_c;
     native_divergences = stats.st_native_bad;
     native_blueprints = Hashtbl.length stats.st_bp_keys;
     native_blueprint_reuses = stats.st_bp_reuse;
@@ -604,17 +630,37 @@ let summarize ~iters ~seed stats failures =
     failures;
   }
 
-let run ?only ?(native = false) ~iters ~seed () =
+let run ?only ?(native = false) ?(backend = "ocaml") ~iters ~seed () =
   match only with
   | Some o when not (List.mem o pass_names) ->
       Error
         (Printf.sprintf "unknown pass '%s' (expected one of: %s)" o
            (String.concat ", " pass_names))
+  | _ when Option.is_none (Backend.of_tag backend) ->
+      Error
+        (Printf.sprintf "unknown backend '%s' (expected one of: %s)" backend
+           (String.concat ", " Backend.names))
   | _ when native && Result.is_error (Jit.available ()) ->
       Error
         (Printf.sprintf "native mode unavailable: %s"
            (Result.get_error (Jit.available ())))
+  | _
+    when native
+         && String.equal backend "c"
+         && Result.is_error (Cc.available ()) ->
+      Error
+        (Printf.sprintf "c backend unavailable: %s"
+           (Result.get_error (Cc.available ())))
   | _ ->
+      (* [--backend c] is a three-way differential: the OCaml plugin
+         stays in the comparison, so one run pins interpreter, OCaml
+         and C to the same bits. *)
+      let backends =
+        if not native then []
+        else if String.equal backend "c" then
+          [ (module Backend.Ocaml : Backend.S); (module Backend.C) ]
+        else [ (module Backend.Ocaml : Backend.S) ]
+      in
       Obs.span ~cat:"fuzz" "fuzz.run"
         ~args:[ ("iters", Obs.Int iters); ("seed", Obs.Int seed) ]
         (fun () ->
@@ -623,7 +669,7 @@ let run ?only ?(native = false) ~iters ~seed () =
             QCheck2.Test.make_cell ~count:iters
               ~name:(Printf.sprintf "differential fuzz (seed %d)" seed)
               ~print:Gen_prog.print Gen_prog.gen
-              (property ?only ~native stats)
+              (property ?only ~backends stats)
           in
           let rand = Random.State.make [| seed |] in
           let res = QCheck2.Test.check_cell ~rand cell in

@@ -47,6 +47,8 @@ type summary = {
   oracle_violations : int;
   reparsed : int;
   native_checked : int;  (** programs also run through the native JIT *)
+  native_c_checked : int;
+      (** programs additionally run through the C backend (three-way) *)
   native_divergences : int;
       (** native runs that were not bitwise equal to the interpreter *)
   native_blueprints : int;
@@ -63,13 +65,15 @@ type summary = {
 val run :
   ?only:string ->
   ?native:bool ->
+  ?backend:string ->
   iters:int ->
   seed:int ->
   unit ->
   (summary, string) result
-(** Run the fuzzer.  [Error] only for an unknown [~only] name, or when
-    [native] is requested on a host without the JIT toolchain; a found
-    counterexample is a [Ok] summary with non-empty [failures].
+(** Run the fuzzer.  [Error] only for an unknown [~only] name, an
+    unknown [~backend] tag, or when [native] is requested on a host
+    without the required toolchain; a found counterexample is a [Ok]
+    summary with non-empty [failures].
 
     With [native] (default false), every generated program is
     additionally normalized to a {!Blueprint}, compiled to native code
@@ -80,7 +84,14 @@ val run :
     once.  Structurally-equal programs of different sizes share one
     compiled plugin (counted in [native_blueprint_reuses]), so expect
     roughly 100ms of [ocamlopt] per distinct {e structure}, not per
-    program, on a cold cache. *)
+    program, on a cold cache.
+
+    [backend] (default ["ocaml"], a {!Backend.names} tag) selects the
+    native comparison set.  ["c"] is a {e three-way} differential: each
+    program runs through the interpreter, the OCaml plugin and the
+    dlopen'd C object on identical fills (at the base sizes and again
+    at rotated sizes), and all three must agree bitwise.  Requires
+    [cc]; fails fast with [Error] when {!Cc.available} says otherwise. *)
 
 val ok : summary -> bool
 (** No divergences (interpreted or native), no oracle violations, no

@@ -1,0 +1,44 @@
+(** Backend-polymorphic native compilation.
+
+    One signature over the two native substrates — {!Jit} (emitted
+    OCaml, [ocamlopt -shared], [Dynlink]) and {!Cc} (emitted C99,
+    [cc -shared], [dlopen]) — so every driver that compiles a
+    {!Blueprint} and runs it against an {!Env.t} can take the backend
+    as a value.  Both substrates share the blueprint normalization,
+    the {!Symbolic} in-bounds proofs, the content-addressed artifact
+    cache, and the bitwise-agreement contract with the interpreter;
+    the fuzzer's three-way differential is what enforces the last. *)
+
+type compiled = {
+  bk_tag : string;  (** which backend produced this (["ocaml"], ["c"]) *)
+  bk_key : string;  (** full cache key *)
+  bk_artifact : string;  (** compiled plugin ([.cmxs]) or object ([.so]) *)
+  bk_cached : bool;
+  bk_disposition : Jit.disposition;
+  bk_compile_s : float;
+  bk_run : ?bindings:(string * int) list -> Env.t -> (unit, string) result;
+      (** {!Jit.run} contract: arrays shared with the environment,
+          written scalars stored back, [bindings] close hoisted
+          parameters, runtime failures are [Error]. *)
+}
+
+module type S = sig
+  val tag : string
+
+  val available : unit -> (unit, string) result
+  (** Whether this backend's toolchain is usable in this process. *)
+
+  val compile_blueprint :
+    name:string -> Blueprint.t -> (compiled, string) result
+end
+
+module Ocaml : S
+module C : S
+
+val all : (module S) list
+(** Every backend, OCaml first. *)
+
+val names : string list
+(** Their tags, for CLI enumerations and error messages. *)
+
+val of_tag : string -> (module S) option

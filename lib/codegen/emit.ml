@@ -187,6 +187,29 @@ let enter_loop ~tainted ctx (l : Stmt.loop) =
       ctx (min_terms l.hi)
   end
 
+(* Base facts every backend starts from: the symbolic parameters not
+   assigned by the block are positive (re-checked at run time before
+   any unchecked access fires), and each declared shape is a nonempty
+   dimension ([hi >= lo] is an Env invariant for every array that
+   exists).  Returns the context plus the assumed parameter set. *)
+let base_ctx ~tainted ~shapes blk =
+  let params =
+    List.filter (fun p -> not (SS.mem p tainted)) (Ir_util.symbolic_params blk)
+  in
+  let ctx = List.fold_left Symbolic.assume_pos Symbolic.empty params in
+  let ctx =
+    List.fold_left
+      (fun ctx (_, dims) ->
+        List.fold_left
+          (fun ctx (lo, hi) ->
+            match (Affine.of_expr lo, Affine.of_expr hi) with
+            | Some l, Some h -> assume_ge_safe ~tainted ctx h l
+            | _ -> ctx)
+          ctx dims)
+      ctx shapes
+  in
+  (ctx, SS.of_list params)
+
 (* ---- rendering ---------------------------------------------------- *)
 
 type st = {
@@ -418,30 +441,8 @@ let source ?(unsafe = true) ?(shapes = []) ~name blk =
           assumed = SS.empty;
         }
       in
-      (* Base facts: the symbolic parameters are positive (re-checked at
-         run time before any unchecked access fires), and each declared
-         shape is a nonempty dimension ([hi >= lo] is an Env invariant
-         for every array that exists). *)
-      let params =
-        List.filter
-          (fun p -> not (SS.mem p d.isc_w))
-          (Ir_util.symbolic_params blk)
-      in
-      st.assumed <- SS.of_list params;
-      let ctx =
-        List.fold_left Symbolic.assume_pos Symbolic.empty params
-      in
-      let ctx =
-        List.fold_left
-          (fun ctx (_, dims) ->
-            List.fold_left
-              (fun ctx (lo, hi) ->
-                match (Affine.of_expr lo, Affine.of_expr hi) with
-                | Some l, Some h -> assume_ge_safe ~tainted:st.tainted ctx h l
-                | _ -> ctx)
-              ctx dims)
-          ctx shapes
-      in
+      let ctx, assumed = base_ctx ~tainted:st.tainted ~shapes blk in
+      st.assumed <- assumed;
       block st SS.empty (Some ctx) 1 blk;
       (* The body pass recorded which arrays carry unchecked accesses
          and which parameters the proofs assumed positive; now build

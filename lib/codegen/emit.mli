@@ -41,3 +41,48 @@ val source :
     accesses; with [false] every access is bounds-checked.  [Error]
     reports constructs the emitter does not support (unknown intrinsics,
     assignment to an enclosing loop index). *)
+
+(** {1 Shared backend analysis}
+
+    The pieces of the lowering that are target-independent — name
+    collection and the {!Symbolic} in-bounds proof plumbing — exposed so
+    alternative backends ({!Emit_c}) emit from the same facts and can
+    never disagree with the OCaml emitter about which accesses are
+    provably safe. *)
+
+module SS : Set.S with type elt = string
+module SM : Map.S with type key = string
+
+(** Every name the block mentions, classified.  [bad] is the first
+    unsupported construct found, if any; a backend must refuse to emit
+    when it is set. *)
+type decls = {
+  mutable farr : int SM.t;  (** REAL arrays -> rank *)
+  mutable iarr : int SM.t;  (** INTEGER arrays -> rank *)
+  mutable fsc : SS.t;  (** REAL scalars (read or written) *)
+  mutable fsc_w : SS.t;  (** ... assigned somewhere in the block *)
+  mutable isc : SS.t;  (** INTEGER scalars *)
+  mutable isc_w : SS.t;
+  mutable bad : string option;  (** first unsupported construct *)
+}
+
+val collect : Stmt.t list -> decls
+(** One pass over the block: arrays with their ranks, scalars split by
+    type and writtenness, plus the supportability verdict (unknown
+    intrinsics, assignment to a loop index). *)
+
+val ple : Symbolic.t -> Expr.t -> Expr.t -> bool
+(** [a <= b] at the [Expr] level, decomposing MIN/MAX into the affine
+    queries {!Symbolic} can answer.  Sound, not complete. *)
+
+val enter_loop : tainted:SS.t -> Symbolic.t -> Stmt.loop -> Symbolic.t
+(** Facts available inside a loop body: for a provably positive step,
+    [lo <= index <= hi].  Facts mentioning a name in [tainted] (an
+    INTEGER scalar the block assigns) are never admitted. *)
+
+val base_ctx :
+  tainted:SS.t -> shapes:shapes -> Stmt.t list -> Symbolic.t * SS.t
+(** The starting proof context shared by every backend: unassigned
+    symbolic parameters assumed positive and declared shapes assumed
+    nonempty — everything the emitted preamble re-checks at run time.
+    Also returns the assumed parameter set, for those re-checks. *)

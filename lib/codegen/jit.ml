@@ -149,6 +149,7 @@ let evictions = ref 0
 let dedup_hits = ref 0
 let memo_hit_count = ref 0
 let disk_hit_count = ref 0
+let disk_eviction_count = ref 0
 
 let memo_cap () =
   match Option.bind (Sys.getenv_opt "BLOCKC_JIT_MEMO_CAP") int_of_string_opt with
@@ -191,10 +192,22 @@ let disk_hits () =
   Mutex.unlock mu;
   n
 
+let disk_evictions () =
+  Mutex.lock mu;
+  let n = !disk_eviction_count in
+  Mutex.unlock mu;
+  n
+
 (* Scan the on-disk artifact cache.  The directory may not exist yet
    (nothing compiled) or race with a concurrent compile renaming a tmp
    file in — both are fine, the scan is advisory introspection. *)
 type disk_cache = { entries : int; bytes : int; oldest_age_s : float }
+
+(* A cache artifact: an OCaml plugin or a C-backend shared object. *)
+let is_artifact n =
+  String.length n > 4
+  && String.sub n 0 3 = "bk_"
+  && (Filename.check_suffix n ".cmxs" || Filename.check_suffix n ".so")
 
 let disk_stats () =
   let dir = cache_dir () in
@@ -203,9 +216,7 @@ let disk_stats () =
   let entries = ref 0 and bytes = ref 0 and oldest = ref 0.0 in
   Array.iter
     (fun n ->
-      if String.length n > 4 && String.sub n 0 3 = "bk_"
-         && Filename.check_suffix n ".cmxs"
-      then
+      if is_artifact n then
         match Unix.stat (Filename.concat dir n) with
         | st ->
             incr entries;
@@ -237,6 +248,75 @@ let disk_hit_counter =
     (Obs.Metrics.counter
        ~help:"Kernel lookups satisfied by an on-disk cmxs artifact"
        "jit.disk_hits")
+
+let disk_eviction_counter =
+  lazy
+    (Obs.Metrics.counter
+       ~help:"Artifacts deleted from the on-disk cache by BLOCKC_JIT_DISK_CAP \
+              LRU pruning"
+       "jit.disk_evictions")
+
+let disk_cap () =
+  match
+    Option.bind (Sys.getenv_opt "BLOCKC_JIT_DISK_CAP") int_of_string_opt
+  with
+  | Some n when n >= 1 -> Some n
+  | _ -> None
+
+(* LRU-by-mtime pruning of the on-disk cache, called after each fresh
+   compile.  Artifacts ([bk_*.cmxs], [bk_*.so]) are deleted oldest
+   first until total artifact bytes fit under BLOCKC_JIT_DISK_CAP;
+   each deletion also removes the artifact's source and stderr
+   siblings ([.ml]/[.c]/[.err]).  [keep] protects the artifact just
+   written, so a cap smaller than one plugin still leaves the current
+   kernel runnable.  Best-effort: stat/unlink races with concurrent
+   compiles are ignored. *)
+let prune_disk_cache ~keep () =
+  match disk_cap () with
+  | None -> ()
+  | Some cap ->
+      let dir = cache_dir () in
+      let names = try Sys.readdir dir with Sys_error _ -> [||] in
+      let arts =
+        Array.to_list names
+        |> List.filter_map (fun n ->
+               if is_artifact n && not (List.mem n keep) then
+                 match Unix.stat (Filename.concat dir n) with
+                 | st -> Some (n, st.Unix.st_size, st.Unix.st_mtime)
+                 | exception Unix.Unix_error _ -> None
+               else None)
+        |> List.sort (fun (_, _, a) (_, _, b) -> Float.compare a b)
+      in
+      let kept_bytes =
+        List.fold_left
+          (fun acc n ->
+            match Unix.stat (Filename.concat dir n) with
+            | st -> acc + st.Unix.st_size
+            | exception Unix.Unix_error _ -> acc)
+          0 keep
+      in
+      let total =
+        List.fold_left (fun acc (_, sz, _) -> acc + sz) kept_bytes arts
+      in
+      let excess = ref (total - cap) in
+      List.iter
+        (fun (n, sz, _) ->
+          if !excess > 0 then begin
+            let stem = Filename.remove_extension (Filename.concat dir n) in
+            (try Sys.remove (Filename.concat dir n) with Sys_error _ -> ());
+            List.iter
+              (fun ext ->
+                let p = stem ^ ext in
+                try if Sys.file_exists p then Sys.remove p
+                with Sys_error _ -> ())
+              [ ".ml"; ".c"; ".err" ];
+            excess := !excess - sz;
+            Mutex.lock mu;
+            incr disk_eviction_count;
+            Mutex.unlock mu;
+            Obs.Metrics.incr (Lazy.force disk_eviction_counter)
+          end)
+        arts
 
 (* Caller holds [mu]. *)
 let memo_touch slot =
@@ -366,6 +446,7 @@ let compile_keyed ?ocamlopt ~name ~key (source : unit -> (string, string) result
                            (first_lines (read_file errf)))
                     else begin
                       (try Sys.rename tmp cmxs with Sys_error m -> failwith m);
+                      prune_disk_cache ~keep:[ base ^ ".cmxs" ] ();
                       Ok ()
                     end
             in

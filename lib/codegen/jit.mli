@@ -124,11 +124,24 @@ val disk_hits : unit -> int
     ocamlopt).  Mirrored to [Obs.Metrics "jit.disk_hits"]. *)
 
 type disk_cache = {
-  entries : int;  (** [bk_*.cmxs] artifacts in {!cache_dir} *)
+  entries : int;  (** [bk_*.cmxs] / [bk_*.so] artifacts in {!cache_dir} *)
   bytes : int;  (** their total size *)
   oldest_age_s : float;  (** age of the oldest artifact; 0 when empty *)
 }
 
 val disk_stats : unit -> disk_cache
-(** Scan the on-disk cache.  Advisory (races with concurrent compiles
-    are harmless); an absent cache directory reads as empty. *)
+(** Scan the on-disk cache ([bk_*.cmxs] plugins and [bk_*.so]
+    C-backend objects).  Advisory (races with concurrent compiles are
+    harmless); an absent cache directory reads as empty. *)
+
+val prune_disk_cache : keep:string list -> unit -> unit
+(** When [BLOCKC_JIT_DISK_CAP] is set (a byte budget), delete
+    artifacts oldest-mtime-first — with their [.ml]/[.c]/[.err]
+    siblings — until the cache fits.  [keep] names basenames that are
+    never deleted (the artifact just written).  Called automatically
+    after every fresh compile on both backends; exposed for tests.
+    No-op when the variable is unset or not a positive integer. *)
+
+val disk_evictions : unit -> int
+(** Artifacts deleted by {!prune_disk_cache} so far in this process
+    (also mirrored to [Obs.Metrics "jit.disk_evictions"]). *)

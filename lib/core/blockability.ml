@@ -415,6 +415,7 @@ let simulate ?bindings ?(seed = 42) ~machine entry =
 (* ---- native execution (lib/codegen) ----------------------------- *)
 
 type native_result = {
+  nt_backend : string;
   nt_point_s : float;
   nt_transformed_s : float;
   nt_speedup : float;
@@ -426,8 +427,10 @@ type native_result = {
 }
 
 (* Native results must be bitwise equal to the interpreter on the same
-   initial environment; a diff here is a codegen bug, never tolerance. *)
-let native_verify kernel ~traced ~jit_bindings fn block ~bindings ~seed =
+   initial environment; a diff here is a codegen bug, never tolerance.
+   [run] is the compiled artifact's entry point, whichever backend
+   produced it. *)
+let native_verify kernel ~traced run block ~bindings ~seed =
   match Kernel_def.make_env kernel ~bindings ~seed with
   | exception Invalid_argument m -> Some m
   | env_i -> (
@@ -436,18 +439,18 @@ let native_verify kernel ~traced ~jit_bindings fn block ~bindings ~seed =
       | exception Env.Error m -> Some ("interpreter failed: " ^ m)
       | () -> (
           let env_n = Kernel_def.make_env kernel ~bindings ~seed in
-          match Jit.run ~bindings:jit_bindings fn env_n with
+          match run env_n with
           | Error m -> Some ("native run failed: " ^ m)
           | Ok () -> Env.diff ~only:traced env_i env_n))
 
-let native_time kernel ~jit_bindings fn ~bindings ~seed ~reps =
+let native_time kernel run ~bindings ~seed ~reps =
   let best = ref infinity in
   let failed = ref None in
   for _ = 1 to max 1 reps do
     if !failed = None then begin
       let env = Kernel_def.make_env kernel ~bindings ~seed in
       let t0 = Obs.now_ns () in
-      match Jit.run ~bindings:jit_bindings fn env with
+      match run env with
       | Error m -> failed := Some m
       | Ok () ->
           let dt = float_of_int (Obs.now_ns () - t0) /. 1e9 in
@@ -456,8 +459,9 @@ let native_time kernel ~jit_bindings fn ~bindings ~seed ~reps =
   done;
   match !failed with Some m -> Error m | None -> Ok !best
 
-let native_compare ?bindings ?verify_bindings ?(seed = 42) ?(reps = 3) ?block
-    entry =
+let native_compare ?(backend = (module Backend.Ocaml : Backend.S)) ?bindings
+    ?verify_bindings ?(seed = 42) ?(reps = 3) ?block entry =
+  let module B = (val backend) in
   let bindings = Option.value bindings ~default:entry.default_bindings in
   let verify_bindings =
     Option.value verify_bindings ~default:entry.default_bindings
@@ -473,27 +477,32 @@ let native_compare ?bindings ?verify_bindings ?(seed = 42) ?(reps = 3) ?block
           let traced = entry.kernel.Kernel_def.traced in
           (* Blueprint-keyed: all sizes of one structure share a single
              compiled artifact, so comparing a kernel at several [N]s
-             costs one ocamlopt run per variant, process-wide. *)
-          let jit variant blk =
+             costs one compiler run per variant per backend,
+             process-wide. *)
+          let compile variant blk =
             let bp = Blueprint.of_block ~shapes blk in
             Result.map
-              (fun l -> (l, bp.Blueprint.bindings))
-              (Jit.compile_blueprint ~name:(entry.name ^ "_" ^ variant) bp)
+              (fun c -> (c, bp.Blueprint.bindings))
+              (B.compile_blueprint ~name:(entry.name ^ "_" ^ variant) bp)
           in
-          match (jit "point" kernel.Kernel_def.block, jit "transformed" [ result ]) with
+          match
+            (compile "point" kernel.Kernel_def.block, compile "transformed" [ result ])
+          with
           | Error m, _ | _, Error m -> Error m
           | Ok (point, point_bb), Ok (transformed, transformed_bb) -> (
+              let point_run env = point.Backend.bk_run ~bindings:point_bb env in
+              let transformed_run env =
+                transformed.Backend.bk_run ~bindings:transformed_bb env
+              in
               let bad =
                 match
-                  native_verify kernel ~traced ~jit_bindings:point_bb
-                    point.Jit.fn kernel.Kernel_def.block
-                    ~bindings:verify_bindings ~seed
+                  native_verify kernel ~traced point_run
+                    kernel.Kernel_def.block ~bindings:verify_bindings ~seed
                 with
                 | Some m -> Some ("point: " ^ m)
                 | None -> (
                     match
-                      native_verify kernel ~traced ~jit_bindings:transformed_bb
-                        transformed.Jit.fn [ result ]
+                      native_verify kernel ~traced transformed_run [ result ]
                         ~bindings:(extra @ verify_bindings) ~seed
                     with
                     | Some m -> Some ("transformed: " ^ m)
@@ -503,11 +512,9 @@ let native_compare ?bindings ?verify_bindings ?(seed = 42) ?(reps = 3) ?block
               | Some m -> Error (entry.name ^ ": native diverges: " ^ m)
               | None -> (
                   match
-                    ( native_time kernel ~jit_bindings:point_bb point.Jit.fn
-                        ~bindings ~seed ~reps,
-                      native_time kernel ~jit_bindings:transformed_bb
-                        transformed.Jit.fn ~bindings:(extra @ bindings) ~seed
-                        ~reps )
+                    ( native_time kernel point_run ~bindings ~seed ~reps,
+                      native_time kernel transformed_run
+                        ~bindings:(extra @ bindings) ~seed ~reps )
                   with
                   | Error m, _ -> Error (entry.name ^ ": point: " ^ m)
                   | _, Error m -> Error (entry.name ^ ": transformed: " ^ m)
@@ -525,11 +532,12 @@ let native_compare ?bindings ?verify_bindings ?(seed = 42) ?(reps = 3) ?block
                       in
                       Ok
                         {
+                          nt_backend = B.tag;
                           nt_point_s = tp;
                           nt_transformed_s = tt;
                           nt_speedup = (if tt > 0.0 then tp /. tt else 0.0);
-                          nt_point_cached = point.Jit.cached;
-                          nt_transformed_cached = transformed.Jit.cached;
+                          nt_point_cached = point.Backend.bk_cached;
+                          nt_transformed_cached = transformed.Backend.bk_cached;
                           nt_model_speedup = model;
                           nt_bindings = bindings;
                           nt_verify_bindings = verify_bindings;

@@ -102,6 +102,7 @@ val profile :
     kernel run; [cached] flags report whether the plugin came from the
     on-disk JIT cache (first compiles cost ~100ms of [ocamlopt]). *)
 type native_result = {
+  nt_backend : string;  (** which {!Backend} produced the numbers *)
   nt_point_s : float;
   nt_transformed_s : float;
   nt_speedup : float;  (** point / transformed *)
@@ -116,6 +117,7 @@ type native_result = {
 }
 
 val native_compare :
+  ?backend:(module Backend.S) ->
   ?bindings:(string * int) list ->
   ?verify_bindings:(string * int) list ->
   ?seed:int ->
@@ -123,8 +125,10 @@ val native_compare :
   ?block:int ->
   entry ->
   (native_result, string) result
-(** Derive, compile both variants natively, check each is bitwise equal
-    to the interpreter at [verify_bindings] (default: the entry's small
+(** Derive, compile both variants natively on [backend] (default
+    {!Backend.Ocaml}; pass {!Backend.C} to measure without the OCaml
+    allocator in the loop), check each is bitwise equal to the
+    interpreter at [verify_bindings] (default: the entry's small
     default problem), then time both at [bindings] (default likewise —
     pass something larger for meaningful numbers).  [block] overrides
     the KS binding as in {!profile}.  Any divergence from the

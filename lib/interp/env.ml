@@ -177,9 +177,16 @@ let diff ?only ?(tol = 0.0) a b =
               Array.iteri
                 (fun i x ->
                   let y = fb.data.(i) in
+                  (* Bitwise, not structural: [Float.equal] conflates
+                     -0.0 with 0.0 and all NaN payloads with each
+                     other, which is exactly what a cross-backend
+                     differential must distinguish. *)
+                  let bits_eq =
+                    Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)
+                  in
                   let ok =
-                    if tol = 0.0 then Float.equal x y
-                    else Float.abs (x -. y) <= tol || Float.equal x y
+                    if tol = 0.0 then bits_eq
+                    else Float.abs (x -. y) <= tol || bits_eq
                   in
                   if not ok then
                     note

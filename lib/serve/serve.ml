@@ -4,30 +4,11 @@ module J = Json_min
 
 (* ---- JSON construction helpers ---------------------------------- *)
 
-(* Json_min strings are raw (escapes are never decoded), so anything we
-   wrap in [J.String] must already be valid JSON string contents —
-   error messages carry quotes and newlines, escape them here. *)
-let escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\r' -> Buffer.add_string b "\\r"
-      | '\t' -> Buffer.add_string b "\\t"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
-
-let jstr s = J.String (escape s)
+(* Json_min escapes string contents on output, so raw messages (with
+   quotes, newlines, compiler stderr) can be wrapped directly. *)
+let jstr s = J.String s
 let jint n = J.Number (float_of_int n)
-
-let jbindings bs =
-  J.Object (List.map (fun (k, v) -> (escape k, jint v)) bs)
+let jbindings bs = J.Object (List.map (fun (k, v) -> (k, jint v)) bs)
 
 let wrap ?id ok fields =
   let fields = ("ok", J.Bool ok) :: fields in
@@ -281,8 +262,21 @@ type compiled = {
   c_entry : Blockability.entry;
   c_variant : variant;
   c_bp : Blueprint.t;
-  c_loaded : Jit.loaded;
+  c_cm : Backend.compiled;
 }
+
+(* Requests select a code generator with a ["backend"] field (default
+   "ocaml"); both backends memoize compiles per blueprint key, so the
+   field only costs a compile the first time a (kernel, variant,
+   backend) triple is seen. *)
+let backend_of req =
+  let tag = Option.value (str_field req "backend") ~default:"ocaml" in
+  match Backend.of_tag tag with
+  | Some b -> Ok b
+  | None ->
+      Error
+        (Printf.sprintf "unknown backend \"%s\" (%s)" tag
+           (String.concat " | " Backend.names))
 
 (* Derivation is pure and the kernel registry is fixed, so the server
    derives each kernel once; repeat compile/execute requests go
@@ -312,7 +306,7 @@ let derived_block entry =
       Mutex.unlock derived_mu;
       r
 
-let compile_variant ?tm entry variant =
+let compile_variant ?tm ~backend entry variant =
   let t0 = Obs.now_ns () in
   Fun.protect
     ~finally:(fun () ->
@@ -335,10 +329,11 @@ let compile_variant ?tm entry variant =
       let name =
         entry.Blockability.name ^ "_" ^ variant_name variant
       in
-      match Jit.compile_blueprint ~name bp with
+      let module B = (val backend : Backend.S) in
+      match B.compile_blueprint ~name bp with
       | Error _ as e -> e
-      | Ok l ->
-          Ok { c_entry = entry; c_variant = variant; c_bp = bp; c_loaded = l })
+      | Ok cm ->
+          Ok { c_entry = entry; c_variant = variant; c_bp = bp; c_cm = cm })
 
 (* Environments mirror [Blockability.native_compare]: the kernel's own
    setup, then the entry's scratch arrays ([extra_setup]); the
@@ -384,7 +379,7 @@ let run_one ?tm c ~bindings ~seed =
         dt
       in
       match
-        Jit.run ~bindings:c.c_bp.Blueprint.bindings c.c_loaded.Jit.fn env
+        c.c_cm.Backend.bk_run ~bindings:c.c_bp.Blueprint.bindings env
       with
       | Error m ->
           ignore (finish ());
@@ -399,13 +394,16 @@ let compile_fields c =
   [
     ("kernel", jstr c.c_entry.Blockability.name);
     ("variant", jstr (variant_name c.c_variant));
+    ("backend", jstr c.c_cm.Backend.bk_tag);
     ("blueprint", jstr c.c_bp.Blueprint.key);
-    ("key", jstr c.c_loaded.Jit.key);
+    ("key", jstr c.c_cm.Backend.bk_key);
     ( "disposition",
-      jstr (Jit.disposition_name c.c_loaded.Jit.disposition) );
-    ("compile_s", J.Number c.c_loaded.Jit.compile_s);
-    ("cached", J.Bool c.c_loaded.Jit.cached);
-    ("cmxs", jstr c.c_loaded.Jit.cmxs);
+      jstr (Jit.disposition_name c.c_cm.Backend.bk_disposition) );
+    ("compile_s", J.Number c.c_cm.Backend.bk_compile_s);
+    ("cached", J.Bool c.c_cm.Backend.bk_cached);
+    (* "cmxs" kept for older clients; "artifact" is backend-neutral *)
+    ("cmxs", jstr c.c_cm.Backend.bk_artifact);
+    ("artifact", jstr c.c_cm.Backend.bk_artifact);
     ("hoisted", jbindings c.c_bp.Blueprint.bindings);
   ]
 
@@ -457,21 +455,22 @@ let handle_derive ?id req =
             ])
 
 let handle_compile ~tm ?id req =
-  match kernel_of req with
-  | Error m -> errorf ?id "%s" m
-  | Ok entry -> (
-      match variant_of req with
+  match (kernel_of req, variant_of req, backend_of req) with
+  | Error m, _, _ | _, Error m, _ | _, _, Error m -> errorf ?id "%s" m
+  | Ok entry, Ok variant, Ok backend -> (
+      match compile_variant ~tm ~backend entry variant with
       | Error m -> errorf ?id "%s" m
-      | Ok variant -> (
-          match compile_variant ~tm entry variant with
-          | Error m -> errorf ?id "%s" m
-          | Ok c -> wrap ?id true (compile_fields c)))
+      | Ok c -> wrap ?id true (compile_fields c))
 
 let handle_execute ~tm ?id req =
-  match (kernel_of req, variant_of req, bindings_field req) with
-  | Error m, _, _ | _, Error m, _ | _, _, Error m -> errorf ?id "%s" m
-  | Ok entry, Ok variant, Ok bindings -> (
-      match compile_variant ~tm entry variant with
+  match
+    (kernel_of req, variant_of req, bindings_field req, backend_of req)
+  with
+  | Error m, _, _, _ | _, Error m, _, _ | _, _, Error m, _ | _, _, _, Error m
+    ->
+      errorf ?id "%s" m
+  | Ok entry, Ok variant, Ok bindings, Ok backend -> (
+      match compile_variant ~tm ~backend entry variant with
       | Error m -> errorf ?id "%s" m
       | Ok c -> (
           match run_one ~tm c ~bindings ~seed:(seed_field req) with
@@ -481,11 +480,12 @@ let handle_execute ~tm ?id req =
                 [
                   ("kernel", jstr entry.Blockability.name);
                   ("variant", jstr (variant_name variant));
+                  ("backend", jstr c.c_cm.Backend.bk_tag);
                   ("digest", jstr digest);
                   ("run_s", J.Number run_s);
                   ( "disposition",
                     jstr
-                      (Jit.disposition_name c.c_loaded.Jit.disposition)
+                      (Jit.disposition_name c.c_cm.Backend.bk_disposition)
                   );
                 ]))
 
@@ -524,14 +524,14 @@ let batch_size_metric = Obs.Metrics.histogram "serve.batch_size"
 let batch_mu = Mutex.create ()
 
 let handle_batch ~exec_pool ~tm ?id req =
-  match (kernel_of req, variant_of req) with
-  | Error m, _ | _, Error m -> errorf ?id "%s" m
-  | Ok entry, Ok variant -> (
+  match (kernel_of req, variant_of req, backend_of req) with
+  | Error m, _, _ | _, Error m, _ | _, _, Error m -> errorf ?id "%s" m
+  | Ok entry, Ok variant, Ok backend -> (
       match batch_items entry req with
       | Error m -> errorf ?id "%s" m
       | Ok [] -> errorf ?id "empty batch"
       | Ok items -> (
-          match compile_variant ~tm entry variant with
+          match compile_variant ~tm ~backend entry variant with
           | Error m -> errorf ?id "%s" m
           | Ok c ->
               let seed = seed_field req in
@@ -603,11 +603,12 @@ let handle_batch ~exec_pool ~tm ?id req =
                     [
                       ("kernel", jstr entry.Blockability.name);
                       ("variant", jstr (variant_name variant));
+                      ("backend", jstr c.c_cm.Backend.bk_tag);
                       ("n", jint n);
                       ( "disposition",
                         jstr
                           (Jit.disposition_name
-                             c.c_loaded.Jit.disposition) );
+                             c.c_cm.Backend.bk_disposition) );
                       ("digests", J.Array digests);
                       ("items", J.Array (List.map item_json oks));
                       ("run_s", J.Number run_s);
@@ -653,6 +654,9 @@ let handle_status ?id () =
       ("disk_entries", jint d.Jit.entries);
       ("disk_bytes", jint d.Jit.bytes);
       ("disk_oldest_age_s", J.Number d.Jit.oldest_age_s);
+      ("disk_evictions", jint (Jit.disk_evictions ()));
+      ("cc_invocations", jint (Cc.invocations ()));
+      ("cc_available", J.Bool (Result.is_ok (Cc.available ())));
       ("sampler_running", J.Bool (Obs.Sampler.running ()));
       ("sampler_hz", J.Number (Obs.Sampler.hz ()));
       ("sampler_samples", jint (Obs.Sampler.samples ()));
@@ -722,7 +726,7 @@ let json_of_recorded (e : Obs.event) =
        else [ ("parent", jstr (Obs.Ctx.id_hex e.Obs.parent)) ])
   in
   let args =
-    List.map (fun (k, v) -> (escape k, json_of_obs_value v)) e.Obs.args
+    List.map (fun (k, v) -> (k, json_of_obs_value v)) e.Obs.args
   in
   J.Object (base @ ctx @ [ ("args", J.Object args) ])
 
@@ -909,9 +913,33 @@ let run_stdio ?(workers = 2) () =
   in
   Pool.shutdown qpool
 
+(* A leftover socket file from a crashed daemon would make every
+   restart fail with EADDRINUSE, but blindly unlinking would silently
+   hijack the path from a daemon that is still alive.  Distinguish the
+   two with a connect probe: a live daemon accepts (refuse to start); a
+   stale file refuses the connection (unlink and proceed). *)
+let claim_socket_path path =
+  if Sys.file_exists path then begin
+    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let live =
+      Fun.protect
+        ~finally:(fun () ->
+          try Unix.close probe with Unix.Unix_error _ -> ())
+        (fun () ->
+          match Unix.connect probe (Unix.ADDR_UNIX path) with
+          | () -> true
+          | exception Unix.Unix_error ((ECONNREFUSED | ENOENT), _, _) ->
+              false)
+    in
+    if live then
+      failwith
+        (Printf.sprintf "socket %s is in use by a running daemon" path);
+    try Sys.remove path with Sys_error _ -> ()
+  end
+
 let run_socket ?(workers = 2) path =
   enable_telemetry ();
-  if Sys.file_exists path then Sys.remove path;
+  claim_socket_path path;
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   let qpool = Pool.create ~name:"serve" ~domains:(max 1 workers) () in
   let exec_pool = Pool.default () in

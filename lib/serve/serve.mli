@@ -18,17 +18,23 @@
       decision [steps] and the transformed IR, or
       [{"blockable":false,"reason":...}] for the paper's negative
       results (that is a successful response, not an error).
-    - [compile {"kernel","variant"}] — blueprint-normalize and compile
-      the ["point"] (default) or ["transformed"] variant; replies with
-      the blueprint digest, the full cache key, the cache
-      ["disposition"] (["memo"] / ["disk"] / ["compiled"]), and the
-      compile wall time.  Repeat compiles of one loop structure are a
-      hash lookup ({!Jit.compile_blueprint}).
-    - [execute {"kernel","variant","bindings","seed"}] — compile (or
-      fetch) and run once at the given sizes; replies with an MD5
-      digest of the kernel's traced arrays after the run (the
-      bitwise-comparison handle) and the run wall time.
-    - [batch {"kernel","variant","seed","bindings_list"|"sizes"}] —
+    - [compile {"kernel","variant","backend"?}] — blueprint-normalize
+      and compile the ["point"] (default) or ["transformed"] variant on
+      the requested {!Backend} (["ocaml"], the default, or ["c"]);
+      replies with the backend tag, the blueprint digest, the full
+      cache key, the cache ["disposition"] (["memo"] / ["disk"] /
+      ["compiled"]), the compile wall time, and the on-disk
+      ["artifact"] path (also echoed as ["cmxs"] for older clients).
+      Repeat compiles of one loop structure are a hash lookup
+      ({!Jit.compile_blueprint} / {!Cc.compile_blueprint}).
+    - [execute {"kernel","variant","bindings","seed","backend"?}] —
+      compile (or fetch) and run once at the given sizes on the
+      requested backend; replies with an MD5 digest of the kernel's
+      traced arrays after the run (the bitwise-comparison handle) and
+      the run wall time.  Digests are backend-independent: both code
+      generators are bitwise-checked against the interpreter.
+    - [batch
+       {"kernel","variant","seed","backend"?,"bindings_list"|"sizes"}] —
       many executions of one blueprint as a single dispatch: compile
       once, then fan the items out across the default pool's domains
       ({!Parallel.for_}).  ["bindings_list"] is an array of binding
@@ -45,7 +51,9 @@
     - [status] — process-wide JIT cache counters ([ocamlopt] runs, memo
       size, hits and evictions, disk hits, single-flight dedup waits),
       the cache directory plus its on-disk shape (["disk_entries"],
-      ["disk_bytes"], ["disk_oldest_age_s"]), and the
+      ["disk_bytes"], ["disk_oldest_age_s"], ["disk_evictions"] — see
+      [BLOCKC_JIT_DISK_CAP]), the C backend state (["cc_available"],
+      ["cc_invocations"]), and the
       {!Obs.Sampler} state (["sampler_running"], ["sampler_hz"],
       ["sampler_samples"]).
     - [flame {"hz"?,"reset"?}] — continuous-profiling readout: starts
@@ -138,4 +146,7 @@ val run_stdio : ?workers:int -> unit -> unit
 val run_socket : ?workers:int -> string -> unit
 (** Bind a Unix-domain socket at the given path and serve connections
     sequentially until a client sends [shutdown]; the socket file is
-    removed on exit. *)
+    removed on exit.  A socket file left behind by a crashed daemon is
+    detected with a connect probe and unlinked; if the probe connects
+    (a daemon is still serving the path), raises [Failure] instead of
+    hijacking the path. *)

@@ -35,8 +35,43 @@ let parse s =
     end
     else fail (Printf.sprintf "expected %s" word)
   in
+  let hex4 () =
+    if !pos + 4 > n then fail "truncated \\u escape";
+    let cp = ref 0 in
+    for _ = 1 to 4 do
+      let d =
+        match s.[!pos] with
+        | '0' .. '9' as c -> Char.code c - Char.code '0'
+        | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+        | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+        | _ -> fail "bad \\u escape"
+      in
+      cp := (!cp * 16) + d;
+      advance ()
+    done;
+    !cp
+  in
+  let add_utf8 buf cp =
+    if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+    else if cp < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+    else if cp < 0x10000 then begin
+      Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+  in
   let string_body () =
-    (* opening quote consumed by caller *)
+    (* opening quote consumed by caller; escapes are decoded, so the
+       resulting [String] holds the actual bytes (UTF-8 for \u). *)
     let buf = Buffer.create 16 in
     let rec go () =
       if !pos >= n then fail "unterminated string"
@@ -50,19 +85,49 @@ let parse s =
             let e = s.[!pos] in
             advance ();
             match e with
-            | '"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't' ->
-                Buffer.add_char buf '\\';
+            | '"' | '\\' | '/' ->
                 Buffer.add_char buf e;
                 go ()
+            | 'b' ->
+                Buffer.add_char buf '\b';
+                go ()
+            | 'f' ->
+                Buffer.add_char buf '\012';
+                go ()
+            | 'n' ->
+                Buffer.add_char buf '\n';
+                go ()
+            | 'r' ->
+                Buffer.add_char buf '\r';
+                go ()
+            | 't' ->
+                Buffer.add_char buf '\t';
+                go ()
             | 'u' ->
-                if !pos + 4 > n then fail "truncated \\u escape";
-                for _ = 1 to 4 do
-                  (match s.[!pos] with
-                  | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> ()
-                  | _ -> fail "bad \\u escape");
-                  advance ()
-                done;
-                Buffer.add_string buf "\\u";
+                let cp = hex4 () in
+                let cp =
+                  (* Combine a surrogate pair; a lone surrogate is
+                     encoded as-is (WTF-8) so round-tripping never
+                     loses information. *)
+                  if
+                    cp >= 0xD800 && cp <= 0xDBFF
+                    && !pos + 6 <= n
+                    && s.[!pos] = '\\'
+                    && s.[!pos + 1] = 'u'
+                  then begin
+                    let save = !pos in
+                    pos := !pos + 2;
+                    let lo = hex4 () in
+                    if lo >= 0xDC00 && lo <= 0xDFFF then
+                      0x10000 + ((cp - 0xD800) lsl 10) + (lo - 0xDC00)
+                    else begin
+                      pos := save;
+                      cp
+                    end
+                  end
+                  else cp
+                in
+                add_utf8 buf cp;
                 go ()
             | _ -> fail "bad escape character")
         | c when Char.code c < 0x20 -> fail "raw control character in string"
@@ -185,14 +250,37 @@ let number_to_string f =
     let short = Printf.sprintf "%.12g" f in
     if float_of_string short = f then short else Printf.sprintf "%.17g" f
 
+(* JSON string escaping on output: the two mandatory classes (quote,
+   backslash) plus every control character — a cc stderr or a kernel
+   error embedded in an NDJSON response must never break the framing. *)
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
 let rec to_string = function
   | Null -> "null"
   | Bool b -> if b then "true" else "false"
   | Number f -> number_to_string f
-  | String s -> "\"" ^ s ^ "\""
+  | String s -> escape_string s
   | Array items -> "[" ^ String.concat "," (List.map to_string items) ^ "]"
   | Object fields ->
       "{"
       ^ String.concat ","
-          (List.map (fun (k, v) -> "\"" ^ k ^ "\":" ^ to_string v) fields)
+          (List.map (fun (k, v) -> escape_string k ^ ":" ^ to_string v) fields)
       ^ "}"

@@ -1,16 +1,18 @@
-(** A minimal JSON reader: just enough to check that the benchmark
-    harness's [--json] output is well-formed without depending on an
-    external JSON library.
+(** A minimal JSON reader/printer: just enough for the benchmark
+    harness's [--json] output and the serve protocol, without
+    depending on an external JSON library.
 
     Supports the full RFC 8259 grammar (objects, arrays, strings with
-    escapes, numbers, [true]/[false]/[null]); strings are validated but
-    not decoded. *)
+    escapes, numbers, [true]/[false]/[null]).  String escapes are
+    decoded on parse ([\n], [\uXXXX] as UTF-8 with surrogate pairs
+    combined) and re-escaped on print, so a [String] always holds the
+    actual bytes. *)
 
 type t =
   | Null
   | Bool of bool
   | Number of float
-  | String of string  (** raw contents, escapes left as written *)
+  | String of string  (** decoded contents (UTF-8 for [\u] escapes) *)
   | Array of t list
   | Object of (string * t) list
 
@@ -23,7 +25,9 @@ val validate : string -> (unit, string) result
     consumer. *)
 
 val to_string : t -> string
-(** Render a value back to JSON text.  Strings re-emit their raw
-    contents verbatim (escapes were never decoded), so
-    [parse s |> to_string] round-trips byte-exactly up to
-    whitespace; integral numbers print without a decimal point. *)
+(** Render a value back to JSON text.  Strings (including object keys)
+    are escaped — quotes, backslashes, and every control character —
+    so the output is always well-formed JSON on one line, whatever the
+    contents (embedded compiler stderr, kernel error messages);
+    [parse s |> to_string |> parse] is the identity.  Integral numbers
+    print without a decimal point. *)

@@ -1,0 +1,451 @@
+Golden emitted C99 for the same representative kernels as
+codegen_emit.t, point and transformed.  The C backend shares the OCaml
+emitter's analysis (flat column-major buffers, Env-binding preamble,
+in-bounds proofs), so these goldens pin the second lowering of the same
+contract: raw-pointer accesses exactly where the proofs fire, guarded
+by the same parameter and declared-shape re-checks up front, and
+checked bk_getf/bk_setf calls everywhere else.  Any intentional change
+to the C emitter shows up here as a reviewable diff (promote with
+`dune promote`).
+
+LU, the paper's central example.  All accesses are proven in bounds:
+every element access compiles to a raw a_a[...] dereference, and the
+N >= 1 / declared-shape re-checks run once before the loops.
+
+  $ blockc compile lu --emit c
+  /* lu_point — C99 lowered from the mini-Fortran IR by blockc's codegen.
+     Self-contained (libc only).  The host calls [blockc_cc_kernel]
+     through the Cc dlopen stub; buffers are the Env's flat
+     column-major arrays, passed in manifest (sorted-name) order. */
+  
+  #include <math.h>
+  #include <setjmp.h>
+  #include <stdio.h>
+  
+  static long imin(long a, long b) { return a <= b ? a : b; }
+  static long imax(long a, long b) { return a >= b ? a : b; }
+  
+  /* OCaml Float.compare: total order, NaN equal to itself and below
+     every other value. */
+  static int fcmp(double a, double b) {
+    if (a < b) return -1;
+    if (a > b) return 1;
+    if (a == b) return 0;
+    if (isnan(a)) return isnan(b) ? 0 : -1;
+    return 1;
+  }
+  
+  static double fsign(double a, double b) {
+    return b >= 0.0 ? fabs(a) : -fabs(a);
+  }
+  
+  /* Runtime failures unwind to the entry point, which returns nonzero
+     with the message in the caller's 256-byte buffer. */
+  typedef struct { jmp_buf jb; char *err; } bk_ctx;
+  
+  static void bk_fail(bk_ctx *bk, const char *msg) {
+    snprintf(bk->err, 256, "%s", msg);
+    longjmp(bk->jb, 1);
+  }
+  
+  static double bk_sqrt(bk_ctx *bk, double x) {
+    if (x < 0.0) {
+      snprintf(bk->err, 256, "SQRT of negative %g", x);
+      longjmp(bk->jb, 1);
+    }
+    return sqrt(x);
+  }
+  
+  static void bk_oob(bk_ctx *bk, const char *name) {
+    snprintf(bk->err, 256, "out of bounds: %s", name);
+    longjmp(bk->jb, 1);
+  }
+  
+  static double bk_getf(bk_ctx *bk, const double *a, long off, long n,
+                        const char *name) {
+    if (off < 0 || off >= n) bk_oob(bk, name);
+    return a[off];
+  }
+  
+  static void bk_setf(bk_ctx *bk, double *a, long off, long n,
+                      const char *name, double v) {
+    if (off < 0 || off >= n) bk_oob(bk, name);
+    a[off] = v;
+  }
+  
+  static long bk_geti(bk_ctx *bk, const long *a, long off, long n,
+                      const char *name) {
+    if (off < 0 || off >= n) bk_oob(bk, name);
+    return a[off];
+  }
+  
+  static void bk_seti(bk_ctx *bk, long *a, long off, long n,
+                      const char *name, long v) {
+    if (off < 0 || off >= n) bk_oob(bk, name);
+    a[off] = v;
+  }
+  
+  int blockc_cc_kernel(double **fa, const long *fdim, long **ia,
+                       const long *idim, double *fsc, long *isc,
+                       char *err) {
+    bk_ctx ctx0;
+    bk_ctx *const bk = &ctx0;
+    bk->err = err;
+    if (setjmp(bk->jb)) return 1;
+    (void) fa; (void) fdim; (void) ia; (void) idim;
+    (void) fsc; (void) isc; (void) bk;
+    double *const a_a = fa[0]; /* A */
+    const long *const d_a = fdim + 0;
+    const long l0_a = d_a[0];
+    const long l1_a = d_a[2];
+    const long t1_a = 1 * (d_a[1] - d_a[0] + 1);
+    const long len_a = t1_a * (d_a[3] - d_a[2] + 1);
+    (void) a_a; (void) len_a;
+    long s_n = isc[0]; (void) s_n;
+    if (s_n < 1) {
+      snprintf(err, 256, "lu_point: unchecked accesses assume N >= 1");
+      return 1;
+    }
+    if (!(d_a[0] == 1 && d_a[1] == s_n && d_a[2] == 1 && d_a[3] == s_n)) {
+      snprintf(err, 256, "lu_point: A dims differ from the declared shape");
+      return 1;
+    }
+    {
+      const long lo_k = 1;
+      const long hi_k = (s_n - 1);
+      for (long i_k = lo_k; i_k <= hi_k; i_k++) {
+        {
+          const long lo_i = (i_k + 1);
+          const long hi_i = s_n;
+          for (long i_i = lo_i; i_i <= hi_i; i_i++) {
+            a_a[((i_i - l0_a) + ((i_k - l1_a) * t1_a))] = (a_a[((i_i - l0_a) + ((i_k - l1_a) * t1_a))] / a_a[((i_k - l0_a) + ((i_k - l1_a) * t1_a))]);
+          }
+        }
+        {
+          const long lo_j = (i_k + 1);
+          const long hi_j = s_n;
+          for (long i_j = lo_j; i_j <= hi_j; i_j++) {
+            {
+              const long lo_i = (i_k + 1);
+              const long hi_i = s_n;
+              for (long i_i = lo_i; i_i <= hi_i; i_i++) {
+                a_a[((i_i - l0_a) + ((i_j - l1_a) * t1_a))] = (a_a[((i_i - l0_a) + ((i_j - l1_a) * t1_a))] - (a_a[((i_i - l0_a) + ((i_k - l1_a) * t1_a))] * a_a[((i_k - l0_a) + ((i_j - l1_a) * t1_a))]));
+              }
+            }
+          }
+        }
+      }
+    }
+    return 0;
+  }
+
+The derived blocked LU: MIN bounds lower to imin, the strip loop keeps
+its proofs, and the general-step DO loop carries the zero-step guard.
+
+  $ blockc compile lu --variant transformed --emit c
+  /* lu_transformed — C99 lowered from the mini-Fortran IR by blockc's codegen.
+     Self-contained (libc only).  The host calls [blockc_cc_kernel]
+     through the Cc dlopen stub; buffers are the Env's flat
+     column-major arrays, passed in manifest (sorted-name) order. */
+  
+  #include <math.h>
+  #include <setjmp.h>
+  #include <stdio.h>
+  
+  static long imin(long a, long b) { return a <= b ? a : b; }
+  static long imax(long a, long b) { return a >= b ? a : b; }
+  
+  /* OCaml Float.compare: total order, NaN equal to itself and below
+     every other value. */
+  static int fcmp(double a, double b) {
+    if (a < b) return -1;
+    if (a > b) return 1;
+    if (a == b) return 0;
+    if (isnan(a)) return isnan(b) ? 0 : -1;
+    return 1;
+  }
+  
+  static double fsign(double a, double b) {
+    return b >= 0.0 ? fabs(a) : -fabs(a);
+  }
+  
+  /* Runtime failures unwind to the entry point, which returns nonzero
+     with the message in the caller's 256-byte buffer. */
+  typedef struct { jmp_buf jb; char *err; } bk_ctx;
+  
+  static void bk_fail(bk_ctx *bk, const char *msg) {
+    snprintf(bk->err, 256, "%s", msg);
+    longjmp(bk->jb, 1);
+  }
+  
+  static double bk_sqrt(bk_ctx *bk, double x) {
+    if (x < 0.0) {
+      snprintf(bk->err, 256, "SQRT of negative %g", x);
+      longjmp(bk->jb, 1);
+    }
+    return sqrt(x);
+  }
+  
+  static void bk_oob(bk_ctx *bk, const char *name) {
+    snprintf(bk->err, 256, "out of bounds: %s", name);
+    longjmp(bk->jb, 1);
+  }
+  
+  static double bk_getf(bk_ctx *bk, const double *a, long off, long n,
+                        const char *name) {
+    if (off < 0 || off >= n) bk_oob(bk, name);
+    return a[off];
+  }
+  
+  static void bk_setf(bk_ctx *bk, double *a, long off, long n,
+                      const char *name, double v) {
+    if (off < 0 || off >= n) bk_oob(bk, name);
+    a[off] = v;
+  }
+  
+  static long bk_geti(bk_ctx *bk, const long *a, long off, long n,
+                      const char *name) {
+    if (off < 0 || off >= n) bk_oob(bk, name);
+    return a[off];
+  }
+  
+  static void bk_seti(bk_ctx *bk, long *a, long off, long n,
+                      const char *name, long v) {
+    if (off < 0 || off >= n) bk_oob(bk, name);
+    a[off] = v;
+  }
+  
+  int blockc_cc_kernel(double **fa, const long *fdim, long **ia,
+                       const long *idim, double *fsc, long *isc,
+                       char *err) {
+    bk_ctx ctx0;
+    bk_ctx *const bk = &ctx0;
+    bk->err = err;
+    if (setjmp(bk->jb)) return 1;
+    (void) fa; (void) fdim; (void) ia; (void) idim;
+    (void) fsc; (void) isc; (void) bk;
+    double *const a_a = fa[0]; /* A */
+    const long *const d_a = fdim + 0;
+    const long l0_a = d_a[0];
+    const long l1_a = d_a[2];
+    const long t1_a = 1 * (d_a[1] - d_a[0] + 1);
+    const long len_a = t1_a * (d_a[3] - d_a[2] + 1);
+    (void) a_a; (void) len_a;
+    long s_ks = isc[0]; (void) s_ks;
+    long s_n = isc[1]; (void) s_n;
+    if (s_ks < 1) {
+      snprintf(err, 256, "lu_transformed: unchecked accesses assume KS >= 1");
+      return 1;
+    }
+    if (s_n < 1) {
+      snprintf(err, 256, "lu_transformed: unchecked accesses assume N >= 1");
+      return 1;
+    }
+    if (!(d_a[0] == 1 && d_a[1] == s_n && d_a[2] == 1 && d_a[3] == s_n)) {
+      snprintf(err, 256, "lu_transformed: A dims differ from the declared shape");
+      return 1;
+    }
+    {
+      const long lo_k = 1;
+      const long hi_k = (s_n - 1);
+      const long st_k = s_ks;
+      if (st_k == 0) bk_fail(bk, "DO K: zero step");
+      const long n_k = (hi_k - lo_k + st_k) / st_k;
+      long r_k = lo_k;
+      for (long z_k = 0; z_k < n_k; z_k++) {
+        const long i_k = r_k;
+        {
+          const long lo_kk = i_k;
+          const long hi_kk = imin((i_k + (s_ks - 1)), (s_n - 1));
+          for (long i_kk = lo_kk; i_kk <= hi_kk; i_kk++) {
+            {
+              const long lo_i = (i_kk + 1);
+              const long hi_i = s_n;
+              for (long i_i = lo_i; i_i <= hi_i; i_i++) {
+                a_a[((i_i - l0_a) + ((i_kk - l1_a) * t1_a))] = (a_a[((i_i - l0_a) + ((i_kk - l1_a) * t1_a))] / a_a[((i_kk - l0_a) + ((i_kk - l1_a) * t1_a))]);
+              }
+            }
+            {
+              const long lo_j = (i_kk + 1);
+              const long hi_j = imin(s_n, ((i_k + s_ks) + (-1)));
+              for (long i_j = lo_j; i_j <= hi_j; i_j++) {
+                {
+                  const long lo_i = (i_kk + 1);
+                  const long hi_i = s_n;
+                  for (long i_i = lo_i; i_i <= hi_i; i_i++) {
+                    a_a[((i_i - l0_a) + ((i_j - l1_a) * t1_a))] = (a_a[((i_i - l0_a) + ((i_j - l1_a) * t1_a))] - (a_a[((i_i - l0_a) + ((i_kk - l1_a) * t1_a))] * a_a[((i_kk - l0_a) + ((i_j - l1_a) * t1_a))]));
+                  }
+                }
+              }
+            }
+          }
+        }
+        {
+          const long lo_j = (i_k + s_ks);
+          const long hi_j = s_n;
+          for (long i_j = lo_j; i_j <= hi_j; i_j++) {
+            {
+              const long lo_i = (i_k + 1);
+              const long hi_i = s_n;
+              for (long i_i = lo_i; i_i <= hi_i; i_i++) {
+                {
+                  const long lo_kk = i_k;
+                  const long hi_kk = imin((i_i - 1), imin((i_k + (s_ks - 1)), (s_n - 1)));
+                  for (long i_kk = lo_kk; i_kk <= hi_kk; i_kk++) {
+                    a_a[((i_i - l0_a) + ((i_j - l1_a) * t1_a))] = (a_a[((i_i - l0_a) + ((i_j - l1_a) * t1_a))] - (a_a[((i_i - l0_a) + ((i_kk - l1_a) * t1_a))] * a_a[((i_kk - l0_a) + ((i_j - l1_a) * t1_a))]));
+                  }
+                }
+              }
+            }
+          }
+        }
+        r_k = i_k + st_k;
+      }
+    }
+    return 0;
+  }
+
+Convolution: the unit-lower-bound output against a shifted kernel
+window.  The W access subscript mixes both loop indices, and the proof
+still grounds out, so the body stays raw.
+
+  $ blockc compile conv --emit c
+  /* conv_point — C99 lowered from the mini-Fortran IR by blockc's codegen.
+     Self-contained (libc only).  The host calls [blockc_cc_kernel]
+     through the Cc dlopen stub; buffers are the Env's flat
+     column-major arrays, passed in manifest (sorted-name) order. */
+  
+  #include <math.h>
+  #include <setjmp.h>
+  #include <stdio.h>
+  
+  static long imin(long a, long b) { return a <= b ? a : b; }
+  static long imax(long a, long b) { return a >= b ? a : b; }
+  
+  /* OCaml Float.compare: total order, NaN equal to itself and below
+     every other value. */
+  static int fcmp(double a, double b) {
+    if (a < b) return -1;
+    if (a > b) return 1;
+    if (a == b) return 0;
+    if (isnan(a)) return isnan(b) ? 0 : -1;
+    return 1;
+  }
+  
+  static double fsign(double a, double b) {
+    return b >= 0.0 ? fabs(a) : -fabs(a);
+  }
+  
+  /* Runtime failures unwind to the entry point, which returns nonzero
+     with the message in the caller's 256-byte buffer. */
+  typedef struct { jmp_buf jb; char *err; } bk_ctx;
+  
+  static void bk_fail(bk_ctx *bk, const char *msg) {
+    snprintf(bk->err, 256, "%s", msg);
+    longjmp(bk->jb, 1);
+  }
+  
+  static double bk_sqrt(bk_ctx *bk, double x) {
+    if (x < 0.0) {
+      snprintf(bk->err, 256, "SQRT of negative %g", x);
+      longjmp(bk->jb, 1);
+    }
+    return sqrt(x);
+  }
+  
+  static void bk_oob(bk_ctx *bk, const char *name) {
+    snprintf(bk->err, 256, "out of bounds: %s", name);
+    longjmp(bk->jb, 1);
+  }
+  
+  static double bk_getf(bk_ctx *bk, const double *a, long off, long n,
+                        const char *name) {
+    if (off < 0 || off >= n) bk_oob(bk, name);
+    return a[off];
+  }
+  
+  static void bk_setf(bk_ctx *bk, double *a, long off, long n,
+                      const char *name, double v) {
+    if (off < 0 || off >= n) bk_oob(bk, name);
+    a[off] = v;
+  }
+  
+  static long bk_geti(bk_ctx *bk, const long *a, long off, long n,
+                      const char *name) {
+    if (off < 0 || off >= n) bk_oob(bk, name);
+    return a[off];
+  }
+  
+  static void bk_seti(bk_ctx *bk, long *a, long off, long n,
+                      const char *name, long v) {
+    if (off < 0 || off >= n) bk_oob(bk, name);
+    a[off] = v;
+  }
+  
+  int blockc_cc_kernel(double **fa, const long *fdim, long **ia,
+                       const long *idim, double *fsc, long *isc,
+                       char *err) {
+    bk_ctx ctx0;
+    bk_ctx *const bk = &ctx0;
+    bk->err = err;
+    if (setjmp(bk->jb)) return 1;
+    (void) fa; (void) fdim; (void) ia; (void) idim;
+    (void) fsc; (void) isc; (void) bk;
+    double *const a_f1 = fa[0]; /* F1 */
+    const long *const d_f1 = fdim + 0;
+    const long l0_f1 = d_f1[0];
+    const long len_f1 = 1 * (d_f1[1] - d_f1[0] + 1);
+    (void) a_f1; (void) len_f1;
+    double *const a_f2 = fa[1]; /* F2 */
+    const long *const d_f2 = fdim + 2;
+    const long l0_f2 = d_f2[0];
+    const long len_f2 = 1 * (d_f2[1] - d_f2[0] + 1);
+    (void) a_f2; (void) len_f2;
+    double *const a_f3 = fa[2]; /* F3 */
+    const long *const d_f3 = fdim + 4;
+    const long l0_f3 = d_f3[0];
+    const long len_f3 = 1 * (d_f3[1] - d_f3[0] + 1);
+    (void) a_f3; (void) len_f3;
+    long s_n1 = isc[0]; (void) s_n1;
+    long s_n2 = isc[1]; (void) s_n2;
+    long s_n3 = isc[2]; (void) s_n3;
+    double f_dt = fsc[0]; (void) f_dt;
+    if (s_n1 < 1) {
+      snprintf(err, 256, "conv_point: unchecked accesses assume N1 >= 1");
+      return 1;
+    }
+    if (s_n2 < 1) {
+      snprintf(err, 256, "conv_point: unchecked accesses assume N2 >= 1");
+      return 1;
+    }
+    if (s_n3 < 1) {
+      snprintf(err, 256, "conv_point: unchecked accesses assume N3 >= 1");
+      return 1;
+    }
+    if (!(d_f1[0] == 0 && d_f1[1] == imax(s_n1, s_n3))) {
+      snprintf(err, 256, "conv_point: F1 dims differ from the declared shape");
+      return 1;
+    }
+    if (!(d_f2[0] == (0 - s_n2) && d_f2[1] == imax(s_n2, s_n3))) {
+      snprintf(err, 256, "conv_point: F2 dims differ from the declared shape");
+      return 1;
+    }
+    if (!(d_f3[0] == 0 && d_f3[1] == s_n3)) {
+      snprintf(err, 256, "conv_point: F3 dims differ from the declared shape");
+      return 1;
+    }
+    {
+      const long lo_i = 0;
+      const long hi_i = s_n3;
+      for (long i_i = lo_i; i_i <= hi_i; i_i++) {
+        {
+          const long lo_k = imax(0, (i_i - s_n2));
+          const long hi_k = imin(i_i, s_n1);
+          for (long i_k = lo_k; i_k <= hi_k; i_k++) {
+            a_f3[(i_i - l0_f3)] = (a_f3[(i_i - l0_f3)] + ((f_dt * a_f1[(i_k - l0_f1)]) * a_f2[((i_i - i_k) - l0_f2)]));
+          }
+        }
+      }
+    }
+    return 0;
+  }

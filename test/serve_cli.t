@@ -62,3 +62,24 @@ clean.
   $ printf '%s\n' '{"op":"shutdown"}' '{"op":"ping"}' | blockc serve --workers 1 \
   >   | sed -e 's|,"trace_id":"[0-9a-f]*","server":{[^}]*}||'
   {"ok":true,"stopping":true}
+
+A socket path still owned by a live daemon is refused outright; a
+stale socket file left behind by a crashed daemon (SIGKILL skips the
+unlink-on-exit) is detected with a connect probe, unlinked, and the
+path reclaimed.
+
+  $ blockc serve --socket d.sock --workers 1 2>/dev/null &
+  $ DPID=$!
+  $ for i in $(seq 100); do test -S d.sock && break; sleep 0.1; done
+  $ blockc serve --socket d.sock
+  blockc serve: socket d.sock is in use by a running daemon
+  [2]
+  $ kill -9 $DPID; wait $DPID 2>/dev/null || true
+  $ test -S d.sock && echo the stale socket file remains
+  the stale socket file remains
+  $ blockc serve --socket d.sock --workers 1 2>/dev/null &
+  $ DPID=$!
+  $ for i in $(seq 100); do blockc stats --socket d.sock >/dev/null 2>&1 && break; sleep 0.1; done
+  $ blockc stats --socket d.sock | grep -c '^blockc_serve_requests_total'
+  1
+  $ kill -9 $DPID; wait $DPID 2>/dev/null || true

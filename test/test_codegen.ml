@@ -17,6 +17,21 @@ let require_native () =
   | Ok () -> ()
   | Error m -> Alcotest.failf "native codegen unavailable: %s" m
 
+let require_cc () =
+  match Cc.available () with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "C backend unavailable: %s" m
+
+(* A private cache dir makes the first compile a real compiler run even
+   if an earlier test run left artifacts on disk. *)
+let with_private_cache f =
+  let saved = Jit.cache_dir () in
+  let tmp = Filename.temp_file "blockc-cache-test" "" in
+  Sys.remove tmp;
+  Unix.mkdir tmp 0o700;
+  Unix.putenv "BLOCKC_JIT_CACHE" tmp;
+  Fun.protect ~finally:(fun () -> Unix.putenv "BLOCKC_JIT_CACHE" saved) f
+
 (* Fresh kernel-shaped environments for hand-rolled blocks. *)
 let simple_env ~n =
   let env = Env.create () in
@@ -311,4 +326,134 @@ let suite =
           String.equal
             (Stmt.block_to_string p.Gen_prog.block)
             (Stmt.block_to_string back));
+      case "C backend runs lu and conv bitwise equal to the interpreter"
+        (fun () ->
+          require_cc ();
+          List.iter
+            (fun (name, seed) ->
+              let e = entry name in
+              let bindings = e.Blockability.default_bindings in
+              let env_i = Kernel_def.make_env e.kernel ~bindings ~seed in
+              Exec.run env_i e.kernel.Kernel_def.block;
+              let env_c = Kernel_def.make_env e.kernel ~bindings ~seed in
+              let bp =
+                Blueprint.of_block ~shapes:e.kernel.Kernel_def.shapes
+                  e.kernel.Kernel_def.block
+              in
+              let l =
+                ok_or_fail "cc compile"
+                  (Cc.compile_blueprint ~name:(name ^ "_c") bp)
+              in
+              ok_or_fail "cc run"
+                (Cc.run
+                   ~bindings:(bindings @ bp.Blueprint.bindings)
+                   l.Cc.fn env_c);
+              match Env.diff ~only:e.kernel.Kernel_def.traced env_i env_c with
+              | None -> ()
+              | Some m -> Alcotest.failf "%s: %s" name m)
+            [ ("lu", 11); ("conv", 5); ("givens", 3) ]);
+      case "C backend writes scalars and INTEGER arrays back" (fun () ->
+          require_cc ();
+          let block =
+            [
+              Stmt.Iassign ("T", [], Expr.(mul (var "N") (int 2)));
+              Stmt.Iassign ("K", [ B.i 2 ], Expr.(add (var "N") (int 1)));
+              Stmt.Assign ("S", [], B.(fc 1.5 +. fc 2.0));
+            ]
+          in
+          let env = simple_env ~n:4 in
+          Env.add_iarray env "K" [ (1, 3) ];
+          let bp = Blueprint.of_block block in
+          let l = ok_or_fail "cc compile" (Cc.compile_blueprint ~name:"wb" bp) in
+          ok_or_fail "cc run"
+            (Cc.run ~bindings:bp.Blueprint.bindings l.Cc.fn env);
+          check_int "T" 8 (Env.iscalar env "T");
+          check_int "K(2)" 5 (Env.get_i env "K" [ 2 ]);
+          check_bool "S" true (Float.equal (Env.fscalar env "S") 3.5));
+      case "C backend fails like the interpreter (zero step, negative SQRT)"
+        (fun () ->
+          require_cc ();
+          let run block =
+            let env = simple_env ~n:4 in
+            let bp = Blueprint.of_block block in
+            let l =
+              ok_or_fail "cc compile" (Cc.compile_blueprint ~name:"fail" bp)
+            in
+            Cc.run ~bindings:bp.Blueprint.bindings l.Cc.fn env
+          in
+          (match
+             run
+               [
+                 Stmt.Loop
+                   {
+                     index = "I";
+                     lo = Expr.int 1;
+                     hi = Expr.var "N";
+                     step = Expr.int 0;
+                     body = [ Stmt.Assign ("S", [], B.fc 1.0) ];
+                   };
+               ]
+           with
+          | Ok () -> Alcotest.fail "zero step accepted"
+          | Error m -> check_bool "zero step message" true (contains m "zero step"));
+          match
+            run [ Stmt.Assign ("S", [], Stmt.Fcall ("SQRT", [ B.fc (-4.0) ])) ]
+          with
+          | Ok () -> Alcotest.fail "negative SQRT accepted"
+          | Error m ->
+              check_bool "sqrt message" true (contains m "SQRT of negative"));
+      case "C artifacts are cached (memo + disk) and keyed per backend"
+        (fun () ->
+          require_cc ();
+          with_private_cache (fun () ->
+              let bp =
+                Blueprint.of_block [ Stmt.Assign ("S", [], B.fc 9.0625) ]
+              in
+              let c0 = Cc.invocations () in
+              let l1 =
+                ok_or_fail "compile" (Cc.compile_blueprint ~name:"cache" bp)
+              in
+              let l2 =
+                ok_or_fail "compile" (Cc.compile_blueprint ~name:"cache" bp)
+              in
+              check_int "one cc run" 1 (Cc.invocations () - c0);
+              check_bool "memo hit" true (l2.Cc.disposition = Jit.Memo);
+              check_bool "so artifact" true
+                (Filename.check_suffix l1.Cc.so ".so");
+              check_bool "disk stats count .so" true
+                ((Jit.disk_stats ()).Jit.entries >= 1)));
+      case "backend registry resolves tags" (fun () ->
+          check_bool "ocaml" true (Option.is_some (Backend.of_tag "ocaml"));
+          check_bool "c" true (Option.is_some (Backend.of_tag "c"));
+          check_bool "unknown" true (Option.is_none (Backend.of_tag "rust"));
+          check_bool "names" true (Backend.names = [ "ocaml"; "c" ]));
+      case "BLOCKC_JIT_DISK_CAP prunes oldest artifacts and counts evictions"
+        (fun () ->
+          require_native ();
+          with_private_cache (fun () ->
+              let saved_cap =
+                Option.value (Sys.getenv_opt "BLOCKC_JIT_DISK_CAP") ~default:""
+              in
+              Unix.putenv "BLOCKC_JIT_DISK_CAP" "1";
+              Fun.protect
+                ~finally:(fun () ->
+                  Unix.putenv "BLOCKC_JIT_DISK_CAP" saved_cap)
+                (fun () ->
+                  let e0 = Jit.disk_evictions () in
+                  let compile c =
+                    ok_or_fail "compile"
+                      (Jit.compile_blueprint ~name:"cap_probe"
+                         (Blueprint.of_block [ Stmt.Assign ("S", [], B.fc c) ]))
+                  in
+                  let _l1 = compile 4.125 in
+                  let l2 = compile 5.125 in
+                  (* The cap (1 byte) forces every artifact but the one
+                     just written out of the cache. *)
+                  let stats = Jit.disk_stats () in
+                  check_int "only the newest artifact remains" 1
+                    stats.Jit.entries;
+                  check_bool "evictions counted" true
+                    (Jit.disk_evictions () - e0 >= 1);
+                  check_bool "survivor is the newest" true
+                    (Sys.file_exists l2.Jit.cmxs))));
     ] )

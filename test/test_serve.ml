@@ -100,6 +100,32 @@ let suite =
           check_string "one blueprint" (str "blueprint" r1)
             (str "blueprint" r2);
           check_string "memo on repeat" "memo" (str "disposition" r2));
+      case "requests select a backend; digests are backend-independent"
+        (fun () ->
+          require_native ();
+          let r = parsed {|{"op":"compile","kernel":"trisolve"}|} in
+          check_bool "ok" true (bool_field "ok" r);
+          check_string "default backend" "ocaml" (str "backend" r);
+          check_string "artifact echoes cmxs" (str "cmxs" r)
+            (str "artifact" r);
+          let r = parsed {|{"op":"compile","kernel":"trisolve","backend":"x"}|} in
+          check_bool "unknown backend refused" false (bool_field "ok" r);
+          check_bool "error names the tags" true
+            (contains (str "error" r) "ocaml | c");
+          match Cc.available () with
+          | Error _ -> ()
+          | Ok () ->
+              let exec backend =
+                parsed
+                  (Printf.sprintf
+                     {|{"op":"execute","kernel":"trisolve","backend":"%s","bindings":{"N":9}}|}
+                     backend)
+              in
+              let ro = exec "ocaml" and rc = exec "c" in
+              check_bool "c execute ok" true (bool_field "ok" rc);
+              check_string "backend echoed" "c" (str "backend" rc);
+              check_string "same digest across backends" (str "digest" ro)
+                (str "digest" rc));
       case "batch digests match sequential executes bitwise" (fun () ->
           require_native ();
           let exec n =
@@ -217,9 +243,14 @@ let suite =
               "disk_bytes";
               "disk_oldest_age_s";
               "dedup_waits";
+              "disk_evictions";
+              "cc_invocations";
               "sampler_hz";
               "sampler_samples";
             ];
+          (match field "cc_available" r with
+          | Some (Json_min.Bool _) -> ()
+          | _ -> Alcotest.fail "cc_available is not a bool");
           (match field "sampler_running" r with
           | Some (Json_min.Bool _) -> ()
           | _ -> Alcotest.fail "sampler_running is not a bool");
@@ -294,8 +325,8 @@ let suite =
           let r = parsed {|{"op":"metrics"}|} in
           check_bool "ok" true (bool_field "ok" r);
           check_bool "metrics_enabled" true (bool_field "metrics_enabled" r);
-          (* Json_min leaves escapes undecoded, so the exposition's
-             quotes arrive backslash-escaped *)
+          (* Json_min decodes escapes on parse, so the exposition text
+             arrives with its real quotes and newlines *)
           let text = str "metrics" r in
           check_bool "request counter present" true
             (contains text "blockc_serve_requests_total");
@@ -303,7 +334,7 @@ let suite =
             (contains text "blockc_serve_request_ns{quantile=");
           check_bool "per-op p99 present" true
             (contains text
-               {|blockc_serve_request_ns{op=\"ping\",quantile=\"0.99\"}|}));
+               {|blockc_serve_request_ns{op="ping",quantile="0.99"}|}));
       case "dump op flushes the flight recorder" (fun () ->
           Obs.Recorder.clear ();
           ignore (request {|{"id":7,"op":"ping"}|});

@@ -129,6 +129,26 @@ let env_copy_diff () =
   check_bool "diff detects" true (Env.diff env dup <> None);
   check_bool "only filter" true (Env.diff ~only:[ "B" ] env dup = None)
 
+let diff_is_bitwise () =
+  (* -0.0 vs 0.0 and distinct NaN payloads must register as
+     differences: the cross-backend differential relies on it. *)
+  let make v =
+    let env = env_1d ~n:2 "A" in
+    Env.set_f env "A" [ 1 ] v;
+    env
+  in
+  let nan2 = Int64.float_of_bits 0x7ff0000000000001L in
+  check_bool "-0.0 differs from 0.0" true
+    (Env.diff (make (-0.0)) (make 0.0) <> None);
+  check_bool "-0.0 equals -0.0" true
+    (Env.diff (make (-0.0)) (make (-0.0)) = None);
+  check_bool "same NaN payload is equal" true
+    (Env.diff (make Float.nan) (make Float.nan) = None);
+  check_bool "distinct NaN payloads differ" true
+    (Env.diff (make Float.nan) (make nan2) <> None);
+  check_bool "tol still admits -0.0 vs 0.0" true
+    (Env.diff ~tol:1e-12 (make (-0.0)) (make 0.0) = None)
+
 let loop_index_protection () =
   let env = env_1d "A" in
   Alcotest.check_raises "loop index assignment"
@@ -150,5 +170,6 @@ let suite =
       case "IF and intrinsics" if_and_intrinsics;
       case "integer arrays in bounds" int_arrays_and_idx_bounds;
       case "env copy and diff" env_copy_diff;
+      case "diff compares floats bitwise" diff_is_bitwise;
       case "loop index is read-only" loop_index_protection;
     ] )

@@ -56,6 +56,42 @@ let json_rejects_malformed () =
       "\"esc \\\\ \\u00e9\"";
     ]
 
+let json_escape_roundtrip () =
+  (* Escaping happens on output: any byte string survives
+     String -> to_string -> parse, including control characters that
+     would otherwise break NDJSON framing. *)
+  let cases =
+    [
+      "plain";
+      "quote \" backslash \\ slash /";
+      "newline \n tab \t return \r";
+      "backspace \b formfeed \012";
+      "nul \000 esc \027 unit-sep \031";
+      "cc: error: unterminated #if\n  12 | {\"nested\": true}\\";
+      "";
+    ]
+  in
+  List.iter
+    (fun s ->
+      let doc = Json_min.to_string (Json_min.Object [ (s, Json_min.String s) ]) in
+      check_bool "one line" false (String.contains doc '\n');
+      match Json_min.parse doc with
+      | Ok (Json_min.Object [ (k, Json_min.String v) ]) ->
+          check_string "key round-trips" s k;
+          check_string "value round-trips" s v
+      | Ok _ -> Alcotest.failf "unexpected shape for %S" s
+      | Error m -> Alcotest.failf "re-parse of %S failed: %s" s m)
+    cases;
+  (* \u escapes decode to UTF-8 (with surrogate pairs combined) and
+     re-escape only where JSON requires it. *)
+  (match Json_min.parse "\"\\u00e9 \\u0001 \\ud83d\\ude00\"" with
+  | Ok (Json_min.String v) ->
+      check_string "utf-8 decode" "\xc3\xa9 \x01 \xf0\x9f\x98\x80" v
+  | Ok _ | Error _ -> Alcotest.fail "\\u parse failed");
+  match Json_min.parse "{\"a\\nb\":1}" with
+  | Ok (Json_min.Object [ (k, _) ]) -> check_string "key decoded" "a\nb" k
+  | Ok _ | Error _ -> Alcotest.fail "escaped key parse failed"
+
 let lcg_determinism () =
   let a = Lcg.create 42 and b = Lcg.create 42 in
   let xs = List.init 50 (fun _ -> Lcg.int a 1000) in
@@ -79,6 +115,7 @@ let suite =
       case "table cells" cells;
       case "table json roundtrip" table_json_roundtrip;
       case "json_min rejects malformed" json_rejects_malformed;
+      case "json_min escapes on output (round-trip)" json_escape_roundtrip;
       case "lcg determinism" lcg_determinism;
       case "lcg split" lcg_split_independent;
       qcase "lcg int in range"
