@@ -807,6 +807,8 @@ let native_suite () =
             ("lu", [ ("N", 256) ], Some 32);
             ("lu_opt", [ ("N", 256) ], Some 32);
             ("lu_opt", [ ("N", 512) ], Some 32);
+            ("lu_pivot", [ ("N", 256) ], Some 32);
+            ("lu_pivot_opt", [ ("N", 256) ], Some 32);
             ("matmul", [ ("N", 192); ("FREQ_PCT", 10) ], None);
             ("givens", [ ("M", 192); ("N", 192) ], None);
           ]
@@ -817,6 +819,9 @@ let native_suite () =
             ("lu_opt", [ ("N", 384) ], Some 32);
             ("lu_opt", [ ("N", 640) ], Some 32);
             ("lu_opt", [ ("N", 1024) ], Some 32);
+            ("lu_pivot", [ ("N", 384) ], Some 32);
+            ("lu_pivot_opt", [ ("N", 384) ], Some 32);
+            ("lu_pivot_opt", [ ("N", 640) ], Some 32);
             ("matmul", [ ("N", 320); ("FREQ_PCT", 10) ], None);
             ("givens", [ ("M", 384); ("N", 384) ], None);
             ("conv", [ ("N1", 1200); ("N2", 1200); ("N3", 1600) ], None);
@@ -879,6 +884,7 @@ let native_c_suite () =
           [
             ("lu", [ ("N", 256) ], Some 32);
             ("lu_opt", [ ("N", 256) ], Some 32);
+            ("lu_pivot_opt", [ ("N", 256) ], Some 32);
             ("givens", [ ("M", 192); ("N", 192) ], None);
           ]
         else
@@ -886,6 +892,7 @@ let native_c_suite () =
             ("lu", [ ("N", 384) ], Some 32);
             ("lu_opt", [ ("N", 384) ], Some 32);
             ("lu_opt", [ ("N", 640) ], Some 32);
+            ("lu_pivot_opt", [ ("N", 384) ], Some 32);
             ("givens", [ ("M", 384); ("N", 384) ], None);
           ]
       in

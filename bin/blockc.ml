@@ -127,16 +127,29 @@ let setup_trace fmt out =
               at_exit Obs.flush;
               Ok ()))
 
-(* Wrap a command body so --trace/--trace-out are honoured and their
-   usage errors are reported through cmdliner. *)
+let curated_arg =
+  Arg.(
+    value & flag
+    & info [ "curated-commutativity" ]
+        ~doc:
+          "Answer commutativity questions from the curated fact table (the \
+           paper's syntactic row-swap/column-update matcher) instead of \
+           deriving a proof with fractal symbolic analysis.  Fallback for \
+           when the prover is too slow or too weak; the default derive path \
+           consumes zero curated facts.")
+
+(* Wrap a command body so --trace/--trace-out (and the global
+   --curated-commutativity prover switch) are honoured and usage errors
+   are reported through cmdliner. *)
 let traced run =
   Term.ret
     Term.(
-      const (fun fmt out k ->
+      const (fun fmt out curated k ->
+          if curated then Commutativity.use_curated := true;
           match setup_trace fmt out with
           | Error m -> `Error (true, m)
           | Ok () -> `Ok (k ()))
-      $ trace_arg $ trace_out_arg $ run)
+      $ trace_arg $ trace_out_arg $ curated_arg $ run)
 
 (* ---- list ---- *)
 
@@ -1019,6 +1032,8 @@ let compile_cmd =
                        ("artifact", jstr c.Backend.bk_artifact);
                        ("cmxs", jstr c.Backend.bk_artifact);
                        ("cached", string_of_bool c.Backend.bk_cached);
+                       ( "vec_remarks",
+                         jarr (List.map jstr c.Backend.bk_remarks) );
                      ])
               else
                 Printf.printf "compiled %s -> %s (blueprint %s, %s, %.3fs)\n"
@@ -1158,6 +1173,12 @@ let fuzz_cmd =
   in
   let run iters seed only native backend json () =
     ignore (resolve_backend backend);
+    (match only with
+    | Some o when not (List.mem o Fuzz.pass_names) ->
+        Printf.eprintf "blockc: unknown pass '%s'\nknown passes: %s\n" o
+          (String.concat ", " Fuzz.pass_names);
+        exit 2
+    | _ -> ());
     match Fuzz.run ?only ~native ~backend ~iters ~seed () with
     | Error m ->
         Printf.eprintf "blockc fuzz: %s\n" m;

@@ -1,0 +1,476 @@
+exception Unsupported of string
+
+let unsup fmt = Printf.ksprintf (fun s -> raise (Unsupported s)) fmt
+
+type qvar = { qv : string; qlo : Affine.t; qhi : Affine.t }
+type upd = { uqs : qvar list; upat : Affine.t list; uval : Fsa_term.t }
+
+type state = {
+  ints : (string * Affine.t) list;
+  ipoison : string list;
+  floats : (string * Fsa_term.t) list;
+  arrays : (string * upd list) list;
+}
+
+let empty = { ints = []; ipoison = []; floats = []; arrays = [] }
+
+(* A frame per enclosing symbolic-trip loop being folded: the REAL
+   scalars its body writes, and the float bindings at loop entry.  A
+   read of such a scalar before this iteration writes it would observe
+   the previous iteration's value — a recurrence the quantified fold
+   cannot represent. *)
+type frame = { fwritten : string list; fsnapshot : (string * Fsa_term.t) list }
+
+type env = {
+  ctx : Symbolic.t;
+  log : (string * Affine.t list * Symbolic.t) list ref;
+      (** every array read: location and the context it was read under *)
+  counter : int ref;
+  frames : frame list;
+}
+
+let fresh env base =
+  incr env.counter;
+  Printf.sprintf "%s.%d" base !(env.counter)
+
+let max_updates = 32
+let max_term_size = 4000
+let max_unroll = 15
+
+let subst_aff bindings a =
+  List.fold_left (fun a (v, by) -> Affine.subst v by a) a bindings
+
+(* ---- integer expressions -------------------------------------------- *)
+
+let affine_of st e =
+  match Affine.of_expr e with
+  | None -> unsup "non-affine integer expression %s" (Expr.to_string e)
+  | Some a ->
+      List.iter
+        (fun v ->
+          if List.mem v st.ipoison then
+            unsup "read of integer scalar %s with unknown value" v)
+        (Affine.vars a);
+      subst_aff st.ints a
+
+let decide_atom ctx = function
+  | Fsa_term.Aeq (a, b) ->
+      if Symbolic.prove_eq ctx a b then Some true
+      else if Symbolic.prove_lt ctx a b || Symbolic.prove_gt ctx a b then
+        Some false
+      else None
+  | Fsa_term.Ale (a, b) ->
+      if Symbolic.prove_le ctx a b then Some true
+      else if Symbolic.prove_gt ctx a b then Some false
+      else None
+
+let decide_conj ctx conds =
+  let rec go unknown = function
+    | [] -> if unknown = [] then `True else `Residual (List.rev unknown)
+    | a :: rest -> (
+        match decide_atom ctx a with
+        | Some true -> go unknown rest
+        | Some false -> `False
+        | None -> go (a :: unknown) rest)
+  in
+  go [] conds
+
+(* ---- quantified-store lookup ---------------------------------------- *)
+
+(* Solve [upat (uqs) = probe] for the quantified variables: repeatedly
+   pick a dimension where exactly one unsolved variable occurs with
+   coefficient +-1 and invert it. *)
+let solve_qvars (u : upd) probe =
+  let pat = Array.of_list u.upat and pr = Array.of_list probe in
+  let n = Array.length pat in
+  let apply sol a = subst_aff sol a in
+  let rec go sol used pending =
+    match pending with
+    | [] -> Some (sol, used)
+    | _ -> (
+        let candidate =
+          List.find_map
+            (fun (q : qvar) ->
+              let rec dims d =
+                if d >= n then None
+                else if List.mem d used then dims (d + 1)
+                else
+                  let pd = apply sol pat.(d) in
+                  let c = Affine.coeff pd q.qv in
+                  if
+                    (c = 1 || c = -1)
+                    && List.for_all
+                         (fun (q' : qvar) ->
+                           String.equal q'.qv q.qv
+                           || Affine.coeff pd q'.qv = 0)
+                         pending
+                  then Some (q, d, pd, c)
+                  else dims (d + 1)
+              in
+              dims 0)
+            pending
+        in
+        match candidate with
+        | None -> None
+        | Some (q, d, pd, c) ->
+            (* pd = c*q + r and probe_d = pd  =>  q = c*(probe_d - r). *)
+            let r = Affine.sub pd (Affine.scale c (Affine.var q.qv)) in
+            let qval = Affine.scale c (Affine.sub pr.(d) r) in
+            go
+              ((q.qv, qval) :: sol)
+              (d :: used)
+              (List.filter
+                 (fun (q' : qvar) -> not (String.equal q'.qv q.qv))
+                 pending))
+  in
+  if n <> Array.length pr then unsup "array rank mismatch in lookup";
+  go [] [] u.uqs
+
+(* The condition under which update [u] covers [probe], and the covered
+   value. *)
+let resolve_one (u : upd) probe =
+  match solve_qvars u probe with
+  | None -> unsup "quantified store pattern cannot be inverted"
+  | Some (sol, used) ->
+      let apply a = subst_aff sol a in
+      let eqs =
+        List.concat
+          (List.mapi
+             (fun d (p, pb) ->
+               if List.mem d used then []
+               else
+                 let p' = apply p in
+                 if Affine.equal p' pb then [] else [ Fsa_term.Aeq (p', pb) ])
+             (List.combine u.upat probe))
+      in
+      let ranges =
+        List.concat_map
+          (fun (q : qvar) ->
+            let qval = List.assoc q.qv sol in
+            [
+              Fsa_term.Ale (apply q.qlo, qval);
+              Fsa_term.Ale (qval, apply q.qhi);
+            ])
+          u.uqs
+      in
+      (eqs @ ranges, Fsa_term.subst sol u.uval)
+
+let read_env env st arr probe =
+  env.log := (arr, probe, env.ctx) :: !(env.log);
+  let upds = Option.value ~default:[] (List.assoc_opt arr st.arrays) in
+  let rec go = function
+    | [] -> Fsa_term.Init (arr, probe)
+    | u :: rest -> (
+        let conds, value = resolve_one u probe in
+        match decide_conj env.ctx conds with
+        | `True -> value
+        | `False -> go rest
+        | `Residual atoms -> Fsa_term.Ite (atoms, value, go rest))
+  in
+  go upds
+
+(* ---- scalars --------------------------------------------------------- *)
+
+let written_since snapshot name floats =
+  let rec go l =
+    if l == snapshot then false
+    else
+      match l with
+      | [] -> false
+      | (n, _) :: tl -> String.equal n name || go tl
+  in
+  go floats
+
+let scalar_read env st s =
+  List.iter
+    (fun fr ->
+      if List.mem s fr.fwritten && not (written_since fr.fsnapshot s st.floats)
+      then unsup "scalar %s carries a value across loop iterations" s)
+    env.frames;
+  match List.assoc_opt s st.floats with
+  | Some t -> t
+  | None -> Fsa_term.Sinit s
+
+let rec written_scalars stmts =
+  List.concat_map
+    (function
+      | Stmt.Assign (x, [], _) -> [ `F x ]
+      | Stmt.Assign _ -> []
+      | Stmt.Iassign (x, [], _) -> [ `I x ]
+      | Stmt.Iassign _ -> []
+      | Stmt.If (_, t, e) -> written_scalars t @ written_scalars e
+      | Stmt.Loop l -> written_scalars l.body)
+    stmts
+
+(* ---- evaluation ------------------------------------------------------ *)
+
+let push_upd st a (u : upd) =
+  if Fsa_term.size u.uval > max_term_size then unsup "symbolic value too large";
+  let old = Option.value ~default:[] (List.assoc_opt a st.arrays) in
+  if List.length old >= max_updates then unsup "too many updates on %s" a;
+  { st with arrays = (a, u :: old) :: List.remove_assoc a st.arrays }
+
+let rec feval env st = function
+  | Stmt.Fconst c -> Fsa_term.Const c
+  | Stmt.Fvar s -> scalar_read env st s
+  | Stmt.Ref (a, subs) -> read_env env st a (List.map (affine_of st) subs)
+  | Stmt.Fbin (op, a, b) -> Fsa_term.Bin (op, feval env st a, feval env st b)
+  | Stmt.Fneg a -> Fsa_term.Neg (feval env st a)
+  | Stmt.Fcall (f, args) -> Fsa_term.Call (f, List.map (feval env st) args)
+  | Stmt.Of_int e -> Fsa_term.Of_int (affine_of st e)
+
+let rec decide_cond env st = function
+  | Stmt.Icmp (rel, e1, e2) -> (
+      let a = affine_of st e1 and b = affine_of st e2 in
+      let one = Affine.const 1 in
+      match rel with
+      | Stmt.Eq -> decide_atom env.ctx (Fsa_term.Aeq (a, b))
+      | Stmt.Ne -> Option.map not (decide_atom env.ctx (Fsa_term.Aeq (a, b)))
+      | Stmt.Le -> decide_atom env.ctx (Fsa_term.Ale (a, b))
+      | Stmt.Lt -> decide_atom env.ctx (Fsa_term.Ale (a, Affine.sub b one))
+      | Stmt.Ge -> decide_atom env.ctx (Fsa_term.Ale (b, a))
+      | Stmt.Gt -> decide_atom env.ctx (Fsa_term.Ale (b, Affine.sub a one)))
+  | Stmt.Fcmp _ -> None
+  | Stmt.Not c -> Option.map not (decide_cond env st c)
+  | Stmt.And (a, b) -> (
+      match (decide_cond env st a, decide_cond env st b) with
+      | Some false, _ | _, Some false -> Some false
+      | Some true, Some true -> Some true
+      | _ -> None)
+  | Stmt.Or (a, b) -> (
+      match (decide_cond env st a, decide_cond env st b) with
+      | Some true, _ | _, Some true -> Some true
+      | Some false, Some false -> Some false
+      | _ -> None)
+
+let rec eval env st (s : Stmt.t) =
+  match s with
+  | Stmt.Iassign (v, [], e) -> (
+      match affine_of st e with
+      | a ->
+          {
+            st with
+            ints = (v, a) :: st.ints;
+            ipoison = List.filter (fun x -> not (String.equal x v)) st.ipoison;
+          }
+      | exception Unsupported _ -> { st with ipoison = v :: st.ipoison })
+  | Stmt.Iassign (_, _ :: _, _) -> unsup "integer array store"
+  | Stmt.Assign (x, [], rhs) ->
+      let t = feval env st rhs in
+      if Fsa_term.size t > max_term_size then unsup "symbolic value too large";
+      { st with floats = (x, t) :: st.floats }
+  | Stmt.Assign (a, subs, rhs) ->
+      let pat = List.map (affine_of st) subs in
+      let t = feval env st rhs in
+      push_upd st a { uqs = []; upat = pat; uval = t }
+  | Stmt.If (c, th, el) -> (
+      match decide_cond env st c with
+      | Some true -> eval_list env st th
+      | Some false -> eval_list env st el
+      | None -> unsup "branch condition cannot be decided symbolically")
+  | Stmt.Loop l -> eval_loop env st l
+
+and eval_list env st stmts = List.fold_left (eval env) st stmts
+
+and eval_loop env st (l : Stmt.loop) =
+  (match Expr.simplify l.step with
+  | Expr.Int 1 -> ()
+  | _ -> unsup "non-unit loop step");
+  List.iter
+    (fun v ->
+      if List.mem v st.ipoison then
+        unsup "loop bound reads integer scalar %s with unknown value" v)
+    (Expr.free_vars l.lo @ Expr.free_vars l.hi);
+  let ints_expr = List.map (fun (v, a) -> (v, Affine.to_expr a)) st.ints in
+  let lo_e = Expr.subst ints_expr l.lo and hi_e = Expr.subst ints_expr l.hi in
+  let const_trip =
+    match Affine.of_expr (Expr.simplify (Expr.sub hi_e lo_e)) with
+    | Some d -> Affine.is_const d
+    | None -> None
+  in
+  match const_trip with
+  | Some c when c < 0 -> st
+  | Some c when c <= max_unroll ->
+      (* Exact unrolling: bitwise-faithful, no parallelism proof needed. *)
+      let rec go k st =
+        if k > c then st
+        else
+          let iv = Expr.simplify (Expr.add lo_e (Expr.int k)) in
+          let body = Stmt.subst_block [ (l.index, iv) ] l.body in
+          go (k + 1) (eval_list env st body)
+      in
+      go 0 st
+  | _ -> fold_loop env st l lo_e hi_e
+
+(* Fold a symbolic-trip loop into quantified updates.  Sound only when
+   every (read, write) and (write, write) pair on the same array is
+   provably disjoint across distinct iterations — checked below — so
+   every iteration's reads may be resolved against the pre-loop store. *)
+and fold_loop env st (l : Stmt.loop) lo_e hi_e =
+  let lo_a =
+    match Affine.of_expr lo_e with
+    | Some a -> a
+    | None -> unsup "loop lower bound %s is not affine" (Expr.to_string lo_e)
+  and hi_a =
+    match Affine.of_expr hi_e with
+    | Some a -> a
+    | None -> unsup "loop upper bound %s is not affine" (Expr.to_string hi_e)
+  in
+  let trip_atom = Fsa_term.Ale (lo_a, hi_a) in
+  if decide_atom env.ctx trip_atom = Some false then st
+  else begin
+    let ws = written_scalars l.body in
+    (match List.filter_map (function `I x -> Some x | `F _ -> None) ws with
+    | x :: _ -> unsup "integer scalar %s assigned in a symbolic-trip loop" x
+    | [] -> ());
+    let wf = List.filter_map (function `F x -> Some x | `I _ -> None) ws in
+    let q = fresh env l.index in
+    let body = Stmt.subst_block [ (l.index, Expr.var q) ] l.body in
+    let ctx_body =
+      Symbolic.with_loops env.ctx
+        [ { l with index = q; lo = lo_e; hi = hi_e; body = [] } ]
+    in
+    let log0 = !(env.log) in
+    let env_body =
+      {
+        env with
+        ctx = ctx_body;
+        frames = { fwritten = wf; fsnapshot = st.floats } :: env.frames;
+      }
+    in
+    let st1 = eval_list env_body st body in
+    let rec delta_of cur base =
+      if cur == base then []
+      else match cur with [] -> [] | x :: tl -> x :: delta_of tl base
+    in
+    let reads = delta_of !(env.log) log0 in
+    (* [chk] proves location [xsubs] (an iteration-[q] read or write,
+       valid under [xctx]) distinct from every instance of write [w] at a
+       different iteration [th]: some dimension differs either as an
+       exact multiple of [q - th], or as an always-nonzero gap. *)
+    let chk (xsubs, xctx) (w : upd) =
+      let th = fresh env l.index in
+      let ren =
+        (q, Affine.var th)
+        :: List.map
+             (fun (uq : qvar) -> (uq.qv, Affine.var (fresh env uq.qv)))
+             w.uqs
+      in
+      let sub_a a = subst_aff ren a in
+      let ctx2 = Symbolic.assume_ge xctx (Affine.var th) lo_a in
+      let ctx2 = Symbolic.assume_le ctx2 (Affine.var th) hi_a in
+      let ctx2 =
+        List.fold_left
+          (fun ctx (uq : qvar) ->
+            let v = sub_a (Affine.var uq.qv) in
+            let ctx = Symbolic.assume_ge ctx v (sub_a uq.qlo) in
+            Symbolic.assume_le ctx v (sub_a uq.qhi))
+          ctx2 w.uqs
+      in
+      if List.length xsubs <> List.length w.upat then
+        unsup "array rank mismatch across loop iterations";
+      let ok =
+        List.exists2
+          (fun xd wd ->
+            let d = Affine.sub xd (sub_a wd) in
+            let ci = Affine.coeff d q and cj = Affine.coeff d th in
+            (ci <> 0 && cj = -ci
+            && Affine.constant d = 0
+            && List.for_all
+                 (fun v -> String.equal v q || String.equal v th)
+                 (Affine.vars d))
+            || Symbolic.prove_nonneg ctx2 (Affine.sub d (Affine.const 1))
+            || Symbolic.prove_nonneg ctx2
+                 (Affine.sub (Affine.neg d) (Affine.const 1)))
+          xsubs w.upat
+      in
+      if not ok then
+        unsup "cannot separate iterations of %s: possible cross-iteration \
+               aliasing"
+          l.index
+    in
+    let add_qfacts ctx qs =
+      List.fold_left
+        (fun ctx (qv : qvar) ->
+          let v = Affine.var qv.qv in
+          let ctx = Symbolic.assume_ge ctx v qv.qlo in
+          Symbolic.assume_le ctx v qv.qhi)
+        ctx qs
+    in
+    let arr_deltas =
+      List.filter_map
+        (fun (a, upds) ->
+          let base =
+            Option.value ~default:[] (List.assoc_opt a st.arrays)
+          in
+          match delta_of upds base with [] -> None | d -> Some (a, d, base))
+        st1.arrays
+    in
+    List.iter
+      (fun (a, dws, _) ->
+        List.iter
+          (fun (w : upd) ->
+            List.iter
+              (fun (ra, rsubs, rctx) ->
+                if String.equal ra a then chk (rsubs, rctx) w)
+              reads;
+            List.iter
+              (fun (w2 : upd) ->
+                chk (w2.upat, add_qfacts ctx_body w2.uqs) w)
+              dws)
+          dws)
+      arr_deltas;
+    let qrec = { qv = q; qlo = lo_a; qhi = hi_a } in
+    let st2 =
+      List.fold_left
+        (fun stacc (a, dws, base) ->
+          let wrapped =
+            List.map (fun w -> { w with uqs = qrec :: w.uqs }) dws
+          in
+          if List.length wrapped + List.length base > max_updates then
+            unsup "too many updates on %s" a;
+          {
+            stacc with
+            arrays = (a, wrapped @ base) :: List.remove_assoc a stacc.arrays;
+          })
+        st arr_deltas
+    in
+    (* Final scalar values: the last iteration's, guarded by the trip
+       count when the loop may be empty. *)
+    let fdelta = delta_of st1.floats st.floats in
+    let names = List.sort_uniq String.compare (List.map fst fdelta) in
+    List.fold_left
+      (fun stacc name ->
+        let t = List.assoc name fdelta in
+        let t_hi = Fsa_term.subst [ (q, hi_a) ] t in
+        let t' =
+          match decide_atom env.ctx trip_atom with
+          | Some true -> t_hi
+          | _ ->
+              let prev =
+                match List.assoc_opt name st.floats with
+                | Some p -> p
+                | None -> Fsa_term.Sinit name
+              in
+              Fsa_term.Ite ([ trip_atom ], t_hi, prev)
+        in
+        if Fsa_term.size t' > max_term_size then
+          unsup "symbolic value too large";
+        { stacc with floats = (name, t') :: stacc.floats })
+      st2 names
+  end
+
+(* ---- entry points ---------------------------------------------------- *)
+
+let eval_block ~ctx stmts =
+  let env = { ctx; log = ref []; counter = ref 0; frames = [] } in
+  eval_list env empty stmts
+
+let read ~ctx st arr probe =
+  let env = { ctx; log = ref []; counter = ref 0; frames = [] } in
+  read_env env st arr probe
+
+let scalar st s =
+  match List.assoc_opt s st.floats with
+  | Some t -> t
+  | None -> Fsa_term.Sinit s

@@ -403,6 +403,66 @@ let if_inspection_pass : pass =
       | _ -> None)
     (loops_with_level block)
 
+(* FSA cross-check: wherever {!Fsa.commute} proves two adjacent
+   statements equivalent under the site's facts, swapping them must be
+   bitwise invisible to the whole program.  This is the differential
+   validation of the derived commutativity prover: every [Equivalent]
+   verdict gets executed in both orders.  [Unknown] verdicts are
+   refusals, not failures — FSA is allowed to give up, never to be
+   wrong. *)
+let commutativity_pass : pass =
+ fun p ~ctx ~deps:_ ->
+  let block = p.block in
+  let sites =
+    ([], None)
+    :: List.map (fun (path, l, _) -> (path, Some l)) (loops_with_level block)
+  in
+  List.concat_map
+    (fun (path, encl) ->
+      let stmts =
+        match encl with Some (l : Stmt.loop) -> l.body | None -> block
+      in
+      let n = List.length stmts in
+      List.filter_map
+        (fun i ->
+          let arr = Array.of_list stmts in
+          let a = arr.(i) and b = arr.(i + 1) in
+          let sctx = site_ctx ctx block path in
+          let sctx =
+            match encl with
+            | Some l -> Symbolic.with_loops sctx [ l ]
+            | None -> sctx
+          in
+          let verdict =
+            try (Fsa.commute ~fuel:3 ~ctx:sctx [ a ] [ b ]).Fsa.verdict
+            with e -> Fsa.Unknown (Printexc.to_string e)
+          in
+          match verdict with
+          | Fsa.Equivalent ->
+              arr.(i) <- b;
+              arr.(i + 1) <- a;
+              let swapped = Array.to_list arr in
+              let v_block =
+                match encl with
+                | Some l ->
+                    Stmt.replace_at block path
+                      [ Stmt.Loop { l with body = swapped } ]
+                | None -> swapped
+              in
+              let where =
+                match encl with
+                | Some l -> "in loop " ^ l.index
+                | None -> "at top level"
+              in
+              Some
+                (Ok
+                   (variant
+                      (Printf.sprintf "statements %d,%d %s" i (i + 1) where)
+                      v_block))
+          | Fsa.Unknown why -> Some (Error why))
+        (List.init (max 0 (n - 1)) Fun.id))
+    sites
+
 let transform_passes : (string * pass) list =
   [
     ("strip_mine", strip_mine_pass);
@@ -414,6 +474,7 @@ let transform_passes : (string * pass) list =
     ("scalar_replacement", scalar_replacement_pass);
     ("scalar_expansion", scalar_expansion_pass);
     ("if_inspection", if_inspection_pass);
+    ("commutativity", commutativity_pass);
   ]
 
 let pass_names = List.map fst transform_passes @ [ "oracle"; "reparse" ]

@@ -8,6 +8,11 @@
       interpreting the transformed block from identical initial
       environments yields bitwise-equal REAL arrays over two randomized
       data fills;
+    - cross-checks the fractal-symbolic-analysis prover: wherever
+      {!Fsa.commute} proves two adjacent statements equivalent under
+      the site's facts (the ["commutativity"] pass), the swapped order
+      is interpreted and must agree bitwise — FSA may answer [Unknown],
+      never wrongly [Equivalent];
     - cross-validates {!Dependence.all} conservativeness against the
       brute-force {!Oracle} on the program's concrete bindings
       (straight-line programs only — the oracle does not model IFs);

@@ -148,8 +148,34 @@ let gen_guard scope =
          scalar-interference safety check *)
       pure (Stmt.Fcmp (Stmt.Ge, Stmt.Fvar temp_scalar, Stmt.Fconst 0.25))
 
+(* §5.2 shape: IF-guarded element interchange of two rows of a 2-D
+   array through the temporary — the partial-pivoting row-swap pattern.
+   Exercises scalar replacement under disjunctive contexts and feeds
+   the commutativity pass genuinely swap-like material. *)
+let gen_swap_unit scope =
+  let* ai = int_range 0 1 in
+  let name = if ai = 0 then "C" else "D" in
+  let* r1 = int_range 1 2 in
+  let* r2k = int_range 0 (List.length scope - 1) in
+  let* c0 = int_range (-1) 1 in
+  let r1e = Expr.int r1 in
+  let r2e = Expr.(add (var (List.nth scope r2k)) (int c0)) in
+  let* s = gen_simple_sub scope in
+  let* g = gen_guard scope in
+  pure
+    [
+      Stmt.If
+        ( g,
+          [
+            Stmt.Assign (temp_scalar, [], Stmt.Ref (name, [ r1e; s ]));
+            Stmt.Assign (name, [ r1e; s ], Stmt.Ref (name, [ r2e; s ]));
+            Stmt.Assign (name, [ r2e; s ], Stmt.Fvar temp_scalar);
+          ],
+          [] );
+    ]
+
 let gen_unit scope =
-  let* k = int_range 0 5 in
+  let* k = int_range 0 6 in
   match k with
   | 0 | 1 | 2 -> map (fun s -> [ s ]) (gen_assign scope)
   | 3 -> gen_scalar_pair scope
@@ -157,10 +183,11 @@ let gen_unit scope =
       let* g = gen_guard scope in
       let* s = gen_assign scope in
       pure [ Stmt.If (g, [ s ], []) ]
-  | _ ->
+  | 5 ->
       let* g = gen_guard scope in
       let* body = gen_scalar_pair scope in
       pure [ Stmt.If (g, body, []) ]
+  | _ -> gen_swap_unit scope
 
 let gen_body scope =
   let* nstmt = int_range 1 2 in

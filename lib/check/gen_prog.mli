@@ -4,7 +4,9 @@
     1-3) in the shape vocabulary of the paper: rectangular bounds,
     triangular bounds where an inner bound tracks the outer index,
     trapezoidal MIN/MAX bounds, zero-guard IFs over a read-only guard
-    array, 1-D/2-D affine subscripts (including coupled [I-J] forms),
+    array, IF-guarded row interchanges through the temporary (the §5.2
+    partial-pivoting swap shape), 1-D/2-D affine subscripts (including
+    coupled [I-J] forms),
     scalar-temporary statement pairs, and symbolic parameters ([N],
     [M], [KS]) closed by random bindings small enough that every loop's
     full iteration space is interpretable in microseconds.

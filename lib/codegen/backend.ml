@@ -10,6 +10,7 @@ type compiled = {
   bk_cached : bool;
   bk_disposition : Jit.disposition;
   bk_compile_s : float;
+  bk_remarks : string list;
   bk_run : ?bindings:(string * int) list -> Env.t -> (unit, string) result;
 }
 
@@ -37,6 +38,7 @@ module Ocaml : S = struct
             bk_cached = l.Jit.cached;
             bk_disposition = l.Jit.disposition;
             bk_compile_s = l.Jit.compile_s;
+            bk_remarks = [];
             bk_run = (fun ?bindings env -> Jit.run ?bindings l.Jit.fn env);
           }
 end
@@ -57,6 +59,7 @@ module C : S = struct
             bk_cached = l.Cc.cached;
             bk_disposition = l.Cc.disposition;
             bk_compile_s = l.Cc.compile_s;
+            bk_remarks = l.Cc.vec_remarks;
             bk_run = (fun ?bindings env -> Cc.run ?bindings l.Cc.fn env);
           }
 end

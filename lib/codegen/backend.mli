@@ -16,6 +16,10 @@ type compiled = {
   bk_cached : bool;
   bk_disposition : Jit.disposition;
   bk_compile_s : float;
+  bk_remarks : string list;
+      (** optimizer remarks about the artifact: the C backend's
+          vectorization report ({!Cc.loaded.vec_remarks}); [] for the
+          OCaml backend *)
   bk_run : ?bindings:(string * int) list -> Env.t -> (unit, string) result;
       (** {!Jit.run} contract: arrays shared with the environment,
           written scalars stored back, [bindings] close hoisted

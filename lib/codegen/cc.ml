@@ -29,6 +29,7 @@ type loaded = {
   cached : bool;
   disposition : Jit.disposition;
   compile_s : float;
+  vec_remarks : string list;
   fn : fn;
 }
 
@@ -120,6 +121,23 @@ let first_lines ?(n = 4) s =
   let lines = String.split_on_char '\n' (String.trim s) in
   String.concat " | " (List.filteri (fun i _ -> i < n) lines)
 
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* The compiler's vectorization report ([-fopt-info-vec=FILE]), kept
+   next to the cached object as [bk_<key>.vec] so warm loads can still
+   answer "which loops vectorized?".  Only the remark lines themselves
+   survive the filter; an absent or empty file (flag unsupported, or
+   nothing vectorized) is just []. *)
+let vec_remarks_of vecf =
+  read_file vecf
+  |> String.split_on_char '\n'
+  |> List.filter_map (fun l ->
+         let l = String.trim l in
+         if l <> "" && contains_sub l "vectoriz" then Some l else None)
+
 let rec mkdirs p =
   if not (Sys.file_exists p) then begin
     let parent = Filename.dirname p in
@@ -153,6 +171,7 @@ let compile_blueprint ?cc ~name (bp : Blueprint.t) =
           let dir = Jit.cache_dir () in
           let base = "bk_" ^ key in
           let so = Filename.concat dir (base ^ ".so") in
+          let vecf = Filename.concat dir (base ^ ".vec") in
           match memoized with
           | Some fn ->
               Ok
@@ -162,6 +181,7 @@ let compile_blueprint ?cc ~name (bp : Blueprint.t) =
                   cached = true;
                   disposition = Jit.Memo;
                   compile_s = 0.0;
+                  vec_remarks = vec_remarks_of vecf;
                   fn;
                 }
           | None ->
@@ -182,6 +202,7 @@ let compile_blueprint ?cc ~name (bp : Blueprint.t) =
                         cached = true;
                         disposition = Jit.Memo;
                         compile_s = 0.0;
+                        vec_remarks = vec_remarks_of vecf;
                         fn;
                       }
                 | None -> (
@@ -209,16 +230,34 @@ let compile_blueprint ?cc ~name (bp : Blueprint.t) =
                             let tmp = Filename.concat dir (base ^ ".tmp.so") in
                             let errf = Filename.concat dir (base ^ ".err") in
                             write_file c src;
-                            let cmd =
+                            let cmd extra =
                               Printf.sprintf
                                 "%s -std=c99 -O2 -shared -fPIC \
-                                 -ffp-contract=off -o %s %s -lm 2> %s"
-                                (Filename.quote compiler) (Filename.quote tmp)
-                                (Filename.quote c) (Filename.quote errf)
+                                 -ffp-contract=off%s -o %s %s -lm 2> %s"
+                                (Filename.quote compiler) extra
+                                (Filename.quote tmp) (Filename.quote c)
+                                (Filename.quote errf)
                             in
                             incr invocation_count;
                             Obs.Metrics.incr (Lazy.force invocation_counter);
-                            let rc = Sys.command cmd in
+                            (* First attempt asks for the vectorization
+                               report; compilers that reject the flag
+                               (it is a GCC spelling) get a clean retry
+                               without it. *)
+                            (try Sys.remove vecf with Sys_error _ -> ());
+                            let rc =
+                              match
+                                Sys.command
+                                  (cmd
+                                     (" -fopt-info-vec="
+                                     ^ Filename.quote vecf))
+                              with
+                              | 0 -> 0
+                              | _ ->
+                                  (try Sys.remove vecf
+                                   with Sys_error _ -> ());
+                                  Sys.command (cmd "")
+                            in
                             if rc <> 0 then
                               Error
                                 (Printf.sprintf "%s: cc failed (exit %d): %s"
@@ -247,6 +286,7 @@ let compile_blueprint ?cc ~name (bp : Blueprint.t) =
                                 disposition =
                                   (if on_disk then Jit.Disk else Jit.Compiled);
                                 compile_s;
+                                vec_remarks = vec_remarks_of vecf;
                                 fn;
                               }
                         | exception Failure m ->

@@ -26,6 +26,11 @@ type loaded = {
   cached : bool;
   disposition : Jit.disposition;
   compile_s : float;
+  vec_remarks : string list;
+      (** the compiler's vectorization remarks ([-fopt-info-vec]),
+          persisted as [bk_<key>.vec] beside the object so cache hits
+          still report them; [] when the flag is unsupported or no
+          loop vectorized *)
   fn : fn;
 }
 

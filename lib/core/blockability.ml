@@ -136,6 +136,19 @@ let entries =
       blockable = true;
     };
     {
+      name = "lu_pivot_opt";
+      paper_ref = "§5.2, Table 4 (1+)";
+      kernel = K_lu_pivot.kernel;
+      derive =
+        (fun () ->
+          Blocker.block_lu_pivot_opt ~block_size_var:"KS" ~factor:4
+            K_lu_pivot.point_loop);
+      extra_bindings = [ ("KS", 8) ];
+      extra_setup = no_extra;
+      default_bindings = [ ("N", 24) ];
+      blockable = true;
+    };
+    {
       name = "trisolve";
       paper_ref = "§8 breadth (ours)";
       kernel = K_trisolve.kernel;

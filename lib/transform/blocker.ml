@@ -103,8 +103,8 @@ let try_dep ~ctx ~ctx_plan ~ignore_dep_of (kk : Stmt.loop) (dep : Dependence.t) 
           let head = List.init (top + 1) (fun i -> i) in
           let tail = List.init (n - top - 1) (fun i -> top + 1 + i) in
           let* loops =
-            Distribution.apply_with_override ~ctx ~ignore_dep:(ignore_dep_of kk')
-              kk' ~groups:[ head; tail ]
+            Distribution.apply_with_override ~ctx
+              ~ignore_dep:(ignore_dep_of ctx kk') kk' ~groups:[ head; tail ]
           in
           Ok (plan, loops)
 
@@ -214,11 +214,11 @@ let derive ~block_size_var ~ignore_dep_of (l : Stmt.loop) =
     Ok { result; steps = List.rev !steps }
 
 let block_lu ~block_size_var l =
-  derive ~block_size_var ~ignore_dep_of:(fun _ _ -> false) l
+  derive ~block_size_var ~ignore_dep_of:(fun _ _ _ -> false) l
 
 let block_lu_pivot ~block_size_var l =
   derive ~block_size_var
-    ~ignore_dep_of:(fun kk dep -> Commutativity.may_ignore kk dep)
+    ~ignore_dep_of:(fun ctx kk dep -> Commutativity.may_ignore ~ctx kk dep)
     l
 
 
@@ -323,11 +323,11 @@ let scalar_replace_all ~ctx block =
   in
   (block, !replaced)
 
-let block_lu_opt ~block_size_var ~factor (l : Stmt.loop) =
-  Obs.span ~cat:"driver" "blocker.block_lu_opt"
-    ~args:[ ("loop", Obs.Str l.index); ("factor", Obs.Int factor) ]
-  @@ fun () ->
-  let* { result; steps } = block_lu ~block_size_var l in
+(* Shared "+" tail: register-block the trailing update of an already
+   cache-blocked LU-shaped kernel (with or without pivoting) and run
+   scalar replacement over every innermost loop.  [label] names the
+   paper's variant in the trace. *)
+let opt_tail ~block_size_var ~factor ~label { result; steps } =
   let steps = ref (List.rev steps) in
   let record name detail after =
     Obs.instant ~cat:"driver" ~args:[ ("detail", Obs.Str detail) ] name;
@@ -367,8 +367,24 @@ let block_lu_opt ~block_size_var ~factor (l : Stmt.loop) =
   record "scalar-replacement"
     (Printf.sprintf "%d innermost loop(s) register-promoted" nrep)
     [ full ];
-  record "result" "register-blocked kernel (the paper's 2+)" [ full ];
+  record "result"
+    (Printf.sprintf "register-blocked kernel (the paper's %s)" label)
+    [ full ];
   Ok { result = full; steps = List.rev !steps }
+
+let block_lu_opt ~block_size_var ~factor (l : Stmt.loop) =
+  Obs.span ~cat:"driver" "blocker.block_lu_opt"
+    ~args:[ ("loop", Obs.Str l.index); ("factor", Obs.Int factor) ]
+  @@ fun () ->
+  let* traced = block_lu ~block_size_var l in
+  opt_tail ~block_size_var ~factor ~label:"2+" traced
+
+let block_lu_pivot_opt ~block_size_var ~factor (l : Stmt.loop) =
+  Obs.span ~cat:"driver" "blocker.block_lu_pivot_opt"
+    ~args:[ ("loop", Obs.Str l.index); ("factor", Obs.Int factor) ]
+  @@ fun () ->
+  let* traced = block_lu_pivot ~block_size_var l in
+  opt_tail ~block_size_var ~factor ~label:"1+" traced
 
 (* ------------------------------------------------------------------ *)
 (* Block-size choice                                                   *)

@@ -58,6 +58,18 @@ val block_lu_opt :
     only reorganizes misses ("2" is within ~8% of point in the paper);
     this is the variant whose measured speedups the paper reports. *)
 
+val block_lu_pivot_opt :
+  block_size_var:string ->
+  factor:int ->
+  Stmt.loop ->
+  (Stmt.t traced, string) result
+(** §5.2 Table 4's "1+": {!block_lu_pivot}, then the same register
+    blocking {!block_lu_opt} applies to plain LU — unroll-and-jam on
+    the MIN/MAX-free regions of the trailing update, and scalar
+    replacement over {e every} innermost loop, including those under
+    the IF-guarded pivot search and row swaps (sites under disjunctive
+    bounds use [Symbolic.with_loops_cases] facts). *)
+
 val block_trapezoid :
   ctx:Symbolic.t ->
   factor:int ->

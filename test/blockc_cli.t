@@ -3,22 +3,22 @@ on stderr, because scripts drive these subcommands.
 
   $ blockc profile nosuch
   blockc: unknown kernel 'nosuch'
-  known kernels: lu, lu_opt, lu_pivot, trisolve, cholesky, matmul, givens, aconv, conv, householder
+  known kernels: lu, lu_opt, lu_pivot, lu_pivot_opt, trisolve, cholesky, matmul, givens, aconv, conv, householder
   [2]
 
   $ blockc explain nosuch
   blockc: unknown kernel 'nosuch'
-  known kernels: lu, lu_opt, lu_pivot, trisolve, cholesky, matmul, givens, aconv, conv, householder
+  known kernels: lu, lu_opt, lu_pivot, lu_pivot_opt, trisolve, cholesky, matmul, givens, aconv, conv, householder
   [2]
 
   $ blockc simulate nosuch
   blockc: unknown kernel 'nosuch'
-  known kernels: lu, lu_opt, lu_pivot, trisolve, cholesky, matmul, givens, aconv, conv, householder
+  known kernels: lu, lu_opt, lu_pivot, lu_pivot_opt, trisolve, cholesky, matmul, givens, aconv, conv, householder
   [2]
 
   $ blockc --explain nosuch
   blockc: unknown kernel 'nosuch'
-  known kernels: lu, lu_opt, lu_pivot, trisolve, cholesky, matmul, givens, aconv, conv, householder
+  known kernels: lu, lu_opt, lu_pivot, lu_pivot_opt, trisolve, cholesky, matmul, givens, aconv, conv, householder
   [2]
 
 A known kernel profiles fine and the JSON carries the attribution and
@@ -36,12 +36,12 @@ the name the same way (exit 2 + catalogue), including show and derive.
 
   $ blockc show nosuch
   blockc: unknown kernel 'nosuch'
-  known kernels: lu, lu_opt, lu_pivot, trisolve, cholesky, matmul, givens, aconv, conv, householder
+  known kernels: lu, lu_opt, lu_pivot, lu_pivot_opt, trisolve, cholesky, matmul, givens, aconv, conv, householder
   [2]
 
   $ blockc derive nosuch
   blockc: unknown kernel 'nosuch'
-  known kernels: lu, lu_opt, lu_pivot, trisolve, cholesky, matmul, givens, aconv, conv, householder
+  known kernels: lu, lu_opt, lu_pivot, lu_pivot_opt, trisolve, cholesky, matmul, givens, aconv, conv, householder
   [2]
 
 Unparseable input is exit 2 as well (unusable input, not a negative
@@ -56,15 +56,27 @@ analysis result).
   bad.f:2: expected END DO
   [2]
 
-The fuzzer validates --only before running (exit 2), and a clean
+The fuzzer validates --only before running, with the same exit-2 +
+catalogue-on-stderr convention as unknown kernel names; a clean
 fixed-seed run exits 0 with coverage counters.
 
   $ blockc fuzz --only nosuchpass --iters 1 --seed 1
-  blockc fuzz: unknown pass 'nosuchpass' (expected one of: strip_mine, interchange, distribution, index_set_split, split_minmax, unroll_and_jam, scalar_replacement, scalar_expansion, if_inspection, oracle, reparse)
+  blockc: unknown pass 'nosuchpass'
+  known passes: strip_mine, interchange, distribution, index_set_split, split_minmax, unroll_and_jam, scalar_replacement, scalar_expansion, if_inspection, commutativity, oracle, reparse
   [2]
 
   $ blockc fuzz --iters 20 --seed 42 --json | tr ',' '\n' | grep -o '"ok":true'
   "ok":true
+
+Pivoting LU blocks through the derived fractal-symbolic-analysis
+prover by default; --curated-commutativity (accepted by every
+transformation-running command) falls back to the paper's fact table
+and must land on the same program.
+
+  $ blockc derive lu_pivot > derived.f
+  $ blockc derive lu_pivot --curated-commutativity > curated.f
+  $ cmp derived.f curated.f && echo same
+  same
 
 The native compile subcommand follows the same conventions: unknown
 kernels exit 2 with the catalogue, --emit ocaml prints the lowered
@@ -75,7 +87,7 @@ the blueprint and the OCaml version, and timing varies).
 
   $ blockc compile nosuch
   blockc: unknown kernel 'nosuch'
-  known kernels: lu, lu_opt, lu_pivot, trisolve, cholesky, matmul, givens, aconv, conv, householder
+  known kernels: lu, lu_opt, lu_pivot, lu_pivot_opt, trisolve, cholesky, matmul, givens, aconv, conv, householder
   [2]
 
   $ blockc compile lu --emit ocaml | head -n 1

@@ -9,6 +9,7 @@ let () =
       Test_dependence.suite;
       Test_section.suite;
       Test_transform.suite;
+      Test_fsa.suite;
       Test_drivers.suite;
       Test_native.suite;
       Test_lang.suite;
